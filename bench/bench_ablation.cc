@@ -1,0 +1,88 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  - UCT exploration constant c (the paper calls it "tunable"),
+//  - k (random widget assignments per state),
+//  - the greedy-seed assignment (our refinement over pure random k),
+//  - saturation/forward-biased rollouts vs the paper's uniform walks,
+//  - expand-all-children vs single expansion.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/interface_generator.h"
+#include "difftree/builder.h"
+#include "sql/parser.h"
+#include "workload/sdss.h"
+
+using namespace ifgen;  // NOLINT
+
+namespace {
+
+double RunOnce(const std::vector<Ast>& queries, GeneratorOptions opt) {
+  auto r = GenerateInterfaceFromAsts(queries, opt);
+  return r.ok() ? r->cost.total() : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablations on Listing 1 (lower cost is better)");
+  const int64_t budget = bench::BudgetMs(2500);
+  auto queries = *ParseQueries(SdssListing1());
+
+  GeneratorOptions base;
+  base.screen = {100, 40};
+  base.search.time_budget_ms = budget;
+  base.search.seed = 3;
+
+  std::printf("\nUCT exploration constant c:\n");
+  for (double c : {0.1, 0.25, 0.5, 1.0, 1.41421356}) {
+    GeneratorOptions opt = base;
+    opt.search.exploration_c = c;
+    std::printf("  c=%-6.2f cost=%.2f\n", c, RunOnce(queries, opt));
+  }
+
+  std::printf("\nk random widget assignments per state:\n");
+  for (size_t k : {1, 2, 4, 8, 16}) {
+    GeneratorOptions opt = base;
+    opt.k_assignments = k;
+    std::printf("  k=%-4zu cost=%.2f\n", k, RunOnce(queries, opt));
+  }
+
+  std::printf("\nreward estimation (paper: k purely random assignments):\n");
+  {
+    GeneratorOptions opt = base;
+    std::printf("  greedy seed ON  (ours)   cost=%.2f\n", RunOnce(queries, opt));
+    // EvalOptions are derived inside; emulate OFF via a custom run.
+    RuleEngine rules(opt.rules);
+    EvalOptions eopts = opt.MakeEvalOptions();
+    eopts.greedy_seed = false;
+    StateEvaluator eval(eopts, queries);
+    auto searcher = MakeSearcher(Algorithm::kMcts, &rules, &eval, opt.search);
+    auto initial = BuildInitialTree(queries);
+    auto r = searcher->Run(*initial);
+    Rng rng(1);
+    auto best = eval.FindBest(r->best_tree, &rng);
+    std::printf("  greedy seed OFF (paper)  cost=%.2f\n",
+                best.ok() ? best->cost.total() : -1.0);
+  }
+
+  std::printf("\nrollout policy (paper: uniformly random walks):\n");
+  for (auto [saturate, bias, tag] :
+       {std::tuple{0.35, 0.8, "saturation+bias (ours)"},
+        std::tuple{0.0, 0.8, "forward bias only"},
+        std::tuple{0.0, 0.5, "uniform (paper)"}}) {
+    GeneratorOptions opt = base;
+    opt.search.rollout_saturate_prob = saturate;
+    opt.search.rollout_forward_bias = bias;
+    std::printf("  %-24s cost=%.2f\n", tag, RunOnce(queries, opt));
+  }
+
+  std::printf("\nexpansion policy (paper: expand all immediate neighbors):\n");
+  for (bool all : {true, false}) {
+    GeneratorOptions opt = base;
+    opt.search.expand_all_children = all;
+    std::printf("  expand_all=%-5s cost=%.2f\n", all ? "true" : "false",
+                RunOnce(queries, opt));
+  }
+
+  return 0;
+}

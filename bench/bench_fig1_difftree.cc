@@ -1,0 +1,70 @@
+// Reproduces the paper's running example: Figure 1 (ASTs of q1-q3), the
+// initial difftree, and Figure 4 (the factored difftree expressing more
+// queries than the input log).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "difftree/builder.h"
+#include "difftree/enumerate.h"
+#include "rules/rule.h"
+#include "sql/parser.h"
+#include "sql/unparser.h"
+
+using namespace ifgen;  // NOLINT
+
+int main() {
+  bench::PrintHeader("Figure 1/4 reproduction: ASTs and difftrees for q1-q3");
+  const std::vector<std::string> sqls = {
+      "SELECT Sales FROM sales WHERE cty = 'USA'",
+      "SELECT Costs FROM sales WHERE cty = 'EUR'",
+      "SELECT Costs FROM sales",
+  };
+  auto queries = *ParseQueries(sqls);
+  std::printf("\n-- ASTs (Figure 1) --\n");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::printf("q%zu: %s\n", i + 1, queries[i].ToSExpr().c_str());
+  }
+
+  DiffTree initial = *BuildInitialTree(queries);
+  std::printf("\n-- Initial difftree (ANY over the query ASTs) --\n%s",
+              initial.ToString().c_str());
+  std::printf("expressible queries: %.0f (exactly the log)\n",
+              CountExpressible(initial));
+
+  // Apply the canonical forward chain to obtain the Figure 4 difftree.
+  RuleEngine engine;
+  DiffTree tree = initial;
+  int steps = 0;
+  for (; steps < 30; ++steps) {
+    auto apps = engine.EnumerateApplications(tree);
+    bool advanced = false;
+    for (const auto& app : apps) {
+      if (!engine.IsForward(app)) continue;
+      auto next = engine.Apply(tree, app);
+      if (!next.ok()) continue;
+      tree = std::move(next).MoveValueUnsafe();
+      advanced = true;
+      break;
+    }
+    if (!advanced) break;
+  }
+  std::printf("\n-- Factored difftree after %d forward rewrites (Figure 4) --\n%s",
+              steps, tree.ToString().c_str());
+  double coverage = CountExpressible(tree);
+  std::printf("expressible queries: %.0f (Figure 4 'can express more queries "
+              "than the initial difftree')\n",
+              coverage);
+
+  std::printf("\n-- The extra queries the factored interface admits --\n");
+  for (const Ast& q : EnumerateQueries(tree, 16)) {
+    auto sql = Unparse(q);
+    bool in_log = false;
+    for (const Ast& orig : queries) in_log |= orig == q;
+    std::printf("  %s%s\n", sql.ok() ? sql->c_str() : q.ToSExpr().c_str(),
+                in_log ? "   [in log]" : "");
+  }
+  std::printf("\nresult: coverage grew %.0f -> %.0f while all logged queries "
+              "remain expressible\n",
+              CountExpressible(initial), coverage);
+  return 0;
+}

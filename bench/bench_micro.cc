@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark) for the hot paths the paper's
+// "Ongoing Work" section worries about: parsing, rule enumeration and
+// application, expressibility matching, transition planning, and widget-tree
+// evaluation (plan-cached vs recomputed — the incremental-evaluation
+// optimization the paper proposes).
+#include <benchmark/benchmark.h>
+
+#include "cost/cost_model.h"
+#include "cost/evaluator.h"
+#include "difftree/builder.h"
+#include "difftree/match.h"
+#include "interface/assignment.h"
+#include "rules/rule.h"
+#include "sql/parser.h"
+#include "workload/sdss.h"
+#include "workload/synthetic.h"
+
+namespace ifgen {
+namespace {
+
+const std::vector<std::string>& SdssLog() {
+  static const std::vector<std::string> log = SdssListing1();
+  return log;
+}
+
+std::vector<Ast> SdssAsts() { return *ParseQueries(SdssLog()); }
+
+/// A partially factored SDSS difftree (root Any2All applied).
+DiffTree FactoredSdss(int forward_steps) {
+  RuleEngine engine;
+  DiffTree tree = *BuildInitialTree(SdssAsts());
+  for (int i = 0; i < forward_steps; ++i) {
+    bool advanced = false;
+    for (const auto& app : engine.EnumerateApplications(tree)) {
+      if (!engine.IsForward(app)) continue;
+      auto next = engine.Apply(tree, app);
+      if (!next.ok()) continue;
+      tree = std::move(next).MoveValueUnsafe();
+      advanced = true;
+      break;
+    }
+    if (!advanced) break;
+  }
+  return tree;
+}
+
+void BM_ParseQuery(benchmark::State& state) {
+  const std::string& sql = SdssLog()[0];
+  for (auto _ : state) {
+    auto q = ParseQuery(sql);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_BuildInitialTree(benchmark::State& state) {
+  auto queries = SdssAsts();
+  for (auto _ : state) {
+    auto t = BuildInitialTree(queries);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_BuildInitialTree);
+
+void BM_EnumerateApplications(benchmark::State& state) {
+  RuleEngine engine;
+  DiffTree tree = FactoredSdss(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto apps = engine.EnumerateApplications(tree);
+    benchmark::DoNotOptimize(apps);
+  }
+  state.counters["fanout"] = static_cast<double>(
+      engine.EnumerateApplications(tree).size());
+  state.counters["nodes"] = static_cast<double>(tree.NodeCount());
+}
+BENCHMARK(BM_EnumerateApplications)->Arg(0)->Arg(1)->Arg(8);
+
+void BM_ApplyRule(benchmark::State& state) {
+  RuleEngine engine;
+  DiffTree tree = FactoredSdss(1);
+  auto apps = engine.EnumerateApplications(tree);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto next = engine.Apply(tree, apps[i++ % apps.size()]);
+    benchmark::DoNotOptimize(next);
+  }
+}
+BENCHMARK(BM_ApplyRule);
+
+void BM_MatchQuery(benchmark::State& state) {
+  DiffTree tree = FactoredSdss(static_cast<int>(state.range(0)));
+  auto queries = SdssAsts();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto m = MatchQuery(tree, queries[i++ % queries.size()]);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MatchQuery)->Arg(0)->Arg(8);
+
+void BM_PlanTransitions(benchmark::State& state) {
+  DiffTree tree = FactoredSdss(8);
+  auto queries = SdssAsts();
+  for (auto _ : state) {
+    auto plan = PlanTransitions(tree, queries, 8);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanTransitions);
+
+void BM_EvaluateAssignment_Recompute(benchmark::State& state) {
+  // The unoptimized path: derivations re-enumerated per widget tree.
+  DiffTree tree = FactoredSdss(8);
+  auto queries = SdssAsts();
+  CostConstants constants;
+  WidgetAssigner assigner(tree, constants);
+  auto wt = assigner.Build(assigner.MinAppropriatenessAssignment());
+  CostModel model(constants, {100, 40});
+  for (auto _ : state) {
+    WidgetTree copy = *wt;
+    auto cost = model.Evaluate(tree, &copy, queries);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_EvaluateAssignment_Recompute);
+
+void BM_EvaluateAssignment_PlanCached(benchmark::State& state) {
+  // The optimized path: the transition plan is computed once per state.
+  DiffTree tree = FactoredSdss(8);
+  auto queries = SdssAsts();
+  CostConstants constants;
+  WidgetAssigner assigner(tree, constants);
+  auto wt = assigner.Build(assigner.MinAppropriatenessAssignment());
+  CostModel model(constants, {100, 40});
+  TransitionPlan plan = PlanTransitions(tree, queries, 8);
+  for (auto _ : state) {
+    WidgetTree copy = *wt;
+    auto cost = model.EvaluateWithPlan(plan, &copy);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_EvaluateAssignment_PlanCached);
+
+void BM_SampleCost(benchmark::State& state) {
+  DiffTree tree = FactoredSdss(8);
+  auto queries = SdssAsts();
+  EvalOptions opts;
+  opts.screen = {100, 40};
+  opts.cache_enabled = false;
+  StateEvaluator eval(opts, queries);
+  Rng rng(1);
+  for (auto _ : state) {
+    double c = eval.SampleCost(tree, &rng);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SampleCost);
+
+void BM_CanonicalHash(benchmark::State& state) {
+  DiffTree tree = FactoredSdss(8);
+  for (auto _ : state) {
+    uint64_t h = tree.CanonicalHash();
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_CanonicalHash);
+
+void BM_SyntheticLogGeneration(benchmark::State& state) {
+  LogSpec spec;
+  spec.num_queries = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto log = GenerateLog(spec);
+    benchmark::DoNotOptimize(log);
+  }
+}
+BENCHMARK(BM_SyntheticLogGeneration)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace ifgen
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Scaling with log size: state size, fanout, evaluation throughput, and
+// best-found cost as the number of input queries grows (the paper's
+// "Ongoing Work" section targets interactive run-times; this measures where
+// the time goes).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cost/evaluator.h"
+#include "difftree/builder.h"
+#include "rules/rule.h"
+#include "sql/parser.h"
+#include "util/timer.h"
+#include "workload/synthetic.h"
+
+using namespace ifgen;  // NOLINT
+
+int main() {
+  bench::PrintHeader("Scaling with query-log size (synthetic family)");
+  const int64_t budget = bench::BudgetMs(2500);
+  std::printf("%8s %12s %8s %12s %12s %12s\n", "queries", "tree nodes", "fanout",
+              "evals/sec", "init cost", "mcts cost");
+  for (size_t n : {2, 4, 8, 12, 16, 24}) {
+    LogSpec spec;
+    spec.num_queries = n;
+    spec.num_tables = 3;
+    spec.num_projection_variants = 2;
+    spec.num_predicates = 2;
+    spec.seed = 11;
+    auto queries = *ParseQueries(GenerateLog(spec));
+    DiffTree initial = *BuildInitialTree(queries);
+    RuleEngine rules;
+    size_t fanout = rules.EnumerateApplications(initial).size();
+
+    // Evaluation throughput (uncached).
+    EvalOptions eopts;
+    eopts.screen = {100, 40};
+    eopts.cache_enabled = false;
+    StateEvaluator eval(eopts, queries);
+    Rng rng(1);
+    Stopwatch watch;
+    int evals = 0;
+    while (watch.ElapsedMillis() < 300) {
+      eval.SampleCost(initial, &rng);
+      ++evals;
+    }
+    double evals_per_sec =
+        static_cast<double>(evals) / (watch.ElapsedSeconds() + 1e-9);
+    double init_cost = eval.SampleCost(initial, &rng);
+
+    GeneratorOptions opt;
+    opt.screen = {100, 40};
+    opt.search.time_budget_ms = budget;
+    opt.search.seed = 3;
+    auto r = GenerateInterfaceFromAsts(queries, opt);
+    double mcts_cost = r.ok() ? r->cost.total() : -1.0;
+
+    std::printf("%8zu %12zu %8zu %12.1f %12.2f %12.2f\n", n, initial.NodeCount(),
+                fanout, evals_per_sec, init_cost, mcts_cost);
+  }
+  std::printf("\nexpected shape: tree size and fanout grow with the log; the "
+              "evaluator slows; MCTS still lands below the initial cost.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+
+// Shared helpers for the reproduction harnesses. Every harness binary runs
+// with a small default wall-clock budget so the whole bench sweep finishes
+// in minutes; set IFGEN_BUDGET_MS to raise it (the paper used ~60000 ms per
+// interface).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/interface_generator.h"
+#include "interface/render.h"
+
+namespace ifgen::bench {
+
+inline int64_t BudgetMs(int64_t fallback) {
+  const char* env = std::getenv("IFGEN_BUDGET_MS");
+  return env != nullptr ? std::atoll(env) : fallback;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==================================================================\n");
+}
+
+inline void PrintInterfaceSummary(const char* tag, const GeneratedInterface& iface) {
+  std::printf("%-28s cost=%7.2f  M=%6.2f  U=%6.2f  size=%3dx%-3d  widgets=%zu  "
+              "coverage~%.0f\n",
+              tag, iface.cost.total(), iface.cost.m_total, iface.cost.u_total,
+              iface.cost.layout_width, iface.cost.layout_height,
+              iface.widgets.CountInteractive(), iface.coverage);
+}
+
+inline void PrintRendered(const GeneratedInterface& iface, const Screen& screen) {
+  std::string art = RenderAscii(iface.widgets, screen);
+  std::printf("%s\n", art.c_str());
+}
+
+}  // namespace ifgen::bench

@@ -1,0 +1,87 @@
+// Rule playground: demonstrates each transformation rule of Figure 5 on a
+// small difftree — before/after structure, language size, and which rules
+// are applicable at every step of a factoring chain.
+#include <cstdio>
+
+#include "difftree/builder.h"
+#include "difftree/enumerate.h"
+#include "difftree/match.h"
+#include "rules/rule.h"
+#include "sql/parser.h"
+
+using namespace ifgen;  // NOLINT
+
+namespace {
+
+void ShowApplication(RuleEngine& engine, const DiffTree& before,
+                     const RuleApplication& app) {
+  std::printf("---- %s ----\n", engine.Describe(before, app).c_str());
+  auto after = engine.Apply(before, app);
+  if (!after.ok()) {
+    std::printf("(not applicable: %s)\n\n", after.status().ToString().c_str());
+    return;
+  }
+  std::printf("before (%0.0f expressible):\n%s", CountExpressible(before),
+              before.ToString().c_str());
+  std::printf("after  (%0.0f expressible):\n%s\n", CountExpressible(*after),
+              after->ToString().c_str());
+}
+
+void Demo(const char* title, const std::vector<std::string>& sqls,
+          std::string_view rule, int param = -2) {
+  std::printf("\n================ %s ================\n", title);
+  RuleEngine engine;
+  auto queries = *ParseQueries(sqls);
+  DiffTree tree = *BuildInitialTree(queries);
+  // Walk forward until the requested rule becomes applicable.
+  for (int step = 0; step < 12; ++step) {
+    for (const auto& app : engine.EnumerateApplications(tree)) {
+      if (engine.RuleName(app) == rule && (param == -2 || app.param == param)) {
+        ShowApplication(engine, tree, app);
+        return;
+      }
+    }
+    bool advanced = false;
+    for (const auto& app : engine.EnumerateApplications(tree)) {
+      if (!engine.IsForward(app)) continue;
+      auto next = engine.Apply(tree, app);
+      if (!next.ok()) continue;
+      tree = std::move(next).MoveValueUnsafe();
+      advanced = true;
+      break;
+    }
+    if (!advanced) break;
+  }
+  std::printf("(rule %s never became applicable)\n", std::string(rule).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Transformation rules of Figure 5, one demo each.\n");
+
+  Demo("Any2All: align shared roots into per-column choices",
+       {"select a from t where x = 1", "select b from t where x = 2"}, "Any2All", 0);
+
+  Demo("Lift: factor the root, keep whole bodies as alternatives",
+       {"select a from t where x = 1", "select b from u"}, "Lift");
+
+  Demo("Merge: drop duplicate ANY alternatives",
+       {"select a from t", "select a from t", "select b from t"}, "Merge");
+
+  Demo("Optional: ANY with an Empty alternative becomes OPT",
+       {"select a from t where x = 1", "select a from t"}, "Optional", 0);
+
+  Demo("Multi: variable-length predicate lists become an adder",
+       {"select a from t where u between 0 and 1",
+        "select a from t where u between 0 and 1 and u between 2 and 3"},
+       "Multi");
+
+  Demo("All2Any (inverse): distribute an ALL over one choice",
+       {"select a from t", "select b from t"}, "All2Any");
+
+  Demo("Noop: unwrap a singleton ANY",
+       {"select a from t", "select a from t"}, "Noop", 0);
+
+  return 0;
+}

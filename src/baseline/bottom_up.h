@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "difftree/difftree.h"
+#include "interface/widget_tree.h"
+#include "sql/ast.h"
+#include "util/status.h"
+#include "widgets/constants.h"
+
+namespace ifgen {
+
+/// \brief Reimplementation of the bottom-up baseline of Zhang, Sellam & Wu,
+/// "Mining Precision Interfaces from Query Logs" (SIGMOD 2017), as the paper
+/// characterizes it:
+///
+///  - enumerates subtree differences between the query ASTs and groups
+///    differences at the same AST location, without considering whether the
+///    subtrees *should* be grouped or what the other widgets are;
+///  - selects each widget purely by appropriateness M(.) — no transition
+///    cost U(.), since query order is ignored;
+///  - returns a flat set of widgets with a naive vertical layout — no
+///    layout search and no screen-size awareness.
+///
+/// Operationally this is one-shot maximal factoring (recursive symbol-LCS
+/// merging of all ASTs) followed by independent min-M widget picks. The
+/// result is scored with this library's cost model so it is directly
+/// comparable to the search-based generators.
+struct BottomUpResult {
+  DiffTree difftree;
+  WidgetTree widgets;
+  CostBreakdown cost;
+};
+
+Result<BottomUpResult> RunBottomUpBaseline(const std::vector<Ast>& queries,
+                                           const CostConstants& constants,
+                                           Screen screen);
+
+/// The merged difftree alone (exposed for tests).
+Result<DiffTree> BottomUpMerge(const std::vector<Ast>& queries);
+
+}  // namespace ifgen

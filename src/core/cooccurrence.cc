@@ -1,0 +1,81 @@
+#include "core/cooccurrence.h"
+
+#include <algorithm>
+
+#include "difftree/match.h"
+
+namespace ifgen {
+
+CooccurrenceModel::CooccurrenceModel(const DiffTree& tree,
+                                     const std::vector<Ast>& queries)
+    : tree_(&tree), index_(tree) {
+  for (const Ast& q : queries) {
+    auto deriv = MatchQuery(tree, q);
+    if (!deriv.has_value()) continue;
+    SelectionMap sels = ExtractSelections(index_, *deriv);
+    ++observations_;
+    std::vector<Key> keys;
+    keys.reserve(sels.size());
+    for (const auto& [id, sel] : sels) keys.emplace_back(id, sel);
+    std::sort(keys.begin(), keys.end());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ++single_counts_[keys[i]];
+      for (size_t j = i + 1; j < keys.size(); ++j) {
+        ++pair_counts_[{keys[i], keys[j]}];
+      }
+    }
+  }
+}
+
+double CooccurrenceModel::Score(const SelectionMap& selections) const {
+  if (observations_ == 0) return 0.0;
+  std::vector<Key> keys;
+  keys.reserve(selections.size());
+  for (const auto& [id, sel] : selections) keys.emplace_back(id, sel);
+  std::sort(keys.begin(), keys.end());
+
+  // A selection value never seen in the log at all marks the combination as
+  // fully novel.
+  for (const Key& k : keys) {
+    if (single_counts_.find(k) == single_counts_.end()) return 0.0;
+  }
+  if (keys.size() < 2) return 1.0;
+
+  // Mean conditional co-occurrence over pairs: |a & b| / min(|a|, |b|).
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      auto it = pair_counts_.find({keys[i], keys[j]});
+      size_t together = it == pair_counts_.end() ? 0 : it->second;
+      size_t denom = std::min(single_counts_.at(keys[i]),
+                              single_counts_.at(keys[j]));
+      total += denom == 0 ? 0.0
+                          : static_cast<double>(together) /
+                                static_cast<double>(denom);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 1.0 : total / static_cast<double>(pairs);
+}
+
+double CooccurrenceModel::ScoreQuery(const Ast& query) const {
+  auto deriv = MatchQuery(*tree_, query);
+  if (!deriv.has_value()) return 0.0;
+  return Score(ExtractSelections(index_, *deriv));
+}
+
+CooccurrenceModel::Partition CooccurrenceModel::PartitionQueries(
+    const std::vector<Ast>& queries, double threshold) const {
+  Partition p;
+  for (const Ast& q : queries) {
+    if (ScoreQuery(q) >= threshold) {
+      p.likely.push_back(q);
+    } else {
+      p.unlikely.push_back(q);
+    }
+  }
+  return p;
+}
+
+}  // namespace ifgen

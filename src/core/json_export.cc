@@ -1,0 +1,142 @@
+#include "core/json_export.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ifgen {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.6g", v);
+}
+
+void DiffTreeRec(const DiffTree& n, std::string* out) {
+  *out += "{\"kind\":\"";
+  *out += DKindName(n.kind);
+  *out += "\"";
+  if (n.kind == DKind::kAll) {
+    *out += ",\"sym\":\"";
+    *out += SymbolName(n.sym);
+    *out += "\"";
+    if (!n.value.empty()) {
+      *out += ",\"value\":\"" + JsonEscape(n.value) + "\"";
+    }
+  }
+  if (!n.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) *out += ",";
+      DiffTreeRec(n.children[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+void WidgetRec(const WidgetNode& n, std::string* out) {
+  *out += "{\"widget\":\"";
+  *out += WidgetKindName(n.kind);
+  *out += "\"";
+  if (!n.label.empty()) {
+    *out += ",\"label\":\"" + JsonEscape(n.label) + "\"";
+  }
+  if (n.choice_id >= 0) {
+    *out += StrFormat(",\"choice\":%d", n.choice_id);
+  }
+  if (n.choice_id2 >= 0) {
+    *out += StrFormat(",\"choice2\":%d", n.choice_id2);
+  }
+  if (!IsLayoutWidget(n.kind) && !n.domain.labels.empty()) {
+    *out += ",\"options\":[";
+    for (size_t i = 0; i < n.domain.labels.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += "\"" + JsonEscape(n.domain.labels[i]) + "\"";
+    }
+    *out += "]";
+    if (n.domain.all_numeric) {
+      *out += ",\"numeric\":{\"lo\":" + Num(n.domain.num_lo) +
+              ",\"hi\":" + Num(n.domain.num_hi) + "}";
+    }
+  }
+  *out += StrFormat(",\"box\":{\"x\":%d,\"y\":%d,\"w\":%d,\"h\":%d}", n.x, n.y,
+                    n.width, n.height);
+  if (!n.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) *out += ",";
+      WidgetRec(n.children[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string DiffTreeToJson(const DiffTree& tree) {
+  std::string out;
+  DiffTreeRec(tree, &out);
+  return out;
+}
+
+std::string WidgetTreeToJson(const WidgetTree& tree) {
+  std::string out;
+  WidgetRec(tree.root, &out);
+  return out;
+}
+
+std::string CostToJson(const CostBreakdown& cost) {
+  std::string out = "{\"valid\":";
+  out += cost.valid ? "true" : "false";
+  if (!cost.valid) {
+    out += ",\"reason\":\"" + JsonEscape(cost.invalid_reason) + "\"";
+  }
+  out += ",\"m\":" + Num(cost.m_total);
+  out += ",\"u\":" + Num(cost.u_total);
+  out += ",\"total\":" + Num(cost.total());
+  out += StrFormat(",\"layout\":{\"w\":%d,\"h\":%d}", cost.layout_width,
+                   cost.layout_height);
+  out += ",\"transitions\":[";
+  for (size_t i = 0; i < cost.per_transition.size(); ++i) {
+    if (i > 0) out += ",";
+    out += Num(cost.per_transition[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "difftree/difftree.h"
+#include "interface/widget_tree.h"
+
+namespace ifgen {
+
+/// \brief JSON serialization of generated interfaces, so external tooling
+/// (a real web dashboard, a notebook, a test harness) can consume them.
+/// Hand-rolled emitter — the library has no third-party dependencies.
+
+/// Difftree structure: {"kind":"ALL","sym":"Select","value":"","children":[..]}.
+std::string DiffTreeToJson(const DiffTree& tree);
+
+/// Widget tree with domains, sizes and positions:
+/// {"widget":"Radio","label":"from","choice":4,"options":[..],"x":..}.
+std::string WidgetTreeToJson(const WidgetTree& tree);
+
+/// Cost breakdown {"valid":true,"m":..,"u":..,"total":..,"transitions":[..]}.
+std::string CostToJson(const CostBreakdown& cost);
+
+/// Escapes a string for embedding in JSON (quotes, control chars, UTF-8
+/// bytes pass through).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace ifgen

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "cost/evaluator.h"
+#include "rules/rule.h"
+#include "search/search_common.h"
+#include "widgets/widget.h"
+
+namespace ifgen {
+
+/// \brief Which generator to run.
+enum class Algorithm : uint8_t {
+  kMcts = 0,   ///< the paper's approach
+  kRandom,     ///< random-walk baseline (Figure 6d-style output)
+  kGreedy,     ///< hill climbing baseline
+  kBeam,       ///< beam search baseline
+  kExhaustive, ///< bounded exhaustive search (tiny inputs only)
+  kBottomUp,   ///< Zhang et al. 2017 bottom-up baseline (no search)
+};
+
+std::string_view AlgorithmName(Algorithm a);
+
+/// \brief All knobs of the end-to-end generator, with paper defaults.
+struct GeneratorOptions {
+  Screen screen{100, 40};
+  Algorithm algorithm = Algorithm::kMcts;
+  SearchOptions search;
+  RuleSetOptions rules;
+  CostConstants constants;
+  /// k random widget assignments per state during search (paper's k).
+  size_t k_assignments = 8;
+  /// Derivations per query for the min-change U computation.
+  size_t parse_limit = 8;
+  /// Exhaustive widget enumeration cap for the final state.
+  double enumeration_cap = 20000;
+
+  EvalOptions MakeEvalOptions() const {
+    EvalOptions e;
+    e.screen = screen;
+    e.constants = constants;
+    e.k_assignments = k_assignments;
+    e.parse_limit = parse_limit;
+    e.enumeration_cap = enumeration_cap;
+    return e;
+  }
+};
+
+}  // namespace ifgen

@@ -1,0 +1,137 @@
+#include "core/session.h"
+
+#include "sql/unparser.h"
+#include "util/logging.h"
+
+namespace ifgen {
+
+InterfaceSession::InterfaceSession(DiffTree tree, WidgetTree wt,
+                                   CostConstants constants)
+    : tree_(std::make_unique<DiffTree>(std::move(tree))),
+      widget_tree_(std::move(wt)), constants_(std::move(constants)),
+      index_(std::make_unique<ChoiceIndex>(*tree_)) {}
+
+Result<InterfaceSession> InterfaceSession::Create(const GeneratedInterface& iface,
+                                                  const CostConstants& constants) {
+  InterfaceSession session(iface.difftree, iface.widgets, constants);
+  // NOTE: widget_tree_ choice ids were assigned against iface.difftree; the
+  // session's copy has identical structure, so pre-order ids agree.
+  if (!iface.queries.empty()) {
+    auto report = session.LoadQuery(iface.queries[0]);
+    IFGEN_RETURN_NOT_OK(report.status());
+  }
+  return session;
+}
+
+Result<InterfaceSession::StepReport> InterfaceSession::LoadQuery(const Ast& query) {
+  IFGEN_ASSIGN_OR_RETURN(
+      StepOutcome outcome,
+      ComputeTransition(*tree_, *index_, widget_tree_, constants_, /*parse_limit=*/8,
+                        selections_, query));
+  StepReport report;
+  report.widgets_changed = outcome.widgets_changed;
+  report.interaction_cost = outcome.interaction_cost;
+  report.navigation_cost = outcome.navigation_cost;
+  selections_ = std::move(outcome.next_state);
+  current_ = std::move(outcome.derivation);
+  has_current_ = true;
+  return report;
+}
+
+Result<std::vector<InterfaceSession::StepReport>> InterfaceSession::ReplayLog(
+    const std::vector<Ast>& queries) {
+  std::vector<StepReport> reports;
+  reports.reserve(queries.size());
+  for (const Ast& q : queries) {
+    IFGEN_ASSIGN_OR_RETURN(StepReport r, LoadQuery(q));
+    reports.push_back(r);
+  }
+  return reports;
+}
+
+Derivation* InterfaceSession::FindActive(Derivation* d, const DiffTree* target) {
+  if (d->node == target) return d;
+  for (Derivation& c : d->children) {
+    Derivation* found = FindActive(&c, target);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+Status InterfaceSession::SetAnyChoice(int choice_id, int option_index) {
+  if (!has_current_) return Status::Invalid("session has no current query");
+  if (choice_id < 0 || static_cast<size_t>(choice_id) >= index_->size()) {
+    return Status::OutOfRange("bad choice id");
+  }
+  const DiffTree* node = index_->node(static_cast<size_t>(choice_id));
+  if (node->kind != DKind::kAny) return Status::Invalid("choice is not an ANY");
+  if (option_index < 0 ||
+      static_cast<size_t>(option_index) >= node->children.size()) {
+    return Status::OutOfRange("bad option index");
+  }
+  Derivation* active = FindActive(&current_, node);
+  if (active == nullptr) {
+    return Status::Invalid("widget is not active in the current query");
+  }
+  active->choice = option_index;
+  active->children.assign(
+      1, DefaultDerivation(node->children[static_cast<size_t>(option_index)]));
+  selections_[choice_id] = "a" + std::to_string(option_index);
+  return Status::OK();
+}
+
+Status InterfaceSession::SetOptPresent(int choice_id, bool present) {
+  if (!has_current_) return Status::Invalid("session has no current query");
+  if (choice_id < 0 || static_cast<size_t>(choice_id) >= index_->size()) {
+    return Status::OutOfRange("bad choice id");
+  }
+  const DiffTree* node = index_->node(static_cast<size_t>(choice_id));
+  if (node->kind != DKind::kOpt) return Status::Invalid("choice is not an OPT");
+  Derivation* active = FindActive(&current_, node);
+  if (active == nullptr) {
+    return Status::Invalid("widget is not active in the current query");
+  }
+  active->choice = present ? 1 : 0;
+  if (present) {
+    active->children.assign(1, DefaultDerivation(node->children[0]));
+  } else {
+    active->children.clear();
+  }
+  selections_[choice_id] = present ? "p1" : "p0";
+  return Status::OK();
+}
+
+Status InterfaceSession::SetMultiCount(int choice_id, size_t count) {
+  if (!has_current_) return Status::Invalid("session has no current query");
+  if (choice_id < 0 || static_cast<size_t>(choice_id) >= index_->size()) {
+    return Status::OutOfRange("bad choice id");
+  }
+  const DiffTree* node = index_->node(static_cast<size_t>(choice_id));
+  if (node->kind != DKind::kMulti) return Status::Invalid("choice is not a MULTI");
+  Derivation* active = FindActive(&current_, node);
+  if (active == nullptr) {
+    return Status::Invalid("widget is not active in the current query");
+  }
+  active->choice = static_cast<int>(count);
+  active->children.assign(count, DefaultDerivation(node->children[0]));
+  selections_[choice_id] = active->Encode();
+  return Status::OK();
+}
+
+Result<Ast> InterfaceSession::CurrentQuery() const {
+  if (!has_current_) return Status::Invalid("session has no current query");
+  return MaterializeDerivation(current_);
+}
+
+Result<std::string> InterfaceSession::CurrentSql() const {
+  IFGEN_ASSIGN_OR_RETURN(Ast q, CurrentQuery());
+  return Unparse(q);
+}
+
+Result<Table> InterfaceSession::ExecuteCurrent(const Database& db) const {
+  IFGEN_ASSIGN_OR_RETURN(Ast q, CurrentQuery());
+  Executor exec(&db);
+  return exec.Execute(q);
+}
+
+}  // namespace ifgen

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/interface_generator.h"
+#include "cost/transition.h"
+#include "difftree/match.h"
+#include "difftree/selection.h"
+#include "engine/executor.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief The interactive runtime: simulates a user driving a generated
+/// interface. Widgets implement w(q, u) -> q' (paper, "Widgets"): setting a
+/// widget replaces the subtree at that widget's difftree location, and the
+/// current query is re-materialized (and optionally re-executed).
+///
+/// The session owns copies of the difftree and widget tree; derivations
+/// point into the session's own difftree.
+class InterfaceSession {
+ public:
+  /// Builds a session positioned at the interface's first query.
+  static Result<InterfaceSession> Create(const GeneratedInterface& iface,
+                                         const CostConstants& constants);
+
+  /// \brief Effort report for one interaction step or query load.
+  struct StepReport {
+    size_t widgets_changed = 0;
+    double interaction_cost = 0.0;
+    double navigation_cost = 0.0;
+    double total() const { return interaction_cost + navigation_cost; }
+  };
+
+  /// Moves the widgets to express `query` (min-change), returning the
+  /// effort; fails when the interface cannot express it.
+  Result<StepReport> LoadQuery(const Ast& query);
+
+  /// Replays a whole log, returning per-step efforts (first step free).
+  Result<std::vector<StepReport>> ReplayLog(const std::vector<Ast>& queries);
+
+  /// Widget manipulation by choice id — the w(q,u) -> q' interface.
+  Status SetAnyChoice(int choice_id, int option_index);
+  Status SetOptPresent(int choice_id, bool present);
+  Status SetMultiCount(int choice_id, size_t count);
+
+  /// The query currently expressed by the widgets.
+  Result<Ast> CurrentQuery() const;
+  Result<std::string> CurrentSql() const;
+
+  /// Executes the current query against `db` (the "visualization" feed).
+  Result<Table> ExecuteCurrent(const Database& db) const;
+
+  const SelectionMap& selections() const { return selections_; }
+  const DiffTree& difftree() const { return *tree_; }
+  const WidgetTree& widgets() const { return widget_tree_; }
+
+ private:
+  InterfaceSession(DiffTree tree, WidgetTree wt, CostConstants constants);
+
+  /// Finds the derivation node controlling `choice_id` in the active
+  /// derivation; null when the choice is not active (hidden alternative).
+  Derivation* FindActive(Derivation* d, const DiffTree* target);
+
+  // The tree and index live behind stable pointers: derivations and the
+  // choice index point into tree nodes, and sessions are movable values.
+  std::unique_ptr<DiffTree> tree_;
+  WidgetTree widget_tree_;
+  CostConstants constants_;
+  std::unique_ptr<ChoiceIndex> index_;
+  Derivation current_;
+  SelectionMap selections_;
+  bool has_current_ = false;
+};
+
+}  // namespace ifgen

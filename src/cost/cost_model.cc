@@ -1,0 +1,154 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cost/transition.h"
+#include "difftree/selection.h"
+#include "interface/layout.h"
+#include "widgets/appropriateness.h"
+
+namespace ifgen {
+
+namespace {
+
+double MSumRec(const CostConstants& c, const WidgetNode& n) {
+  WidgetDomain d = n.domain;
+  if (IsLayoutWidget(n.kind)) {
+    d.cardinality = n.children.size();
+  }
+  double sum = AppropriatenessCost(c, n.kind, d);
+  for (const WidgetNode& k : n.children) sum += MSumRec(c, k);
+  return sum;
+}
+
+struct NavAccum {
+  const CostConstants* c;
+  const std::set<std::vector<int>>* terminals;
+  size_t total = 0;
+  double cost = 0.0;
+};
+
+/// Returns the number of terminals in the subtree rooted at `n` (whose path
+/// is `*path`), adding the cost of every edge inside the minimal connecting
+/// subtree: edge (n -> child) is included iff the child subtree holds some
+/// but not all terminals.
+size_t NavRec(const WidgetNode& n, std::vector<int>* path, NavAccum* acc) {
+  size_t here = acc->terminals->count(*path) != 0 ? 1 : 0;
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    path->push_back(static_cast<int>(i));
+    size_t below = NavRec(n.children[i], path, acc);
+    path->pop_back();
+    if (below > 0 && below < acc->total) {
+      bool tab_edge =
+          n.kind == WidgetKind::kTabs || n.kind == WidgetKind::kTabLayout;
+      acc->cost += tab_edge ? acc->c->nav_tab_switch : acc->c->nav_edge;
+    }
+    here += below;
+  }
+  return here;
+}
+
+}  // namespace
+
+double SteinerNavigationCost(const WidgetNode& root,
+                             const std::vector<std::vector<int>>& paths,
+                             const CostConstants& constants) {
+  if (paths.size() <= 1) return 0.0;
+  std::set<std::vector<int>> terminals(paths.begin(), paths.end());
+  if (terminals.size() <= 1) return 0.0;
+  NavAccum acc;
+  acc.c = &constants;
+  acc.terminals = &terminals;
+  acc.total = terminals.size();
+  std::vector<int> path;
+  NavRec(root, &path, &acc);
+  return acc.cost;
+}
+
+double CostModel::AppropriatenessSum(const WidgetNode& root) const {
+  return MSumRec(constants_, root);
+}
+
+TransitionPlan PlanTransitions(const DiffTree& tree, const std::vector<Ast>& queries,
+                               size_t parse_limit) {
+  TransitionPlan plan;
+  ChoiceIndex index(tree);
+  SelectionMap state;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<Derivation> derivs = EnumerateDerivations(tree, queries[qi], parse_limit);
+    if (derivs.empty()) {
+      plan.valid = false;
+      plan.invalid_reason = "query " + std::to_string(qi) + " inexpressible";
+      return plan;
+    }
+    // Min-change parse under sticky semantics ("minimum set of widgets").
+    size_t best_changed = static_cast<size_t>(-1);
+    SelectionMap best_next;
+    std::vector<int> best_ids;
+    for (const Derivation& d : derivs) {
+      SelectionMap sels = ExtractSelections(index, d);
+      SelectionMap trial = state;
+      std::vector<int> ids;
+      size_t changed = CountChangedAndAdvance(sels, &trial, &ids);
+      if (changed < best_changed) {
+        best_changed = changed;
+        best_next = std::move(trial);
+        best_ids = std::move(ids);
+        if (best_changed == 0) break;
+      }
+    }
+    plan.changed_ids.push_back(qi == 0 ? std::vector<int>{} : std::move(best_ids));
+    state = std::move(best_next);
+  }
+  plan.valid = true;
+  return plan;
+}
+
+CostBreakdown CostModel::EvaluateWithPlan(const TransitionPlan& plan,
+                                          WidgetTree* wt) const {
+  CostBreakdown out;
+  if (!plan.valid) {
+    out.valid = false;
+    out.invalid_reason = plan.invalid_reason;
+    return out;
+  }
+  LayoutResult layout = ComputeLayout(&wt->root, screen_);
+  out.layout_width = layout.width;
+  out.layout_height = layout.height;
+  if (!layout.fits) {
+    out.valid = false;
+    out.invalid_reason = "layout exceeds screen";
+    return out;
+  }
+  wt->RebuildIndex();
+  out.m_total = AppropriatenessSum(wt->root);
+
+  for (size_t qi = 1; qi < plan.changed_ids.size(); ++qi) {
+    double interaction = 0.0;
+    std::vector<std::vector<int>> widget_paths;
+    std::set<std::vector<int>> seen_widgets;
+    for (int id : plan.changed_ids[qi]) {
+      auto it = wt->path_by_choice.find(id);
+      if (it == wt->path_by_choice.end()) continue;  // owned by an adder
+      if (!seen_widgets.insert(it->second).second) continue;  // range slider pair
+      const WidgetNode* w = wt->NodeAtPath(it->second);
+      if (w == nullptr) continue;
+      interaction += InteractionCost(constants_, w->kind, w->domain);
+      widget_paths.push_back(it->second);
+    }
+    double nav = SteinerNavigationCost(wt->root, widget_paths, constants_);
+    out.per_transition.push_back(interaction + nav);
+    out.u_total += interaction + nav;
+  }
+  out.valid = true;
+  return out;
+}
+
+CostBreakdown CostModel::Evaluate(const DiffTree& tree, WidgetTree* wt,
+                                  const std::vector<Ast>& queries) const {
+  TransitionPlan plan = PlanTransitions(tree, queries, parse_limit_);
+  return EvaluateWithPlan(plan, wt);
+}
+
+}  // namespace ifgen

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "difftree/difftree.h"
+#include "interface/widget_tree.h"
+#include "sql/ast.h"
+#include "util/status.h"
+#include "widgets/constants.h"
+
+namespace ifgen {
+
+/// \brief Decomposed interface cost C(W,Q) = sum U(qi, qi+1, W) + sum M(w)
+/// (paper, "Cost Function").
+struct CostBreakdown {
+  bool valid = false;
+  std::string invalid_reason;
+  double m_total = 0.0;  ///< widget appropriateness sum
+  double u_total = 0.0;  ///< transition effort sum over consecutive queries
+  /// Per-transition U terms (size = max(0, |Q| - 1)).
+  std::vector<double> per_transition;
+  int layout_width = 0;
+  int layout_height = 0;
+
+  double total() const {
+    return valid ? m_total + u_total : std::numeric_limits<double>::infinity();
+  }
+};
+
+/// \brief The assignment-independent half of U(.): which choice-node widgets
+/// must change at each step of the log. Computing it requires derivation
+/// enumeration (expensive) but no widget tree, so evaluators compute it once
+/// per difftree state and re-use it across all sampled widget assignments.
+struct TransitionPlan {
+  bool valid = false;
+  std::string invalid_reason;
+  /// changed_ids[i] = choice ids whose selection changes to reach query i
+  /// (changed_ids[0] is the free initial configuration, left empty).
+  std::vector<std::vector<int>> changed_ids;
+};
+
+/// Computes the plan (min-change parse per query under sticky semantics).
+TransitionPlan PlanTransitions(const DiffTree& tree, const std::vector<Ast>& queries,
+                               size_t parse_limit);
+
+/// \brief Evaluates widget trees against a query log.
+///
+/// U(qi, qi+1) is computed with sticky widget semantics: each widget keeps
+/// its last value, and a transition pays (a) the interaction cost of every
+/// widget whose value must change and (b) a navigation cost over the minimum
+/// spanning (Steiner) subtree of the widget tree connecting those widgets —
+/// entering a tab panel costs more than crossing a plain layout edge.
+///
+/// "Minimum set of widgets that need to be changed" is approximated by
+/// enumerating up to `parse_limit` derivations per query and greedily
+/// picking the derivation that changes fewest widgets given the current
+/// state.
+class CostModel {
+ public:
+  CostModel(const CostConstants& constants, Screen screen, size_t parse_limit = 8)
+      : constants_(constants), screen_(screen), parse_limit_(parse_limit) {}
+
+  /// Lays out `wt` (mutating positions/sizes), then scores it. An
+  /// out-of-screen layout or an inexpressible query yields valid == false.
+  CostBreakdown Evaluate(const DiffTree& tree, WidgetTree* wt,
+                         const std::vector<Ast>& queries) const;
+
+  /// Same, re-using a precomputed transition plan (fast path for sampling
+  /// many widget assignments of one difftree state).
+  CostBreakdown EvaluateWithPlan(const TransitionPlan& plan, WidgetTree* wt) const;
+
+  /// The M(.) component only (no queries involved).
+  double AppropriatenessSum(const WidgetNode& root) const;
+
+  const Screen& screen() const { return screen_; }
+  const CostConstants& constants() const { return constants_; }
+
+ private:
+  const CostConstants& constants_;
+  Screen screen_;
+  size_t parse_limit_;
+};
+
+/// \brief Navigation cost of reaching the set of changed widgets: the sum of
+/// edge costs over the minimal subtree of `root` connecting `paths`
+/// (exposed for unit tests).
+double SteinerNavigationCost(const WidgetNode& root,
+                             const std::vector<std::vector<int>>& paths,
+                             const CostConstants& constants);
+
+}  // namespace ifgen

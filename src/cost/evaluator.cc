@@ -1,0 +1,117 @@
+#include "cost/evaluator.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace ifgen {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+StateEvaluator::StateEvaluator(const EvalOptions& opts, const std::vector<Ast>& queries)
+    : opts_(opts), queries_(queries),
+      model_(opts_.constants, opts_.screen, opts_.parse_limit) {}
+
+double StateEvaluator::EvaluateAssignment(const WidgetAssigner& assigner,
+                                          const Assignment& a,
+                                          const TransitionPlan& plan,
+                                          ScoredWidgetTree* best) {
+  auto built = assigner.Build(a);
+  if (!built.ok()) return kInf;
+  WidgetTree wt = std::move(built).MoveValueUnsafe();
+  CostBreakdown cost = model_.EvaluateWithPlan(plan, &wt);
+  ++evaluations_;
+  double total = cost.total();
+  if (best != nullptr && total < best->cost.total()) {
+    best->assignment = a;
+    best->tree = std::move(wt);
+    best->cost = std::move(cost);
+  }
+  return total;
+}
+
+double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
+  uint64_t key = 0;
+  if (opts_.cache_enabled) {
+    key = tree.CanonicalHash();
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  WidgetAssigner assigner(tree, opts_.constants);
+  double best = kInf;
+  if (assigner.viable()) {
+    TransitionPlan plan = PlanTransitions(tree, queries_, opts_.parse_limit);
+    size_t random_draws = opts_.k_assignments;
+    if (opts_.greedy_seed && random_draws > 0) {
+      best = std::min(best, EvaluateAssignment(
+                                assigner, assigner.MinAppropriatenessAssignment(),
+                                plan, nullptr));
+      --random_draws;
+    }
+    for (size_t i = 0; i < random_draws; ++i) {
+      Assignment a = assigner.RandomAssignment(rng);
+      best = std::min(best, EvaluateAssignment(assigner, a, plan, nullptr));
+    }
+  }
+  if (opts_.cache_enabled) cache_[key] = best;
+  return best;
+}
+
+Result<ScoredWidgetTree> StateEvaluator::FindBest(const DiffTree& tree, Rng* rng) {
+  WidgetAssigner assigner(tree, opts_.constants);
+  if (!assigner.viable()) {
+    return Status::Invalid("state has a choice node with no valid widget");
+  }
+  ScoredWidgetTree best;
+  best.cost.valid = false;  // total() == inf until something valid lands
+  TransitionPlan plan = PlanTransitions(tree, queries_, opts_.parse_limit);
+
+  if (assigner.CombinationCount() <= opts_.enumeration_cap) {
+    Assignment a = assigner.FirstAssignment();
+    do {
+      EvaluateAssignment(assigner, a, plan, &best);
+    } while (assigner.NextAssignment(&a));
+  } else {
+    // Sample (greedy seed first), then coordinate-descent on the best.
+    EvaluateAssignment(assigner, assigner.MinAppropriatenessAssignment(), plan,
+                       &best);
+    for (size_t i = 0; i < opts_.sample_fallback; ++i) {
+      Assignment a = assigner.RandomAssignment(rng);
+      EvaluateAssignment(assigner, a, plan, &best);
+    }
+    if (best.cost.valid) {
+      bool improved = true;
+      int passes = 0;
+      while (improved && passes < 4) {
+        improved = false;
+        ++passes;
+        Assignment current = best.assignment;
+        for (size_t d = 0; d < assigner.decisions().size(); ++d) {
+          size_t n_opts = assigner.decisions()[d].options.size();
+          for (size_t o = 0; o < n_opts; ++o) {
+            if (static_cast<int>(o) == current.picks[d]) continue;
+            Assignment trial = current;
+            trial.picks[d] = static_cast<int>(o);
+            double before = best.cost.total();
+            EvaluateAssignment(assigner, trial, plan, &best);
+            if (best.cost.total() < before) {
+              current = best.assignment;
+              improved = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (!best.cost.valid) {
+    return Status::NotFound("no valid widget tree fits the screen");
+  }
+  return best;
+}
+
+}  // namespace ifgen

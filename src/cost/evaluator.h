@@ -1,0 +1,72 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "cost/cost_model.h"
+#include "interface/assignment.h"
+#include "util/rng.h"
+
+namespace ifgen {
+
+/// \brief Knobs for difftree-state evaluation.
+struct EvalOptions {
+  Screen screen;
+  CostConstants constants;
+  /// Random widget assignments sampled per state during search (paper:
+  /// "we randomly assign widgets to the difftree k times").
+  size_t k_assignments = 8;
+  /// Derivations per query considered by the min-change U computation.
+  size_t parse_limit = 8;
+  /// Exhaustive widget-tree enumeration cap for the final state; above it
+  /// we fall back to sampling + coordinate-descent refinement.
+  double enumeration_cap = 20000;
+  size_t sample_fallback = 800;
+  /// Memoize sampled state costs by canonical difftree hash.
+  bool cache_enabled = true;
+  /// Mix the greedy min-M assignment into each state's k samples. The paper
+  /// uses k purely random assignments; the greedy seed makes the sampled
+  /// reward a far better estimate of a state's potential (ablation:
+  /// bench_ablation sweeps this off).
+  bool greedy_seed = true;
+};
+
+/// \brief A widget tree with its evaluated cost.
+struct ScoredWidgetTree {
+  Assignment assignment;
+  WidgetTree tree;
+  CostBreakdown cost;
+};
+
+/// \brief Evaluates difftree states: the bridge between the search space
+/// (difftrees) and the objective (cost of the best widget tree).
+class StateEvaluator {
+ public:
+  StateEvaluator(const EvalOptions& opts, const std::vector<Ast>& queries);
+
+  /// Reward backbone for MCTS: the best cost among k random assignments
+  /// (+infinity when none is valid). Results are memoized per state.
+  double SampleCost(const DiffTree& tree, Rng* rng);
+
+  /// Thorough search over the widget-tree space of one state: exhaustive
+  /// when the combination count is under the cap, otherwise sampled with
+  /// coordinate-descent refinement.
+  Result<ScoredWidgetTree> FindBest(const DiffTree& tree, Rng* rng);
+
+  const std::vector<Ast>& queries() const { return queries_; }
+  const EvalOptions& options() const { return opts_; }
+  size_t evaluations() const { return evaluations_; }
+  size_t cache_hits() const { return cache_hits_; }
+
+ private:
+  double EvaluateAssignment(const WidgetAssigner& assigner, const Assignment& a,
+                            const TransitionPlan& plan, ScoredWidgetTree* best);
+
+  EvalOptions opts_;
+  std::vector<Ast> queries_;
+  CostModel model_;
+  std::unordered_map<uint64_t, double> cache_;
+  size_t evaluations_ = 0;
+  size_t cache_hits_ = 0;
+};
+
+}  // namespace ifgen

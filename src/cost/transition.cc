@@ -1,0 +1,50 @@
+#include "cost/transition.h"
+
+#include <set>
+
+#include "cost/cost_model.h"
+#include "widgets/appropriateness.h"
+
+namespace ifgen {
+
+Result<StepOutcome> ComputeTransition(const DiffTree& tree, const ChoiceIndex& index,
+                                      const WidgetTree& wt, const CostConstants& c,
+                                      size_t parse_limit, const SelectionMap& state,
+                                      const Ast& query) {
+  std::vector<Derivation> derivs = EnumerateDerivations(tree, query, parse_limit);
+  if (derivs.empty()) {
+    return Status::NotFound("query is not expressible by this interface");
+  }
+  StepOutcome best;
+  bool have_best = false;
+  for (Derivation& d : derivs) {
+    SelectionMap sels = ExtractSelections(index, d);
+    SelectionMap trial = state;
+    std::vector<int> changed_ids;
+    size_t changed = CountChangedAndAdvance(sels, &trial, &changed_ids);
+    if (!have_best || changed < best.widgets_changed) {
+      best.widgets_changed = changed;
+      best.changed_choice_ids = std::move(changed_ids);
+      best.next_state = std::move(trial);
+      best.derivation = std::move(d);
+      have_best = true;
+      if (best.widgets_changed == 0) break;
+    }
+  }
+  // Price the change against the widget tree.
+  std::vector<std::vector<int>> widget_paths;
+  std::set<std::vector<int>> seen_widgets;
+  for (int id : best.changed_choice_ids) {
+    auto it = wt.path_by_choice.find(id);
+    if (it == wt.path_by_choice.end()) continue;  // owned by an enclosing adder
+    if (!seen_widgets.insert(it->second).second) continue;  // range slider pairs
+    const WidgetNode* w = wt.NodeAtPath(it->second);
+    if (w == nullptr) continue;
+    best.interaction_cost += InteractionCost(c, w->kind, w->domain);
+    widget_paths.push_back(it->second);
+  }
+  best.navigation_cost = SteinerNavigationCost(wt.root, widget_paths, c);
+  return best;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "difftree/match.h"
+#include "difftree/selection.h"
+#include "interface/widget_tree.h"
+#include "util/status.h"
+#include "widgets/constants.h"
+
+namespace ifgen {
+
+/// \brief Outcome of moving the interface from its current sticky state to a
+/// state expressing `query` — the per-step building block of U(.) and of the
+/// interactive runtime.
+struct StepOutcome {
+  size_t widgets_changed = 0;
+  double interaction_cost = 0.0;
+  double navigation_cost = 0.0;
+  std::vector<int> changed_choice_ids;
+  SelectionMap next_state;
+  Derivation derivation;  ///< the chosen (min-change) parse of `query`
+};
+
+/// \brief Computes the min-change transition: enumerates up to `parse_limit`
+/// derivations of `query`, picks the one changing fewest widgets relative to
+/// `state`, and prices the change (interaction + Steiner navigation over the
+/// widget tree). Fails when `query` is inexpressible.
+Result<StepOutcome> ComputeTransition(const DiffTree& tree, const ChoiceIndex& index,
+                                      const WidgetTree& wt, const CostConstants& c,
+                                      size_t parse_limit, const SelectionMap& state,
+                                      const Ast& query);
+
+}  // namespace ifgen

@@ -1,0 +1,30 @@
+#include "difftree/builder.h"
+
+#include "difftree/normalize.h"
+#include "sql/parser.h"
+
+namespace ifgen {
+
+Result<DiffTree> BuildInitialTree(const std::vector<Ast>& queries) {
+  if (queries.empty()) {
+    return Status::Invalid("cannot build a difftree from zero queries");
+  }
+  if (queries.size() == 1) {
+    // A single query still gets an ANY root so that the state space is
+    // uniform (the Noop rule can unwrap it).
+    return Normalized(DiffTree::Any({DiffTree::FromAst(queries[0])}));
+  }
+  std::vector<DiffTree> alts;
+  alts.reserve(queries.size());
+  for (const Ast& q : queries) {
+    alts.push_back(DiffTree::FromAst(q));
+  }
+  return Normalized(DiffTree::Any(std::move(alts)));
+}
+
+Result<DiffTree> BuildInitialTreeFromSql(const std::vector<std::string>& sqls) {
+  IFGEN_ASSIGN_OR_RETURN(std::vector<Ast> queries, ParseQueries(sqls));
+  return BuildInitialTree(queries);
+}
+
+}  // namespace ifgen

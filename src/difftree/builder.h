@@ -1,0 +1,19 @@
+#pragma once
+
+#include <vector>
+
+#include "difftree/difftree.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief Builds the initial search state: the input query ASTs connected
+/// with an ANY root (paper, "Search Space"). Duplicate queries are kept —
+/// removing them is the Merge rule's job, i.e. a search move.
+Result<DiffTree> BuildInitialTree(const std::vector<Ast>& queries);
+
+/// \brief Parses SQL strings and builds the initial tree.
+Result<DiffTree> BuildInitialTreeFromSql(const std::vector<std::string>& sqls);
+
+}  // namespace ifgen

@@ -1,0 +1,285 @@
+#include "difftree/difftree.h"
+
+#include <algorithm>
+
+#include "sql/unparser.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ifgen {
+
+std::string_view DKindName(DKind k) {
+  switch (k) {
+    case DKind::kAll:
+      return "ALL";
+    case DKind::kAny:
+      return "ANY";
+    case DKind::kOpt:
+      return "OPT";
+    case DKind::kMulti:
+      return "MULTI";
+  }
+  return "?";
+}
+
+DiffTree DiffTree::Opt(DiffTree child) {
+  DiffTree t;
+  t.kind = DKind::kOpt;
+  t.children.push_back(std::move(child));
+  return t;
+}
+
+DiffTree DiffTree::Multi(DiffTree child) {
+  DiffTree t;
+  t.kind = DKind::kMulti;
+  t.children.push_back(std::move(child));
+  return t;
+}
+
+DiffTree DiffTree::Seq(std::vector<DiffTree> kids) {
+  DiffTree t(Symbol::kSeq, "");
+  t.children = std::move(kids);
+  return t;
+}
+
+DiffTree DiffTree::FromAst(const Ast& ast) {
+  DiffTree t(ast.sym, ast.value);
+  t.children.reserve(ast.children.size());
+  for (const Ast& c : ast.children) {
+    t.children.push_back(FromAst(c));
+  }
+  return t;
+}
+
+bool DiffTree::operator==(const DiffTree& other) const {
+  if (kind != other.kind || sym != other.sym || value != other.value ||
+      children.size() != other.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!(children[i] == other.children[i])) return false;
+  }
+  return true;
+}
+
+uint64_t DiffTree::Hash() const {
+  uint64_t h = HashCombine(0x1f3d5b79a2c4e6f8ULL, static_cast<uint64_t>(kind));
+  h = HashCombine(h, static_cast<uint64_t>(sym));
+  h = HashCombine(h, HashBytes(value));
+  for (const DiffTree& c : children) {
+    h = HashCombine(h, c.Hash());
+  }
+  return h;
+}
+
+uint64_t DiffTree::CanonicalHash() const {
+  uint64_t h = HashCombine(0x2e4a6c8d1b3f5e7aULL, static_cast<uint64_t>(kind));
+  h = HashCombine(h, static_cast<uint64_t>(sym));
+  h = HashCombine(h, HashBytes(value));
+  if (kind == DKind::kAny) {
+    std::vector<uint64_t> hs;
+    hs.reserve(children.size());
+    for (const DiffTree& c : children) hs.push_back(c.CanonicalHash());
+    std::sort(hs.begin(), hs.end());
+    for (uint64_t ch : hs) h = HashCombine(h, ch);
+  } else {
+    for (const DiffTree& c : children) h = HashCombine(h, c.CanonicalHash());
+  }
+  return h;
+}
+
+size_t DiffTree::NodeCount() const {
+  size_t n = 1;
+  for (const DiffTree& c : children) n += c.NodeCount();
+  return n;
+}
+
+size_t DiffTree::ChoiceCount() const {
+  size_t n = IsChoice() ? 1 : 0;
+  for (const DiffTree& c : children) n += c.ChoiceCount();
+  return n;
+}
+
+size_t DiffTree::Depth() const {
+  size_t d = 0;
+  for (const DiffTree& c : children) d = std::max(d, c.Depth());
+  return d + 1;
+}
+
+Result<std::vector<Ast>> DiffTree::ToAstSequence() const {
+  if (IsChoice()) {
+    return Status::Invalid("ToAstSequence on a choice node (" +
+                           std::string(DKindName(kind)) + ")");
+  }
+  if (sym == Symbol::kEmpty) return std::vector<Ast>{};
+  std::vector<Ast> expanded;
+  for (const DiffTree& c : children) {
+    IFGEN_ASSIGN_OR_RETURN(std::vector<Ast> seq, c.ToAstSequence());
+    for (Ast& a : seq) expanded.push_back(std::move(a));
+  }
+  if (sym == Symbol::kSeq) return expanded;
+  return std::vector<Ast>{Ast(sym, value, std::move(expanded))};
+}
+
+Result<Ast> DiffTree::ToAst() const {
+  IFGEN_ASSIGN_OR_RETURN(std::vector<Ast> seq, ToAstSequence());
+  if (seq.size() != 1) {
+    return Status::Invalid(StrFormat("subtree expands to %zu nodes, expected 1",
+                                     seq.size()));
+  }
+  return std::move(seq[0]);
+}
+
+namespace {
+
+void DumpNode(const DiffTree& n, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  if (n.kind == DKind::kAll) {
+    *out += SymbolName(n.sym);
+    if (!n.value.empty()) {
+      *out += ":";
+      *out += n.value;
+    }
+  } else {
+    *out += DKindName(n.kind);
+  }
+  *out += "\n";
+  for (const DiffTree& c : n.children) {
+    DumpNode(c, indent + 1, out);
+  }
+}
+
+void SExprNode(const DiffTree& n, std::string* out) {
+  *out += "(";
+  if (n.kind == DKind::kAll) {
+    *out += SymbolName(n.sym);
+    if (!n.value.empty()) {
+      *out += ":";
+      *out += n.value;
+    }
+  } else {
+    *out += DKindName(n.kind);
+  }
+  for (const DiffTree& c : n.children) {
+    *out += " ";
+    SExprNode(c, out);
+  }
+  *out += ")";
+}
+
+}  // namespace
+
+std::string DiffTree::ToString() const {
+  std::string out;
+  DumpNode(*this, 0, &out);
+  return out;
+}
+
+std::string DiffTree::ToSExpr() const {
+  std::string out;
+  SExprNode(*this, &out);
+  return out;
+}
+
+const DiffTree* NodeAt(const DiffTree& root, const TreePath& path) {
+  const DiffTree* n = &root;
+  for (int idx : path) {
+    if (idx < 0 || static_cast<size_t>(idx) >= n->children.size()) return nullptr;
+    n = &n->children[static_cast<size_t>(idx)];
+  }
+  return n;
+}
+
+DiffTree* MutableNodeAt(DiffTree* root, const TreePath& path) {
+  DiffTree* n = root;
+  for (int idx : path) {
+    if (idx < 0 || static_cast<size_t>(idx) >= n->children.size()) return nullptr;
+    n = &n->children[static_cast<size_t>(idx)];
+  }
+  return n;
+}
+
+namespace {
+void CollectChoices(const DiffTree& n, std::vector<const DiffTree*>* out) {
+  if (n.IsChoice()) out->push_back(&n);
+  for (const DiffTree& c : n.children) CollectChoices(c, out);
+}
+void CollectPaths(const DiffTree& n, TreePath* cur, std::vector<TreePath>* out) {
+  out->push_back(*cur);
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    cur->push_back(static_cast<int>(i));
+    CollectPaths(n.children[i], cur, out);
+    cur->pop_back();
+  }
+}
+}  // namespace
+
+std::vector<const DiffTree*> ListChoiceNodes(const DiffTree& root) {
+  std::vector<const DiffTree*> out;
+  CollectChoices(root, &out);
+  return out;
+}
+
+void ListPaths(const DiffTree& root, std::vector<TreePath>* out) {
+  TreePath cur;
+  CollectPaths(root, &cur, out);
+}
+
+namespace {
+void LabelNode(const DiffTree& n, std::string* out) {
+  if (out->size() > 64) return;  // labels are truncated anyway
+  switch (n.kind) {
+    case DKind::kAny:
+      *out += "▾";  // small down triangle: a choice
+      return;
+    case DKind::kOpt:
+      *out += "[?]";
+      return;
+    case DKind::kMulti:
+      *out += "[*]";
+      return;
+    case DKind::kAll:
+      break;
+  }
+  if (n.sym == Symbol::kEmpty) {
+    *out += "(none)";
+    return;
+  }
+  if (n.sym == Symbol::kSeq) {
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) *out += " ";
+      LabelNode(n.children[i], out);
+    }
+    return;
+  }
+  // Choice-free AST subtrees render as SQL fragments.
+  if (n.ChoiceCount() == 0) {
+    auto ast = n.ToAst();
+    if (ast.ok()) {
+      *out += UnparseFragment(*ast);
+      return;
+    }
+  }
+  *out += SymbolName(n.sym);
+  if (!n.value.empty()) {
+    *out += ":" + n.value;
+  }
+  if (!n.children.empty()) {
+    *out += "(";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) *out += " ";
+      LabelNode(n.children[i], out);
+    }
+    *out += ")";
+  }
+}
+}  // namespace
+
+std::string DiffTreeLabel(const DiffTree& node, size_t max_len) {
+  std::string out;
+  LabelNode(node, &out);
+  return Ellipsize(out, max_len);
+}
+
+}  // namespace ifgen

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief Difftree node kinds (paper, "The Interface Generation Problem").
+///
+/// ANY chooses one of its children; OPT has a single optional child; MULTI
+/// has a single child chosen zero or more times; ALL requires all children.
+/// ANY/OPT/MULTI are *choice nodes*. An AST is the special case of a
+/// difftree consisting solely of ALL nodes.
+enum class DKind : uint8_t { kAll = 0, kAny, kOpt, kMulti };
+
+std::string_view DKindName(DKind k);
+
+/// \brief A difftree: jointly encodes the variation among a set of query
+/// ASTs and the hierarchical layout of the interface that expresses them.
+///
+/// Semantics: every node denotes a set of *sequences* of AST nodes.
+///  - ALL(sym,value,[c...]) denotes the singleton sequences [Ast(sym,value,
+///    concat(expansions of c...))]. Two symbols are special: kSeq denotes the
+///    concatenation of its children's expansions without emitting a node
+///    (transparent group), and kEmpty denotes the empty sequence.
+///  - ANY denotes the union of its children's sequence sets.
+///  - OPT denotes its child's set plus the empty sequence.
+///  - MULTI denotes the Kleene closure (0+ concatenated repetitions).
+///
+/// Value-semantic like Ast; search states are independent copies.
+struct DiffTree {
+  DKind kind = DKind::kAll;
+  Symbol sym = Symbol::kEmpty;  ///< meaningful only when kind == kAll
+  std::string value;            ///< meaningful only when kind == kAll
+  std::vector<DiffTree> children;
+
+  DiffTree() = default;
+  DiffTree(DKind k, std::vector<DiffTree> kids) : kind(k), children(std::move(kids)) {}
+  DiffTree(Symbol s, std::string v) : sym(s), value(std::move(v)) {}
+  DiffTree(Symbol s, std::string v, std::vector<DiffTree> kids)
+      : sym(s), value(std::move(v)), children(std::move(kids)) {}
+
+  /// Factory helpers.
+  static DiffTree Any(std::vector<DiffTree> alts) {
+    return DiffTree(DKind::kAny, std::move(alts));
+  }
+  static DiffTree Opt(DiffTree child);
+  static DiffTree Multi(DiffTree child);
+  static DiffTree Seq(std::vector<DiffTree> kids);
+  static DiffTree Empty() { return DiffTree(Symbol::kEmpty, ""); }
+
+  /// Wraps an AST as an all-ALL difftree.
+  static DiffTree FromAst(const Ast& ast);
+
+  bool IsChoice() const { return kind != DKind::kAll; }
+  bool IsSeq() const { return kind == DKind::kAll && sym == Symbol::kSeq; }
+  bool IsEmptyLeaf() const { return kind == DKind::kAll && sym == Symbol::kEmpty; }
+
+  bool operator==(const DiffTree& other) const;
+  bool operator!=(const DiffTree& other) const { return !(*this == other); }
+
+  /// Structural hash; children order-sensitive (used for equality buckets).
+  uint64_t Hash() const;
+
+  /// Canonical hash used by the MCTS transposition table: invariant under
+  /// reordering of ANY alternatives (their order never affects semantics).
+  uint64_t CanonicalHash() const;
+
+  size_t NodeCount() const;
+  size_t ChoiceCount() const;
+  size_t Depth() const;
+
+  /// Converts a choice-free difftree back to a single AST (splicing Seq and
+  /// dropping Empty). Errors if the subtree contains choice nodes or does
+  /// not expand to exactly one node.
+  Result<Ast> ToAst() const;
+
+  /// Expands the subtree to its node sequence; requires choice-free.
+  Result<std::vector<Ast>> ToAstSequence() const;
+
+  /// Indented multi-line structure dump, e.g.
+  ///   ANY
+  ///     ALL Select
+  ///       ALL Project ...
+  std::string ToString() const;
+
+  /// One-line s-expression, e.g. `(ANY (Select ...) (Select ...))`.
+  std::string ToSExpr() const;
+};
+
+/// \brief A path from the root: the sequence of child indices.
+using TreePath = std::vector<int>;
+
+/// Node lookup by path; returns nullptr when the path is invalid.
+const DiffTree* NodeAt(const DiffTree& root, const TreePath& path);
+DiffTree* MutableNodeAt(DiffTree* root, const TreePath& path);
+
+/// Lists all choice nodes in pre-order (their index is the "choice id" used
+/// by bindings, the cost model and the interface runtime).
+std::vector<const DiffTree*> ListChoiceNodes(const DiffTree& root);
+
+/// Pre-order paths of all nodes (choice and non-choice).
+void ListPaths(const DiffTree& root, std::vector<TreePath>* out);
+
+/// Short human-readable label for a difftree node's content, with choice
+/// nodes rendered as placeholders; used for widget labels.
+std::string DiffTreeLabel(const DiffTree& node, size_t max_len = 24);
+
+}  // namespace ifgen

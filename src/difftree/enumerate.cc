@@ -1,0 +1,162 @@
+#include "difftree/enumerate.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ifgen {
+
+namespace {
+
+constexpr double kCountCap = 1e18;
+
+/// Expands a node to a list of alternative AST-node sequences (capped).
+void ExpandNode(const DiffTree& n, size_t limit, size_t max_multi,
+                std::vector<std::vector<Ast>>* out);
+
+/// Cross-product of child expansions, capped at `limit` results.
+void ExpandChildren(const std::vector<DiffTree>& children, size_t limit,
+                    size_t max_multi, std::vector<std::vector<Ast>>* out) {
+  out->clear();
+  out->push_back({});
+  for (const DiffTree& c : children) {
+    std::vector<std::vector<Ast>> child_seqs;
+    ExpandNode(c, limit, max_multi, &child_seqs);
+    std::vector<std::vector<Ast>> next;
+    for (const std::vector<Ast>& prefix : *out) {
+      for (const std::vector<Ast>& suffix : child_seqs) {
+        if (next.size() >= limit) break;
+        std::vector<Ast> seq = prefix;
+        seq.insert(seq.end(), suffix.begin(), suffix.end());
+        next.push_back(std::move(seq));
+      }
+      if (next.size() >= limit) break;
+    }
+    *out = std::move(next);
+    if (out->empty()) return;
+  }
+}
+
+void ExpandNode(const DiffTree& n, size_t limit, size_t max_multi,
+                std::vector<std::vector<Ast>>* out) {
+  out->clear();
+  switch (n.kind) {
+    case DKind::kAll: {
+      if (n.sym == Symbol::kEmpty) {
+        out->push_back({});
+        return;
+      }
+      std::vector<std::vector<Ast>> kid_seqs;
+      ExpandChildren(n.children, limit, max_multi, &kid_seqs);
+      for (std::vector<Ast>& seq : kid_seqs) {
+        if (out->size() >= limit) break;
+        if (n.sym == Symbol::kSeq) {
+          out->push_back(std::move(seq));
+        } else {
+          out->push_back({Ast(n.sym, n.value, std::move(seq))});
+        }
+      }
+      return;
+    }
+    case DKind::kAny: {
+      for (const DiffTree& alt : n.children) {
+        std::vector<std::vector<Ast>> alt_seqs;
+        ExpandNode(alt, limit - std::min(limit, out->size()), max_multi, &alt_seqs);
+        for (std::vector<Ast>& seq : alt_seqs) {
+          if (out->size() >= limit) return;
+          out->push_back(std::move(seq));
+        }
+      }
+      return;
+    }
+    case DKind::kOpt: {
+      out->push_back({});
+      std::vector<std::vector<Ast>> child_seqs;
+      ExpandNode(n.children[0], limit, max_multi, &child_seqs);
+      for (std::vector<Ast>& seq : child_seqs) {
+        if (out->size() >= limit) return;
+        out->push_back(std::move(seq));
+      }
+      return;
+    }
+    case DKind::kMulti: {
+      std::vector<std::vector<Ast>> child_seqs;
+      ExpandNode(n.children[0], limit, max_multi, &child_seqs);
+      // k = 0 .. max_multi repetitions, cross products within each k.
+      std::vector<std::vector<Ast>> current = {{}};  // k = 0
+      out->push_back({});
+      for (size_t k = 1; k <= max_multi; ++k) {
+        std::vector<std::vector<Ast>> next;
+        for (const std::vector<Ast>& prefix : current) {
+          for (const std::vector<Ast>& rep : child_seqs) {
+            if (next.size() >= limit) break;
+            std::vector<Ast> seq = prefix;
+            seq.insert(seq.end(), rep.begin(), rep.end());
+            next.push_back(std::move(seq));
+          }
+        }
+        for (std::vector<Ast>& seq : next) {
+          if (out->size() >= limit) return;
+          out->push_back(seq);
+        }
+        current = std::move(next);
+        if (current.empty()) return;
+      }
+      return;
+    }
+  }
+}
+
+double CountNode(const DiffTree& n, size_t max_multi) {
+  switch (n.kind) {
+    case DKind::kAll: {
+      if (n.sym == Symbol::kEmpty) return 1.0;
+      double prod = 1.0;
+      for (const DiffTree& c : n.children) {
+        prod = std::min(kCountCap, prod * CountNode(c, max_multi));
+      }
+      return prod;
+    }
+    case DKind::kAny: {
+      double sum = 0.0;
+      for (const DiffTree& c : n.children) {
+        sum = std::min(kCountCap, sum + CountNode(c, max_multi));
+      }
+      return sum;
+    }
+    case DKind::kOpt:
+      return std::min(kCountCap, 1.0 + CountNode(n.children[0], max_multi));
+    case DKind::kMulti: {
+      double base = CountNode(n.children[0], max_multi);
+      double total = 1.0;  // k = 0
+      double power = 1.0;
+      for (size_t k = 1; k <= max_multi; ++k) {
+        power = std::min(kCountCap, power * base);
+        total = std::min(kCountCap, total + power);
+      }
+      return total;
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::vector<Ast> EnumerateQueries(const DiffTree& root, size_t limit,
+                                  size_t max_multi) {
+  std::vector<std::vector<Ast>> seqs;
+  ExpandNode(root, limit, max_multi, &seqs);
+  std::vector<Ast> out;
+  for (std::vector<Ast>& seq : seqs) {
+    if (seq.size() == 1) {
+      out.push_back(std::move(seq[0]));
+    }
+  }
+  return out;
+}
+
+double CountExpressible(const DiffTree& root, size_t max_multi) {
+  return CountNode(root, max_multi);
+}
+
+}  // namespace ifgen

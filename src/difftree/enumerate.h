@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+#include "difftree/difftree.h"
+#include "sql/ast.h"
+
+namespace ifgen {
+
+/// \brief Enumerates queries expressible by the difftree, up to `limit`
+/// results; MULTI nodes are expanded to at most `max_multi` repetitions.
+/// Used by tests (language-preservation properties) and by the examples to
+/// show "similar queries not in the log" the interface can express.
+std::vector<Ast> EnumerateQueries(const DiffTree& root, size_t limit,
+                                  size_t max_multi = 2);
+
+/// \brief Estimated size of the expressible-query language with MULTI capped
+/// at `max_multi` repetitions; saturates at 1e18 to avoid overflow. This is
+/// the "coverage" statistic reported by the benches.
+double CountExpressible(const DiffTree& root, size_t max_multi = 2);
+
+}  // namespace ifgen

@@ -1,0 +1,266 @@
+#include "difftree/match.h"
+
+#include <functional>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ifgen {
+
+std::string Derivation::Encode() const {
+  std::string out;
+  switch (node->kind) {
+    case DKind::kAll:
+      break;
+    case DKind::kAny:
+      out += "a" + std::to_string(choice);
+      break;
+    case DKind::kOpt:
+      out += choice != 0 ? "p1" : "p0";
+      break;
+    case DKind::kMulti:
+      out += "m" + std::to_string(choice);
+      break;
+  }
+  if (!children.empty()) {
+    out += "(";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += " ";
+      out += children[i].Encode();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+/// A view of the AST node list currently being consumed.
+using AstList = std::vector<const Ast*>;
+
+/// Continuation-passing backtracking matcher. `Cont` receives the index of
+/// the next unconsumed AST node at the *same* list level; returning true
+/// commits the branch, returning false requests further backtracking.
+using Cont = std::function<bool(size_t)>;
+
+class Matcher {
+ public:
+  explicit Matcher(const MatchOptions& opts) : opts_(opts) {}
+
+  bool exhausted() const { return exhausted_; }
+
+  /// Tries every way `node` can consume a prefix of asts[j...); `deriv` holds
+  /// the derivation of the branch active when `cont` committed.
+  bool MatchOne(const DiffTree& node, const AstList& asts, size_t j, Derivation* deriv,
+                const Cont& cont) {
+    if (++steps_ > opts_.max_steps) {
+      exhausted_ = true;
+      return false;
+    }
+    deriv->node = &node;
+    deriv->choice = -1;
+    deriv->children.clear();
+    switch (node.kind) {
+      case DKind::kAll: {
+        if (node.sym == Symbol::kEmpty) {
+          return cont(j);
+        }
+        if (node.sym == Symbol::kSeq) {
+          deriv->children.resize(node.children.size());
+          return MatchList(node.children, asts, 0, j, &deriv->children, cont);
+        }
+        if (j >= asts.size()) return false;
+        const Ast& a = *asts[j];
+        if (a.sym != node.sym || a.value != node.value) return false;
+        // The node's children must expand to exactly a.children; different
+        // inner parses are explored via the continuation so enumeration of
+        // derivations is complete.
+        AstList sub;
+        sub.reserve(a.children.size());
+        for (const Ast& c : a.children) sub.push_back(&c);
+        deriv->children.resize(node.children.size());
+        return MatchList(node.children, sub, 0, 0, &deriv->children, [&](size_t used) {
+          if (used != sub.size()) return false;
+          return cont(j + 1);
+        });
+      }
+      case DKind::kAny: {
+        for (size_t alt = 0; alt < node.children.size(); ++alt) {
+          deriv->choice = static_cast<int>(alt);
+          deriv->children.assign(1, Derivation{});
+          if (MatchOne(node.children[alt], asts, j, &deriv->children[0], cont)) {
+            return true;
+          }
+          if (exhausted_) return false;
+        }
+        return false;
+      }
+      case DKind::kOpt: {
+        // Prefer present (consumes input) over absent; backtracking covers
+        // the other order.
+        deriv->choice = 1;
+        deriv->children.assign(1, Derivation{});
+        if (MatchOne(node.children[0], asts, j, &deriv->children[0], cont)) return true;
+        if (exhausted_) return false;
+        deriv->choice = 0;
+        deriv->children.clear();
+        return cont(j);
+      }
+      case DKind::kMulti: {
+        deriv->choice = 0;
+        deriv->children.clear();
+        // MatchMulti resizes deriv->children while recursion holds pointers
+        // to earlier elements; reserving up front pins them in place.
+        deriv->children.reserve(opts_.max_multi + 1);
+        return MatchMulti(node, asts, j, 0, deriv, cont);
+      }
+    }
+    return false;
+  }
+
+  /// Matches a child list (sequence semantics) against asts[j...).
+  bool MatchList(const std::vector<DiffTree>& items, const AstList& asts, size_t i,
+                 size_t j, std::vector<Derivation>* derivs, const Cont& cont) {
+    if (i == items.size()) return cont(j);
+    return MatchOne(items[i], asts, j, &(*derivs)[i], [&](size_t j2) {
+      return MatchList(items, asts, i + 1, j2, derivs, cont);
+    });
+  }
+
+ private:
+  bool MatchMulti(const DiffTree& node, const AstList& asts, size_t j, size_t count,
+                  Derivation* deriv, const Cont& cont) {
+    // Prefer fewer copies: try stopping first.
+    deriv->choice = static_cast<int>(count);
+    deriv->children.resize(count);
+    if (cont(j)) return true;
+    if (exhausted_ || count >= opts_.max_multi) return false;
+    deriv->children.resize(count + 1);
+    bool ok = MatchOne(node.children[0], asts, j, &deriv->children[count],
+                       [&](size_t j2) {
+                         if (j2 == j) return false;  // forbid empty repetitions
+                         return MatchMulti(node, asts, j2, count + 1, deriv, cont);
+                       });
+    if (!ok) {
+      deriv->choice = static_cast<int>(count);
+      deriv->children.resize(count);
+    }
+    return ok;
+  }
+
+  const MatchOptions& opts_;
+  size_t steps_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+std::optional<Derivation> MatchQuery(const DiffTree& root, const Ast& query,
+                                     const MatchOptions& opts) {
+  AstList asts = {&query};
+  Matcher m(opts);
+  Derivation deriv;
+  bool ok = m.MatchOne(root, asts, 0, &deriv, [&](size_t j) { return j == 1; });
+  if (m.exhausted()) {
+    IFGEN_LOG(Warning) << "matcher step budget exhausted; treating as no-match";
+    return std::nullopt;
+  }
+  if (!ok) return std::nullopt;
+  return deriv;
+}
+
+std::vector<Derivation> EnumerateDerivations(const DiffTree& root, const Ast& query,
+                                             size_t limit, const MatchOptions& opts) {
+  std::vector<Derivation> out;
+  if (limit == 0) return out;
+  AstList asts = {&query};
+  Matcher m(opts);
+  Derivation deriv;
+  // The continuation reports failure after collecting each complete parse so
+  // the matcher keeps backtracking into the next one, until `limit`.
+  m.MatchOne(root, asts, 0, &deriv, [&](size_t j) {
+    if (j != 1) return false;
+    out.push_back(deriv);
+    return out.size() >= limit;  // true stops the search
+  });
+  return out;
+}
+
+bool ExpressesAll(const DiffTree& root, const std::vector<Ast>& queries,
+                  const MatchOptions& opts) {
+  for (const Ast& q : queries) {
+    if (!MatchQuery(root, q, opts).has_value()) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Ast>> ExpandDerivation(const Derivation& d) {
+  if (d.node == nullptr) return Status::Invalid("empty derivation");
+  const DiffTree& n = *d.node;
+  switch (n.kind) {
+    case DKind::kAll: {
+      if (n.sym == Symbol::kEmpty) return std::vector<Ast>{};
+      std::vector<Ast> expanded;
+      for (const Derivation& c : d.children) {
+        IFGEN_ASSIGN_OR_RETURN(std::vector<Ast> seq, ExpandDerivation(c));
+        for (Ast& a : seq) expanded.push_back(std::move(a));
+      }
+      if (n.sym == Symbol::kSeq) return expanded;
+      return std::vector<Ast>{Ast(n.sym, n.value, std::move(expanded))};
+    }
+    case DKind::kAny: {
+      if (d.children.empty()) return Status::Invalid("ANY derivation without child");
+      return ExpandDerivation(d.children[0]);
+    }
+    case DKind::kOpt: {
+      if (d.choice == 0 || d.children.empty()) return std::vector<Ast>{};
+      return ExpandDerivation(d.children[0]);
+    }
+    case DKind::kMulti: {
+      std::vector<Ast> expanded;
+      for (const Derivation& c : d.children) {
+        IFGEN_ASSIGN_OR_RETURN(std::vector<Ast> seq, ExpandDerivation(c));
+        for (Ast& a : seq) expanded.push_back(std::move(a));
+      }
+      return expanded;
+    }
+  }
+  return Status::Internal("bad derivation node kind");
+}
+
+Result<Ast> MaterializeDerivation(const Derivation& d) {
+  IFGEN_ASSIGN_OR_RETURN(std::vector<Ast> seq, ExpandDerivation(d));
+  if (seq.size() != 1) {
+    return Status::Invalid(
+        StrFormat("derivation expands to %zu nodes, expected 1", seq.size()));
+  }
+  return std::move(seq[0]);
+}
+
+Derivation DefaultDerivation(const DiffTree& node) {
+  Derivation d;
+  d.node = &node;
+  switch (node.kind) {
+    case DKind::kAll:
+      d.choice = -1;
+      for (const DiffTree& c : node.children) {
+        d.children.push_back(DefaultDerivation(c));
+      }
+      break;
+    case DKind::kAny:
+      d.choice = 0;
+      d.children.push_back(DefaultDerivation(node.children[0]));
+      break;
+    case DKind::kOpt:
+      d.choice = 1;
+      d.children.push_back(DefaultDerivation(node.children[0]));
+      break;
+    case DKind::kMulti:
+      d.choice = 1;
+      d.children.push_back(DefaultDerivation(node.children[0]));
+      break;
+  }
+  return d;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "difftree/difftree.h"
+#include "sql/ast.h"
+
+namespace ifgen {
+
+/// \brief A derivation explains *how* a difftree expresses a concrete AST:
+/// which alternative each ANY picked, whether each OPT is present, and how
+/// many copies each MULTI produced.
+///
+/// The derivation mirrors the difftree: `node` points into the difftree the
+/// query was matched against (so derivations are invalidated by tree edits).
+struct Derivation {
+  const DiffTree* node = nullptr;
+  /// kAny: index of the chosen alternative. kOpt: 1 if present else 0.
+  /// kMulti: repetition count. kAll: unused (-1).
+  int choice = -1;
+  /// kAll: one per difftree child. kAny: single entry (the chosen
+  /// alternative's derivation). kOpt: one entry if present. kMulti: one
+  /// entry per repetition.
+  std::vector<Derivation> children;
+
+  /// Canonical encoding of every choice made in this derivation subtree;
+  /// two derivations encode equal iff they make identical choices.
+  std::string Encode() const;
+};
+
+/// \brief Limits for the backtracking matcher.
+struct MatchOptions {
+  /// Backtracking step budget; exceeded => treated as no-match (logged).
+  size_t max_steps = 2'000'000;
+  /// Maximum repetitions a MULTI may consume.
+  size_t max_multi = 24;
+};
+
+/// \brief Matches `query` against the difftree. Returns the first-found
+/// derivation (deterministic: alternatives are tried in order, OPT prefers
+/// absent-last, MULTI prefers fewer copies) or nullopt when inexpressible.
+std::optional<Derivation> MatchQuery(const DiffTree& root, const Ast& query,
+                                     const MatchOptions& opts = {});
+
+/// \brief Enumerates up to `limit` distinct derivations of `query` (used by
+/// the cost model to pick the parse minimizing widget changes).
+std::vector<Derivation> EnumerateDerivations(const DiffTree& root, const Ast& query,
+                                             size_t limit,
+                                             const MatchOptions& opts = {});
+
+/// \brief True when every query is expressible by the difftree. This is the
+/// core invariant the transformation rules must preserve.
+bool ExpressesAll(const DiffTree& root, const std::vector<Ast>& queries,
+                  const MatchOptions& opts = {});
+
+/// \brief Re-expands a derivation into the AST-node sequence it denotes (the
+/// inverse of matching). A full-query derivation expands to one AST.
+Result<std::vector<Ast>> ExpandDerivation(const Derivation& deriv);
+
+/// Convenience: expands a derivation expected to denote exactly one AST.
+Result<Ast> MaterializeDerivation(const Derivation& deriv);
+
+/// \brief A canonical default derivation of `node`: every ANY picks its
+/// first alternative, every OPT is present, every MULTI produces one copy.
+/// Used by the interactive runtime when the user switches into an
+/// alternative whose nested widgets have no prior values.
+Derivation DefaultDerivation(const DiffTree& node);
+
+}  // namespace ifgen

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "difftree/difftree.h"
+
+namespace ifgen {
+
+/// \brief Rewrites a difftree into normal form without changing its
+/// expressible-query set. Applied after every transformation-rule step so
+/// that structurally equivalent states collide in the transposition table.
+///
+/// Normal-form invariants:
+///  - No kSeq node has a kSeq child (nested Seqs are spliced).
+///  - No kSeq node has exactly one child (collapsed), or zero (-> kEmpty).
+///  - ALL nodes contain no kEmpty children and have kSeq children spliced.
+///  - OPT(kEmpty) -> kEmpty; OPT(OPT(x)) -> OPT(x); OPT(MULTI(x)) -> MULTI(x).
+///  - MULTI(kEmpty) -> kEmpty; MULTI(MULTI(x)) -> MULTI(x);
+///    MULTI(OPT(x)) -> MULTI(x).
+///  - ANY alternatives that are single-child Seqs are unwrapped.
+///
+/// ANY children are deliberately *not* deduplicated, flattened, or sorted:
+/// duplicate removal is the Merge rule (a search move, paper Fig. 5), and
+/// nested ANYs are meaningful hierarchical layouts.
+void Normalize(DiffTree* tree);
+
+/// Returns a normalized copy.
+DiffTree Normalized(DiffTree tree);
+
+/// Validity check used by tests and debug builds: every ANY/OPT/MULTI has
+/// the right arity, only kAll nodes carry symbols, and kSeq appears only
+/// where a sequence is admissible (under choice nodes).
+bool IsWellFormed(const DiffTree& tree, std::string* why = nullptr);
+
+}  // namespace ifgen

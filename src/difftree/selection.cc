@@ -1,0 +1,89 @@
+#include "difftree/selection.h"
+
+#include "util/logging.h"
+
+namespace ifgen {
+
+namespace {
+void CollectChoicesRec(const DiffTree& n, bool inside_multi,
+                       std::vector<const DiffTree*>* nodes,
+                       std::vector<bool>* inside) {
+  bool here_multi = inside_multi;
+  if (n.IsChoice()) {
+    nodes->push_back(&n);
+    inside->push_back(inside_multi);
+    if (n.kind == DKind::kMulti) here_multi = true;
+  }
+  for (const DiffTree& c : n.children) {
+    CollectChoicesRec(c, here_multi, nodes, inside);
+  }
+}
+}  // namespace
+
+ChoiceIndex::ChoiceIndex(const DiffTree& root) {
+  CollectChoicesRec(root, /*inside_multi=*/false, &nodes_, &inside_multi_);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    id_of_[nodes_[i]] = static_cast<int>(i);
+  }
+}
+
+int ChoiceIndex::IdOf(const DiffTree* node) const {
+  auto it = id_of_.find(node);
+  return it == id_of_.end() ? -1 : it->second;
+}
+
+namespace {
+
+void ExtractRec(const ChoiceIndex& index, const Derivation& d, bool inside_multi,
+                SelectionMap* out) {
+  const DiffTree* n = d.node;
+  IFGEN_DCHECK(n != nullptr);
+  if (n->IsChoice() && !inside_multi) {
+    int id = index.IdOf(n);
+    if (id >= 0) {
+      switch (n->kind) {
+        case DKind::kAny:
+          (*out)[id] = "a" + std::to_string(d.choice);
+          break;
+        case DKind::kOpt:
+          (*out)[id] = d.choice != 0 ? "p1" : "p0";
+          break;
+        case DKind::kMulti:
+          // The adder widget's value is the full sub-derivation (count plus
+          // every nested choice in every copy).
+          (*out)[id] = d.Encode();
+          break;
+        case DKind::kAll:
+          break;
+      }
+    }
+  }
+  bool next_inside = inside_multi || n->kind == DKind::kMulti;
+  for (const Derivation& c : d.children) {
+    ExtractRec(index, c, next_inside, out);
+  }
+}
+
+}  // namespace
+
+SelectionMap ExtractSelections(const ChoiceIndex& index, const Derivation& deriv) {
+  SelectionMap out;
+  ExtractRec(index, deriv, /*inside_multi=*/false, &out);
+  return out;
+}
+
+size_t CountChangedAndAdvance(const SelectionMap& next, SelectionMap* state,
+                              std::vector<int>* changed_ids) {
+  size_t changed = 0;
+  for (const auto& [id, sel] : next) {
+    auto it = state->find(id);
+    if (it == state->end() || it->second != sel) {
+      ++changed;
+      if (changed_ids != nullptr) changed_ids->push_back(id);
+      (*state)[id] = sel;
+    }
+  }
+  return changed;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,158 @@
+#include "engine/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ifgen {
+
+namespace {
+
+/// Splits one CSV record honoring double-quote quoting.
+Result<std::vector<std::string>> SplitRecord(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quote in CSV record");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Value> ParseField(const std::string& field, ColumnType type) {
+  if (field.empty()) return Value();  // empty field = NULL
+  switch (type) {
+    case ColumnType::kInt64: {
+      try {
+        return Value(static_cast<int64_t>(std::stoll(field)));
+      } catch (...) {
+        return Status::ParseError("bad int64 field: " + field);
+      }
+    }
+    case ColumnType::kDouble: {
+      try {
+        return Value(std::stod(field));
+      } catch (...) {
+        return Status::ParseError("bad double field: " + field);
+      }
+    }
+    case ColumnType::kString:
+      return Value(field);
+  }
+  return Status::Internal("bad column type");
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(const TableSchema& schema, std::string_view text) {
+  std::vector<std::string> lines;
+  {
+    std::string cur;
+    for (char ch : text) {
+      if (ch == '\n') {
+        if (!cur.empty() && cur.back() == '\r') cur.pop_back();
+        lines.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur += ch;
+      }
+    }
+    if (!cur.empty()) lines.push_back(std::move(cur));
+  }
+  if (lines.empty()) return Status::ParseError("empty CSV input");
+
+  IFGEN_ASSIGN_OR_RETURN(std::vector<std::string> header, SplitRecord(lines[0]));
+  if (header.size() != schema.columns.size()) {
+    return Status::ParseError(StrFormat("CSV header arity %zu != schema arity %zu",
+                                        header.size(), schema.columns.size()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (!EqualsIgnoreCase(Trim(header[i]), schema.columns[i].name)) {
+      return Status::ParseError("CSV header mismatch at column " + header[i]);
+    }
+  }
+  Table table(schema);
+  for (size_t li = 1; li < lines.size(); ++li) {
+    if (lines[li].empty()) continue;
+    IFGEN_ASSIGN_OR_RETURN(std::vector<std::string> fields, SplitRecord(lines[li]));
+    if (fields.size() != schema.columns.size()) {
+      return Status::ParseError(StrFormat("CSV row %zu arity mismatch", li));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      IFGEN_ASSIGN_OR_RETURN(Value v, ParseField(fields[i], schema.columns[i].type));
+      row.push_back(std::move(v));
+    }
+    IFGEN_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+std::string ToCsv(const Table& table) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += table.schema().columns[c].name;
+  }
+  out += "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ",";
+      const Value& v = table.At(r, c);
+      if (v.is_null()) continue;
+      std::string s = v.ToString();
+      if (s.find_first_of(",\"\n") != std::string::npos) {
+        std::string quoted = "\"";
+        for (char ch : s) {
+          if (ch == '"') quoted += "\"\"";
+          else quoted += ch;
+        }
+        quoted += "\"";
+        s = std::move(quoted);
+      }
+      out += s;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Table> ReadCsvFile(const TableSchema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(schema, ss.str());
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Invalid("cannot write " + path);
+  out << ToCsv(table);
+  return Status::OK();
+}
+
+}  // namespace ifgen

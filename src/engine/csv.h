@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "engine/table.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief Parses CSV text into a Table using the given schema.
+///
+/// The first line must be a header matching the schema column names
+/// (case-insensitive, same order). Quoting: double quotes with "" escapes.
+Result<Table> ParseCsv(const TableSchema& schema, std::string_view text);
+
+/// \brief Serializes a table to CSV (header + rows).
+std::string ToCsv(const Table& table);
+
+/// \brief Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const TableSchema& schema, const std::string& path);
+
+/// \brief Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace ifgen

@@ -1,0 +1,66 @@
+#include "engine/datagen.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ifgen {
+
+Table MakeSdssTable(const std::string& name, size_t rows, uint64_t seed) {
+  TableSchema schema;
+  schema.name = name;
+  schema.columns = {
+      {"objid", ColumnType::kInt64},  {"u", ColumnType::kDouble},
+      {"g", ColumnType::kDouble},     {"r", ColumnType::kDouble},
+      {"i", ColumnType::kDouble},     {"ra", ColumnType::kDouble},
+      {"dec", ColumnType::kDouble},   {"redshift", ColumnType::kDouble},
+  };
+  Table table(schema);
+  Rng rng(seed);
+  for (size_t row = 0; row < rows; ++row) {
+    std::vector<Value> vals;
+    vals.emplace_back(static_cast<int64_t>(1000000 + row));
+    for (int m = 0; m < 4; ++m) {
+      vals.emplace_back(rng.UniformDouble(0.0, 30.0));
+    }
+    vals.emplace_back(rng.UniformDouble(0.0, 360.0));
+    vals.emplace_back(rng.UniformDouble(-90.0, 90.0));
+    vals.emplace_back(rng.UniformDouble(0.0, 7.0));
+    Status st = table.AppendRow(std::move(vals));
+    IFGEN_CHECK(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
+Table MakeFlightsTable(size_t rows, uint64_t seed) {
+  TableSchema schema;
+  schema.name = "flights";
+  schema.columns = {
+      {"carrier", ColumnType::kString}, {"origin", ColumnType::kString},
+      {"dest", ColumnType::kString},    {"month", ColumnType::kInt64},
+      {"dep_delay", ColumnType::kDouble}, {"distance", ColumnType::kDouble},
+  };
+  static const char* kCarriers[] = {"AA", "DL", "UA", "WN", "B6"};
+  static const char* kAirports[] = {"JFK", "LGA", "EWR", "SFO", "LAX", "ORD", "ATL"};
+  Table table(schema);
+  Rng rng(seed);
+  for (size_t row = 0; row < rows; ++row) {
+    std::vector<Value> vals;
+    vals.emplace_back(std::string(kCarriers[rng.UniformIndex(5)]));
+    size_t o = rng.UniformIndex(7);
+    size_t d = rng.UniformIndex(7);
+    if (d == o) d = (d + 1) % 7;
+    vals.emplace_back(std::string(kAirports[o]));
+    vals.emplace_back(std::string(kAirports[d]));
+    vals.emplace_back(rng.UniformInt(1, 12));
+    // Delay: mostly small, occasionally large (mixture).
+    double delay = rng.Bernoulli(0.15) ? rng.UniformDouble(30, 240)
+                                       : rng.UniformDouble(-10, 30);
+    vals.emplace_back(delay);
+    vals.emplace_back(rng.UniformDouble(100, 3000));
+    Status st = table.AppendRow(std::move(vals));
+    IFGEN_CHECK(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
+}  // namespace ifgen

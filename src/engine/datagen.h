@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "engine/table.h"
+
+namespace ifgen {
+
+/// \brief Synthetic-data generators for the example workloads.
+///
+/// The paper evaluates on SDSS (Sloan Digital Sky Survey) query logs; we
+/// cannot ship SDSS data, so these generators produce tables with the same
+/// shape: photometric magnitude columns u, g, r, i plus an object id. The
+/// search algorithms never look at the data — it only feeds the examples'
+/// result visualizations — so shape fidelity is all that matters.
+
+/// Creates an SDSS-like table (objid, u, g, r, i, ra, dec, redshift) with
+/// `rows` rows. Magnitudes are drawn uniformly from [0, 30].
+Table MakeSdssTable(const std::string& name, size_t rows, uint64_t seed);
+
+/// Creates a flights table (carrier, origin, dest, month, dep_delay,
+/// distance) for the flights example workload.
+Table MakeFlightsTable(size_t rows, uint64_t seed);
+
+}  // namespace ifgen

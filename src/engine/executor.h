@@ -1,0 +1,28 @@
+#pragma once
+
+#include "engine/table.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief Executes a parsed query of the supported subset against a Database.
+///
+/// Pipeline: scan single FROM table -> WHERE filter -> GROUP BY + aggregate
+/// (or plain projection) -> ORDER BY -> TOP/LIMIT. Supported aggregates:
+/// count(*), count(col), sum, avg, min, max. DISTINCT applies to plain
+/// projections.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  Result<Table> Execute(const Ast& query) const;
+
+  /// Convenience: parse + execute.
+  Result<Table> ExecuteSql(std::string_view sql) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace ifgen

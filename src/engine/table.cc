@@ -1,0 +1,95 @@
+#include "engine/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ifgen {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.columns.size());
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != columns_.size()) {
+    return Status::Invalid(StrFormat("row arity %zu != schema arity %zu", row.size(),
+                                     columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (schema_.columns[i].type) {
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+        if (!v.is_numeric()) {
+          return Status::Invalid("non-numeric value for numeric column " +
+                                 schema_.columns[i].name);
+        }
+        break;
+      case ColumnType::kString:
+        if (!v.is_string()) {
+          return Status::Invalid("non-string value for string column " +
+                                 schema_.columns[i].name);
+        }
+        break;
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].push_back(std::move(row[i]));
+  }
+  return Status::OK();
+}
+
+Table Table::Gather(const std::vector<size_t>& row_indices) const {
+  Table out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c].reserve(row_indices.size());
+    for (size_t r : row_indices) {
+      out.columns_[c].push_back(columns_[c][r]);
+    }
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    widths[c] = schema_.columns[c].name.size();
+    for (size_t r = 0; r < std::min(num_rows(), max_rows); ++r) {
+      widths[c] = std::max(widths[c], At(r, c).ToString().size());
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out += PadRight(schema_.columns[c].name, widths[c] + 2);
+  }
+  out += "\n";
+  for (size_t c = 0; c < num_columns(); ++c) {
+    out += Repeat("-", widths[c]) + "  ";
+  }
+  out += "\n";
+  for (size_t r = 0; r < std::min(num_rows(), max_rows); ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      out += PadRight(At(r, c).ToString(), widths[c] + 2);
+    }
+    out += "\n";
+  }
+  if (num_rows() > max_rows) {
+    out += StrFormat("... (%zu rows total)\n", num_rows());
+  }
+  return out;
+}
+
+void Database::AddTable(Table table) {
+  catalog_.AddTable(table.schema());
+  tables_.push_back(std::move(table));
+}
+
+Result<const Table*> Database::GetTable(std::string_view name) const {
+  for (const Table& t : tables_) {
+    if (EqualsIgnoreCase(t.schema().name, name)) return &t;
+  }
+  return Status::NotFound("no such table: " + std::string(name));
+}
+
+}  // namespace ifgen

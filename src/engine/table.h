@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/value.h"
+#include "sql/catalog.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief A column-oriented in-memory table.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends one row; arity and basic type compatibility are checked.
+  Status AppendRow(std::vector<Value> row);
+
+  const Value& At(size_t row, size_t col) const { return columns_[col][row]; }
+  const std::vector<Value>& Column(size_t col) const { return columns_[col]; }
+
+  /// Returns a copy containing only `row_indices`, in the given order.
+  Table Gather(const std::vector<size_t>& row_indices) const;
+
+  /// ASCII rendering with a header, at most `max_rows` data rows.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  TableSchema schema_;
+  std::vector<std::vector<Value>> columns_;
+};
+
+/// \brief A named collection of tables plus their catalog.
+class Database {
+ public:
+  void AddTable(Table table);
+  Result<const Table*> GetTable(std::string_view name) const;
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  Catalog catalog_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace ifgen

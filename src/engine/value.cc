@@ -1,0 +1,41 @@
+#include "engine/value.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ifgen {
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_numeric() && other.is_numeric()) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_string() && other.is_string()) {
+    return AsString().compare(other.AsString());
+  }
+  // Heterogeneous: numbers order before strings (arbitrary but total).
+  return is_numeric() ? -1 : 1;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    double d = AsDouble();
+    if (std::floor(d) == d && std::abs(d) < 1e15) {
+      return StrFormat("%.1f", d);
+    }
+    return StrFormat("%.4g", d);
+  }
+  return AsString();
+}
+
+}  // namespace ifgen

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "sql/catalog.h"
+
+namespace ifgen {
+
+/// \brief A dynamically-typed SQL value: NULL, int64, double, or string.
+class Value {
+ public:
+  Value() : v_(Null{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  static Value Null_() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<Null>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(v_)) : std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// SQL-style three-valued comparison is simplified to two-valued with
+  /// NULLs ordered first; mixed numeric types compare as double.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Display rendering ("null", "3", "2.5", "abc").
+  std::string ToString() const;
+
+ private:
+  struct Null {};
+  std::variant<Null, int64_t, double, std::string> v_;
+};
+
+}  // namespace ifgen

@@ -1,0 +1,368 @@
+#include "interface/assignment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "widgets/appropriateness.h"
+#include "util/string_util.h"
+
+namespace ifgen {
+
+namespace {
+
+/// Clause context labels shown next to widgets.
+std::string ContextFor(const DiffTree& node, const std::string& inherited) {
+  if (node.kind != DKind::kAll) return inherited;
+  switch (node.sym) {
+    case Symbol::kProject:
+      return "select";
+    case Symbol::kTop:
+      return "top";
+    case Symbol::kFrom:
+      return "from";
+    case Symbol::kWhere:
+      return "where";
+    case Symbol::kGroupBy:
+      return "group by";
+    case Symbol::kOrderBy:
+      return "order by";
+    case Symbol::kLimit:
+      return "limit";
+    default:
+      return inherited;
+  }
+}
+
+bool ProducesWidgets(const DiffTree& n) { return n.ChoiceCount() > 0; }
+
+}  // namespace
+
+WidgetAssigner::WidgetAssigner(const DiffTree& tree, const CostConstants& constants)
+    : tree_(tree), constants_(constants), size_model_(constants_), index_(tree) {
+  Collect(tree_);
+}
+
+void WidgetAssigner::Collect(const DiffTree& node) {
+  switch (node.kind) {
+    case DKind::kAll: {
+      BetweenPattern bp;
+      if (MatchBetweenPattern(node, &bp)) {
+        DecisionPoint d;
+        d.type = DecisionType::kBetweenComposite;
+        d.node = &node;
+        // Two pseudo-options: 0 = separate widgets, 1 = range slider.
+        d.options = {WidgetKind::kVertical, WidgetKind::kRangeSlider};
+        decision_of_node_[&node].push_back(static_cast<int>(decisions_.size()));
+        decisions_.push_back(std::move(d));
+      }
+      size_t widget_kids = 0;
+      for (const DiffTree& c : node.children) widget_kids += ProducesWidgets(c) ? 1 : 0;
+      if (widget_kids >= 2) {
+        DecisionPoint d;
+        d.type = DecisionType::kContainerLayout;
+        d.node = &node;
+        d.options = {WidgetKind::kVertical, WidgetKind::kHorizontal,
+                     WidgetKind::kTabLayout};
+        decision_of_node_[&node].push_back(static_cast<int>(decisions_.size()));
+        decisions_.push_back(std::move(d));
+      }
+      break;
+    }
+    case DKind::kAny:
+    case DKind::kOpt:
+    case DKind::kMulti: {
+      WidgetDomain domain = ExtractDomain(node);
+      DecisionPoint d;
+      d.type = DecisionType::kChoiceWidget;
+      d.node = &node;
+      for (WidgetKind k : ValidWidgetKinds(domain)) {
+        // The adder composes its size from its children (layout-style), so
+        // it has no leaf template to check.
+        if (k == WidgetKind::kAdder || size_model_.PickTemplate(k, domain).ok()) {
+          d.options.push_back(k);
+        }
+      }
+      if (d.options.empty()) viable_ = false;
+      decision_of_node_[&node].push_back(static_cast<int>(decisions_.size()));
+      decisions_.push_back(std::move(d));
+      if (node.kind == DKind::kOpt && ProducesWidgets(node.children[0])) {
+        DecisionPoint g;
+        g.type = DecisionType::kContainerLayout;
+        g.node = &node;
+        g.options = {WidgetKind::kHorizontal, WidgetKind::kVertical};
+        decision_of_node_[&node].push_back(static_cast<int>(decisions_.size()));
+        decisions_.push_back(std::move(g));
+      }
+      break;
+    }
+  }
+  for (const DiffTree& c : node.children) Collect(c);
+}
+
+int WidgetAssigner::DecisionIndexOf(const DiffTree* node, DecisionType type) const {
+  auto it = decision_of_node_.find(node);
+  if (it == decision_of_node_.end()) return -1;
+  for (int idx : it->second) {
+    if (decisions_[static_cast<size_t>(idx)].type == type) return idx;
+  }
+  return -1;
+}
+
+double WidgetAssigner::CombinationCount() const {
+  double total = 1.0;
+  for (const DecisionPoint& d : decisions_) {
+    total = std::min(1e18, total * std::max<size_t>(1, d.options.size()));
+  }
+  return total;
+}
+
+Assignment WidgetAssigner::FirstAssignment() const {
+  Assignment a;
+  a.picks.assign(decisions_.size(), 0);
+  return a;
+}
+
+bool WidgetAssigner::NextAssignment(Assignment* a) const {
+  for (size_t i = 0; i < decisions_.size(); ++i) {
+    size_t n = std::max<size_t>(1, decisions_[i].options.size());
+    if (static_cast<size_t>(++a->picks[i]) < n) return true;
+    a->picks[i] = 0;
+  }
+  return false;
+}
+
+Assignment WidgetAssigner::MinAppropriatenessAssignment() const {
+  Assignment a = FirstAssignment();
+  for (size_t i = 0; i < decisions_.size(); ++i) {
+    if (decisions_[i].type != DecisionType::kChoiceWidget) continue;
+    WidgetDomain domain = ExtractDomain(*decisions_[i].node);
+    double best_m = std::numeric_limits<double>::infinity();
+    for (size_t o = 0; o < decisions_[i].options.size(); ++o) {
+      double m = AppropriatenessCost(constants_, decisions_[i].options[o], domain);
+      if (m < best_m) {
+        best_m = m;
+        a.picks[i] = static_cast<int>(o);
+      }
+    }
+  }
+  return a;
+}
+
+Assignment WidgetAssigner::RandomAssignment(Rng* rng) const {
+  Assignment a;
+  a.picks.reserve(decisions_.size());
+  for (const DecisionPoint& d : decisions_) {
+    a.picks.push_back(d.options.empty()
+                          ? 0
+                          : static_cast<int>(rng->UniformIndex(d.options.size())));
+  }
+  return a;
+}
+
+Status WidgetAssigner::BuildNode(const DiffTree& node, const Assignment& a,
+                                 const std::string& context,
+                                 std::vector<WidgetNode>* out) const {
+  const std::string ctx = ContextFor(node, context);
+  switch (node.kind) {
+    case DKind::kAll: {
+      if (node.sym == Symbol::kEmpty) return Status::OK();
+      // BETWEEN composite: one range slider may cover both endpoints.
+      int bidx = DecisionIndexOf(&node, DecisionType::kBetweenComposite);
+      if (bidx >= 0 &&
+          decisions_[static_cast<size_t>(bidx)]
+                  .options[static_cast<size_t>(a.picks[static_cast<size_t>(bidx)])] ==
+              WidgetKind::kRangeSlider) {
+        BetweenPattern bp;
+        if (!MatchBetweenPattern(node, &bp)) {
+          return Status::Internal("between pattern vanished");
+        }
+        WidgetDomain lo_d = ExtractDomain(*bp.lo_any);
+        WidgetDomain hi_d = ExtractDomain(*bp.hi_any);
+        WidgetNode w;
+        w.kind = WidgetKind::kRangeSlider;
+        w.choice_id = index_.IdOf(bp.lo_any);
+        w.choice_id2 = index_.IdOf(bp.hi_any);
+        w.label = bp.label;
+        w.domain = lo_d;
+        w.domain.num_hi = std::max(lo_d.num_hi, hi_d.num_hi);
+        w.domain.num_lo = std::min(lo_d.num_lo, hi_d.num_lo);
+        IFGEN_ASSIGN_OR_RETURN(SizeClass sc,
+                               size_model_.PickTemplate(w.kind, w.domain));
+        w.size_class = sc;
+        WidgetSize sz = size_model_.SizeOf(w.kind, sc, w.domain);
+        w.width = sz.width + static_cast<int>(std::min<size_t>(w.label.size(), 10));
+        w.height = sz.height;
+        out->push_back(std::move(w));
+        return Status::OK();
+      }
+      std::vector<WidgetNode> widgets;
+      for (const DiffTree& c : node.children) {
+        IFGEN_RETURN_NOT_OK(BuildNode(c, a, ctx, &widgets));
+      }
+      if (widgets.empty()) return Status::OK();
+      WidgetNode group;
+      IFGEN_RETURN_NOT_OK(BuildGroup(node, a, ctx, ctx, &widgets, &group));
+      out->push_back(std::move(group));
+      return Status::OK();
+    }
+    case DKind::kAny: {
+      int didx = DecisionIndexOf(&node, DecisionType::kChoiceWidget);
+      if (didx < 0) return Status::Internal("missing choice decision");
+      const DecisionPoint& d = decisions_[static_cast<size_t>(didx)];
+      if (d.options.empty()) {
+        return Status::Invalid("choice node has no valid widget");
+      }
+      WidgetKind kind = d.options[static_cast<size_t>(a.picks[static_cast<size_t>(didx)])];
+      WidgetDomain domain = ExtractDomain(node);
+      WidgetNode w;
+      w.kind = kind;
+      w.choice_id = index_.IdOf(&node);
+      w.label = ctx;
+      w.domain = domain;
+      IFGEN_ASSIGN_OR_RETURN(SizeClass sc, size_model_.PickTemplate(kind, domain));
+      w.size_class = sc;
+      WidgetSize sz = size_model_.SizeOf(kind, sc, domain);
+      w.width = sz.width;
+      w.height = sz.height;
+      if (kind == WidgetKind::kTabs) {
+        // One child group per alternative.
+        for (size_t alt = 0; alt < node.children.size(); ++alt) {
+          std::vector<WidgetNode> alt_widgets;
+          IFGEN_RETURN_NOT_OK(BuildNode(node.children[alt], a, ctx, &alt_widgets));
+          WidgetNode panel;
+          if (alt_widgets.size() == 1) {
+            panel = std::move(alt_widgets[0]);
+          } else {
+            panel.kind = WidgetKind::kVertical;
+            panel.children = std::move(alt_widgets);
+          }
+          panel.label = domain.labels[alt];
+          w.children.push_back(std::move(panel));
+        }
+      }
+      out->push_back(std::move(w));
+      return Status::OK();
+    }
+    case DKind::kOpt: {
+      int didx = DecisionIndexOf(&node, DecisionType::kChoiceWidget);
+      if (didx < 0) return Status::Internal("missing OPT decision");
+      const DecisionPoint& d = decisions_[static_cast<size_t>(didx)];
+      if (d.options.empty()) return Status::Invalid("OPT has no valid widget");
+      WidgetDomain domain = ExtractDomain(node);
+      WidgetNode toggle;
+      toggle.kind = d.options[static_cast<size_t>(a.picks[static_cast<size_t>(didx)])];
+      toggle.choice_id = index_.IdOf(&node);
+      // Prefer the child's clause name ("where", "top") as the toggle label.
+      std::string child_ctx = ContextFor(node.children[0], ctx);
+      toggle.label = !child_ctx.empty() ? child_ctx
+                     : !ctx.empty()     ? ctx
+                                        : Ellipsize(domain.labels[0], 16);
+      toggle.domain = domain;
+      IFGEN_ASSIGN_OR_RETURN(SizeClass sc,
+                             size_model_.PickTemplate(toggle.kind, domain));
+      toggle.size_class = sc;
+      WidgetSize sz = size_model_.SizeOf(toggle.kind, sc, domain);
+      toggle.width = sz.width;
+      toggle.height = sz.height;
+
+      std::vector<WidgetNode> inner;
+      IFGEN_RETURN_NOT_OK(BuildNode(node.children[0], a, ctx, &inner));
+      if (inner.empty()) {
+        out->push_back(std::move(toggle));
+        return Status::OK();
+      }
+      // Toggle + dependent widgets form a group (paper Fig. 3b: the toggle
+      // and the StrExpr dropdown are organized together).
+      std::vector<WidgetNode> group_widgets;
+      group_widgets.push_back(std::move(toggle));
+      for (WidgetNode& wn : inner) group_widgets.push_back(std::move(wn));
+      WidgetNode group;
+      int gidx = DecisionIndexOf(&node, DecisionType::kContainerLayout);
+      WidgetKind layout = WidgetKind::kHorizontal;
+      if (gidx >= 0) {
+        const DecisionPoint& g = decisions_[static_cast<size_t>(gidx)];
+        layout = g.options[static_cast<size_t>(a.picks[static_cast<size_t>(gidx)])];
+      }
+      group.kind = layout;
+      group.label = ctx;
+      group.children = std::move(group_widgets);
+      out->push_back(std::move(group));
+      return Status::OK();
+    }
+    case DKind::kMulti: {
+      WidgetDomain domain = ExtractDomain(node);
+      WidgetNode adder;
+      adder.kind = WidgetKind::kAdder;
+      adder.choice_id = index_.IdOf(&node);
+      adder.label = ctx;
+      adder.domain = domain;
+      std::vector<WidgetNode> inner;
+      IFGEN_RETURN_NOT_OK(BuildNode(node.children[0], a, ctx, &inner));
+      if (inner.size() == 1) {
+        adder.children.push_back(std::move(inner[0]));
+      } else if (inner.size() > 1) {
+        WidgetNode group;
+        group.kind = WidgetKind::kHorizontal;
+        group.children = std::move(inner);
+        adder.children.push_back(std::move(group));
+      }
+      out->push_back(std::move(adder));
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status WidgetAssigner::BuildGroup(const DiffTree& node, const Assignment& a,
+                                  const std::string& /*context*/,
+                                  const std::string& group_label,
+                                  std::vector<WidgetNode>* widgets,
+                                  WidgetNode* group) const {
+  if (widgets->size() == 1) {
+    *group = std::move((*widgets)[0]);
+    return Status::OK();
+  }
+  WidgetKind layout = WidgetKind::kVertical;
+  int gidx = DecisionIndexOf(&node, DecisionType::kContainerLayout);
+  if (gidx >= 0) {
+    const DecisionPoint& g = decisions_[static_cast<size_t>(gidx)];
+    layout = g.options[static_cast<size_t>(a.picks[static_cast<size_t>(gidx)])];
+  }
+  group->kind = layout;
+  group->label = group_label;
+  group->children = std::move(*widgets);
+  return Status::OK();
+}
+
+Result<WidgetTree> WidgetAssigner::Build(const Assignment& a) const {
+  if (a.picks.size() != decisions_.size()) {
+    return Status::Invalid("assignment size mismatch");
+  }
+  if (!viable_) {
+    return Status::Invalid("difftree has a choice node with no valid widget");
+  }
+  std::vector<WidgetNode> widgets;
+  IFGEN_RETURN_NOT_OK(BuildNode(tree_, a, "", &widgets));
+  WidgetTree wt;
+  if (widgets.empty()) {
+    // A choice-free difftree renders as a single static label.
+    WidgetNode label;
+    label.kind = WidgetKind::kLabel;
+    label.label = "query";
+    label.width = 8;
+    label.height = 1;
+    wt.root = std::move(label);
+  } else if (widgets.size() == 1) {
+    wt.root = std::move(widgets[0]);
+  } else {
+    WidgetNode group;
+    group.kind = WidgetKind::kVertical;
+    group.children = std::move(widgets);
+    wt.root = std::move(group);
+  }
+  wt.RebuildIndex();
+  return wt;
+}
+
+}  // namespace ifgen

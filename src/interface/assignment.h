@@ -1,0 +1,98 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "difftree/difftree.h"
+#include "difftree/selection.h"
+#include "interface/widget_tree.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "widgets/constants.h"
+#include "widgets/size_model.h"
+
+namespace ifgen {
+
+/// \brief The kinds of decisions that turn a difftree into a widget tree.
+enum class DecisionType : uint8_t {
+  kChoiceWidget,      ///< which interaction widget expresses a choice node
+  kContainerLayout,   ///< vertical/horizontal/tabs for a multi-widget group
+  kBetweenComposite,  ///< range slider vs. two separate numeric widgets
+};
+
+/// \brief One decision point with its valid options.
+struct DecisionPoint {
+  DecisionType type = DecisionType::kChoiceWidget;
+  const DiffTree* node = nullptr;
+  /// kChoiceWidget / kContainerLayout: candidate widget kinds.
+  /// kBetweenComposite: {0 = separate widgets, 1 = range slider} — encoded
+  /// as a two-entry dummy kind list for uniform odometer handling.
+  std::vector<WidgetKind> options;
+};
+
+/// \brief A concrete pick per decision point.
+struct Assignment {
+  std::vector<int> picks;
+};
+
+/// \brief Maps a difftree to widget trees ("Creating Widget Trees", paper).
+///
+/// The mapping is factored into an explicit decision vector so that the
+/// search can (a) sample k random widget trees per state during rollouts and
+/// (b) exhaustively enumerate widget trees for the final state.
+class WidgetAssigner {
+ public:
+  WidgetAssigner(const DiffTree& tree, const CostConstants& constants);
+
+  const std::vector<DecisionPoint>& decisions() const { return decisions_; }
+  const ChoiceIndex& choice_index() const { return index_; }
+
+  /// False when some choice node has no valid widget at all (e.g. an ANY of
+  /// 40 structurally rich alternatives): every assignment is invalid.
+  bool viable() const { return viable_; }
+
+  /// Total number of assignments (product of option counts; saturating).
+  double CombinationCount() const;
+
+  Assignment FirstAssignment() const;
+  /// Odometer increment; returns false after the last assignment wraps.
+  bool NextAssignment(Assignment* a) const;
+  Assignment RandomAssignment(Rng* rng) const;
+
+  /// Materializes the widget tree for an assignment (sizes included; layout
+  /// positions are the layout solver's job). Fails when the assignment is
+  /// structurally invalid.
+  Result<WidgetTree> Build(const Assignment& a) const;
+
+ private:
+  void Collect(const DiffTree& node);
+
+  /// Recursive widget construction; returns the widgets `node` contributes.
+  Status BuildNode(const DiffTree& node, const Assignment& a,
+                   const std::string& context, std::vector<WidgetNode>* out) const;
+  /// Wraps a widget list in the node's container decision (or passes through).
+  Status BuildGroup(const DiffTree& node, const Assignment& a,
+                    const std::string& context, const std::string& group_label,
+                    std::vector<WidgetNode>* widgets, WidgetNode* group) const;
+
+  int DecisionIndexOf(const DiffTree* node, DecisionType type) const;
+
+ public:
+  /// The greedy assignment: per choice widget the minimum-M(.) option, first
+  /// option (vertical / separate widgets) everywhere else. This is both the
+  /// Zhang'17 baseline's policy and the seed sample the evaluator mixes into
+  /// each state's k random assignments.
+  Assignment MinAppropriatenessAssignment() const;
+
+ private:
+
+  const DiffTree& tree_;
+  const CostConstants& constants_;
+  SizeModel size_model_;
+  ChoiceIndex index_;
+  std::vector<DecisionPoint> decisions_;
+  std::unordered_map<const DiffTree*, std::vector<int>> decision_of_node_;
+  bool viable_ = true;
+};
+
+}  // namespace ifgen

@@ -1,0 +1,131 @@
+#include "interface/layout.h"
+
+#include <algorithm>
+
+namespace ifgen {
+
+namespace {
+
+constexpr int kHGap = 1;
+
+void SizeRec(WidgetNode* n) {
+  for (WidgetNode& c : n->children) SizeRec(&c);
+  switch (n->kind) {
+    case WidgetKind::kVertical: {
+      int w = 0;
+      int h = 0;
+      for (const WidgetNode& c : n->children) {
+        w = std::max(w, c.width);
+        h += c.height;
+      }
+      n->width = w;
+      n->height = h;
+      break;
+    }
+    case WidgetKind::kHorizontal: {
+      int w = 0;
+      int h = 0;
+      for (const WidgetNode& c : n->children) {
+        w += c.width + (w > 0 ? kHGap : 0);
+        h = std::max(h, c.height);
+      }
+      n->width = w;
+      n->height = h;
+      break;
+    }
+    case WidgetKind::kTabs:
+    case WidgetKind::kTabLayout: {
+      // Width/height set by the size model hold the tab bar; panels stack
+      // behind it.
+      int bar_w = n->width;
+      int panel_w = 0;
+      int panel_h = 0;
+      for (const WidgetNode& c : n->children) {
+        panel_w = std::max(panel_w, c.width);
+        panel_h = std::max(panel_h, c.height);
+      }
+      if (n->kind == WidgetKind::kTabLayout) {
+        // Tab layout over arbitrary children: bar width from labels.
+        int lw = 0;
+        for (const WidgetNode& c : n->children) {
+          lw += static_cast<int>(std::min<size_t>(c.label.size(), 10)) + 3;
+        }
+        bar_w = std::max(10, std::min(lw, 72));
+      }
+      n->width = std::max(bar_w, panel_w);
+      n->height = 1 + panel_h;
+      break;
+    }
+    case WidgetKind::kAdder: {
+      int w = 0;
+      int h = 0;
+      for (const WidgetNode& c : n->children) {
+        w = std::max(w, c.width);
+        h += c.height;
+      }
+      n->width = w + 2;
+      n->height = h + 1;  // the "+ add" row
+      break;
+    }
+    default:
+      // Interaction widgets already carry their template size.
+      break;
+  }
+  // Minimal footprint so labels/placeholders remain renderable.
+  n->width = std::max(n->width, 1);
+  n->height = std::max(n->height, 1);
+}
+
+void PositionRec(WidgetNode* n, int x, int y) {
+  n->x = x;
+  n->y = y;
+  switch (n->kind) {
+    case WidgetKind::kVertical: {
+      int cy = y;
+      for (WidgetNode& c : n->children) {
+        PositionRec(&c, x, cy);
+        cy += c.height;
+      }
+      break;
+    }
+    case WidgetKind::kHorizontal: {
+      int cx = x;
+      for (WidgetNode& c : n->children) {
+        PositionRec(&c, cx, y);
+        cx += c.width + kHGap;
+      }
+      break;
+    }
+    case WidgetKind::kTabs:
+    case WidgetKind::kTabLayout: {
+      for (WidgetNode& c : n->children) {
+        PositionRec(&c, x, y + 1);  // panels share the area under the bar
+      }
+      break;
+    }
+    case WidgetKind::kAdder: {
+      int cy = y;
+      for (WidgetNode& c : n->children) {
+        PositionRec(&c, x + 2, cy);
+        cy += c.height;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+LayoutResult ComputeLayout(WidgetNode* root, const Screen& screen) {
+  SizeRec(root);
+  PositionRec(root, 0, 0);
+  LayoutResult r;
+  r.width = root->width;
+  r.height = root->height;
+  r.fits = r.width <= screen.width && r.height <= screen.height;
+  return r;
+}
+
+}  // namespace ifgen

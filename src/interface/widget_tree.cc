@@ -1,0 +1,82 @@
+#include "interface/widget_tree.h"
+
+#include "util/string_util.h"
+
+namespace ifgen {
+
+namespace {
+
+void IndexRec(const WidgetNode& n, std::vector<int>* path,
+              std::map<int, std::vector<int>>* out) {
+  if (n.choice_id >= 0) {
+    (*out)[n.choice_id] = *path;
+  }
+  if (n.choice_id2 >= 0) {
+    (*out)[n.choice_id2] = *path;
+  }
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    path->push_back(static_cast<int>(i));
+    IndexRec(n.children[i], path, out);
+    path->pop_back();
+  }
+}
+
+size_t CountRec(const WidgetNode& n, bool interactive_only) {
+  size_t c = interactive_only ? (n.IsInteractive() ? 1 : 0) : 1;
+  for (const WidgetNode& k : n.children) c += CountRec(k, interactive_only);
+  return c;
+}
+
+void DumpRec(const WidgetNode& n, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += WidgetKindName(n.kind);
+  if (!n.label.empty()) *out += " '" + n.label + "'";
+  if (n.choice_id >= 0) *out += StrFormat(" #%d", n.choice_id);
+  if (n.choice_id2 >= 0) *out += StrFormat("/#%d", n.choice_id2);
+  if (!n.domain.labels.empty() && !IsLayoutWidget(n.kind)) {
+    *out += " {";
+    for (size_t i = 0; i < n.domain.labels.size() && i < 6; ++i) {
+      if (i > 0) *out += ", ";
+      *out += n.domain.labels[i];
+    }
+    if (n.domain.labels.size() > 6) *out += ", ...";
+    *out += "}";
+  }
+  *out += StrFormat(" [%dx%d]", n.width, n.height);
+  *out += "\n";
+  for (const WidgetNode& k : n.children) DumpRec(k, indent + 1, out);
+}
+
+}  // namespace
+
+void WidgetTree::RebuildIndex() {
+  path_by_choice.clear();
+  std::vector<int> path;
+  IndexRec(root, &path, &path_by_choice);
+}
+
+const WidgetNode* WidgetTree::NodeAtPath(const std::vector<int>& path) const {
+  const WidgetNode* n = &root;
+  for (int idx : path) {
+    if (idx < 0 || static_cast<size_t>(idx) >= n->children.size()) return nullptr;
+    n = &n->children[static_cast<size_t>(idx)];
+  }
+  return n;
+}
+
+const WidgetNode* WidgetTree::WidgetFor(int choice_id) const {
+  auto it = path_by_choice.find(choice_id);
+  if (it == path_by_choice.end()) return nullptr;
+  return NodeAtPath(it->second);
+}
+
+size_t WidgetTree::CountWidgets() const { return CountRec(root, false); }
+size_t WidgetTree::CountInteractive() const { return CountRec(root, true); }
+
+std::string WidgetTree::ToString() const {
+  std::string out;
+  DumpRec(root, 0, &out);
+  return out;
+}
+
+}  // namespace ifgen

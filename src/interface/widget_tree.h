@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "widgets/domain.h"
+#include "widgets/widget.h"
+
+namespace ifgen {
+
+/// \brief A node of the rendered interface's widget tree (paper, Figure 3).
+///
+/// Layout nodes organize children; interaction nodes control one choice node
+/// of the difftree (identified by `choice_id`, the pre-order choice index —
+/// see ChoiceIndex). A range slider covers two choice nodes (lo/hi of a
+/// BETWEEN); `choice_id2` holds the second. Tabs are both: they select an
+/// ANY alternative and host one child group per alternative.
+struct WidgetNode {
+  WidgetKind kind = WidgetKind::kVertical;
+  SizeClass size_class = SizeClass::kSmall;
+  int choice_id = -1;
+  int choice_id2 = -1;
+  std::string label;
+  WidgetDomain domain;
+  std::vector<WidgetNode> children;
+
+  // Filled by the layout solver.
+  int width = 0;
+  int height = 0;
+  int x = 0;
+  int y = 0;
+
+  bool IsInteractive() const {
+    return !IsLayoutWidget(kind) && kind != WidgetKind::kLabel;
+  }
+};
+
+/// \brief A complete widget tree plus lookup structures.
+struct WidgetTree {
+  WidgetNode root;
+  /// Path (child indices) of the widget controlling each choice id.
+  std::map<int, std::vector<int>> path_by_choice;
+
+  /// Recomputes path_by_choice from the current tree shape.
+  void RebuildIndex();
+
+  const WidgetNode* NodeAtPath(const std::vector<int>& path) const;
+  const WidgetNode* WidgetFor(int choice_id) const;
+
+  size_t CountWidgets() const;
+  size_t CountInteractive() const;
+
+  /// One-line-per-widget structural dump (kind, label, size).
+  std::string ToString() const;
+};
+
+}  // namespace ifgen

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "difftree/difftree.h"
+
+namespace ifgen {
+
+/// \brief Alignment machinery shared by the Any2All rule.
+///
+/// Columns are an order-preserving multi-sequence alignment of the child
+/// lists of an ANY node's alternatives: restricted to any single
+/// alternative, the present column entries reproduce that alternative's
+/// children in order. That property is what makes Any2All language-safe.
+
+/// Key used to decide whether two children may share a column: ALL nodes
+/// align by root symbol (values may differ — that variation becomes the
+/// widget domain); choice nodes align by kind.
+uint64_t AlignKey(const DiffTree& n);
+
+/// One aligned column: per-alternative index into that alternative's child
+/// list, or nullopt when the alternative lacks this column.
+struct AlignedColumn {
+  uint64_t key = 0;
+  std::vector<std::optional<size_t>> entry;
+};
+
+/// \brief LCS-based alignment ("symbol" mode): children with equal keys are
+/// anchored; unmatched children become columns absent from the other
+/// alternatives.
+std::vector<AlignedColumn> AlignBySymbol(
+    const std::vector<const std::vector<DiffTree>*>& alt_children);
+
+/// \brief Positional alignment: column j holds every alternative's j-th
+/// child regardless of symbol; shorter alternatives are absent from the
+/// tail columns. This pairs e.g. `objid` with `count(*)` into one widget
+/// domain (paper, Figure 6a).
+std::vector<AlignedColumn> AlignByPosition(
+    const std::vector<const std::vector<DiffTree>*>& alt_children);
+
+/// Materializes a column as a difftree child: the shared node when all
+/// alternatives agree, otherwise ANY over the distinct entries (with an
+/// Empty alternative when some alternative lacks the column).
+DiffTree ColumnToNode(const std::vector<const std::vector<DiffTree>*>& alt_children,
+                      const AlignedColumn& col);
+
+}  // namespace ifgen

@@ -1,0 +1,66 @@
+#include "rules/rule.h"
+
+namespace ifgen {
+
+namespace {
+
+/// All2Any — the inverse direction of Any2All/Lift (the paper's rules are
+/// bidirectional). Distributes an ALL node over one of its ANY children:
+///
+///   ALL(z, [.., ANY(a, b), ..]) -> ANY(ALL(z, [.., a, ..]), ALL(z, [.., b, ..]))
+///
+/// Language-exact. This lets the search *coarsen* an interface again (e.g.
+/// collapse fine-grained widgets back into a per-query mode switch), which
+/// is how it escapes local minima.
+class All2AnyRule final : public Rule {
+ public:
+  std::string_view name() const override { return "All2Any"; }
+
+  void Collect(const DiffTree& /*root*/, const DiffTree& node, const TreePath& path,
+               const RuleSetOptions& opts,
+               std::vector<RuleApplication>* out) const override {
+    if (node.kind != DKind::kAll || node.sym == Symbol::kEmpty) return;
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      const DiffTree& c = node.children[i];
+      if (c.kind == DKind::kAny && c.children.size() >= 2 &&
+          c.children.size() <= static_cast<size_t>(opts.all2any_max_alts)) {
+        RuleApplication app;
+        app.path = path;
+        app.param = static_cast<int>(i);
+        out->push_back(app);
+      }
+    }
+  }
+
+  Status ApplyAt(DiffTree* node, const RuleApplication& app,
+                 const RuleSetOptions& /*opts*/) const override {
+    if (node->kind != DKind::kAll) return Status::Invalid("All2Any: target not ALL");
+    size_t idx = static_cast<size_t>(app.param);
+    if (idx >= node->children.size() || node->children[idx].kind != DKind::kAny) {
+      return Status::Invalid("All2Any: selected child is not an ANY");
+    }
+    DiffTree any = std::move(node->children[idx]);
+    std::vector<DiffTree> alts;
+    alts.reserve(any.children.size());
+    for (DiffTree& option : any.children) {
+      DiffTree host(node->sym, node->value);
+      host.children.reserve(node->children.size());
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (i == idx) {
+          host.children.push_back(std::move(option));
+        } else {
+          host.children.push_back(node->children[i]);
+        }
+      }
+      alts.push_back(std::move(host));
+    }
+    *node = DiffTree::Any(std::move(alts));
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeAll2AnyRule() { return std::make_unique<All2AnyRule>(); }
+
+}  // namespace ifgen

@@ -1,0 +1,63 @@
+#include "rules/rule.h"
+
+namespace ifgen {
+
+namespace {
+
+/// Merge (paper Fig. 5): removes structurally duplicate alternatives of an
+/// ANY node. Language-exact. The inverse (duplicating an alternative) is
+/// pure redundancy and is intentionally not generated.
+class MergeRule final : public Rule {
+ public:
+  std::string_view name() const override { return "Merge"; }
+
+  void Collect(const DiffTree& /*root*/, const DiffTree& node, const TreePath& path,
+               const RuleSetOptions& /*opts*/,
+               std::vector<RuleApplication>* out) const override {
+    if (node.kind != DKind::kAny || node.children.size() < 2) return;
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      for (size_t j = i + 1; j < node.children.size(); ++j) {
+        if (node.children[i] == node.children[j]) {
+          RuleApplication app;
+          app.path = path;
+          out->push_back(app);
+          return;
+        }
+      }
+    }
+  }
+
+  Status ApplyAt(DiffTree* node, const RuleApplication& /*app*/,
+                 const RuleSetOptions& /*opts*/) const override {
+    if (node->kind != DKind::kAny) {
+      return Status::Invalid("Merge: target is not an ANY");
+    }
+    std::vector<DiffTree> kept;
+    kept.reserve(node->children.size());
+    for (DiffTree& alt : node->children) {
+      bool seen = false;
+      for (const DiffTree& k : kept) {
+        if (k == alt) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) kept.push_back(std::move(alt));
+    }
+    if (kept.size() == node->children.size()) {
+      return Status::Invalid("Merge: no duplicate alternatives");
+    }
+    if (kept.size() == 1) {
+      *node = std::move(kept[0]);  // collapsing a singleton ANY
+    } else {
+      node->children = std::move(kept);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeMergeRule() { return std::make_unique<MergeRule>(); }
+
+}  // namespace ifgen

@@ -1,0 +1,179 @@
+#include "rules/align.h"
+#include "rules/rule.h"
+
+namespace ifgen {
+
+namespace {
+
+/// Grammar gate: only node kinds that may legitimately appear a variable
+/// number of times in a query qualify for MULTI (predicates, select items,
+/// order keys, list elements, tables). Clauses like Where/Top/Project occur
+/// at most once — repeating them would leave SQL's grammar entirely.
+bool MayRepeat(const DiffTree& elem) {
+  if (elem.kind != DKind::kAll) return false;
+  switch (elem.sym) {
+    case Symbol::kBetween:
+    case Symbol::kBiExpr:
+    case Symbol::kIn:
+    case Symbol::kNot:
+    case Symbol::kColExpr:
+    case Symbol::kNumExpr:
+    case Symbol::kStrExpr:
+    case Symbol::kFuncExpr:
+    case Symbol::kAlias:
+    case Symbol::kStar:
+    case Symbol::kOrderKey:
+    case Symbol::kTable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Multi (paper Fig. 5): the only non-bidirectional rule — it *grows* the
+/// expressible language. Two patterns:
+///
+///  (a) Run: an ALL/Seq node with a run of >= 2 consecutive structurally
+///      identical children x,x,..,x replaces the run with MULTI(x).
+///      `param` = run start, `param2` = run length.
+///  (b) Repeat-union: an ANY whose alternatives are sequences of elements
+///      that all share the same alignment key (e.g. all rooted at Between)
+///      becomes MULTI(element-union). This is what turns per-query predicate
+///      lists into an "adder" widget. `param` = -1 marks this pattern.
+class MultiRule final : public Rule {
+ public:
+  std::string_view name() const override { return "Multi"; }
+
+  void Collect(const DiffTree& /*root*/, const DiffTree& node, const TreePath& path,
+               const RuleSetOptions& /*opts*/,
+               std::vector<RuleApplication>* out) const override {
+    CollectRuns(node, path, out);
+    CollectRepeatUnion(node, path, out);
+  }
+
+  Status ApplyAt(DiffTree* node, const RuleApplication& app,
+                 const RuleSetOptions& /*opts*/) const override {
+    if (app.param >= 0) return ApplyRun(node, app);
+    return ApplyRepeatUnion(node);
+  }
+
+ private:
+  static void CollectRuns(const DiffTree& node, const TreePath& path,
+                          std::vector<RuleApplication>* out) {
+    if (node.kind != DKind::kAll || node.sym == Symbol::kEmpty) return;
+    size_t i = 0;
+    while (i < node.children.size()) {
+      size_t run = 1;
+      while (i + run < node.children.size() &&
+             node.children[i + run] == node.children[i]) {
+        ++run;
+      }
+      if (run >= 2 && MayRepeat(node.children[i])) {
+        RuleApplication app;
+        app.path = path;
+        app.param = static_cast<int>(i);
+        app.param2 = static_cast<int>(run);
+        out->push_back(app);
+      }
+      i += run;
+    }
+  }
+
+  static Status ApplyRun(DiffTree* node, const RuleApplication& app) {
+    if (node->kind != DKind::kAll) return Status::Invalid("Multi: target not ALL");
+    size_t start = static_cast<size_t>(app.param);
+    size_t len = static_cast<size_t>(app.param2);
+    if (start + len > node->children.size() || len < 2) {
+      return Status::Invalid("Multi: bad run bounds");
+    }
+    for (size_t k = 1; k < len; ++k) {
+      if (!(node->children[start + k] == node->children[start])) {
+        return Status::Invalid("Multi: run is not uniform");
+      }
+    }
+    DiffTree rep = DiffTree::Multi(std::move(node->children[start]));
+    node->children.erase(node->children.begin() + static_cast<long>(start + 1),
+                         node->children.begin() + static_cast<long>(start + len));
+    node->children[start] = std::move(rep);
+    return Status::OK();
+  }
+
+  /// Flattens an alternative into its element list; returns false when the
+  /// alternative is not a sequence of alignable elements.
+  static bool ElementsOf(const DiffTree& alt, std::vector<const DiffTree*>* elems) {
+    if (alt.IsEmptyLeaf()) return true;  // zero elements
+    if (alt.IsSeq()) {
+      for (const DiffTree& c : alt.children) elems->push_back(&c);
+      return true;
+    }
+    elems->push_back(&alt);
+    return true;
+  }
+
+  static void CollectRepeatUnion(const DiffTree& node, const TreePath& path,
+                                 std::vector<RuleApplication>* out) {
+    if (node.kind != DKind::kAny || node.children.size() < 2) return;
+    std::vector<const DiffTree*> all_elems;
+    bool varying_count = false;
+    size_t first_count = std::string::npos;
+    for (const DiffTree& alt : node.children) {
+      std::vector<const DiffTree*> elems;
+      if (!ElementsOf(alt, &elems)) return;
+      if (first_count == std::string::npos) {
+        first_count = elems.size();
+      } else if (elems.size() != first_count) {
+        varying_count = true;
+      }
+      for (const DiffTree* e : elems) all_elems.push_back(e);
+    }
+    if (all_elems.size() < 2) return;
+    if (!MayRepeat(*all_elems[0])) return;
+    uint64_t key = AlignKey(*all_elems[0]);
+    for (const DiffTree* e : all_elems) {
+      if (AlignKey(*e) != key) return;
+    }
+    // Only propose when repetition is actually present (count variation or
+    // a run within an alternative); otherwise Any2All covers it better.
+    bool has_run = false;
+    for (const DiffTree& alt : node.children) {
+      if (alt.IsSeq() && alt.children.size() >= 2) has_run = true;
+    }
+    if (!varying_count && !has_run) return;
+    RuleApplication app;
+    app.path = path;
+    app.param = -1;
+    out->push_back(app);
+  }
+
+  static Status ApplyRepeatUnion(DiffTree* node) {
+    if (node->kind != DKind::kAny) return Status::Invalid("Multi: target not ANY");
+    std::vector<DiffTree> distinct;
+    for (const DiffTree& alt : node->children) {
+      std::vector<const DiffTree*> elems;
+      if (!ElementsOf(alt, &elems)) {
+        return Status::Invalid("Multi: alternative is not a sequence");
+      }
+      for (const DiffTree* e : elems) {
+        bool seen = false;
+        for (const DiffTree& d : distinct) {
+          if (d == *e) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) distinct.push_back(*e);
+      }
+    }
+    if (distinct.empty()) return Status::Invalid("Multi: no elements");
+    DiffTree body = distinct.size() == 1 ? std::move(distinct[0])
+                                         : DiffTree::Any(std::move(distinct));
+    *node = DiffTree::Multi(std::move(body));
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeMultiRule() { return std::make_unique<MultiRule>(); }
+
+}  // namespace ifgen

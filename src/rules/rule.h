@@ -1,0 +1,95 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "difftree/difftree.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief One applicable (rule, site) pair — a single edge of the search
+/// graph. The number of applications at a state is the state's fanout.
+struct RuleApplication {
+  int rule_index = -1;  ///< index into RuleEngine::rules()
+  TreePath path;        ///< node the rule rewrites
+  int param = -1;       ///< rule-specific (alignment mode, child index, ...)
+  int param2 = -1;      ///< rule-specific (run length, ...)
+};
+
+/// \brief Knobs bounding the rewrite system.
+struct RuleSetOptions {
+  /// Noop's wrap direction (x -> ANY(x)) is applicable almost everywhere and
+  /// inflates fanout; it is off by default and exercised by ablation benches.
+  bool enable_noop_wrap = false;
+  /// All2Any duplicates the host node once per alternative; cap it.
+  int all2any_max_alts = 4;
+  /// Hard cap on result size; Apply fails beyond it (guards MCTS rollouts).
+  size_t max_tree_nodes = 1500;
+};
+
+/// \brief A difftree transformation rule (paper, Figure 5).
+///
+/// Rules enumerate their application sites and rewrite a copy of the tree.
+/// Invariant (property-tested): every input query expressible before an
+/// application remains expressible after it.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Collects applications rooted at `node` (located at `path` in `root`).
+  /// Called once per node by the engine's traversal.
+  virtual void Collect(const DiffTree& root, const DiffTree& node, const TreePath& path,
+                       const RuleSetOptions& opts,
+                       std::vector<RuleApplication>* out) const = 0;
+
+  /// Rewrites the node at `app.path`. `*node` is the mutable target inside a
+  /// fresh copy of the state; the engine normalizes afterwards.
+  virtual Status ApplyAt(DiffTree* node, const RuleApplication& app,
+                         const RuleSetOptions& opts) const = 0;
+};
+
+/// \brief Owns the rule set and provides fanout enumeration + application.
+class RuleEngine {
+ public:
+  explicit RuleEngine(RuleSetOptions opts = {});
+
+  const RuleSetOptions& options() const { return opts_; }
+  size_t num_rules() const { return rules_.size(); }
+  const Rule& rule(size_t i) const { return *rules_[i]; }
+  std::string_view RuleName(const RuleApplication& app) const;
+
+  /// All applicable (rule, site) pairs for `root`; its size is the fanout.
+  std::vector<RuleApplication> EnumerateApplications(const DiffTree& root) const;
+
+  /// Applies one rewrite, returning the normalized successor state.
+  Result<DiffTree> Apply(const DiffTree& root, const RuleApplication& app) const;
+
+  /// Human-readable description of an application (for traces).
+  std::string Describe(const DiffTree& root, const RuleApplication& app) const;
+
+  /// True for "forward" (factoring) applications — Any2All, Lift, Merge,
+  /// Multi, Optional(fwd), Noop(unwrap) — versus inverse/expanding ones
+  /// (All2Any, Optional(bwd), Noop(wrap)). Informed rollouts bias toward
+  /// forward moves; see SearchOptions::rollout_forward_bias.
+  bool IsForward(const RuleApplication& app) const;
+
+ private:
+  RuleSetOptions opts_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Factory functions for the individual rules (exposed for unit tests).
+std::unique_ptr<Rule> MakeAny2AllRule();
+std::unique_ptr<Rule> MakeLiftRule();
+std::unique_ptr<Rule> MakeMergeRule();
+std::unique_ptr<Rule> MakeMultiRule();
+std::unique_ptr<Rule> MakeOptionalRule();
+std::unique_ptr<Rule> MakeNoopRule();
+std::unique_ptr<Rule> MakeAll2AnyRule();
+
+}  // namespace ifgen

@@ -1,0 +1,196 @@
+#include "search/baselines.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace ifgen {
+
+Result<SearchResult> RandomSearcher::Run(const DiffTree& initial) {
+  Rng rng(opts_.seed);
+  Stopwatch watch;
+  Deadline deadline(opts_.time_budget_ms);
+  SearchStats stats;
+  BestTracker best;
+  stats.initial_cost = evaluator_->SampleCost(initial, &rng);
+  best.Offer(initial, stats.initial_cost, watch, 0, &stats);
+
+  while (!deadline.Expired()) {
+    if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
+    ++stats.iterations;
+    // Same rollout machinery as MCTS (including intermediate-state
+    // evaluation) so the comparison isolates the tree policy.
+    DiffTree rollout_best;
+    double cost = RolloutAndEvaluate(initial, &rng, &stats, &rollout_best);
+    best.Offer(rollout_best, cost, watch, stats.iterations, &stats);
+  }
+  SearchResult r;
+  r.best_tree = best.tree;
+  r.best_cost = best.cost;
+  r.stats = std::move(stats);
+  r.stats.elapsed_ms = watch.ElapsedMillis();
+  return r;
+}
+
+Result<SearchResult> GreedySearcher::Run(const DiffTree& initial) {
+  Rng rng(opts_.seed);
+  Stopwatch watch;
+  Deadline deadline(opts_.time_budget_ms);
+  SearchStats stats;
+  BestTracker best;
+  stats.initial_cost = evaluator_->SampleCost(initial, &rng);
+  best.Offer(initial, stats.initial_cost, watch, 0, &stats);
+
+  while (!deadline.Expired()) {
+    if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
+    // One hill-climbing run; restarts differ through the shared rng (the
+    // evaluator's sampled assignments vary run to run).
+    DiffTree current = initial;
+    double current_cost = evaluator_->SampleCost(current, &rng);
+    bool improved = true;
+    while (improved && !deadline.Expired()) {
+      if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
+      ++stats.iterations;
+      improved = false;
+      std::vector<RuleApplication> apps = rules_->EnumerateApplications(current);
+      stats.RecordFanout(apps.size());
+      DiffTree best_next;
+      double best_next_cost = current_cost;
+      for (const RuleApplication& app : apps) {
+        auto next = rules_->Apply(current, app);
+        if (!next.ok()) continue;
+        ++stats.states_expanded;
+        double cost = evaluator_->SampleCost(*next, &rng);
+        best.Offer(*next, cost, watch, stats.iterations, &stats);
+        if (cost < best_next_cost) {
+          best_next_cost = cost;
+          best_next = std::move(next).MoveValueUnsafe();
+        }
+        if (deadline.Expired()) break;
+      }
+      if (best_next_cost < current_cost) {
+        current = std::move(best_next);
+        current_cost = best_next_cost;
+        improved = true;
+      }
+    }
+  }
+  SearchResult r;
+  r.best_tree = best.tree;
+  r.best_cost = best.cost;
+  r.stats = std::move(stats);
+  r.stats.elapsed_ms = watch.ElapsedMillis();
+  return r;
+}
+
+Result<SearchResult> BeamSearcher::Run(const DiffTree& initial) {
+  Rng rng(opts_.seed);
+  Stopwatch watch;
+  Deadline deadline(opts_.time_budget_ms);
+  SearchStats stats;
+  BestTracker best;
+  stats.initial_cost = evaluator_->SampleCost(initial, &rng);
+  best.Offer(initial, stats.initial_cost, watch, 0, &stats);
+
+  struct Scored {
+    DiffTree tree;
+    double cost;
+  };
+  std::vector<Scored> beam;
+  beam.push_back({initial, stats.initial_cost});
+  std::unordered_set<uint64_t> seen{initial.CanonicalHash()};
+
+  while (!deadline.Expired() && !beam.empty()) {
+    if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
+    ++stats.iterations;
+    std::vector<Scored> next_level;
+    for (const Scored& s : beam) {
+      std::vector<RuleApplication> apps = rules_->EnumerateApplications(s.tree);
+      stats.RecordFanout(apps.size());
+      for (const RuleApplication& app : apps) {
+        auto next = rules_->Apply(s.tree, app);
+        if (!next.ok()) continue;
+        uint64_t h = next->CanonicalHash();
+        if (!seen.insert(h).second) {
+          ++stats.transposition_hits;
+          continue;
+        }
+        ++stats.states_expanded;
+        double cost = evaluator_->SampleCost(*next, &rng);
+        best.Offer(*next, cost, watch, stats.iterations, &stats);
+        next_level.push_back({std::move(next).MoveValueUnsafe(), cost});
+        if (deadline.Expired()) break;
+      }
+      if (deadline.Expired()) break;
+    }
+    std::sort(next_level.begin(), next_level.end(),
+              [](const Scored& a, const Scored& b) { return a.cost < b.cost; });
+    if (next_level.size() > opts_.beam_width) next_level.resize(opts_.beam_width);
+    beam = std::move(next_level);
+  }
+  SearchResult r;
+  r.best_tree = best.tree;
+  r.best_cost = best.cost;
+  r.stats = std::move(stats);
+  r.stats.elapsed_ms = watch.ElapsedMillis();
+  return r;
+}
+
+Result<SearchResult> ExhaustiveSearcher::Run(const DiffTree& initial) {
+  Rng rng(opts_.seed);
+  Stopwatch watch;
+  Deadline deadline(opts_.time_budget_ms);
+  SearchStats stats;
+  BestTracker best;
+  stats.initial_cost = evaluator_->SampleCost(initial, &rng);
+  best.Offer(initial, stats.initial_cost, watch, 0, &stats);
+
+  struct Item {
+    DiffTree tree;
+    size_t depth;
+  };
+  std::deque<Item> queue;
+  queue.push_back({initial, 0});
+  std::unordered_set<uint64_t> seen{initial.CanonicalHash()};
+  visited_states_ = 1;
+  complete_ = true;
+
+  while (!queue.empty()) {
+    if (deadline.Expired() || visited_states_ >= opts_.exhaustive_max_states) {
+      complete_ = false;
+      break;
+    }
+    Item item = std::move(queue.front());
+    queue.pop_front();
+    ++stats.iterations;
+    if (item.depth >= opts_.exhaustive_max_depth) {
+      complete_ = false;  // frontier truncated by the depth bound
+      continue;
+    }
+    std::vector<RuleApplication> apps = rules_->EnumerateApplications(item.tree);
+    stats.RecordFanout(apps.size());
+    for (const RuleApplication& app : apps) {
+      auto next = rules_->Apply(item.tree, app);
+      if (!next.ok()) continue;
+      uint64_t h = next->CanonicalHash();
+      if (!seen.insert(h).second) {
+        ++stats.transposition_hits;
+        continue;
+      }
+      ++stats.states_expanded;
+      ++visited_states_;
+      double cost = evaluator_->SampleCost(*next, &rng);
+      best.Offer(*next, cost, watch, stats.iterations, &stats);
+      queue.push_back({std::move(next).MoveValueUnsafe(), item.depth + 1});
+      if (visited_states_ >= opts_.exhaustive_max_states) break;
+    }
+  }
+  SearchResult r;
+  r.best_tree = best.tree;
+  r.best_cost = best.cost;
+  r.stats = std::move(stats);
+  r.stats.elapsed_ms = watch.ElapsedMillis();
+  return r;
+}
+
+}  // namespace ifgen

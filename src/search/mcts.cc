@@ -1,0 +1,159 @@
+#include "search/mcts.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ifgen {
+
+double MctsSearcher::Uct(const Node& child, size_t parent_visits) const {
+  if (child.visits == 0) return std::numeric_limits<double>::infinity();
+  double exploit = child.total_reward / static_cast<double>(child.visits);
+  double explore = opts_.exploration_c *
+                   std::sqrt(std::log(static_cast<double>(parent_visits)) /
+                             static_cast<double>(child.visits));
+  return exploit + explore;
+}
+
+Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
+  Rng rng(opts_.seed);
+  Stopwatch watch;
+  Deadline deadline(opts_.time_budget_ms);
+  SearchStats stats;
+  BestTracker best;
+
+  const double c0_raw = evaluator_->SampleCost(initial, &rng);
+  // Normalization anchor; a state with cost c receives reward c0/(c0+c).
+  const double c0 = std::isfinite(c0_raw) ? std::max(1.0, c0_raw) : 100.0;
+  stats.initial_cost = c0_raw;
+  best.Offer(initial, c0_raw, watch, 0, &stats);
+  auto reward_of = [&](double cost) {
+    if (!std::isfinite(cost)) return 0.0;
+    return c0 / (c0 + cost);
+  };
+
+  // Application lists are enumerated lazily (first selection visit): most
+  // nodes are never selected again, and eager enumeration of hundreds of
+  // applications per child dominated memory.
+  size_t payload_nodes = initial.NodeCount();
+  auto ensure_apps = [&](Node* node) {
+    if (node->apps_ready) return;
+    node->apps = rules_->EnumerateApplications(node->state);
+    rng.Shuffle(&node->apps);  // expansion order should not bias the search
+    stats.RecordFanout(node->apps.size());
+    node->apps_ready = true;
+  };
+
+  auto backprop = [&](Node* from, double r) {
+    for (Node* n = from; n != nullptr; n = n->parent) {
+      ++n->visits;
+      n->total_reward += r;
+    }
+  };
+
+  auto root = std::make_unique<Node>();
+  root->state = initial;
+  root->canonical = initial.CanonicalHash();
+  ensure_apps(root.get());
+  std::unordered_set<uint64_t> seen{root->canonical};
+
+  while (!deadline.Expired()) {
+    if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
+    ++stats.iterations;
+
+    // 1. Selection: descend by UCT while fully expanded.
+    Node* node = root.get();
+    while (true) {
+      ensure_apps(node);
+      if (node->next_untried < node->apps.size() || node->children.empty()) break;
+      Node* picked = nullptr;
+      double best_uct = -1.0;
+      for (const auto& ch : node->children) {
+        if (ch->dead) continue;
+        double u = Uct(*ch, std::max<size_t>(1, node->visits));
+        if (u > best_uct) {
+          best_uct = u;
+          picked = ch.get();
+        }
+      }
+      if (picked == nullptr) break;  // all children dead
+      node = picked;
+    }
+
+    // 2. Expansion (bounded per iteration and by the payload budget).
+    std::vector<Node*> fresh;
+    if (payload_nodes < opts_.max_search_tree_payload) {
+      size_t available = node->apps.size() - node->next_untried;
+      size_t expansions = opts_.expand_all_children ? available
+                                                    : std::min<size_t>(1, available);
+      expansions = std::min(expansions, opts_.max_expansions_per_iteration);
+      for (size_t e = 0; e < expansions; ++e) {
+        const RuleApplication& app = node->apps[node->next_untried++];
+        auto applied = rules_->Apply(node->state, app);
+        if (!applied.ok()) continue;
+        auto child = std::make_unique<Node>();
+        child->state = std::move(applied).MoveValueUnsafe();
+        child->canonical = child->state.CanonicalHash();
+        child->parent = node;
+        if (!seen.insert(child->canonical).second) {
+          ++stats.transposition_hits;
+        }
+        ++stats.states_expanded;
+        payload_nodes += child->state.NodeCount();
+        fresh.push_back(child.get());
+        node->children.push_back(std::move(child));
+        if (deadline.Expired() || payload_nodes >= opts_.max_search_tree_payload) break;
+      }
+    }
+
+    if (fresh.empty()) {
+      if (node->apps.empty() && node->children.empty()) {
+        // True terminal: no applicable rules at all. Evaluate once, mark
+        // dead so selection stops revisiting, and propagate death upward.
+        double cost = evaluator_->SampleCost(node->state, &rng);
+        best.Offer(node->state, cost, watch, stats.iterations, &stats);
+        node->dead = true;
+        for (Node* n = node->parent; n != nullptr; n = n->parent) {
+          if (!n->apps_ready || n->next_untried < n->apps.size()) break;
+          bool all_dead = true;
+          for (const auto& ch : n->children) all_dead &= ch->dead;
+          if (!all_dead) break;
+          n->dead = true;
+        }
+        backprop(node, reward_of(cost));
+        if (root->dead) break;  // the whole space is exhausted
+      } else {
+        // Payload budget reached (or every application failed): keep
+        // learning by rolling out from the selected node itself.
+        DiffTree rollout_best;
+        double cost = RolloutAndEvaluate(node->state, &rng, &stats, &rollout_best);
+        best.Offer(rollout_best, cost, watch, stats.iterations, &stats);
+        backprop(node, reward_of(cost));
+      }
+      continue;
+    }
+
+    // 3.-5. Simulation from each fresh child + backpropagation. The child's
+    // own (cached) evaluation also feeds the global best tracker.
+    for (Node* child : fresh) {
+      double child_cost = evaluator_->SampleCost(child->state, &rng);
+      best.Offer(child->state, child_cost, watch, stats.iterations, &stats);
+
+      DiffTree rollout_best;
+      double roll_cost = RolloutAndEvaluate(child->state, &rng, &stats, &rollout_best);
+      best.Offer(rollout_best, roll_cost, watch, stats.iterations, &stats);
+
+      backprop(child, std::max(reward_of(child_cost), reward_of(roll_cost)));
+      if (deadline.Expired()) break;
+    }
+  }
+
+  SearchResult result;
+  result.best_tree = best.tree;
+  result.best_cost = best.cost;
+  result.stats = std::move(stats);
+  result.stats.elapsed_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace ifgen

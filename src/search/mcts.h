@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "search/search_common.h"
+
+namespace ifgen {
+
+/// \brief Monte Carlo Tree Search over difftree states (paper, "Monte Carlo
+/// Tree Search").
+///
+/// Each search-tree node is a difftree; edges are rule applications. Per
+/// iteration:
+///  1. Selection: descend from the root by maximum UCT
+///     (w/n + c * sqrt(ln N / n)).
+///  2. Expansion: materialize untried neighbor states — all of them when
+///     `expand_all_children` (the paper's variant), else one.
+///  3. Simulation: from each new child, a uniformly random rule-application
+///     walk of up to `rollout_len` steps (200 in the paper).
+///  4. Reward: the final state's cost from k random widget assignments,
+///     normalized to (0, 1] as r = c0 / (c0 + cost) with c0 the initial
+///     state's cost (the paper uses the negated cost; UCT needs a bounded
+///     positive reward, and this normalization preserves the ordering).
+///  5. Backpropagation along the selection path.
+///
+/// A transposition table over canonical difftree hashes detects revisited
+/// states (rule sequences often commute); revisits share evaluation results
+/// through the StateEvaluator's cache.
+class MctsSearcher final : public Searcher {
+ public:
+  using Searcher::Searcher;
+
+  std::string_view name() const override { return "mcts"; }
+  Result<SearchResult> Run(const DiffTree& initial) override;
+
+ private:
+  struct Node {
+    DiffTree state;
+    uint64_t canonical = 0;
+    Node* parent = nullptr;
+    double total_reward = 0.0;
+    size_t visits = 0;
+    std::vector<RuleApplication> apps;
+    bool apps_ready = false;
+    size_t next_untried = 0;
+    /// Fully expanded, childless (or all children dead): selection skips it.
+    bool dead = false;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  double Uct(const Node& child, size_t parent_visits) const;
+};
+
+}  // namespace ifgen

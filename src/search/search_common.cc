@@ -1,0 +1,101 @@
+#include "search/search_common.h"
+
+namespace ifgen {
+
+DiffTree Searcher::Rollout(DiffTree state, Rng* rng, SearchStats* stats) {
+  ++stats->rollouts;
+  for (size_t step = 0; step < opts_.rollout_len; ++step) {
+    if (opts_.rollout_stop_prob > 0 && rng->Bernoulli(opts_.rollout_stop_prob)) break;
+    std::vector<RuleApplication> apps = rules_->EnumerateApplications(state);
+    stats->RecordFanout(apps.size());
+    if (apps.empty()) break;
+    // Retry on application failure (e.g. node-count guard) without burning
+    // the whole rollout.
+    bool advanced = false;
+    for (int attempt = 0; attempt < 4 && !advanced && !apps.empty(); ++attempt) {
+      size_t pick = rng->UniformIndex(apps.size());
+      auto next = rules_->Apply(state, apps[pick]);
+      if (next.ok()) {
+        state = std::move(next).MoveValueUnsafe();
+        advanced = true;
+      } else {
+        apps.erase(apps.begin() + static_cast<long>(pick));
+      }
+    }
+    if (!advanced) break;
+    ++stats->rollout_steps;
+  }
+  return state;
+}
+
+double Searcher::RolloutAndEvaluate(const DiffTree& start, Rng* rng,
+                                    SearchStats* stats, DiffTree* best_state) {
+  ++stats->rollouts;
+  DiffTree state = start;
+  double best_cost = std::numeric_limits<double>::infinity();
+  auto consider = [&](const DiffTree& s) {
+    double cost = evaluator_->SampleCost(s, rng);
+    if (cost < best_cost) {
+      best_cost = cost;
+      *best_state = s;
+    }
+  };
+  const bool saturate = opts_.rollout_saturate_prob > 0 &&
+                        rng->Bernoulli(opts_.rollout_saturate_prob);
+  for (size_t step = 0; step < opts_.rollout_len; ++step) {
+    if (!saturate && opts_.rollout_stop_prob > 0 &&
+        rng->Bernoulli(opts_.rollout_stop_prob)) {
+      break;
+    }
+    std::vector<RuleApplication> apps = rules_->EnumerateApplications(state);
+    stats->RecordFanout(apps.size());
+    if (apps.empty()) break;
+    if (saturate) {
+      // Canonical factoring: first forward application in pre-order.
+      bool advanced = false;
+      for (const RuleApplication& a : apps) {
+        if (!rules_->IsForward(a)) continue;
+        auto next = rules_->Apply(state, a);
+        if (!next.ok()) continue;
+        state = std::move(next).MoveValueUnsafe();
+        advanced = true;
+        break;
+      }
+      if (!advanced) break;  // forward fixpoint reached
+    } else {
+      if (!StepRandom(&state, &apps, rng)) break;
+    }
+    ++stats->rollout_steps;
+    if (opts_.rollout_eval_prob > 0 && rng->Bernoulli(opts_.rollout_eval_prob)) {
+      consider(state);
+    }
+  }
+  consider(state);  // the terminus is always evaluated (paper behavior)
+  return best_cost;
+}
+
+bool Searcher::StepRandom(DiffTree* state, std::vector<RuleApplication>* apps,
+                          Rng* rng) {
+  // Optionally restrict this step to the forward (factoring) subset.
+  std::vector<RuleApplication>* pool = apps;
+  std::vector<RuleApplication> forward;
+  if (opts_.rollout_forward_bias > 0.5 &&
+      rng->Bernoulli(opts_.rollout_forward_bias)) {
+    for (const RuleApplication& a : *apps) {
+      if (rules_->IsForward(a)) forward.push_back(a);
+    }
+    if (!forward.empty()) pool = &forward;
+  }
+  for (int attempt = 0; attempt < 4 && !pool->empty(); ++attempt) {
+    size_t pick = rng->UniformIndex(pool->size());
+    auto next = rules_->Apply(*state, (*pool)[pick]);
+    if (next.ok()) {
+      *state = std::move(next).MoveValueUnsafe();
+      return true;
+    }
+    pool->erase(pool->begin() + static_cast<long>(pick));
+  }
+  return false;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cost/evaluator.h"
+#include "difftree/difftree.h"
+#include "rules/rule.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace ifgen {
+
+/// \brief Options shared by every search algorithm.
+struct SearchOptions {
+  /// Wall-clock budget; <= 0 means "iteration-capped only" (deterministic
+  /// tests use that mode).
+  int64_t time_budget_ms = 2000;
+  /// Iteration cap; 0 = unlimited.
+  size_t max_iterations = 0;
+  uint64_t seed = 42;
+
+  // MCTS.
+  double exploration_c = 0.5;  ///< UCT exploration constant; rewards live in
+                               ///< (0,1] so sqrt(2) over-explores (see
+                               ///< bench_ablation for the sweep)
+  size_t rollout_len = 200;           ///< paper: random walks of up to 200 steps
+  double rollout_stop_prob = 0.02;    ///< per-step early-stop (varies depths)
+  /// Paper: "perform a random walk ... from all of its immediate neighbor
+  /// states". False = standard single-child expansion (ablation).
+  bool expand_all_children = true;
+  /// Upper bound on neighbors expanded per iteration; the paper's fanouts
+  /// (~50) make literal expand-all affordable, but All2Any-style inverse
+  /// rules push fanout into the hundreds, where a full batch would blow the
+  /// whole budget inside one iteration.
+  size_t max_expansions_per_iteration = 24;
+  /// Memory guard: cap on the cumulative difftree-node count stored across
+  /// the MCTS search tree (states vary from tens to ~1500 nodes, so the cap
+  /// is on payload, not state count). Once reached, iterations keep rolling
+  /// out from selected nodes instead of expanding.
+  size_t max_search_tree_payload = 600000;
+  /// Probability that a rollout step draws from the forward (factoring)
+  /// rules when any apply; the remainder explores inverse rules. 0.5 is
+  /// close to the paper's uniform random walk; higher values focus rollouts
+  /// on the factoring chains good interfaces live behind (swept by the
+  /// ablation bench).
+  double rollout_forward_bias = 0.8;
+  /// Probability that a rollout is a *saturation* walk: repeatedly apply the
+  /// first forward application (pre-order = shallowest site first) until no
+  /// forward rule applies. This is the canonical factoring schedule; mixing
+  /// it with random walks gives rollouts a strong baseline while preserving
+  /// exploration. 0 recovers the paper's purely random simulation.
+  double rollout_saturate_prob = 0.35;
+  /// Probability of evaluating an intermediate rollout state. The paper
+  /// scores only the rollout terminus; sampling along the walk makes the
+  /// reward the best state *seen*, which is what the anytime result tracker
+  /// needs (random walks drift, so termini are rarely the walk's best).
+  double rollout_eval_prob = 0.25;
+
+  // Greedy / beam.
+  size_t beam_width = 8;
+
+  // Exhaustive.
+  size_t exhaustive_max_depth = 6;
+  size_t exhaustive_max_states = 5000;
+};
+
+/// \brief (time, cost) samples of the best-so-far curve, for anytime plots.
+struct BestTrace {
+  int64_t ms = 0;
+  size_t iteration = 0;
+  double cost = 0.0;
+};
+
+/// \brief Instrumentation common to all searchers.
+struct SearchStats {
+  size_t iterations = 0;
+  size_t states_expanded = 0;
+  size_t rollouts = 0;
+  size_t rollout_steps = 0;
+  size_t transposition_hits = 0;
+  double initial_cost = 0.0;
+  int64_t elapsed_ms = 0;
+  std::vector<BestTrace> trace;
+
+  // Fanout distribution (number of applicable rules per visited state).
+  size_t fanout_samples = 0;
+  size_t fanout_sum = 0;
+  size_t fanout_max = 0;
+
+  void RecordFanout(size_t fanout) {
+    ++fanout_samples;
+    fanout_sum += fanout;
+    if (fanout > fanout_max) fanout_max = fanout;
+  }
+  double MeanFanout() const {
+    return fanout_samples == 0
+               ? 0.0
+               : static_cast<double>(fanout_sum) / static_cast<double>(fanout_samples);
+  }
+};
+
+/// \brief Outcome of a search: the best difftree found and its sampled cost.
+struct SearchResult {
+  DiffTree best_tree;
+  double best_cost = 0.0;
+  SearchStats stats;
+};
+
+/// \brief Base class wiring a searcher to the rule engine and evaluator.
+class Searcher {
+ public:
+  Searcher(const RuleEngine* rules, StateEvaluator* evaluator, SearchOptions opts)
+      : rules_(rules), evaluator_(evaluator), opts_(opts) {}
+  virtual ~Searcher() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual Result<SearchResult> Run(const DiffTree& initial) = 0;
+
+ protected:
+  /// Tracks the global best across every evaluated state.
+  struct BestTracker {
+    DiffTree tree;
+    double cost = std::numeric_limits<double>::infinity();
+    bool Offer(const DiffTree& t, double c, const Stopwatch& watch, size_t iteration,
+               SearchStats* stats) {
+      if (c >= cost) return false;
+      cost = c;
+      tree = t;
+      stats->trace.push_back({watch.ElapsedMillis(), iteration, c});
+      return true;
+    }
+  };
+
+  /// One random rollout of up to opts_.rollout_len rule applications;
+  /// returns the final state (evaluating is the caller's job). Every
+  /// visited state's fanout is recorded.
+  DiffTree Rollout(DiffTree state, Rng* rng, SearchStats* stats);
+
+  /// Rollout that also samples intermediate states for evaluation (with
+  /// probability opts_.rollout_eval_prob) and always evaluates the terminus.
+  /// Returns the best cost seen; `best_state` receives the matching state.
+  double RolloutAndEvaluate(const DiffTree& start, Rng* rng, SearchStats* stats,
+                            DiffTree* best_state);
+
+  /// One biased-random rule application; false when no application succeeds.
+  bool StepRandom(DiffTree* state, std::vector<RuleApplication>* apps, Rng* rng);
+
+  const RuleEngine* rules_;
+  StateEvaluator* evaluator_;
+  SearchOptions opts_;
+};
+
+}  // namespace ifgen

@@ -1,0 +1,61 @@
+#include "sql/ast.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace ifgen {
+
+bool Ast::operator==(const Ast& other) const {
+  if (sym != other.sym || value != other.value ||
+      children.size() != other.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!(children[i] == other.children[i])) return false;
+  }
+  return true;
+}
+
+uint64_t Ast::Hash() const {
+  uint64_t h = HashCombine(0x5851f42d4c957f2dULL, static_cast<uint64_t>(sym));
+  h = HashCombine(h, HashBytes(value));
+  for (const Ast& c : children) {
+    h = HashCombine(h, c.Hash());
+  }
+  return h;
+}
+
+size_t Ast::NodeCount() const {
+  size_t n = 1;
+  for (const Ast& c : children) n += c.NodeCount();
+  return n;
+}
+
+size_t Ast::Depth() const {
+  size_t d = 0;
+  for (const Ast& c : children) d = std::max(d, c.Depth());
+  return d + 1;
+}
+
+std::string Ast::ToSExpr() const {
+  std::string out = "(";
+  out += SymbolName(sym);
+  if (!value.empty()) {
+    out += ":";
+    out += value;
+  }
+  for (const Ast& c : children) {
+    out += " ";
+    out += c.ToSExpr();
+  }
+  out += ")";
+  return out;
+}
+
+Ast Col(std::string name) { return Ast(Symbol::kColExpr, std::move(name)); }
+Ast Num(std::string text) { return Ast(Symbol::kNumExpr, std::move(text)); }
+Ast Num(int64_t v) { return Ast(Symbol::kNumExpr, std::to_string(v)); }
+Ast Str(std::string text) { return Ast(Symbol::kStrExpr, std::move(text)); }
+
+}  // namespace ifgen

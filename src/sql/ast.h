@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/symbol.h"
+
+namespace ifgen {
+
+/// \brief A node of a SQL abstract syntax tree.
+///
+/// Value-semantic: copying copies the whole subtree. The library treats ASTs
+/// as immutable values that flow through the difftree machinery; mutation is
+/// always local construction of new trees.
+struct Ast {
+  Symbol sym = Symbol::kEmpty;
+  /// Symbol-dependent payload (column name, literal text, operator, ...).
+  std::string value;
+  std::vector<Ast> children;
+
+  Ast() = default;
+  Ast(Symbol s, std::string v) : sym(s), value(std::move(v)) {}
+  Ast(Symbol s, std::string v, std::vector<Ast> kids)
+      : sym(s), value(std::move(v)), children(std::move(kids)) {}
+  explicit Ast(Symbol s) : sym(s) {}
+  Ast(Symbol s, std::vector<Ast> kids) : sym(s), children(std::move(kids)) {}
+
+  bool operator==(const Ast& other) const;
+  bool operator!=(const Ast& other) const { return !(*this == other); }
+
+  /// Structural 64-bit hash (children order-sensitive).
+  uint64_t Hash() const;
+
+  /// Total number of nodes in the subtree (including this one).
+  size_t NodeCount() const;
+
+  /// Maximum depth (a leaf has depth 1).
+  size_t Depth() const;
+
+  /// S-expression rendering, e.g. `(BiExpr:= (ColExpr:cty) (StrExpr:USA))`.
+  std::string ToSExpr() const;
+};
+
+/// Convenience constructors for tests and workload builders.
+Ast Col(std::string name);
+Ast Num(std::string text);
+Ast Num(int64_t v);
+Ast Str(std::string text);
+
+}  // namespace ifgen

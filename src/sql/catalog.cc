@@ -1,0 +1,82 @@
+#include "sql/catalog.h"
+
+#include "util/string_util.h"
+
+namespace ifgen {
+
+std::string_view ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+int TableSchema::FindColumn(std::string_view col_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, col_name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Catalog::AddTable(TableSchema schema) { tables_.push_back(std::move(schema)); }
+
+bool Catalog::HasTable(std::string_view name) const {
+  for (const TableSchema& t : tables_) {
+    if (EqualsIgnoreCase(t.name, name)) return true;
+  }
+  return false;
+}
+
+Result<TableSchema> Catalog::GetTable(std::string_view name) const {
+  for (const TableSchema& t : tables_) {
+    if (EqualsIgnoreCase(t.name, name)) return t;
+  }
+  return Status::NotFound("no such table: " + std::string(name));
+}
+
+namespace {
+
+Status CheckColumns(const Ast& node, const TableSchema& schema) {
+  if (node.sym == Symbol::kColExpr) {
+    if (schema.FindColumn(node.value) < 0) {
+      return Status::Invalid("unknown column '" + node.value + "' in table '" +
+                             schema.name + "'");
+    }
+  }
+  for (const Ast& c : node.children) {
+    IFGEN_RETURN_NOT_OK(CheckColumns(c, schema));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Catalog::ValidateQuery(const Ast& query) const {
+  if (query.sym != Symbol::kSelect) {
+    return Status::Invalid("expected Select root");
+  }
+  const Ast* from = nullptr;
+  for (const Ast& c : query.children) {
+    if (c.sym == Symbol::kFrom) from = &c;
+  }
+  if (from == nullptr || from->children.empty()) {
+    return Status::Invalid("query has no FROM clause");
+  }
+  if (from->children.size() > 1) {
+    return Status::Unimplemented("multi-table FROM not supported by the executor");
+  }
+  IFGEN_ASSIGN_OR_RETURN(TableSchema schema, GetTable(from->children[0].value));
+  for (const Ast& c : query.children) {
+    if (c.sym != Symbol::kFrom) {
+      IFGEN_RETURN_NOT_OK(CheckColumns(c, schema));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ifgen

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief Column data types understood by the mini engine.
+enum class ColumnType : uint8_t { kInt64, kDouble, kString };
+
+std::string_view ColumnTypeName(ColumnType t);
+
+/// \brief A column definition.
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+};
+
+/// \brief A table schema.
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  /// Index of a column by (case-insensitive) name, or -1.
+  int FindColumn(std::string_view col_name) const;
+};
+
+/// \brief A set of table schemas; validates queries against them.
+class Catalog {
+ public:
+  void AddTable(TableSchema schema);
+
+  /// Schema lookup by (case-insensitive) name.
+  Result<TableSchema> GetTable(std::string_view name) const;
+  bool HasTable(std::string_view name) const;
+  const std::vector<TableSchema>& tables() const { return tables_; }
+
+  /// Checks that every table exists and every column reference resolves in
+  /// the query's (single) FROM table. Aggregate-position rules are left to
+  /// the executor.
+  Status ValidateQuery(const Ast& query) const;
+
+ private:
+  std::vector<TableSchema> tables_;
+};
+
+}  // namespace ifgen

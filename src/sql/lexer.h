@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief Lexical token categories for the SQL subset.
+enum class TokenKind : uint8_t {
+  kIdent,    ///< bare identifier (also keywords; the parser resolves them)
+  kNumber,   ///< integer or decimal literal
+  kString,   ///< single-quoted string (text() is the unquoted content)
+  kSymbol,   ///< punctuation / operator: ( ) , * = <> <= >= < > + - / .
+  kEnd,      ///< end of input sentinel
+};
+
+/// \brief A single token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  /// Case-insensitive identifier/keyword comparison.
+  bool IsKeyword(std::string_view kw) const;
+  bool IsSymbol(std::string_view s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// \brief Tokenizes `sql` into a token vector terminated by a kEnd token.
+///
+/// Errors on unterminated strings and bytes outside the supported alphabet.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace ifgen

@@ -1,0 +1,93 @@
+#include "sql/symbol.h"
+
+namespace ifgen {
+
+std::string_view SymbolName(Symbol s) {
+  switch (s) {
+    case Symbol::kSelect:
+      return "Select";
+    case Symbol::kProject:
+      return "Project";
+    case Symbol::kTop:
+      return "Top";
+    case Symbol::kFrom:
+      return "From";
+    case Symbol::kTable:
+      return "Table";
+    case Symbol::kWhere:
+      return "Where";
+    case Symbol::kGroupBy:
+      return "GroupBy";
+    case Symbol::kOrderBy:
+      return "OrderBy";
+    case Symbol::kOrderKey:
+      return "OrderKey";
+    case Symbol::kLimit:
+      return "Limit";
+    case Symbol::kAnd:
+      return "And";
+    case Symbol::kOr:
+      return "Or";
+    case Symbol::kNot:
+      return "Not";
+    case Symbol::kBiExpr:
+      return "BiExpr";
+    case Symbol::kBetween:
+      return "Between";
+    case Symbol::kIn:
+      return "In";
+    case Symbol::kList:
+      return "List";
+    case Symbol::kFuncExpr:
+      return "FuncExpr";
+    case Symbol::kAlias:
+      return "Alias";
+    case Symbol::kColExpr:
+      return "ColExpr";
+    case Symbol::kNumExpr:
+      return "NumExpr";
+    case Symbol::kStrExpr:
+      return "StrExpr";
+    case Symbol::kStar:
+      return "Star";
+    case Symbol::kSeq:
+      return "Seq";
+    case Symbol::kEmpty:
+      return "Empty";
+  }
+  return "?";
+}
+
+bool SymbolHasValue(Symbol s) {
+  switch (s) {
+    case Symbol::kTop:
+    case Symbol::kLimit:
+    case Symbol::kTable:
+    case Symbol::kOrderKey:
+    case Symbol::kBiExpr:
+    case Symbol::kFuncExpr:
+    case Symbol::kAlias:
+    case Symbol::kColExpr:
+    case Symbol::kNumExpr:
+    case Symbol::kStrExpr:
+    case Symbol::kProject:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLiteralSymbol(Symbol s) {
+  switch (s) {
+    case Symbol::kColExpr:
+    case Symbol::kNumExpr:
+    case Symbol::kStrExpr:
+    case Symbol::kStar:
+    case Symbol::kTable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ifgen

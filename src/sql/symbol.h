@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ifgen {
+
+/// \brief Grammar symbols for the SQL-subset AST.
+///
+/// Each AST node is labeled with the grammar rule it was produced by
+/// (paper, Figure 1: Select, Project, From, Where, BiExpr, ColExpr, ...).
+/// Two symbols are internal to the difftree representation and never appear
+/// in a parsed AST: kSeq (a transparent sequence grouper) and kEmpty (the
+/// empty sequence, "no node").
+enum class Symbol : uint8_t {
+  // Query clauses.
+  kSelect = 0,  ///< Root of a query; children: Project, From, [Where], ...
+  kProject,     ///< SELECT list; value "distinct" when DISTINCT; children: items.
+  kTop,         ///< TOP n; value = n.
+  kFrom,        ///< children: Table references.
+  kTable,       ///< value = table name.
+  kWhere,       ///< children: single predicate expression.
+  kGroupBy,     ///< children: grouping ColExprs.
+  kOrderBy,     ///< children: OrderKeys.
+  kOrderKey,    ///< value = "asc" | "desc"; children: sorted expression.
+  kLimit,       ///< LIMIT n; value = n.
+
+  // Expressions.
+  kAnd,       ///< n-ary conjunction (chains are flattened).
+  kOr,        ///< n-ary disjunction (chains are flattened).
+  kNot,       ///< unary negation.
+  kBiExpr,    ///< binary op; value in {=, <>, <, <=, >, >=, like, +, -, *, /}.
+  kBetween,   ///< children: [expr, lo, hi].
+  kIn,        ///< children: [expr, List].
+  kList,      ///< parenthesized literal list.
+  kFuncExpr,  ///< value = function name; children: args.
+  kAlias,     ///< value = alias name; children: [expr].
+  kColExpr,   ///< value = column name.
+  kNumExpr,   ///< value = numeric literal text.
+  kStrExpr,   ///< value = string literal (unquoted content).
+  kStar,      ///< "*".
+
+  // Difftree internals (never produced by the parser).
+  kSeq,    ///< Transparent sequence of nodes (splices into the parent).
+  kEmpty,  ///< The empty sequence (epsilon).
+};
+
+/// Human-readable symbol name ("Select", "ColExpr", ...).
+std::string_view SymbolName(Symbol s);
+
+/// True for symbols whose AST nodes carry a meaningful `value` string.
+bool SymbolHasValue(Symbol s);
+
+/// True for leaf literal symbols (ColExpr/NumExpr/StrExpr/Star/Table).
+bool IsLiteralSymbol(Symbol s);
+
+}  // namespace ifgen

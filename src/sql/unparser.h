@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief Renders an AST back to SQL text.
+///
+/// Round-trip property (tested): `Parse(Unparse(Parse(q))) == Parse(q)` for
+/// every query the parser accepts. The unparser inserts parentheses around
+/// nested OR-inside-AND and around arithmetic so precedence is preserved.
+Result<std::string> Unparse(const Ast& ast);
+
+/// \brief Renders any expression subtree (not only full queries) to SQL-ish
+/// text; used for widget labels. Falls back to an s-expression for difftree
+/// internals that have no SQL spelling.
+std::string UnparseFragment(const Ast& ast);
+
+}  // namespace ifgen

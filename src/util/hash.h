@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ifgen {
+
+/// \brief 64-bit FNV-1a hash of a byte string.
+inline uint64_t HashBytes(std::string_view bytes, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// \brief Mixes a new 64-bit value into an accumulated hash
+/// (boost::hash_combine-style with a 64-bit golden-ratio constant and an
+/// avalanche finalizer step borrowed from splitmix64).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ifgen {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void FatalCheckFailure(const char* file, int line, const char* expr,
+                                    const std::string& message);
+
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckFailStream() { FatalCheckFailure(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define IFGEN_LOG(level)                                                      \
+  ::ifgen::internal::LogMessage(::ifgen::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// these guard internal invariants whose violation would corrupt search state.
+#define IFGEN_CHECK(cond)             \
+  if (cond) {                         \
+  } else /* NOLINT */                 \
+    ::ifgen::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define IFGEN_CHECK_EQ(a, b) IFGEN_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define IFGEN_CHECK_NE(a, b) IFGEN_CHECK((a) != (b))
+#define IFGEN_CHECK_LT(a, b) IFGEN_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define IFGEN_CHECK_LE(a, b) IFGEN_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define IFGEN_CHECK_GT(a, b) IFGEN_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define IFGEN_CHECK_GE(a, b) IFGEN_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define IFGEN_DCHECK(cond) \
+  while (false) IFGEN_CHECK(cond)
+#else
+#define IFGEN_DCHECK(cond) IFGEN_CHECK(cond)
+#endif
+
+}  // namespace ifgen

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ifgen {
+
+/// \brief Deterministic pseudo-random number generator.
+///
+/// A thin wrapper around std::mt19937_64 with convenience draws. Every
+/// stochastic component of the library takes an explicit Rng (or seed) so
+/// that searches, workload generators, and benchmarks are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    IFGEN_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    IFGEN_DCHECK(n > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    IFGEN_CHECK(!items.empty());
+    return items[UniformIndex(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      std::swap((*items)[i - 1], (*items)[UniformIndex(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel/nested use).
+  Rng Fork() { return Rng(engine_() ^ 0xd1b54a32d192ed03ULL); }
+
+  /// Raw 64-bit draw.
+  uint64_t Next() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ifgen

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ifgen {
+
+/// \brief Error categories used across the library.
+///
+/// Mirrors the Arrow/absl convention: a small closed set of machine-readable
+/// codes plus a free-form human-readable message.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Returns the canonical lowercase name of a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation that returns no value.
+///
+/// The library does not throw exceptions across module boundaries; all
+/// fallible public entry points return Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// A lightweight StatusOr. Accessing the value of an errored Result aborts
+/// (programming error), so callers must check ok() first or use the
+/// IFGEN_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    AbortIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+  /// Moves the value out; Result must be ok().
+  T MoveValueUnsafe() {
+    AbortIfError();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResult(status_);
+}
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define IFGEN_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::ifgen::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define IFGEN_CONCAT_IMPL(a, b) a##b
+#define IFGEN_CONCAT(a, b) IFGEN_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define IFGEN_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  IFGEN_ASSIGN_OR_RETURN_IMPL(IFGEN_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define IFGEN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).MoveValueUnsafe()
+
+}  // namespace ifgen

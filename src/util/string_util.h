@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ifgen {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True when `s` parses fully as a (possibly signed) decimal number.
+bool IsNumeric(std::string_view s);
+
+/// Right-pads (or truncates) `s` to exactly `width` characters.
+std::string PadRight(std::string_view s, size_t width);
+
+/// `count` copies of `s` concatenated.
+std::string Repeat(std::string_view s, size_t count);
+
+/// Truncates to at most `max_len` chars, appending ".." when cut.
+std::string Ellipsize(std::string_view s, size_t max_len);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ifgen

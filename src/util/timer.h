@@ -1,0 +1,54 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ifgen {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start_)
+        .count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief A wall-clock budget for anytime algorithms (e.g. MCTS).
+///
+/// A budget of <= 0 ms means "unlimited" — callers then rely on iteration
+/// caps, which is what the deterministic tests use.
+class Deadline {
+ public:
+  explicit Deadline(int64_t budget_ms) : budget_ms_(budget_ms) {}
+
+  bool Expired() const {
+    return budget_ms_ > 0 && watch_.ElapsedMillis() >= budget_ms_;
+  }
+
+  int64_t ElapsedMillis() const { return watch_.ElapsedMillis(); }
+  int64_t budget_ms() const { return budget_ms_; }
+
+ private:
+  int64_t budget_ms_;
+  Stopwatch watch_;
+};
+
+}  // namespace ifgen

@@ -1,0 +1,87 @@
+#include "widgets/appropriateness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ifgen {
+
+double AppropriatenessCost(const CostConstants& c, WidgetKind kind,
+                           const WidgetDomain& d) {
+  const double n = static_cast<double>(d.cardinality);
+  // Domain-complexity pressure: enumerated widgets over rich subtrees are
+  // poor mappings (see CostConstants::m_complexity_per_node).
+  const double complexity = std::max(0.0, d.avg_subtree_nodes - 1.0);
+  switch (kind) {
+    case WidgetKind::kLabel:
+      return c.m_label;
+    case WidgetKind::kToggle:
+      return c.m_toggle;
+    case WidgetKind::kCheckbox:
+      return c.m_checkbox;
+    case WidgetKind::kRadio:
+      return c.m_radio_base +
+             c.m_radio_per_extra *
+                 std::max(0.0, n - static_cast<double>(c.radio_sweet_spot)) +
+             c.m_complexity_per_node * complexity;
+    case WidgetKind::kButtons:
+      return c.m_buttons_base +
+             c.m_buttons_per_extra *
+                 std::max(0.0, n - static_cast<double>(c.buttons_sweet_spot)) +
+             c.m_complexity_per_node * complexity;
+    case WidgetKind::kDropdown:
+      return c.m_dropdown_base + c.m_dropdown_per_option * n +
+             c.m_complexity_per_node * complexity;
+    case WidgetKind::kSlider:
+      return c.m_slider + (d.cardinality <= 3 ? c.m_slider_small_domain_penalty : 0.0);
+    case WidgetKind::kRangeSlider:
+      return c.m_range_slider;
+    case WidgetKind::kTextbox:
+      return c.m_textbox + c.m_complexity_per_node * complexity;
+    case WidgetKind::kTabs:
+      return c.m_tabs_base + c.m_tabs_per_option * n +
+             c.m_tabs_complexity_per_node * complexity;
+    case WidgetKind::kVertical:
+      return c.m_vertical;
+    case WidgetKind::kHorizontal:
+      return c.m_horizontal;
+    case WidgetKind::kTabLayout:
+      return c.m_tab_layout_base + c.m_tab_layout_per_child * n;
+    case WidgetKind::kAdder:
+      return c.m_adder;
+  }
+  return 0.0;
+}
+
+double InteractionCost(const CostConstants& c, WidgetKind kind,
+                       const WidgetDomain& d) {
+  const double n = std::max<double>(1.0, static_cast<double>(d.cardinality));
+  switch (kind) {
+    case WidgetKind::kLabel:
+      return c.i_label;
+    case WidgetKind::kToggle:
+      return c.i_toggle;
+    case WidgetKind::kCheckbox:
+      return c.i_checkbox;
+    case WidgetKind::kRadio:
+      return c.i_radio;
+    case WidgetKind::kButtons:
+      return c.i_buttons;
+    case WidgetKind::kDropdown:
+      return c.i_dropdown_base + c.i_dropdown_log_factor * std::log2(n);
+    case WidgetKind::kSlider:
+      return c.i_slider;
+    case WidgetKind::kRangeSlider:
+      return c.i_range_slider;
+    case WidgetKind::kTextbox:
+      return c.i_textbox_base +
+             c.i_textbox_per_char * static_cast<double>(d.max_label_len);
+    case WidgetKind::kTabs:
+      return c.i_tabs;
+    case WidgetKind::kAdder:
+      return c.i_adder;
+    default:
+      return 0.0;  // layout widgets are not interacted with directly
+  }
+}
+
+}  // namespace ifgen

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "widgets/constants.h"
+#include "widgets/domain.h"
+#include "widgets/widget.h"
+
+namespace ifgen {
+
+/// \brief M(.): how well-suited a widget kind is for the domain it must
+/// express (paper, "Cost Function"; functional form follows Zhang et al.
+/// 2017). Lower is better. Assumes the (kind, domain) pair already passed
+/// ValidWidgetKinds / SizeModel validity.
+double AppropriatenessCost(const CostConstants& c, WidgetKind kind,
+                           const WidgetDomain& domain);
+
+/// \brief Per-interaction effort of operating the widget once (the
+/// interaction component of U(.)).
+double InteractionCost(const CostConstants& c, WidgetKind kind,
+                       const WidgetDomain& domain);
+
+}  // namespace ifgen

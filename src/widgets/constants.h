@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ifgen {
+
+/// \brief All tunable constants of the cost model, in one place.
+///
+/// The paper specifies the *form* of the cost function — appropriateness
+/// M(.) per widget (borrowed from Zhang et al. 2017) plus transition effort
+/// U(.) as a minimum spanning subtree over the widgets that change, with
+/// per-widget interaction costs — but not numeric constants. These defaults
+/// encode the standard HCI orderings (toggles cheap, typing expensive,
+/// radios great small / terrible large, dropdowns scale, sliders for
+/// numeric ranges) and are overridable everywhere for sensitivity studies.
+struct CostConstants {
+  // --- M(.): appropriateness by widget kind -------------------------------
+  double m_label = 0.2;
+  double m_toggle = 0.8;
+  double m_checkbox = 1.0;
+  double m_radio_base = 1.0;
+  double m_radio_per_extra = 0.30;   ///< per option beyond radio_sweet_spot
+  size_t radio_sweet_spot = 4;
+  double m_buttons_base = 1.0;
+  double m_buttons_per_extra = 0.45;  ///< per option beyond buttons_sweet_spot
+  size_t buttons_sweet_spot = 3;
+  double m_dropdown_base = 2.2;
+  double m_dropdown_per_option = 0.03;
+  double m_slider = 1.2;
+  double m_slider_small_domain_penalty = 0.6;  ///< sliders for <= 3 values
+  double m_range_slider = 1.2;  ///< one widget covering two numeric choices
+  double m_textbox = 5.0;  ///< typing burden + error-proneness
+  double m_tabs_base = 2.5;
+  double m_tabs_per_option = 0.30;
+  double m_vertical = 0.20;
+  double m_horizontal = 0.25;
+  double m_tab_layout_base = 2.0;
+  double m_tab_layout_per_child = 0.30;
+  double m_adder = 1.5;
+  /// Penalty per mean AST node (beyond a leaf) in an enumerated widget's
+  /// alternatives: mapping whole query subtrees to opaque options ("q7") is
+  /// far less appropriate than mapping leaf values. This is the pressure
+  /// that makes the search factor difftrees instead of stopping at the
+  /// initial one-button-per-query interface.
+  double m_complexity_per_node = 1.0;
+  /// Tabs' alternative labels are exactly as opaque as radio labels over
+  /// the same subtrees, so they carry the same penalty by default (kept
+  /// separate for the ablation bench).
+  double m_tabs_complexity_per_node = 1.0;
+
+  // --- U(.): per-widget interaction costs ---------------------------------
+  // Scaled so that the U sum over a ~10-query log stays comparable to a few
+  // widgets' M — C(W,Q) sums U over |Q|-1 transitions, and logs whose
+  // consecutive queries differ in many values would otherwise drown M.
+  double i_toggle = 0.10;
+  double i_checkbox = 0.10;
+  double i_radio = 0.12;
+  double i_buttons = 0.12;
+  double i_dropdown_base = 0.15;
+  double i_dropdown_log_factor = 0.03;  ///< * log2(options)
+  double i_slider = 0.15;
+  double i_range_slider = 0.20;
+  double i_textbox_base = 0.20;
+  double i_textbox_per_char = 0.04;
+  double i_tabs = 0.20;
+  /// An adder interaction re-instantiates its whole template (roughly a few
+  /// nested tweaks), priced flat.
+  double i_adder = 1.20;
+  double i_label = 0.0;  ///< labels are not interactive
+
+  // --- U(.): navigation over the widget tree ------------------------------
+  double nav_edge = 0.02;       ///< crossing a layout edge while scanning
+  double nav_tab_switch = 0.2;  ///< entering a non-active tab panel
+
+  // --- Widget/template capacity limits -------------------------------------
+  size_t radio_max_options = 10;
+  size_t buttons_max_options = 8;
+  size_t dropdown_max_options = 200;
+  size_t tabs_max_options = 12;
+};
+
+}  // namespace ifgen

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "difftree/difftree.h"
+#include "widgets/widget.h"
+
+namespace ifgen {
+
+/// \brief The value domain a choice node offers to its widget.
+///
+/// For an ANY node the domain is its alternatives; for OPT it is binary; for
+/// MULTI it is the repetition template. Widget validity (can a slider
+/// express this?) and appropriateness M(.) are both functions of the domain.
+struct WidgetDomain {
+  DKind node_kind = DKind::kAny;
+  /// One label per alternative (ANY), or a single descriptive label.
+  std::vector<std::string> labels;
+  size_t cardinality = 0;
+  /// Every alternative is a single literal leaf (Num/Str/Col/Table).
+  bool all_leaf_literals = false;
+  /// Every alternative is a numeric literal (enables sliders).
+  bool all_numeric = false;
+  /// Some alternative contains nested choice nodes (forces tabs).
+  bool has_nested_choices = false;
+  /// Numeric extent when all_numeric.
+  double num_lo = 0.0;
+  double num_hi = 0.0;
+  size_t max_label_len = 0;
+  /// Mean AST-node count of the alternatives (1.0 for leaf-value domains).
+  /// Widgets mapping complex subtrees to options are penalized by M(.) —
+  /// an option labeled "q7" that swaps a whole query is far less
+  /// appropriate than one that swaps a literal (Zhang et al. 2017).
+  double avg_subtree_nodes = 1.0;
+};
+
+/// Extracts the widget domain of a choice node.
+WidgetDomain ExtractDomain(const DiffTree& choice_node);
+
+/// Valid interaction-widget kinds for a choice node, in canonical order.
+/// (MULTI -> {Adder}; OPT -> {Toggle, Checkbox}; ANY -> depends on domain.)
+std::vector<WidgetKind> ValidWidgetKinds(const WidgetDomain& domain);
+
+/// \brief The BETWEEN composite pattern: an ALL(Between) whose lo/hi
+/// children are numeric choice domains can be covered by one range slider.
+struct BetweenPattern {
+  const DiffTree* between = nullptr;  ///< the ALL(kBetween) node
+  const DiffTree* lo_any = nullptr;   ///< numeric ANY at child 1
+  const DiffTree* hi_any = nullptr;   ///< numeric ANY at child 2
+  std::string label;                  ///< rendered lhs expression
+};
+
+/// Detects the pattern; returns false if `node` does not qualify.
+bool MatchBetweenPattern(const DiffTree& node, BetweenPattern* out);
+
+}  // namespace ifgen

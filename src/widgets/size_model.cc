@@ -1,0 +1,119 @@
+#include "widgets/size_model.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ifgen {
+
+namespace {
+
+/// Template widths per size class for width-bounded widgets.
+constexpr int kTextWidths[3] = {12, 20, 32};
+constexpr int kSliderWidths[3] = {12, 18, 26};
+constexpr int kRangeWidths[3] = {14, 20, 28};
+/// Option-count capacity per size class for option-showing widgets.
+constexpr size_t kRadioCaps[3] = {3, 6, 10};
+constexpr size_t kButtonsCaps[3] = {3, 5, 8};
+
+int ClampWidth(size_t needed, int lo, int hi) {
+  return std::clamp(static_cast<int>(needed), lo, hi);
+}
+
+}  // namespace
+
+Result<SizeClass> SizeModel::PickTemplate(WidgetKind kind,
+                                          const WidgetDomain& d) const {
+  auto by_width = [&](const int widths[3], size_t needed) -> Result<SizeClass> {
+    for (int s = 0; s < 3; ++s) {
+      if (static_cast<size_t>(widths[s]) >= needed) return static_cast<SizeClass>(s);
+    }
+    // Wider labels are truncated by the renderer rather than invalidating
+    // the widget; the large template is the cap.
+    return SizeClass::kLarge;
+  };
+  switch (kind) {
+    case WidgetKind::kLabel:
+    case WidgetKind::kTextbox:
+    case WidgetKind::kDropdown: {
+      if (kind == WidgetKind::kDropdown && d.cardinality > c_.dropdown_max_options) {
+        return Status::Invalid("dropdown over capacity");
+      }
+      return by_width(kTextWidths, d.max_label_len + 4);
+    }
+    case WidgetKind::kSlider:
+      return by_width(kSliderWidths, 10 + d.max_label_len);
+    case WidgetKind::kRangeSlider:
+      return by_width(kRangeWidths, 12);
+    case WidgetKind::kCheckbox:
+    case WidgetKind::kToggle:
+      return SizeClass::kSmall;
+    case WidgetKind::kRadio: {
+      for (int s = 0; s < 3; ++s) {
+        if (d.cardinality <= kRadioCaps[s]) return static_cast<SizeClass>(s);
+      }
+      if (d.cardinality <= c_.radio_max_options) return SizeClass::kLarge;
+      return Status::Invalid(StrFormat("radio cannot hold %zu options",
+                                       d.cardinality));
+    }
+    case WidgetKind::kButtons: {
+      for (int s = 0; s < 3; ++s) {
+        if (d.cardinality <= kButtonsCaps[s]) return static_cast<SizeClass>(s);
+      }
+      return Status::Invalid(StrFormat("buttons cannot hold %zu options",
+                                       d.cardinality));
+    }
+    case WidgetKind::kTabs: {
+      if (d.cardinality > c_.tabs_max_options) {
+        return Status::Invalid("tabs over capacity");
+      }
+      return SizeClass::kMedium;
+    }
+    default:
+      return Status::Invalid("size template requested for layout widget");
+  }
+}
+
+WidgetSize SizeModel::SizeOf(WidgetKind kind, SizeClass size_class,
+                             const WidgetDomain& d) const {
+  const int s = static_cast<int>(size_class);
+  switch (kind) {
+    case WidgetKind::kLabel:
+      return {ClampWidth(d.max_label_len, 4, kTextWidths[s]), 1};
+    case WidgetKind::kTextbox:
+    case WidgetKind::kDropdown:
+      return {kTextWidths[s], 1};
+    case WidgetKind::kSlider:
+      return {kSliderWidths[s], 1};
+    case WidgetKind::kRangeSlider:
+      return {kRangeWidths[s], 1};
+    case WidgetKind::kCheckbox:
+    case WidgetKind::kToggle:
+      return {ClampWidth(d.max_label_len + 4, 8, 24), 1};
+    case WidgetKind::kRadio: {
+      int w = ClampWidth(d.max_label_len + 4, 8, 28);
+      return {w, static_cast<int>(d.cardinality)};
+    }
+    case WidgetKind::kButtons: {
+      size_t total = 0;
+      for (const std::string& l : d.labels) total += std::min<size_t>(l.size(), 12) + 3;
+      return {ClampWidth(total, 8, 72), 1};
+    }
+    case WidgetKind::kTabs: {
+      // The tab bar only; panel size is composed by the layout solver.
+      size_t bar = 0;
+      for (const std::string& l : d.labels) bar += std::min<size_t>(l.size(), 10) + 3;
+      return {ClampWidth(bar, 10, 72), 1};
+    }
+    default:
+      return {0, 0};
+  }
+}
+
+Result<WidgetSize> SizeModel::FittedSize(WidgetKind kind,
+                                         const WidgetDomain& d) const {
+  IFGEN_ASSIGN_OR_RETURN(SizeClass sc, PickTemplate(kind, d));
+  return SizeOf(kind, sc, d);
+}
+
+}  // namespace ifgen

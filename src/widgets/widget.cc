@@ -1,0 +1,67 @@
+#include "widgets/widget.h"
+
+namespace ifgen {
+
+std::string_view WidgetKindName(WidgetKind k) {
+  switch (k) {
+    case WidgetKind::kLabel:
+      return "Label";
+    case WidgetKind::kTextbox:
+      return "Textbox";
+    case WidgetKind::kDropdown:
+      return "Dropdown";
+    case WidgetKind::kSlider:
+      return "Slider";
+    case WidgetKind::kRangeSlider:
+      return "RangeSlider";
+    case WidgetKind::kCheckbox:
+      return "Checkbox";
+    case WidgetKind::kToggle:
+      return "Toggle";
+    case WidgetKind::kRadio:
+      return "Radio";
+    case WidgetKind::kButtons:
+      return "Buttons";
+    case WidgetKind::kTabs:
+      return "Tabs";
+    case WidgetKind::kVertical:
+      return "Vertical";
+    case WidgetKind::kHorizontal:
+      return "Horizontal";
+    case WidgetKind::kTabLayout:
+      return "TabLayout";
+    case WidgetKind::kAdder:
+      return "Adder";
+  }
+  return "?";
+}
+
+bool IsLayoutWidget(WidgetKind k) {
+  switch (k) {
+    case WidgetKind::kVertical:
+    case WidgetKind::kHorizontal:
+    case WidgetKind::kTabLayout:
+    case WidgetKind::kAdder:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ShowsAllOptions(WidgetKind k) {
+  return k == WidgetKind::kRadio || k == WidgetKind::kButtons || k == WidgetKind::kTabs;
+}
+
+std::string_view SizeClassName(SizeClass s) {
+  switch (s) {
+    case SizeClass::kSmall:
+      return "small";
+    case SizeClass::kMedium:
+      return "medium";
+    case SizeClass::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+}  // namespace ifgen

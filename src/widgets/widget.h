@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ifgen {
+
+/// \brief Widget vocabulary (paper footnotes 1-2).
+///
+/// Layout widgets organize their children: horizontal, vertical, tabs, and
+/// an adder that instantiates copies of its child group (for MULTI nodes).
+/// Interaction widgets map a user action to a choice-node selection.
+enum class WidgetKind : uint8_t {
+  // Interaction widgets.
+  kLabel = 0,    ///< fixed text; the widget for a singleton ANY
+  kTextbox,      ///< free-text entry; fallback for leaf-literal domains
+  kDropdown,     ///< select one of n options, collapsed presentation
+  kSlider,       ///< numeric single-value selector
+  kRangeSlider,  ///< numeric (lo, hi) selector; covers a BETWEEN's 2 choices
+  kCheckbox,     ///< binary presence widget for OPT
+  kToggle,       ///< binary presence widget for OPT (switch styling)
+  kRadio,        ///< select one of n options, all visible, vertical
+  kButtons,      ///< select one of n options, all visible, horizontal
+  kTabs,         ///< select one of n alternatives, each with nested widgets
+
+  // Layout widgets.
+  kVertical,    ///< stack children top-to-bottom
+  kHorizontal,  ///< place children left-to-right
+  kTabLayout,   ///< children behind tabs (trades size for navigation cost)
+  kAdder,       ///< MULTI: "+" instantiates copies of the child group
+};
+
+std::string_view WidgetKindName(WidgetKind k);
+
+/// True for the layout kinds (kVertical, kHorizontal, kTabLayout, kAdder).
+bool IsLayoutWidget(WidgetKind k);
+
+/// True for widgets that render every option (radio/buttons/tabs), whose
+/// size therefore grows with the domain cardinality.
+bool ShowsAllOptions(WidgetKind k);
+
+/// \brief Discretized widget sizes (paper: "we predefine small, medium and
+/// large button templates separately").
+enum class SizeClass : uint8_t { kSmall = 0, kMedium, kLarge };
+
+std::string_view SizeClassName(SizeClass s);
+
+/// \brief Width x height in character-grid units.
+struct WidgetSize {
+  int width = 0;
+  int height = 0;
+};
+
+/// \brief Output screen constraint; a widget tree whose rendered bounding
+/// box exceeds the screen is invalid (infinite cost).
+struct Screen {
+  int width = 100;
+  int height = 40;
+};
+
+}  // namespace ifgen

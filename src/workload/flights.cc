@@ -1,0 +1,28 @@
+#include "workload/flights.h"
+
+#include "engine/datagen.h"
+
+namespace ifgen {
+
+std::vector<std::string> FlightsLog() {
+  return {
+      "select carrier, avg(dep_delay) from flights where month = 1 group by carrier",
+      "select carrier, avg(dep_delay) from flights where month = 6 group by carrier",
+      "select carrier, avg(dep_delay) from flights where month = 12 group by carrier",
+      "select origin, avg(dep_delay) from flights where month = 6 group by origin",
+      "select origin, count(*) from flights where month = 6 group by origin",
+      "select origin, count(*) from flights where month = 6 and dep_delay > 30 "
+      "group by origin",
+      "select carrier, count(*) from flights where month = 6 and dep_delay > 60 "
+      "group by carrier",
+      "select carrier, max(dep_delay) from flights where month = 6 group by carrier",
+  };
+}
+
+Database MakeFlightsDatabase(size_t rows, uint64_t seed) {
+  Database db;
+  db.AddTable(MakeFlightsTable(rows, seed));
+  return db;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace ifgen {
+
+/// \brief A second domain workload: a flight-delay analysis session in the
+/// style the paper's introduction motivates (an analyst iterating on
+/// group-by aggregations in a notebook). Exercises GROUP BY, aggregates,
+/// string-equality predicates, and an optional HAVING-like delay filter.
+std::vector<std::string> FlightsLog();
+
+/// Matching database (flights table, see MakeFlightsTable).
+Database MakeFlightsDatabase(size_t rows = 2000, uint64_t seed = 99);
+
+}  // namespace ifgen

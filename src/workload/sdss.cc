@@ -1,0 +1,58 @@
+#include "workload/sdss.h"
+
+#include "engine/datagen.h"
+#include "util/string_util.h"
+
+namespace ifgen {
+
+namespace {
+
+std::string SdssWhere(int u_lo, int u_hi, int g_lo, int g_hi, int r_lo, int r_hi,
+                      int i_lo, int i_hi) {
+  return StrFormat(
+      "u between %d and %d and g between %d and %d and "
+      "r between %d and %d and i between %d and %d",
+      u_lo, u_hi, g_lo, g_hi, r_lo, r_hi, i_lo, i_hi);
+}
+
+}  // namespace
+
+std::vector<std::string> SdssListing1() {
+  // Queries 1-2 are printed verbatim in the paper; 3-10 follow its stated
+  // pattern (same WHERE structure; 6-8 share one WHERE clause).
+  const std::string w1 = SdssWhere(0, 30, 0, 30, 0, 30, 0, 30);
+  const std::string w2 = SdssWhere(1, 29, 10, 30, 9, 30, 3, 28);
+  const std::string w3 = SdssWhere(2, 28, 5, 25, 4, 26, 1, 27);
+  const std::string w4 = SdssWhere(0, 20, 0, 20, 0, 20, 0, 20);
+  const std::string w5 = SdssWhere(5, 25, 5, 25, 5, 25, 5, 25);
+  const std::string w678 = SdssWhere(0, 15, 0, 15, 0, 15, 0, 15);
+  const std::string w9 = SdssWhere(10, 30, 10, 30, 10, 30, 10, 30);
+  const std::string w10 = SdssWhere(0, 30, 10, 20, 0, 30, 5, 15);
+  return {
+      "select top 10 objid from stars where " + w1,
+      "select top 100 objid from galaxies where " + w2,
+      "select top 1000 objid from quasars where " + w3,
+      "select count(*) from stars where " + w4,
+      "select objid from galaxies where " + w5,
+      "select top 10 objid from quasars where " + w678,
+      "select top 100 objid from stars where " + w678,
+      "select top 1000 objid from galaxies where " + w678,
+      "select count(*) from quasars where " + w9,
+      "select objid from stars where " + w10,
+  };
+}
+
+std::vector<std::string> SdssQueries6To8() {
+  std::vector<std::string> all = SdssListing1();
+  return {all[5], all[6], all[7]};
+}
+
+Database MakeSdssDatabase(size_t rows_per_table, uint64_t seed) {
+  Database db;
+  db.AddTable(MakeSdssTable("stars", rows_per_table, seed));
+  db.AddTable(MakeSdssTable("galaxies", rows_per_table, seed + 1));
+  db.AddTable(MakeSdssTable("quasars", rows_per_table, seed + 2));
+  return db;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace ifgen {
+
+/// \brief The paper's experimental workload (Listing 1): 10 queries derived
+/// from the Sloan Digital Sky Survey query log. All queries share the same
+/// WHERE-clause structure — four BETWEEN conjuncts over the photometric
+/// magnitudes u, g, r, i — and vary in target table (stars/galaxies/
+/// quasars), projection (objid vs count(*)), TOP clause presence and value,
+/// and the BETWEEN constants. Queries 6-8 share identical WHERE clauses
+/// (paper, Figure 6c discussion).
+std::vector<std::string> SdssListing1();
+
+/// Queries 6-8 of Listing 1 (0-based [5, 8)), the Figure 6(c) input.
+std::vector<std::string> SdssQueries6To8();
+
+/// Synthetic SDSS-like database: stars, galaxies, quasars tables with
+/// objid/u/g/r/i/ra/dec/redshift columns (rows per table).
+Database MakeSdssDatabase(size_t rows_per_table = 500, uint64_t seed = 2020);
+
+}  // namespace ifgen

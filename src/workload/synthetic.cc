@@ -1,0 +1,75 @@
+#include "workload/synthetic.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace ifgen {
+
+namespace {
+constexpr size_t kNumColumns = 6;
+}
+
+std::vector<std::string> GenerateLog(const LogSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<std::string> log;
+  log.reserve(spec.num_queries);
+  for (size_t qi = 0; qi < spec.num_queries; ++qi) {
+    std::string sql = "select ";
+    // TOP.
+    if (spec.num_top_variants > 0) {
+      static const int kTops[] = {10, 100, 1000, 5000, 50};
+      sql += StrFormat("top %d ", kTops[qi % std::min<size_t>(spec.num_top_variants, 5)]);
+    }
+    // Projection.
+    size_t proj = qi % std::max<size_t>(1, spec.num_projection_variants);
+    if (proj + 1 == spec.num_projection_variants && spec.num_projection_variants > 1) {
+      sql += "count(*)";
+    } else {
+      sql += StrFormat("c%zu", proj % kNumColumns);
+    }
+    // Table.
+    sql += StrFormat(" from t%zu", qi % std::max<size_t>(1, spec.num_tables));
+    // Predicates.
+    bool drop_where = spec.optional_where && qi % 3 == 2;
+    size_t preds = spec.vary_predicate_count
+                       ? 1 + qi % std::max<size_t>(1, spec.num_predicates)
+                       : spec.num_predicates;
+    if (!drop_where && preds > 0) {
+      sql += " where ";
+      for (size_t p = 0; p < preds; ++p) {
+        if (p > 0) sql += " and ";
+        int lo = static_cast<int>(rng.UniformInt(0, 40));
+        int hi = lo + static_cast<int>(rng.UniformInt(5, 50));
+        sql += StrFormat("c%zu between %d and %d", p % kNumColumns, lo, hi);
+      }
+    }
+    log.push_back(std::move(sql));
+  }
+  return log;
+}
+
+Database MakeSyntheticDatabase(const LogSpec& spec, size_t rows_per_table) {
+  Database db;
+  Rng rng(spec.seed ^ 0xabcdefULL);
+  for (size_t t = 0; t < std::max<size_t>(1, spec.num_tables); ++t) {
+    TableSchema schema;
+    schema.name = StrFormat("t%zu", t);
+    for (size_t c = 0; c < kNumColumns; ++c) {
+      schema.columns.push_back({StrFormat("c%zu", c), ColumnType::kDouble});
+    }
+    Table table(schema);
+    for (size_t r = 0; r < rows_per_table; ++r) {
+      std::vector<Value> row;
+      for (size_t c = 0; c < kNumColumns; ++c) {
+        row.emplace_back(rng.UniformDouble(0, 100));
+      }
+      Status st = table.AppendRow(std::move(row));
+      IFGEN_CHECK(st.ok()) << st.ToString();
+    }
+    db.AddTable(std::move(table));
+  }
+  return db;
+}
+
+}  // namespace ifgen

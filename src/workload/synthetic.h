@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace ifgen {
+
+/// \brief Parameterized synthetic query-log families for scaling and
+/// ablation benchmarks. Each family controls which difftree features the
+/// log exercises (value variation, structural variation, optional clauses,
+/// variable-length predicate lists -> MULTI/adder).
+struct LogSpec {
+  size_t num_queries = 10;
+  /// Tables drawn round-robin from t0..t{num_tables-1}.
+  size_t num_tables = 3;
+  /// Distinct projections cycled through (col0, col1, ..., count(*)).
+  size_t num_projection_variants = 2;
+  /// BETWEEN conjuncts per query.
+  size_t num_predicates = 2;
+  /// When true, query i has 1 + (i mod num_predicates) conjuncts
+  /// (exercises the Multi rule / adder widget).
+  bool vary_predicate_count = false;
+  /// When true, every third query drops the WHERE clause entirely
+  /// (exercises the Optional rule / toggle widget).
+  bool optional_where = false;
+  /// Distinct TOP values cycled through; 0 disables TOP clauses.
+  size_t num_top_variants = 3;
+  uint64_t seed = 7;
+};
+
+/// Generates the SQL text of the log.
+std::vector<std::string> GenerateLog(const LogSpec& spec);
+
+/// A database with matching tables (columns c0..c5, numeric).
+Database MakeSyntheticDatabase(const LogSpec& spec, size_t rows_per_table = 200);
+
+}  // namespace ifgen

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/cooccurrence.h"
+#include "difftree/builder.h"
+#include "difftree/enumerate.h"
+#include "rules/rule.h"
+#include "sql/parser.h"
+#include "workload/sdss.h"
+
+namespace ifgen {
+namespace {
+
+Ast Q(const std::string& sql) {
+  auto q = ParseQuery(sql);
+  EXPECT_TRUE(q.ok()) << sql;
+  return *q;
+}
+
+/// Fully factors a tree with forward rules (deterministic chain).
+DiffTree Factored(const std::vector<Ast>& queries) {
+  RuleEngine engine;
+  DiffTree tree = *BuildInitialTree(queries);
+  for (int i = 0; i < 40; ++i) {
+    bool advanced = false;
+    for (const auto& app : engine.EnumerateApplications(tree)) {
+      if (!engine.IsForward(app)) continue;
+      auto next = engine.Apply(tree, app);
+      if (!next.ok()) continue;
+      tree = std::move(next).MoveValueUnsafe();
+      advanced = true;
+      break;
+    }
+    if (!advanced) break;
+  }
+  return tree;
+}
+
+TEST(Cooccurrence, LoggedQueriesScoreHigh) {
+  std::vector<Ast> queries = {Q("select a from t where x = 1"),
+                              Q("select b from t where x = 2")};
+  DiffTree tree = Factored(queries);
+  CooccurrenceModel model(tree, queries);
+  EXPECT_EQ(model.observations(), 2u);
+  for (const Ast& q : queries) {
+    EXPECT_DOUBLE_EQ(model.ScoreQuery(q), 1.0) << q.ToSExpr();
+  }
+}
+
+TEST(Cooccurrence, CrossProductsScoreLow) {
+  // The factored tree admits (a, x=2) and (b, x=1) — combinations the log
+  // never contained; the model must rank them below the logged pairs.
+  std::vector<Ast> queries = {Q("select a from t where x = 1"),
+                              Q("select b from t where x = 2")};
+  DiffTree tree = Factored(queries);
+  CooccurrenceModel model(tree, queries);
+  double novel = model.ScoreQuery(Q("select a from t where x = 2"));
+  EXPECT_LT(novel, 1.0);
+  EXPECT_GE(novel, 0.0);
+}
+
+TEST(Cooccurrence, UnseenSelectionScoresZero) {
+  std::vector<Ast> queries = {Q("select a from t"), Q("select b from t")};
+  DiffTree tree = Factored(queries);
+  // Build the model from only the first query: 'b' was never observed.
+  CooccurrenceModel model(tree, {queries[0]});
+  EXPECT_DOUBLE_EQ(model.ScoreQuery(queries[1]), 0.0);
+}
+
+TEST(Cooccurrence, InexpressibleQueryScoresZero) {
+  std::vector<Ast> queries = {Q("select a from t"), Q("select b from t")};
+  DiffTree tree = Factored(queries);
+  CooccurrenceModel model(tree, queries);
+  EXPECT_DOUBLE_EQ(model.ScoreQuery(Q("select zz from t")), 0.0);
+}
+
+TEST(Cooccurrence, PartitionSplitsCoverage) {
+  std::vector<Ast> queries = {Q("select a from t where x = 1"),
+                              Q("select b from t where x = 2")};
+  DiffTree tree = Factored(queries);
+  CooccurrenceModel model(tree, queries);
+  auto all = EnumerateQueries(tree, 50);
+  auto parts = model.PartitionQueries(all, 0.99);
+  // The two logged queries are likely; the cross products are not.
+  EXPECT_EQ(parts.likely.size(), 2u);
+  EXPECT_EQ(parts.unlikely.size(), all.size() - 2);
+}
+
+TEST(Cooccurrence, SdssSharedWhereCooccursWithEveryTable) {
+  auto queries = *ParseQueries(SdssListing1());
+  DiffTree tree = Factored(queries);
+  CooccurrenceModel model(tree, queries);
+  EXPECT_EQ(model.observations(), queries.size());
+  // Every logged query stays maximally likely.
+  for (const Ast& q : queries) {
+    EXPECT_GT(model.ScoreQuery(q), 0.6) << q.ToSExpr();
+  }
+}
+
+}  // namespace
+}  // namespace ifgen

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/evaluator.h"
+#include "cost/transition.h"
+#include "difftree/builder.h"
+#include "interface/assignment.h"
+#include "sql/parser.h"
+#include "workload/sdss.h"
+
+namespace ifgen {
+namespace {
+
+Ast Q(const std::string& sql) {
+  auto q = ParseQuery(sql);
+  EXPECT_TRUE(q.ok()) << sql;
+  return *q;
+}
+
+TEST(SteinerNav, EmptyAndSingletonAreFree) {
+  WidgetNode root;
+  root.kind = WidgetKind::kVertical;
+  WidgetNode leaf;
+  leaf.kind = WidgetKind::kToggle;
+  root.children = {leaf, leaf};
+  CostConstants c;
+  EXPECT_DOUBLE_EQ(SteinerNavigationCost(root, {}, c), 0.0);
+  EXPECT_DOUBLE_EQ(SteinerNavigationCost(root, {{0}}, c), 0.0);
+}
+
+TEST(SteinerNav, SiblingsCostTwoEdges) {
+  WidgetNode root;
+  root.kind = WidgetKind::kVertical;
+  WidgetNode leaf;
+  leaf.kind = WidgetKind::kToggle;
+  root.children = {leaf, leaf, leaf};
+  CostConstants c;
+  // Connecting children 0 and 2: two edges through the root.
+  EXPECT_DOUBLE_EQ(SteinerNavigationCost(root, {{0}, {2}}, c), 2 * c.nav_edge);
+  // All three: three edges.
+  EXPECT_DOUBLE_EQ(SteinerNavigationCost(root, {{0}, {1}, {2}}, c), 3 * c.nav_edge);
+}
+
+TEST(SteinerNav, DeepPathCountsIntermediateEdges) {
+  WidgetNode root;
+  root.kind = WidgetKind::kVertical;
+  WidgetNode mid;
+  mid.kind = WidgetKind::kHorizontal;
+  WidgetNode leaf;
+  leaf.kind = WidgetKind::kToggle;
+  mid.children = {leaf};
+  root.children = {mid, leaf};
+  CostConstants c;
+  // Terminals {0,0} (deep) and {1}: edges root->mid, mid->leaf, root->leaf.
+  EXPECT_DOUBLE_EQ(SteinerNavigationCost(root, {{0, 0}, {1}}, c), 3 * c.nav_edge);
+}
+
+TEST(SteinerNav, TabEdgesCostMore) {
+  WidgetNode tabs;
+  tabs.kind = WidgetKind::kTabs;
+  WidgetNode leaf;
+  leaf.kind = WidgetKind::kToggle;
+  tabs.children = {leaf, leaf};
+  CostConstants c;
+  EXPECT_DOUBLE_EQ(SteinerNavigationCost(tabs, {{0}, {1}}, c), 2 * c.nav_tab_switch);
+}
+
+TEST(Plan, ChangedIdsPerTransition) {
+  std::vector<Ast> queries = {Q("select a from t"), Q("select b from t"),
+                              Q("select b from t")};
+  DiffTree d = *BuildInitialTree(queries);
+  TransitionPlan plan = PlanTransitions(d, queries, 8);
+  ASSERT_TRUE(plan.valid);
+  ASSERT_EQ(plan.changed_ids.size(), 3u);
+  EXPECT_TRUE(plan.changed_ids[0].empty());   // initial config is free
+  EXPECT_EQ(plan.changed_ids[1].size(), 1u);  // a -> b flips the ANY
+  EXPECT_TRUE(plan.changed_ids[2].empty());   // repeat costs nothing
+}
+
+TEST(Plan, InexpressibleQueryInvalidates) {
+  std::vector<Ast> queries = {Q("select a from t")};
+  DiffTree d = *BuildInitialTree(queries);
+  TransitionPlan plan = PlanTransitions(d, {Q("select zz from t")}, 8);
+  EXPECT_FALSE(plan.valid);
+}
+
+TEST(Plan, MinChangeParsePrefersStickyState) {
+  // Duplicated alternative: query matches alt0 or alt2. After loading alt2's
+  // twin (via a distinct query), re-loading should pick the parse that
+  // changes nothing.
+  std::vector<Ast> queries = {Q("select a from t"), Q("select b from t"),
+                              Q("select a from t")};
+  DiffTree d = DiffTree::Any({DiffTree::FromAst(queries[0]),
+                              DiffTree::FromAst(queries[1]),
+                              DiffTree::FromAst(queries[0])});
+  TransitionPlan plan = PlanTransitions(d, queries, 8);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.changed_ids[1].size(), 1u);
+  EXPECT_EQ(plan.changed_ids[2].size(), 1u);  // back to alt0 (not alt2 drift)
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostConstants constants_;
+  std::vector<Ast> queries_ = {Q("select Sales from sales where cty = 'USA'"),
+                               Q("select Costs from sales where cty = 'EUR'"),
+                               Q("select Costs from sales")};
+};
+
+TEST_F(CostModelTest, EvaluateBreakdown) {
+  DiffTree d = *BuildInitialTree(queries_);
+  WidgetAssigner assigner(d, constants_);
+  auto wt = assigner.Build(assigner.MinAppropriatenessAssignment());
+  ASSERT_TRUE(wt.ok());
+  CostModel model(constants_, {80, 24});
+  CostBreakdown cost = model.Evaluate(d, &*wt, queries_);
+  ASSERT_TRUE(cost.valid) << cost.invalid_reason;
+  EXPECT_GT(cost.m_total, 0.0);
+  EXPECT_GT(cost.u_total, 0.0);
+  ASSERT_EQ(cost.per_transition.size(), 2u);
+  EXPECT_DOUBLE_EQ(cost.total(), cost.m_total + cost.u_total);
+}
+
+TEST_F(CostModelTest, TinyScreenInvalidates) {
+  DiffTree d = *BuildInitialTree(queries_);
+  WidgetAssigner assigner(d, constants_);
+  auto wt = assigner.Build(assigner.MinAppropriatenessAssignment());
+  ASSERT_TRUE(wt.ok());
+  CostModel model(constants_, {4, 1});
+  CostBreakdown cost = model.Evaluate(d, &*wt, queries_);
+  EXPECT_FALSE(cost.valid);
+  EXPECT_TRUE(std::isinf(cost.total()));
+}
+
+TEST_F(CostModelTest, PlanAndDirectEvaluationAgree) {
+  DiffTree d = *BuildInitialTree(queries_);
+  WidgetAssigner assigner(d, constants_);
+  CostModel model(constants_, {80, 24});
+  TransitionPlan plan = PlanTransitions(d, queries_, 8);
+  Assignment a = assigner.FirstAssignment();
+  do {
+    auto wt1 = assigner.Build(a);
+    ASSERT_TRUE(wt1.ok());
+    auto wt2 = *wt1;
+    CostBreakdown direct = model.Evaluate(d, &*wt1, queries_);
+    CostBreakdown planned = model.EvaluateWithPlan(plan, &wt2);
+    EXPECT_DOUBLE_EQ(direct.total(), planned.total());
+  } while (assigner.NextAssignment(&a));
+}
+
+TEST_F(CostModelTest, RepeatedQueriesCostNothing) {
+  std::vector<Ast> repeated = {queries_[0], queries_[0], queries_[0]};
+  DiffTree d = *BuildInitialTree(queries_);
+  WidgetAssigner assigner(d, constants_);
+  auto wt = assigner.Build(assigner.FirstAssignment());
+  ASSERT_TRUE(wt.ok());
+  CostModel model(constants_, {80, 24});
+  CostBreakdown cost = model.Evaluate(d, &*wt, repeated);
+  ASSERT_TRUE(cost.valid);
+  EXPECT_DOUBLE_EQ(cost.u_total, 0.0);
+}
+
+TEST(Evaluator, SampleCostFiniteOnViableState) {
+  auto queries = *ParseQueries(
+      std::vector<std::string>{"select a from t", "select b from t"});
+  DiffTree d = *BuildInitialTree(queries);
+  EvalOptions opts;
+  opts.screen = {80, 24};
+  StateEvaluator eval(opts, queries);
+  Rng rng(1);
+  double cost = eval.SampleCost(d, &rng);
+  EXPECT_TRUE(std::isfinite(cost));
+}
+
+TEST(Evaluator, CacheHitsOnRepeatedStates) {
+  auto queries = *ParseQueries(
+      std::vector<std::string>{"select a from t", "select b from t"});
+  DiffTree d = *BuildInitialTree(queries);
+  EvalOptions opts;
+  opts.screen = {80, 24};
+  StateEvaluator eval(opts, queries);
+  Rng rng(1);
+  double c1 = eval.SampleCost(d, &rng);
+  size_t evals = eval.evaluations();
+  double c2 = eval.SampleCost(d, &rng);
+  EXPECT_DOUBLE_EQ(c1, c2);
+  EXPECT_EQ(eval.evaluations(), evals);  // served from cache
+  EXPECT_GE(eval.cache_hits(), 1u);
+}
+
+TEST(Evaluator, GreedySeedNeverWorseThanPureRandom) {
+  auto queries = *ParseQueries(SdssListing1());
+  DiffTree d = *BuildInitialTree(queries);
+  EvalOptions with_seed;
+  with_seed.screen = {100, 40};
+  with_seed.cache_enabled = false;
+  EvalOptions without = with_seed;
+  without.greedy_seed = false;
+  StateEvaluator e1(with_seed, queries);
+  StateEvaluator e2(without, queries);
+  Rng r1(9);
+  Rng r2(9);
+  EXPECT_LE(e1.SampleCost(d, &r1), e2.SampleCost(d, &r2) + 1e-9);
+}
+
+TEST(Evaluator, FindBestBeatsSampling) {
+  auto queries = *ParseQueries(
+      std::vector<std::string>{"select a from t where x between 1 and 5",
+                               "select b from t where x between 2 and 9"});
+  DiffTree d = *BuildInitialTree(queries);
+  EvalOptions opts;
+  opts.screen = {80, 24};
+  StateEvaluator eval(opts, queries);
+  Rng rng(1);
+  double sampled = eval.SampleCost(d, &rng);
+  auto best = eval.FindBest(d, &rng);
+  ASSERT_TRUE(best.ok());
+  EXPECT_LE(best->cost.total(), sampled + 1e-9);
+}
+
+TEST(Transition, PricesChangedWidgets) {
+  CostConstants constants;
+  std::vector<Ast> queries = {Q("select a from t"), Q("select b from t")};
+  DiffTree d = *BuildInitialTree(queries);
+  ChoiceIndex index(d);
+  WidgetAssigner assigner(d, constants);
+  auto wt = assigner.Build(assigner.MinAppropriatenessAssignment());
+  ASSERT_TRUE(wt.ok());
+  SelectionMap state;
+  auto s1 = ComputeTransition(d, index, *wt, constants, 8, state, queries[0]);
+  ASSERT_TRUE(s1.ok());
+  auto s2 = ComputeTransition(d, index, *wt, constants, 8, s1->next_state, queries[1]);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->widgets_changed, 1u);
+  EXPECT_GT(s2->interaction_cost, 0.0);
+  auto bad = ComputeTransition(d, index, *wt, constants, 8, state, Q("select z from t"));
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace ifgen

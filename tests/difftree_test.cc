@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "difftree/builder.h"
+#include "difftree/difftree.h"
+#include "difftree/enumerate.h"
+#include "difftree/match.h"
+#include "difftree/normalize.h"
+#include "difftree/selection.h"
+#include "sql/parser.h"
+#include "sql/unparser.h"
+
+namespace ifgen {
+namespace {
+
+Ast Q(const std::string& sql) {
+  auto q = ParseQuery(sql);
+  EXPECT_TRUE(q.ok()) << sql;
+  return *q;
+}
+
+TEST(DiffTree, FromAstRoundTrip) {
+  Ast q = Q("select a from t where x = 1");
+  DiffTree d = DiffTree::FromAst(q);
+  EXPECT_EQ(d.ChoiceCount(), 0u);
+  auto back = d.ToAst();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, q);
+}
+
+TEST(DiffTree, SeqAndEmptyExpansion) {
+  DiffTree seq = DiffTree::Seq({DiffTree::FromAst(Col("a")), DiffTree::Empty(),
+                                DiffTree::FromAst(Col("b"))});
+  auto nodes = seq.ToAstSequence();
+  ASSERT_TRUE(nodes.ok());
+  ASSERT_EQ(nodes->size(), 2u);
+  EXPECT_EQ((*nodes)[0].value, "a");
+  EXPECT_EQ((*nodes)[1].value, "b");
+}
+
+TEST(DiffTree, ToAstFailsOnChoices) {
+  DiffTree any = DiffTree::Any({DiffTree::FromAst(Col("a"))});
+  EXPECT_FALSE(any.ToAst().ok());
+}
+
+TEST(DiffTree, CanonicalHashIgnoresAnyOrder) {
+  DiffTree a = DiffTree::Any({DiffTree::FromAst(Col("a")), DiffTree::FromAst(Col("b"))});
+  DiffTree b = DiffTree::Any({DiffTree::FromAst(Col("b")), DiffTree::FromAst(Col("a"))});
+  EXPECT_NE(a.Hash(), b.Hash());  // structural hash is order-sensitive
+  EXPECT_EQ(a.CanonicalHash(), b.CanonicalHash());
+}
+
+TEST(DiffTree, CanonicalHashKeepsAllOrder) {
+  DiffTree a(Symbol::kList, "", {DiffTree::FromAst(Col("a")), DiffTree::FromAst(Col("b"))});
+  DiffTree b(Symbol::kList, "", {DiffTree::FromAst(Col("b")), DiffTree::FromAst(Col("a"))});
+  EXPECT_NE(a.CanonicalHash(), b.CanonicalHash());  // sequences are ordered
+}
+
+TEST(DiffTree, NodeAtPaths) {
+  DiffTree d = DiffTree::FromAst(Q("select a from t"));
+  EXPECT_EQ(NodeAt(d, {})->sym, Symbol::kSelect);
+  EXPECT_EQ(NodeAt(d, {0})->sym, Symbol::kProject);
+  EXPECT_EQ(NodeAt(d, {1, 0})->sym, Symbol::kTable);
+  EXPECT_EQ(NodeAt(d, {9}), nullptr);
+}
+
+TEST(Normalize, SpliceSeqAndDropEmpty) {
+  DiffTree d(Symbol::kWhere, "",
+             {DiffTree::Seq({DiffTree::FromAst(Col("a")), DiffTree::FromAst(Col("b"))}),
+              DiffTree::Empty()});
+  Normalize(&d);
+  ASSERT_EQ(d.children.size(), 2u);
+  EXPECT_EQ(d.children[0].value, "a");
+  EXPECT_EQ(d.children[1].value, "b");
+}
+
+TEST(Normalize, CollapsesDegenerateChoices) {
+  DiffTree opt = DiffTree::Opt(DiffTree::Empty());
+  Normalize(&opt);
+  EXPECT_TRUE(opt.IsEmptyLeaf());
+
+  DiffTree mm = DiffTree::Multi(DiffTree::Multi(DiffTree::FromAst(Col("a"))));
+  Normalize(&mm);
+  EXPECT_EQ(mm.kind, DKind::kMulti);
+  EXPECT_EQ(mm.children[0].kind, DKind::kAll);
+
+  DiffTree mo = DiffTree::Multi(DiffTree::Opt(DiffTree::FromAst(Col("a"))));
+  Normalize(&mo);
+  EXPECT_EQ(mo.kind, DKind::kMulti);
+  EXPECT_EQ(mo.children[0].kind, DKind::kAll);
+
+  DiffTree oo = DiffTree::Opt(DiffTree::Opt(DiffTree::FromAst(Col("a"))));
+  Normalize(&oo);
+  EXPECT_EQ(oo.kind, DKind::kOpt);
+  EXPECT_EQ(oo.children[0].kind, DKind::kAll);
+}
+
+TEST(Normalize, WellFormedAfter) {
+  DiffTree d = *BuildInitialTree({Q("select a from t"), Q("select b from t")});
+  std::string why;
+  EXPECT_TRUE(IsWellFormed(d, &why)) << why;
+}
+
+TEST(Builder, InitialTreeIsAnyOverQueries) {
+  std::vector<Ast> queries = {Q("select a from t"), Q("select b from t")};
+  DiffTree d = *BuildInitialTree(queries);
+  EXPECT_EQ(d.kind, DKind::kAny);
+  EXPECT_EQ(d.children.size(), 2u);
+  EXPECT_TRUE(ExpressesAll(d, queries));
+}
+
+TEST(Builder, EmptyLogFails) {
+  EXPECT_FALSE(BuildInitialTree({}).ok());
+}
+
+TEST(Builder, SingleQueryStillWrapped) {
+  DiffTree d = *BuildInitialTree({Q("select a from t")});
+  EXPECT_EQ(d.kind, DKind::kAny);
+}
+
+TEST(Match, ExactQuery) {
+  Ast q = Q("select a from t where x = 1");
+  DiffTree d = DiffTree::FromAst(q);
+  EXPECT_TRUE(MatchQuery(d, q).has_value());
+  EXPECT_FALSE(MatchQuery(d, Q("select b from t")).has_value());
+}
+
+TEST(Match, AnyChoosesAlternative) {
+  DiffTree d = *BuildInitialTree({Q("select a from t"), Q("select b from t")});
+  auto m = MatchQuery(d, Q("select b from t"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->choice, 1);  // second alternative
+  EXPECT_FALSE(MatchQuery(d, Q("select c from t")).has_value());
+}
+
+TEST(Match, OptionalClause) {
+  // Select with OPT(Where): expresses both with and without the clause.
+  Ast with = Q("select a from t where x = 1");
+  Ast without = Q("select a from t");
+  DiffTree d = DiffTree::FromAst(with);
+  // Make the Where child optional by hand.
+  DiffTree where = d.children[2];
+  d.children[2] = DiffTree::Opt(std::move(where));
+  EXPECT_TRUE(MatchQuery(d, with).has_value());
+  EXPECT_TRUE(MatchQuery(d, without).has_value());
+}
+
+TEST(Match, MultiRepetition) {
+  // And with MULTI(x = 1): matches 1..n conjuncts... a single conjunct
+  // cannot be an And node in real SQL, so test at the Project list level:
+  // Project with MULTI(ColExpr:a) matches any count of column a.
+  DiffTree proj(Symbol::kProject, "");
+  proj.children.push_back(DiffTree::Multi(DiffTree::FromAst(Col("a"))));
+  Ast one(Symbol::kProject, "", {Col("a")});
+  Ast three(Symbol::kProject, "", {Col("a"), Col("a"), Col("a")});
+  Ast zero(Symbol::kProject, "");
+  Ast other(Symbol::kProject, "", {Col("b")});
+  EXPECT_TRUE(MatchQuery(proj, one).has_value());
+  auto m3 = MatchQuery(proj, three);
+  ASSERT_TRUE(m3.has_value());
+  EXPECT_TRUE(MatchQuery(proj, zero).has_value());
+  EXPECT_FALSE(MatchQuery(proj, other).has_value());
+}
+
+TEST(Match, MultiOfAnyMixesAlternatives) {
+  DiffTree proj(Symbol::kProject, "");
+  proj.children.push_back(DiffTree::Multi(
+      DiffTree::Any({DiffTree::FromAst(Col("a")), DiffTree::FromAst(Col("b"))})));
+  Ast mixed(Symbol::kProject, "", {Col("a"), Col("b"), Col("a")});
+  EXPECT_TRUE(MatchQuery(proj, mixed).has_value());
+}
+
+TEST(Match, DerivationEncodesChoices) {
+  DiffTree d = *BuildInitialTree({Q("select a from t"), Q("select b from t")});
+  auto m0 = MatchQuery(d, Q("select a from t"));
+  auto m1 = MatchQuery(d, Q("select b from t"));
+  ASSERT_TRUE(m0 && m1);
+  EXPECT_NE(m0->Encode(), m1->Encode());
+}
+
+TEST(Match, EnumerateDerivationsFindsAmbiguity) {
+  // ANY(a, a): two parses of the same query.
+  DiffTree d = DiffTree::Any(
+      {DiffTree::FromAst(Q("select a from t")), DiffTree::FromAst(Q("select a from t"))});
+  auto parses = EnumerateDerivations(d, Q("select a from t"), 10);
+  EXPECT_EQ(parses.size(), 2u);
+}
+
+TEST(Match, ExpandDerivationInvertsMatch) {
+  std::vector<Ast> queries = {Q("select top 10 a from t where x = 1 and y = 2"),
+                              Q("select b from t")};
+  DiffTree d = *BuildInitialTree(queries);
+  for (const Ast& q : queries) {
+    auto m = MatchQuery(d, q);
+    ASSERT_TRUE(m.has_value());
+    auto back = MaterializeDerivation(*m);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, q);
+  }
+}
+
+TEST(Match, DefaultDerivationMaterializes) {
+  DiffTree d = *BuildInitialTree({Q("select a from t"), Q("select b from t")});
+  Derivation def = DefaultDerivation(d);
+  auto q = MaterializeDerivation(def);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, Q("select a from t"));
+}
+
+TEST(Selection, ChoiceIndexIdsAreStable) {
+  DiffTree d = *BuildInitialTree({Q("select a from t"), Q("select b from t")});
+  ChoiceIndex idx(d);
+  ASSERT_EQ(idx.size(), 1u);
+  EXPECT_EQ(idx.IdOf(idx.node(0)), 0);
+  EXPECT_EQ(idx.IdOf(&d.children[0]), -1);  // not a choice node
+}
+
+TEST(Selection, StickySemantics) {
+  DiffTree d = *BuildInitialTree({Q("select a from t"), Q("select b from t")});
+  ChoiceIndex idx(d);
+  SelectionMap state;
+  auto m0 = MatchQuery(d, Q("select a from t"));
+  size_t c0 = CountChangedAndAdvance(ExtractSelections(idx, *m0), &state);
+  EXPECT_EQ(c0, 1u);  // first configuration sets the widget
+  auto m0b = MatchQuery(d, Q("select a from t"));
+  size_t c1 = CountChangedAndAdvance(ExtractSelections(idx, *m0b), &state);
+  EXPECT_EQ(c1, 0u);  // same query: nothing changes
+  auto m1 = MatchQuery(d, Q("select b from t"));
+  size_t c2 = CountChangedAndAdvance(ExtractSelections(idx, *m1), &state);
+  EXPECT_EQ(c2, 1u);
+}
+
+TEST(Enumerate, CoversInitialLanguage) {
+  std::vector<Ast> queries = {Q("select a from t"), Q("select b from t")};
+  DiffTree d = *BuildInitialTree(queries);
+  std::vector<Ast> all = EnumerateQueries(d, 100);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(CountExpressible(d), 2.0);
+}
+
+TEST(Enumerate, OptDoublesCount) {
+  Ast with = Q("select a from t where x = 1");
+  DiffTree d = DiffTree::FromAst(with);
+  DiffTree where = d.children[2];
+  d.children[2] = DiffTree::Opt(std::move(where));
+  EXPECT_DOUBLE_EQ(CountExpressible(d), 2.0);
+  auto all = EnumerateQueries(d, 10);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(Enumerate, EnumeratedQueriesAreExpressible) {
+  std::vector<Ast> queries = {Q("select a from t where x = 1"),
+                              Q("select b from t where x = 2"),
+                              Q("select b from u")};
+  DiffTree d = *BuildInitialTree(queries);
+  for (const Ast& q : EnumerateQueries(d, 50)) {
+    EXPECT_TRUE(MatchQuery(d, q).has_value()) << q.ToSExpr();
+  }
+}
+
+TEST(DiffTreeLabel, RendersFragments) {
+  DiffTree top = DiffTree::FromAst(Ast(Symbol::kTop, "10"));
+  EXPECT_EQ(DiffTreeLabel(top), "top 10");
+  DiffTree any = DiffTree::Any({top});
+  EXPECT_EQ(DiffTreeLabel(any), "▾");
+}
+
+}  // namespace
+}  // namespace ifgen

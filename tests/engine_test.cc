@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "engine/csv.h"
+#include "engine/datagen.h"
+#include "engine/executor.h"
+#include "workload/flights.h"
+#include "workload/sdss.h"
+
+namespace ifgen {
+namespace {
+
+Database TinyDb() {
+  TableSchema schema{"t",
+                     {{"a", ColumnType::kInt64},
+                      {"b", ColumnType::kDouble},
+                      {"s", ColumnType::kString}}};
+  Table t(schema);
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{1}), Value(1.5), Value(std::string("x"))}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{2}), Value(2.5), Value(std::string("y"))}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{3}), Value(3.5), Value(std::string("x"))}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(int64_t{4}), Value(), Value(std::string("z"))}).ok());
+  Database db;
+  db.AddTable(std::move(t));
+  return db;
+}
+
+TEST(Value, CompareNumeric) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(2.0)), 0);
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(int64_t{3})), 0);
+}
+
+TEST(Value, NullsOrderFirst) {
+  EXPECT_LT(Value().Compare(Value(int64_t{0})), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value(std::string("ab")).ToString(), "ab");
+}
+
+TEST(Table, RejectsBadArityAndTypes) {
+  TableSchema schema{"t", {{"a", ColumnType::kInt64}}};
+  Table t(schema);
+  EXPECT_FALSE(t.AppendRow({}).ok());
+  EXPECT_FALSE(t.AppendRow({Value(std::string("not a number"))}).ok());
+  EXPECT_TRUE(t.AppendRow({Value()}).ok());  // NULL is always allowed
+}
+
+TEST(Table, Gather) {
+  Database db = TinyDb();
+  const Table* t = *db.GetTable("t");
+  Table g = t->Gather({2, 0});
+  ASSERT_EQ(g.num_rows(), 2u);
+  EXPECT_EQ(g.At(0, 0).AsInt(), 3);
+  EXPECT_EQ(g.At(1, 0).AsInt(), 1);
+}
+
+TEST(Executor, FilterAndProject) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select a from t where b > 2.0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->At(0, 0).AsInt(), 2);
+  EXPECT_EQ(r->At(1, 0).AsInt(), 3);
+}
+
+TEST(Executor, SelectStar) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select * from t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_columns(), 3u);
+  EXPECT_EQ(r->num_rows(), 4u);
+}
+
+TEST(Executor, CountStar) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select count(*) from t where s = 'x'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->At(0, 0).AsInt(), 2);
+}
+
+TEST(Executor, AggregatesIgnoreNulls) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select count(b), sum(b), avg(b), min(b), max(b) from t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->At(0, 0).AsInt(), 3);        // count skips the NULL
+  EXPECT_DOUBLE_EQ(r->At(0, 1).AsDouble(), 7.5);
+  EXPECT_DOUBLE_EQ(r->At(0, 2).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(r->At(0, 3).AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(r->At(0, 4).AsDouble(), 3.5);
+}
+
+TEST(Executor, GroupBy) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select s, count(*) from t group by s order by s");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->At(0, 0).AsString(), "x");
+  EXPECT_EQ(r->At(0, 1).AsInt(), 2);
+}
+
+TEST(Executor, EmptyGroupProducesOneRow) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select count(*) from t where a > 100");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->At(0, 0).AsInt(), 0);
+}
+
+TEST(Executor, OrderByDescAndLimit) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select a from t order by a desc limit 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->At(0, 0).AsInt(), 4);
+  EXPECT_EQ(r->At(1, 0).AsInt(), 3);
+}
+
+TEST(Executor, TopEquivalentToLimit) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto top = ex.ExecuteSql("select top 2 a from t");
+  auto lim = ex.ExecuteSql("select a from t limit 2");
+  ASSERT_TRUE(top.ok());
+  ASSERT_TRUE(lim.ok());
+  EXPECT_EQ(top->num_rows(), lim->num_rows());
+}
+
+TEST(Executor, Between) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select a from t where a between 2 and 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST(Executor, InAndLike) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r1 = ex.ExecuteSql("select a from t where a in (1, 4)");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->num_rows(), 2u);
+  auto r2 = ex.ExecuteSql("select a from t where s like '_'");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_rows(), 4u);
+  auto r3 = ex.ExecuteSql("select a from t where s like 'x%'");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->num_rows(), 2u);
+}
+
+TEST(Executor, Distinct) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select distinct s from t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);
+}
+
+TEST(Executor, NotAndOr) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  auto r = ex.ExecuteSql("select a from t where not (a = 1) and (s = 'x' or s = 'y')");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);  // rows 2 (y) and 3 (x)
+}
+
+TEST(Executor, ErrorsOnUnknownThings) {
+  Database db = TinyDb();
+  Executor ex(&db);
+  EXPECT_FALSE(ex.ExecuteSql("select a from missing").ok());
+  EXPECT_FALSE(ex.ExecuteSql("select nope from t").ok());
+  EXPECT_FALSE(ex.ExecuteSql("select frob(a) from t").ok());
+}
+
+TEST(Csv, RoundTrip) {
+  Database db = TinyDb();
+  const Table* t = *db.GetTable("t");
+  std::string csv = ToCsv(*t);
+  auto back = ParseCsv(t->schema(), csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), t->num_rows());
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    for (size_t c = 0; c < t->num_columns(); ++c) {
+      EXPECT_EQ(back->At(r, c).ToString(), t->At(r, c).ToString());
+    }
+  }
+}
+
+TEST(Csv, QuotedFields) {
+  TableSchema schema{"q", {{"s", ColumnType::kString}}};
+  auto t = ParseCsv(schema, "s\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->At(0, 0).AsString(), "a,b");
+  EXPECT_EQ(t->At(1, 0).AsString(), "say \"hi\"");
+}
+
+TEST(Csv, Errors) {
+  TableSchema schema{"q", {{"a", ColumnType::kInt64}}};
+  EXPECT_FALSE(ParseCsv(schema, "").ok());
+  EXPECT_FALSE(ParseCsv(schema, "wrong\n1\n").ok());
+  EXPECT_FALSE(ParseCsv(schema, "a\nnotanumber\n").ok());
+  EXPECT_FALSE(ParseCsv(schema, "a\n\"unterminated\n").ok());
+}
+
+TEST(Datagen, SdssShape) {
+  Table t = MakeSdssTable("stars", 50, 1);
+  EXPECT_EQ(t.num_rows(), 50u);
+  EXPECT_EQ(t.schema().FindColumn("u"), 1);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    double u = t.At(r, 1).AsDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 30.0);
+  }
+}
+
+TEST(Datagen, Deterministic) {
+  Table a = MakeSdssTable("stars", 10, 42);
+  Table b = MakeSdssTable("stars", 10, 42);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(a.At(r, 1).AsDouble(), b.At(r, 1).AsDouble());
+  }
+}
+
+TEST(Workloads, SdssQueriesRunOnSdssData) {
+  Database db = MakeSdssDatabase(100, 7);
+  Executor ex(&db);
+  for (const std::string& sql : SdssListing1()) {
+    auto r = ex.ExecuteSql(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+}
+
+TEST(Workloads, FlightsQueriesRunOnFlightsData) {
+  Database db = MakeFlightsDatabase(200, 7);
+  Executor ex(&db);
+  for (const std::string& sql : FlightsLog()) {
+    auto r = ex.ExecuteSql(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ifgen

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "difftree/builder.h"
+#include "interface/assignment.h"
+#include "interface/layout.h"
+#include "interface/render.h"
+#include "sql/parser.h"
+#include "util/rng.h"
+
+namespace ifgen {
+namespace {
+
+Ast Q(const std::string& sql) {
+  auto q = ParseQuery(sql);
+  EXPECT_TRUE(q.ok()) << sql;
+  return *q;
+}
+
+DiffTree Fig1Tree() {
+  return *BuildInitialTree({Q("select Sales from sales where cty = 'USA'"),
+                            Q("select Costs from sales where cty = 'EUR'"),
+                            Q("select Costs from sales")});
+}
+
+TEST(Assigner, CollectsDecisions) {
+  CostConstants c;
+  DiffTree d = Fig1Tree();
+  WidgetAssigner assigner(d, c);
+  EXPECT_TRUE(assigner.viable());
+  ASSERT_EQ(assigner.decisions().size(), 1u);  // the single root ANY
+  EXPECT_EQ(assigner.decisions()[0].type, DecisionType::kChoiceWidget);
+}
+
+TEST(Assigner, OdometerEnumeratesAllAssignments) {
+  CostConstants c;
+  DiffTree d = Fig1Tree();
+  WidgetAssigner assigner(d, c);
+  double combos = assigner.CombinationCount();
+  Assignment a = assigner.FirstAssignment();
+  size_t count = 1;
+  while (assigner.NextAssignment(&a)) ++count;
+  EXPECT_DOUBLE_EQ(static_cast<double>(count), combos);
+}
+
+TEST(Assigner, BuildProducesWidgetPerChoice) {
+  CostConstants c;
+  DiffTree d = Fig1Tree();
+  WidgetAssigner assigner(d, c);
+  auto wt = assigner.Build(assigner.FirstAssignment());
+  ASSERT_TRUE(wt.ok()) << wt.status().ToString();
+  EXPECT_EQ(wt->path_by_choice.size(), 1u);
+  EXPECT_NE(wt->WidgetFor(0), nullptr);
+}
+
+TEST(Assigner, RandomAssignmentsAreValidIndices) {
+  CostConstants c;
+  DiffTree d = Fig1Tree();
+  WidgetAssigner assigner(d, c);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    Assignment a = assigner.RandomAssignment(&rng);
+    ASSERT_EQ(a.picks.size(), assigner.decisions().size());
+    for (size_t j = 0; j < a.picks.size(); ++j) {
+      EXPECT_LT(static_cast<size_t>(a.picks[j]),
+                std::max<size_t>(1, assigner.decisions()[j].options.size()));
+    }
+    EXPECT_TRUE(assigner.Build(a).ok());
+  }
+}
+
+TEST(Assigner, MinAppropriatenessPrefersRadioForSmallLeafDomains) {
+  CostConstants c;
+  std::vector<Ast> queries = {Q("select a from t"), Q("select b from t")};
+  DiffTree d = *BuildInitialTree(queries);
+  // Factor so the choice is the leaf projection column.
+  // (Assignment over the initial tree would label whole queries.)
+  WidgetAssigner assigner(d, c);
+  auto wt = assigner.Build(assigner.MinAppropriatenessAssignment());
+  ASSERT_TRUE(wt.ok());
+  EXPECT_EQ(wt->root.kind, WidgetKind::kRadio);
+}
+
+TEST(Assigner, RangeSliderCoversTwoChoices) {
+  CostConstants c;
+  DiffTree between(
+      Symbol::kBetween, "",
+      {DiffTree::FromAst(Col("u")),
+       DiffTree::Any({DiffTree::FromAst(Num(0)), DiffTree::FromAst(Num(5))}),
+       DiffTree::Any({DiffTree::FromAst(Num(15)), DiffTree::FromAst(Num(30))})});
+  WidgetAssigner assigner(between, c);
+  // Find the composite decision and force the range slider.
+  Assignment a = assigner.FirstAssignment();
+  bool found = false;
+  for (size_t i = 0; i < assigner.decisions().size(); ++i) {
+    if (assigner.decisions()[i].type == DecisionType::kBetweenComposite) {
+      a.picks[i] = 1;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  auto wt = assigner.Build(a);
+  ASSERT_TRUE(wt.ok());
+  EXPECT_EQ(wt->root.kind, WidgetKind::kRangeSlider);
+  EXPECT_GE(wt->root.choice_id, 0);
+  EXPECT_GE(wt->root.choice_id2, 0);
+  // Both choice ids resolve to the same widget.
+  EXPECT_EQ(wt->WidgetFor(wt->root.choice_id), wt->WidgetFor(wt->root.choice_id2));
+}
+
+TEST(Layout, VerticalStacksHorizontalFlows) {
+  WidgetNode v;
+  v.kind = WidgetKind::kVertical;
+  WidgetNode a;
+  a.kind = WidgetKind::kLabel;
+  a.width = 10;
+  a.height = 1;
+  WidgetNode b = a;
+  b.width = 6;
+  b.height = 2;
+  v.children = {a, b};
+  LayoutResult r = ComputeLayout(&v, {100, 40});
+  EXPECT_TRUE(r.fits);
+  EXPECT_EQ(v.width, 10);
+  EXPECT_EQ(v.height, 3);
+  EXPECT_EQ(v.children[1].y, 1);
+
+  WidgetNode h;
+  h.kind = WidgetKind::kHorizontal;
+  h.children = {a, b};
+  ComputeLayout(&h, {100, 40});
+  EXPECT_EQ(h.width, 17);  // 10 + gap + 6
+  EXPECT_EQ(h.height, 2);
+  EXPECT_EQ(h.children[1].x, 11);
+}
+
+TEST(Layout, ScreenConstraintViolation) {
+  WidgetNode v;
+  v.kind = WidgetKind::kVertical;
+  for (int i = 0; i < 10; ++i) {
+    WidgetNode w;
+    w.kind = WidgetKind::kLabel;
+    w.width = 30;
+    w.height = 1;
+    v.children.push_back(w);
+  }
+  EXPECT_FALSE(ComputeLayout(&v, {40, 5}).fits);
+  EXPECT_TRUE(ComputeLayout(&v, {40, 12}).fits);
+}
+
+TEST(Layout, TabsStackPanels) {
+  WidgetNode tabs;
+  tabs.kind = WidgetKind::kTabs;
+  tabs.width = 12;  // tab bar from the size model
+  tabs.height = 1;
+  WidgetNode p1;
+  p1.kind = WidgetKind::kLabel;
+  p1.width = 20;
+  p1.height = 3;
+  WidgetNode p2 = p1;
+  p2.height = 5;
+  tabs.children = {p1, p2};
+  ComputeLayout(&tabs, {100, 40});
+  EXPECT_EQ(tabs.width, 20);   // widest panel
+  EXPECT_EQ(tabs.height, 6);   // bar + tallest panel
+}
+
+TEST(Layout, AdderAddsControlRow) {
+  WidgetNode adder;
+  adder.kind = WidgetKind::kAdder;
+  WidgetNode child;
+  child.kind = WidgetKind::kLabel;
+  child.width = 10;
+  child.height = 2;
+  adder.children = {child};
+  ComputeLayout(&adder, {100, 40});
+  EXPECT_EQ(adder.height, 3);
+  EXPECT_GE(adder.width, 12);
+}
+
+TEST(Render, AsciiShowsWidgets) {
+  CostConstants c;
+  DiffTree d = Fig1Tree();
+  WidgetAssigner assigner(d, c);
+  auto wt = assigner.Build(assigner.MinAppropriatenessAssignment());
+  ASSERT_TRUE(wt.ok());
+  ComputeLayout(&wt->root, {80, 24});
+  std::string art = RenderAscii(*wt, {80, 24});
+  EXPECT_NE(art.find("(o)"), std::string::npos);  // radio selected marker
+  EXPECT_NE(art.find("q1"), std::string::npos);   // synthesized labels
+}
+
+TEST(Render, HtmlContainsControls) {
+  CostConstants c;
+  DiffTree d = Fig1Tree();
+  WidgetAssigner assigner(d, c);
+  auto wt = assigner.Build(assigner.MinAppropriatenessAssignment());
+  ASSERT_TRUE(wt.ok());
+  ComputeLayout(&wt->root, {80, 24});
+  std::string html = RenderHtml(*wt, "test");
+  EXPECT_NE(html.find("<input type=radio"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(WidgetTree, DumpAndCounts) {
+  CostConstants c;
+  DiffTree d = Fig1Tree();
+  WidgetAssigner assigner(d, c);
+  auto wt = assigner.Build(assigner.FirstAssignment());
+  ASSERT_TRUE(wt.ok());
+  EXPECT_GE(wt->CountWidgets(), 1u);
+  EXPECT_EQ(wt->CountInteractive(), 1u);
+  EXPECT_FALSE(wt->ToString().empty());
+}
+
+}  // namespace
+}  // namespace ifgen

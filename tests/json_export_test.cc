@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/interface_generator.h"
+#include "core/json_export.h"
+#include "sql/parser.h"
+
+namespace ifgen {
+namespace {
+
+TEST(JsonEscape, Basics) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+/// Minimal structural validator: balanced braces/brackets outside strings.
+bool LooksLikeJson(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(JsonExport, DiffTree) {
+  auto q = ParseQuery("select a from t where x = 1");
+  DiffTree d = DiffTree::FromAst(*q);
+  std::string json = DiffTreeToJson(d);
+  EXPECT_TRUE(LooksLikeJson(json)) << json;
+  EXPECT_NE(json.find("\"sym\":\"Select\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"ALL\""), std::string::npos);
+}
+
+TEST(JsonExport, GeneratedInterfaceRoundsThrough) {
+  GeneratorOptions opt;
+  opt.screen = {80, 24};
+  opt.search.time_budget_ms = 0;
+  opt.search.max_iterations = 20;
+  auto iface = GenerateInterface(
+      {"select a from t where x between 1 and 5",
+       "select b from t where x between 2 and 9"},
+      opt);
+  ASSERT_TRUE(iface.ok());
+  std::string widgets = WidgetTreeToJson(iface->widgets);
+  std::string tree = DiffTreeToJson(iface->difftree);
+  std::string cost = CostToJson(iface->cost);
+  EXPECT_TRUE(LooksLikeJson(widgets)) << widgets;
+  EXPECT_TRUE(LooksLikeJson(tree));
+  EXPECT_TRUE(LooksLikeJson(cost));
+  EXPECT_NE(widgets.find("\"widget\":"), std::string::npos);
+  EXPECT_NE(widgets.find("\"box\":"), std::string::npos);
+  EXPECT_NE(cost.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(cost.find("\"transitions\":["), std::string::npos);
+}
+
+TEST(JsonExport, InvalidCostCarriesReason) {
+  CostBreakdown c;
+  c.valid = false;
+  c.invalid_reason = "layout exceeds screen";
+  std::string json = CostToJson(c);
+  EXPECT_NE(json.find("\"valid\":false"), std::string::npos);
+  EXPECT_NE(json.find("layout exceeds screen"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ifgen

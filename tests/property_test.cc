@@ -1,0 +1,166 @@
+// Cross-module property tests: invariants that must hold over randomized
+// inputs, spanning the parser, difftree calculus, rules, cost model, and
+// the end-to-end generator.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "core/interface_generator.h"
+#include "core/session.h"
+#include "difftree/builder.h"
+#include "difftree/enumerate.h"
+#include "difftree/match.h"
+#include "difftree/normalize.h"
+#include "interface/assignment.h"
+#include "interface/layout.h"
+#include "rules/rule.h"
+#include "sql/parser.h"
+#include "sql/unparser.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace ifgen {
+namespace {
+
+LogSpec SpecFor(uint64_t seed) {
+  LogSpec spec;
+  spec.num_queries = 3 + seed % 6;
+  spec.num_tables = 1 + seed % 3;
+  spec.num_projection_variants = 1 + seed % 3;
+  spec.num_predicates = 1 + seed % 3;
+  spec.vary_predicate_count = seed % 2 == 0;
+  spec.optional_where = seed % 3 == 0;
+  spec.num_top_variants = seed % 4;
+  spec.seed = seed * 7919;
+  return spec;
+}
+
+class SyntheticLogProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  std::vector<Ast> Queries() { return *ParseQueries(GenerateLog(SpecFor(GetParam()))); }
+};
+
+TEST_P(SyntheticLogProperty, RoundTripThroughUnparser) {
+  for (const Ast& q : Queries()) {
+    auto text = Unparse(q);
+    ASSERT_TRUE(text.ok());
+    auto back = ParseQuery(*text);
+    ASSERT_TRUE(back.ok()) << *text;
+    EXPECT_EQ(q, *back);
+  }
+}
+
+TEST_P(SyntheticLogProperty, NormalizeIsIdempotent) {
+  auto queries = Queries();
+  DiffTree tree = *BuildInitialTree(queries);
+  DiffTree once = Normalized(tree);
+  DiffTree twice = Normalized(once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(SyntheticLogProperty, EnumeratedQueriesAllMatch) {
+  auto queries = Queries();
+  RuleEngine engine;
+  DiffTree tree = *BuildInitialTree(queries);
+  Rng rng(GetParam());
+  // Random forward walk so choice structure is non-trivial.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<RuleApplication> fwd;
+    for (const auto& app : engine.EnumerateApplications(tree)) {
+      if (engine.IsForward(app)) fwd.push_back(app);
+    }
+    if (fwd.empty()) break;
+    auto next = engine.Apply(tree, fwd[rng.UniformIndex(fwd.size())]);
+    if (next.ok()) tree = std::move(next).MoveValueUnsafe();
+  }
+  // Enumeration and matching must agree: everything enumerable is matchable.
+  for (const Ast& q : EnumerateQueries(tree, 60, 2)) {
+    EXPECT_TRUE(MatchQuery(tree, q).has_value()) << q.ToSExpr();
+  }
+  // And the expressible-count never shrinks below the distinct log size.
+  std::vector<uint64_t> hashes;
+  for (const Ast& q : queries) hashes.push_back(q.Hash());
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  EXPECT_GE(CountExpressible(tree, 4), static_cast<double>(hashes.size()));
+}
+
+TEST_P(SyntheticLogProperty, DerivationsMaterializeBack) {
+  auto queries = Queries();
+  DiffTree tree = *BuildInitialTree(queries);
+  for (const Ast& q : queries) {
+    for (const Derivation& d : EnumerateDerivations(tree, q, 4)) {
+      auto back = MaterializeDerivation(d);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(*back, q);
+    }
+  }
+}
+
+TEST_P(SyntheticLogProperty, EveryAssignmentLaysOutConsistently) {
+  auto queries = Queries();
+  DiffTree tree = *BuildInitialTree(queries);
+  CostConstants constants;
+  WidgetAssigner assigner(tree, constants);
+  if (!assigner.viable()) GTEST_SKIP();
+  Rng rng(GetParam() + 1);
+  for (int i = 0; i < 10; ++i) {
+    auto wt = assigner.Build(assigner.RandomAssignment(&rng));
+    ASSERT_TRUE(wt.ok());
+    LayoutResult r = ComputeLayout(&wt->root, {200, 200});
+    // Children never overflow their parent's computed bounding box.
+    std::function<void(const WidgetNode&)> check = [&](const WidgetNode& n) {
+      for (const WidgetNode& c : n.children) {
+        EXPECT_GE(c.x, n.x);
+        EXPECT_GE(c.y, n.y);
+        if (n.kind == WidgetKind::kVertical || n.kind == WidgetKind::kHorizontal) {
+          EXPECT_LE(c.x + c.width, n.x + n.width);
+          EXPECT_LE(c.y + c.height, n.y + n.height);
+        }
+        check(c);
+      }
+    };
+    check(wt->root);
+    EXPECT_TRUE(r.fits);
+  }
+}
+
+TEST_P(SyntheticLogProperty, GeneratedInterfaceReplaysItsLog) {
+  auto queries = Queries();
+  GeneratorOptions opt;
+  opt.screen = {120, 60};
+  opt.search.time_budget_ms = 0;
+  opt.search.max_iterations = 12;
+  opt.search.seed = GetParam();
+  auto iface = GenerateInterfaceFromAsts(queries, opt);
+  ASSERT_TRUE(iface.ok()) << iface.status().ToString();
+  ASSERT_TRUE(iface->cost.valid) << iface->cost.invalid_reason;
+  auto session = InterfaceSession::Create(*iface, opt.constants);
+  ASSERT_TRUE(session.ok());
+  for (const Ast& q : queries) {
+    auto report = session->LoadQuery(q);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(*session->CurrentQuery(), q);
+  }
+}
+
+TEST_P(SyntheticLogProperty, CostIsDeterministicPerAssignment) {
+  auto queries = Queries();
+  DiffTree tree = *BuildInitialTree(queries);
+  CostConstants constants;
+  WidgetAssigner assigner(tree, constants);
+  if (!assigner.viable()) GTEST_SKIP();
+  CostModel model(constants, {120, 60});
+  auto wt1 = assigner.Build(assigner.FirstAssignment());
+  auto wt2 = assigner.Build(assigner.FirstAssignment());
+  ASSERT_TRUE(wt1.ok() && wt2.ok());
+  CostBreakdown a = model.Evaluate(tree, &*wt1, queries);
+  CostBreakdown b = model.Evaluate(tree, &*wt2, queries);
+  EXPECT_DOUBLE_EQ(a.total(), b.total());
+  EXPECT_EQ(a.per_transition, b.per_transition);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticLogProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ifgen

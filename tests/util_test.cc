@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace ifgen {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, FactoryCodes) {
+  EXPECT_EQ(Status::Invalid("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  IFGEN_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::Invalid("nope")).ok());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(5);
+  Rng fork = a.Fork();
+  // A forked stream should not replay the parent stream.
+  bool all_equal = true;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != fork.Next()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  uint64_t a = HashCombine(HashCombine(0, 1), 2);
+  uint64_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hash, BytesDiffer) {
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+}
+
+TEST(StringUtil, JoinSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, CaseHelpers) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("top"), "TOP");
+  EXPECT_TRUE(EqualsIgnoreCase("WHERE", "where"));
+  EXPECT_FALSE(EqualsIgnoreCase("WHERE", "were"));
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtil, IsNumeric) {
+  EXPECT_TRUE(IsNumeric("42"));
+  EXPECT_TRUE(IsNumeric("-3.5"));
+  EXPECT_TRUE(IsNumeric("+7"));
+  EXPECT_FALSE(IsNumeric("3.5.1"));
+  EXPECT_FALSE(IsNumeric("abc"));
+  EXPECT_FALSE(IsNumeric(""));
+  EXPECT_FALSE(IsNumeric("-"));
+}
+
+TEST(StringUtil, PadRepeatEllipsize) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abc");
+  EXPECT_EQ(Repeat("ab", 3), "ababab");
+  EXPECT_EQ(Ellipsize("abcdef", 4), "ab..");
+  EXPECT_EQ(Ellipsize("ab", 4), "ab");
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(Timer, DeadlineUnlimited) {
+  Deadline d(0);
+  EXPECT_FALSE(d.Expired());
+  Deadline d2(-1);
+  EXPECT_FALSE(d2.Expired());
+}
+
+TEST(Timer, StopwatchMonotone) {
+  Stopwatch w;
+  int64_t a = w.ElapsedMicros();
+  int64_t b = w.ElapsedMicros();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace ifgen

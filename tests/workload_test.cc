@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "workload/flights.h"
+#include "workload/sdss.h"
+#include "workload/synthetic.h"
+
+namespace ifgen {
+namespace {
+
+TEST(Sdss, Listing1HasTenParsableQueries) {
+  auto log = SdssListing1();
+  ASSERT_EQ(log.size(), 10u);
+  auto queries = ParseQueries(log);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+}
+
+TEST(Sdss, AllQueriesShareWhereStructure) {
+  // Paper, Listing 1 caption: "All queries have the same WHERE clause
+  // structure" — four BETWEEN conjuncts over u, g, r, i.
+  auto queries = *ParseQueries(SdssListing1());
+  for (const Ast& q : queries) {
+    const Ast& where = q.children.back();
+    ASSERT_EQ(where.sym, Symbol::kWhere);
+    const Ast& conj = where.children[0];
+    ASSERT_EQ(conj.sym, Symbol::kAnd);
+    ASSERT_EQ(conj.children.size(), 4u);
+    const char* cols[] = {"u", "g", "r", "i"};
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(conj.children[i].sym, Symbol::kBetween);
+      EXPECT_EQ(conj.children[i].children[0].value, cols[i]);
+    }
+  }
+}
+
+TEST(Sdss, Queries6To8ShareWhereClause) {
+  // Paper, Figure 6(c) discussion.
+  auto queries = *ParseQueries(SdssListing1());
+  EXPECT_EQ(queries[5].children.back(), queries[6].children.back());
+  EXPECT_EQ(queries[6].children.back(), queries[7].children.back());
+  // ... while query 2's WHERE differs.
+  EXPECT_NE(queries[1].children.back(), queries[5].children.back());
+}
+
+TEST(Sdss, TopValuesFollowThePaper) {
+  auto queries = *ParseQueries(SdssListing1());
+  const char* expected[] = {"10", "100", "1000", nullptr, nullptr,
+                            "10", "100", "1000", nullptr, nullptr};
+  for (size_t i = 0; i < 10; ++i) {
+    const Ast* top = nullptr;
+    for (const Ast& c : queries[i].children) {
+      if (c.sym == Symbol::kTop) top = &c;
+    }
+    if (expected[i] == nullptr) {
+      EXPECT_EQ(top, nullptr) << "query " << i + 1;
+    } else {
+      ASSERT_NE(top, nullptr) << "query " << i + 1;
+      EXPECT_EQ(top->value, expected[i]);
+    }
+  }
+}
+
+TEST(Sdss, DatabaseHasThreeTables) {
+  Database db = MakeSdssDatabase(10, 1);
+  EXPECT_TRUE(db.GetTable("stars").ok());
+  EXPECT_TRUE(db.GetTable("galaxies").ok());
+  EXPECT_TRUE(db.GetTable("quasars").ok());
+}
+
+TEST(Synthetic, GeneratesRequestedCount) {
+  LogSpec spec;
+  spec.num_queries = 14;
+  auto log = GenerateLog(spec);
+  EXPECT_EQ(log.size(), 14u);
+  EXPECT_TRUE(ParseQueries(log).ok());
+}
+
+TEST(Synthetic, Deterministic) {
+  LogSpec spec;
+  spec.seed = 99;
+  EXPECT_EQ(GenerateLog(spec), GenerateLog(spec));
+}
+
+TEST(Synthetic, OptionalWhereDropsClauses) {
+  LogSpec spec;
+  spec.num_queries = 9;
+  spec.optional_where = true;
+  auto queries = *ParseQueries(GenerateLog(spec));
+  size_t without = 0;
+  for (const Ast& q : queries) {
+    bool has_where = false;
+    for (const Ast& c : q.children) has_where |= c.sym == Symbol::kWhere;
+    without += has_where ? 0 : 1;
+  }
+  EXPECT_EQ(without, 3u);  // every third query
+}
+
+TEST(Synthetic, VaryPredicateCountChangesConjuncts) {
+  LogSpec spec;
+  spec.num_queries = 6;
+  spec.num_predicates = 3;
+  spec.vary_predicate_count = true;
+  auto queries = *ParseQueries(GenerateLog(spec));
+  std::set<size_t> counts;
+  for (const Ast& q : queries) {
+    for (const Ast& c : q.children) {
+      if (c.sym != Symbol::kWhere) continue;
+      const Ast& pred = c.children[0];
+      counts.insert(pred.sym == Symbol::kAnd ? pred.children.size() : 1);
+    }
+  }
+  EXPECT_GE(counts.size(), 2u);
+}
+
+TEST(Synthetic, DatabaseMatchesLog) {
+  LogSpec spec;
+  spec.num_tables = 2;
+  Database db = MakeSyntheticDatabase(spec, 20);
+  EXPECT_TRUE(db.GetTable("t0").ok());
+  EXPECT_TRUE(db.GetTable("t1").ok());
+  EXPECT_FALSE(db.GetTable("t2").ok());
+}
+
+TEST(Flights, LogParsesAndUsesGroupBy) {
+  auto queries = ParseQueries(FlightsLog());
+  ASSERT_TRUE(queries.ok());
+  size_t with_group = 0;
+  for (const Ast& q : *queries) {
+    for (const Ast& c : q.children) with_group += c.sym == Symbol::kGroupBy ? 1 : 0;
+  }
+  EXPECT_EQ(with_group, queries->size());  // every flights query aggregates
+}
+
+}  // namespace
+}  // namespace ifgen
