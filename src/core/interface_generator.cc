@@ -5,6 +5,7 @@
 #include "difftree/enumerate.h"
 #include "search/baselines.h"
 #include "search/mcts.h"
+#include "search/parallel_mcts.h"
 #include "sql/parser.h"
 #include "util/logging.h"
 
@@ -28,11 +29,26 @@ std::string_view AlgorithmName(Algorithm a) {
   return "?";
 }
 
+std::string_view ParallelModeName(ParallelMode m) {
+  switch (m) {
+    case ParallelMode::kRoot:
+      return "root";
+    case ParallelMode::kLeaf:
+      return "leaf";
+  }
+  return "?";
+}
+
 std::unique_ptr<Searcher> MakeSearcher(Algorithm algorithm, const RuleEngine* rules,
                                        StateEvaluator* evaluator,
-                                       const SearchOptions& opts) {
+                                       const SearchOptions& opts,
+                                       const ParallelOptions& parallel) {
   switch (algorithm) {
     case Algorithm::kMcts:
+      if (parallel.num_threads > 1) {
+        return std::make_unique<ParallelMctsSearcher>(rules, evaluator, opts,
+                                                      parallel);
+      }
       return std::make_unique<MctsSearcher>(rules, evaluator, opts);
     case Algorithm::kRandom:
       return std::make_unique<RandomSearcher>(rules, evaluator, opts);
@@ -71,8 +87,8 @@ Result<GeneratedInterface> GenerateInterfaceFromAsts(const std::vector<Ast>& que
   IFGEN_ASSIGN_OR_RETURN(DiffTree initial, BuildInitialTree(queries));
   RuleEngine rules(options.rules);
   StateEvaluator evaluator(options.MakeEvalOptions(), queries);
-  std::unique_ptr<Searcher> searcher =
-      MakeSearcher(options.algorithm, &rules, &evaluator, options.search);
+  std::unique_ptr<Searcher> searcher = MakeSearcher(
+      options.algorithm, &rules, &evaluator, options.search, options.parallel);
   IFGEN_CHECK(searcher != nullptr);
   IFGEN_ASSIGN_OR_RETURN(SearchResult sr, searcher->Run(initial));
 

@@ -40,9 +40,13 @@ Result<GeneratedInterface> GenerateInterface(const std::vector<std::string>& sql
 Result<GeneratedInterface> GenerateInterfaceFromAsts(const std::vector<Ast>& queries,
                                                      const GeneratorOptions& options);
 
-/// Factory used by benches to sweep algorithms uniformly.
+/// Factory used by benches to sweep algorithms uniformly. When `parallel`
+/// requests more than one thread and the algorithm is MCTS, the returned
+/// searcher is the ParallelMctsSearcher (root- or leaf-parallel per
+/// `parallel.mode`); every other combination is the serial implementation.
 std::unique_ptr<Searcher> MakeSearcher(Algorithm algorithm, const RuleEngine* rules,
                                        StateEvaluator* evaluator,
-                                       const SearchOptions& opts);
+                                       const SearchOptions& opts,
+                                       const ParallelOptions& parallel = {});
 
 }  // namespace ifgen

@@ -22,7 +22,7 @@ double StateEvaluator::EvaluateAssignment(const WidgetAssigner& assigner,
   if (!built.ok()) return kInf;
   WidgetTree wt = std::move(built).MoveValueUnsafe();
   CostBreakdown cost = model_.EvaluateWithPlan(plan, &wt);
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   double total = cost.total();
   if (best != nullptr && total < best->cost.total()) {
     best->assignment = a;
@@ -36,9 +36,10 @@ double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
   uint64_t key = 0;
   if (opts_.cache_enabled) {
     key = tree.CanonicalHash();
+    std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
-      ++cache_hits_;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
@@ -58,7 +59,12 @@ double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
       best = std::min(best, EvaluateAssignment(assigner, a, plan, nullptr));
     }
   }
-  if (opts_.cache_enabled) cache_[key] = best;
+  if (opts_.cache_enabled) {
+    // First writer wins: concurrent misses on the same state each compute a
+    // valid sample; overwriting would let the cached value drift mid-search.
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_.emplace(key, best);
+  }
   return best;
 }
 

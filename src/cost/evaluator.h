@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 
 #include "cost/cost_model.h"
@@ -39,6 +41,14 @@ struct ScoredWidgetTree {
 
 /// \brief Evaluates difftree states: the bridge between the search space
 /// (difftrees) and the objective (cost of the best widget tree).
+///
+/// Thread-safe: the memoization cache is guarded by a mutex (held only for
+/// lookup/insert, never across an evaluation) and the counters are atomic,
+/// so one evaluator can be shared by every thread of a parallel search —
+/// which is exactly what makes the shared-evaluation transposition design
+/// work. Two threads that miss on the same state concurrently both compute
+/// it (first insert wins); costs for one canonical state are interchangeable
+/// samples, so this is benign.
 class StateEvaluator {
  public:
   StateEvaluator(const EvalOptions& opts, const std::vector<Ast>& queries);
@@ -54,8 +64,8 @@ class StateEvaluator {
 
   const std::vector<Ast>& queries() const { return queries_; }
   const EvalOptions& options() const { return opts_; }
-  size_t evaluations() const { return evaluations_; }
-  size_t cache_hits() const { return cache_hits_; }
+  size_t evaluations() const { return evaluations_.load(std::memory_order_relaxed); }
+  size_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
 
  private:
   double EvaluateAssignment(const WidgetAssigner& assigner, const Assignment& a,
@@ -64,9 +74,10 @@ class StateEvaluator {
   EvalOptions opts_;
   std::vector<Ast> queries_;
   CostModel model_;
+  mutable std::mutex cache_mu_;
   std::unordered_map<uint64_t, double> cache_;
-  size_t evaluations_ = 0;
-  size_t cache_hits_ = 0;
+  std::atomic<size_t> evaluations_{0};
+  std::atomic<size_t> cache_hits_{0};
 };
 
 }  // namespace ifgen

@@ -1,0 +1,179 @@
+#include "runtime/service.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sql/parser.h"
+#include "sql/unparser.h"
+#include "util/hash.h"
+
+namespace ifgen {
+
+namespace {
+
+uint64_t HashU64(uint64_t h, uint64_t v) { return HashCombine(h, v); }
+
+uint64_t HashF64(uint64_t h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v, "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof bits);
+  return HashCombine(h, bits);
+}
+
+/// Fingerprint of every option that can change a job's output. Hashed
+/// field-by-field (structs have padding, so raw-byte hashes would be
+/// nondeterministic) — except CostConstants, whose members are uniformly
+/// 8-byte doubles/size_t and therefore padding-free.
+uint64_t OptionsFingerprint(const GeneratorOptions& o) {
+  uint64_t h = 0x1f65ULL;
+  h = HashU64(h, static_cast<uint64_t>(o.screen.width));
+  h = HashU64(h, static_cast<uint64_t>(o.screen.height));
+  h = HashU64(h, static_cast<uint64_t>(o.algorithm));
+
+  const SearchOptions& s = o.search;
+  h = HashU64(h, static_cast<uint64_t>(s.time_budget_ms));
+  h = HashU64(h, s.max_iterations);
+  h = HashU64(h, s.seed);
+  h = HashF64(h, s.exploration_c);
+  h = HashU64(h, s.rollout_len);
+  h = HashF64(h, s.rollout_stop_prob);
+  h = HashU64(h, s.expand_all_children ? 1 : 0);
+  h = HashU64(h, s.max_expansions_per_iteration);
+  h = HashU64(h, s.max_search_tree_payload);
+  h = HashF64(h, s.rollout_forward_bias);
+  h = HashF64(h, s.rollout_saturate_prob);
+  h = HashF64(h, s.rollout_eval_prob);
+  h = HashU64(h, s.beam_width);
+  h = HashU64(h, s.exhaustive_max_depth);
+  h = HashU64(h, s.exhaustive_max_states);
+
+  const ParallelOptions& p = o.parallel;
+  h = HashU64(h, p.num_threads);
+  h = HashU64(h, static_cast<uint64_t>(p.mode));
+  h = HashU64(h, p.tt_shards);
+  h = HashU64(h, p.leaf_rollouts);
+
+  const RuleSetOptions& r = o.rules;
+  h = HashU64(h, r.enable_noop_wrap ? 1 : 0);
+  h = HashU64(h, static_cast<uint64_t>(r.all2any_max_alts));
+  h = HashU64(h, r.max_tree_nodes);
+
+  h = HashBytes(std::string_view(reinterpret_cast<const char*>(&o.constants),
+                                 sizeof o.constants),
+                h);
+
+  h = HashU64(h, o.k_assignments);
+  h = HashU64(h, o.parse_limit);
+  h = HashF64(h, o.enumeration_cap);
+  return h;
+}
+
+}  // namespace
+
+uint64_t GenerationService::JobKey(const JobSpec& spec) {
+  std::vector<std::string> canonical;
+  canonical.reserve(spec.sqls.size());
+  for (const std::string& sql : spec.sqls) {
+    auto parsed = ParseQuery(sql);
+    if (parsed.ok()) {
+      auto unparsed = Unparse(*parsed);
+      canonical.push_back(unparsed.ok() ? *unparsed : sql);
+    } else {
+      canonical.push_back(sql);
+    }
+  }
+  std::sort(canonical.begin(), canonical.end());
+  uint64_t h = OptionsFingerprint(spec.options);
+  for (const std::string& sql : canonical) {
+    h = HashCombine(h, HashBytes(sql));
+  }
+  return h;
+}
+
+GenerationService::GenerationService() : GenerationService(Options()) {}
+
+GenerationService::GenerationService(Options opts)
+    : cache_capacity_(opts.cache_capacity),
+      pool_(std::max<size_t>(1, opts.num_threads)) {}
+
+GenerationService::~GenerationService() = default;
+
+std::shared_ptr<const GeneratedInterface> GenerationService::CacheLookup(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+  ++cache_hits_;
+  return it->second->second;
+}
+
+void GenerationService::CacheStore(uint64_t key,
+                                   std::shared_ptr<const GeneratedInterface> value) {
+  if (cache_capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;  // someone else finished the same job first
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (lru_.size() > cache_capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+GenerationService::JobFuture GenerationService::Submit(JobSpec spec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++jobs_submitted_;
+  }
+  const uint64_t key = JobKey(spec);
+  if (auto cached = CacheLookup(key)) {
+    std::promise<Result<GeneratedInterface>> ready;
+    ready.set_value(*cached);  // copy out of the shared cache entry
+    return ready.get_future();
+  }
+  auto promise = std::make_shared<std::promise<Result<GeneratedInterface>>>();
+  JobFuture future = promise->get_future();
+  pool_.Submit([this, key, promise, spec = std::move(spec)]() mutable {
+    Result<GeneratedInterface> result = GenerateInterface(spec.sqls, spec.options);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++jobs_executed_;
+    }
+    if (result.ok()) {
+      CacheStore(key, std::make_shared<const GeneratedInterface>(*result));
+    }
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+std::vector<GenerationService::JobFuture> GenerationService::SubmitBatch(
+    std::vector<JobSpec> specs) {
+  std::vector<JobFuture> futures;
+  futures.reserve(specs.size());
+  for (JobSpec& spec : specs) {
+    futures.push_back(Submit(std::move(spec)));
+  }
+  return futures;
+}
+
+size_t GenerationService::jobs_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_submitted_;
+}
+
+size_t GenerationService::jobs_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_executed_;
+}
+
+size_t GenerationService::cache_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_hits_;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/interface_generator.h"
+#include "runtime/thread_pool.h"
+
+namespace ifgen {
+
+/// \brief One generation job: a query log plus the generator configuration.
+struct JobSpec {
+  std::vector<std::string> sqls;
+  GeneratorOptions options;
+};
+
+/// \brief A concurrent interface-generation service: many query logs in,
+/// many interfaces out (the serving posture of PI2, which wraps this
+/// algorithm into an end-to-end interface service).
+///
+/// Jobs run on a work-stealing thread pool; identical jobs — same canonical
+/// query log (parsed, unparsed, and sorted, so formatting and order don't
+/// matter) and same options — are answered from an LRU result cache.
+/// Each job's search can itself be parallel (JobSpec.options.parallel);
+/// that nests cleanly because TaskGroup::Wait helps run pool tasks instead
+/// of blocking a worker.
+class GenerationService {
+ public:
+  struct Options {
+    /// Worker threads executing jobs (min 1).
+    size_t num_threads = 4;
+    /// Completed results kept in the LRU cache; 0 disables caching.
+    size_t cache_capacity = 64;
+  };
+
+  GenerationService();  ///< default Options
+  explicit GenerationService(Options opts);
+  ~GenerationService();
+
+  using JobFuture = std::future<Result<GeneratedInterface>>;
+
+  /// Submits one job; the future resolves when the interface is generated
+  /// (immediately on a cache hit).
+  JobFuture Submit(JobSpec spec);
+
+  /// Submits a batch; futures are in input order. Jobs execute concurrently
+  /// up to the pool width.
+  std::vector<JobFuture> SubmitBatch(std::vector<JobSpec> specs);
+
+  /// Cache key: hash of the *sorted canonical* SQL (each query parsed and
+  /// unparsed, the list sorted) combined with a hash of every
+  /// result-affecting option. Unparsable logs fall back to the raw strings
+  /// (still deterministic; such jobs fail identically anyway).
+  static uint64_t JobKey(const JobSpec& spec);
+
+  size_t jobs_submitted() const;
+  size_t jobs_executed() const;
+  size_t cache_hits() const;
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  std::shared_ptr<const GeneratedInterface> CacheLookup(uint64_t key);
+  void CacheStore(uint64_t key, std::shared_ptr<const GeneratedInterface> value);
+
+  size_t cache_capacity_;
+
+  mutable std::mutex mu_;
+  /// LRU: most recent at the front; the map points into the list.
+  std::list<std::pair<uint64_t, std::shared_ptr<const GeneratedInterface>>> lru_;
+  std::unordered_map<
+      uint64_t,
+      std::list<std::pair<uint64_t, std::shared_ptr<const GeneratedInterface>>>::iterator>
+      index_;
+  size_t jobs_submitted_ = 0;
+  size_t jobs_executed_ = 0;
+  size_t cache_hits_ = 0;
+
+  /// Declared last on purpose: ~ThreadPool joins the workers, and in-flight
+  /// jobs touch the mutex/cache members above — those must still be alive
+  /// while the pool drains during destruction.
+  ThreadPool pool_;
+};
+
+}  // namespace ifgen

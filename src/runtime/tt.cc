@@ -1,0 +1,95 @@
+#include "runtime/tt.h"
+
+#include <unordered_map>
+
+namespace ifgen {
+
+struct TranspositionTable::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<uint64_t, Entry> map;
+};
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TranspositionTable::~TranspositionTable() = default;
+
+TranspositionTable::TranspositionTable(size_t num_shards) {
+  size_t n = RoundUpPow2(num_shards == 0 ? 1 : num_shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  shard_mask_ = n - 1;
+}
+
+TranspositionTable::Shard& TranspositionTable::ShardFor(uint64_t key) {
+  return *shards_[key & shard_mask_];
+}
+
+const TranspositionTable::Shard& TranspositionTable::ShardFor(uint64_t key) const {
+  return *shards_[key & shard_mask_];
+}
+
+bool TranspositionTable::Visit(uint64_t key) {
+  Shard& shard = ShardFor(key);
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    inserted = shard.map.try_emplace(key).second;
+  }
+  if (!inserted) hits_.fetch_add(1, std::memory_order_relaxed);
+  return inserted;
+}
+
+std::optional<double> TranspositionTable::LookupCost(uint64_t key) const {
+  const Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && it->second.has_cost) {
+      cost_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.cost;
+    }
+  }
+  return std::nullopt;
+}
+
+void TranspositionTable::StoreCost(uint64_t key, double cost) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& e = shard.map[key];
+  if (!e.has_cost) {
+    e.has_cost = true;
+    e.cost = cost;
+  }
+}
+
+void TranspositionTable::AccumulateReward(uint64_t key, double reward) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& e = shard.map[key];
+  ++e.visits;
+  e.total_reward += reward;
+}
+
+TranspositionTable::Entry TranspositionTable::Get(uint64_t key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? Entry{} : it->second;
+}
+
+size_t TranspositionTable::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+}  // namespace ifgen

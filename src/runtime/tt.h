@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ifgen {
+
+/// \brief A sharded, striped-lock transposition table over canonical
+/// difftree hashes (`DiffTree::CanonicalHash()`).
+///
+/// Replaces the per-searcher `unordered_set` of visited states: one table
+/// is shared by every tree of a parallel MCTS ensemble, so a state expanded
+/// by one thread is recognized as a transposition by all others, and its
+/// sampled cost is shared instead of re-evaluated.
+///
+/// Keys are pre-mixed 64-bit hashes, so the shard index just takes the low
+/// bits; each shard has its own mutex (striped locking), which keeps
+/// contention negligible for any realistic thread count.
+///
+/// Entries accumulate MCTS statistics (visits, total reward) in addition to
+/// the cached cost; root-parallel ensembles merge per-tree results through
+/// these accumulators (visit-weighted reward).
+class TranspositionTable {
+ public:
+  struct Entry {
+    bool has_cost = false;
+    double cost = 0.0;
+    uint64_t visits = 0;
+    double total_reward = 0.0;
+  };
+
+  /// `num_shards` is rounded up to a power of two (min 1).
+  explicit TranspositionTable(size_t num_shards = 16);
+  ~TranspositionTable();  // out-of-line: Shard is defined in tt.cc
+
+  TranspositionTable(const TranspositionTable&) = delete;
+  TranspositionTable& operator=(const TranspositionTable&) = delete;
+
+  /// Marks `key` visited. Returns true when this call inserted it (first
+  /// visit), false when it was already present (a transposition).
+  bool Visit(uint64_t key);
+
+  /// Returns the cached cost for `key`, if any thread stored one.
+  std::optional<double> LookupCost(uint64_t key) const;
+
+  /// Stores the sampled cost for `key` (first writer wins; costs for one
+  /// canonical state are interchangeable samples, so there is no need to
+  /// overwrite).
+  void StoreCost(uint64_t key, double cost);
+
+  /// Accumulates one backpropagated reward into `key`'s statistics.
+  void AccumulateReward(uint64_t key, double reward);
+
+  /// Snapshot of `key`'s entry (zeroed Entry when absent).
+  Entry Get(uint64_t key) const;
+
+  /// Total entries across shards (O(num_shards)).
+  size_t size() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Visit() calls that found the key already present.
+  size_t transposition_hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  /// LookupCost() calls that returned a value.
+  size_t cost_hits() const { return cost_hits_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard;
+
+  Shard& ShardFor(uint64_t key);
+  const Shard& ShardFor(uint64_t key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t shard_mask_ = 0;
+  std::atomic<size_t> hits_{0};
+  mutable std::atomic<size_t> cost_hits_{0};  ///< bumped from const LookupCost
+};
+
+}  // namespace ifgen

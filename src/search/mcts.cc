@@ -6,27 +6,61 @@
 
 namespace ifgen {
 
-double MctsSearcher::Uct(const Node& child, size_t parent_visits) const {
+namespace {
+
+struct Node {
+  DiffTree state;
+  uint64_t canonical = 0;
+  Node* parent = nullptr;
+  double total_reward = 0.0;
+  size_t visits = 0;
+  std::vector<RuleApplication> apps;
+  bool apps_ready = false;
+  size_t next_untried = 0;
+  /// Fully expanded, childless (or all children dead): selection skips it.
+  bool dead = false;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+double Uct(const SearchOptions& opts, const Node& child, size_t parent_visits) {
   if (child.visits == 0) return std::numeric_limits<double>::infinity();
   double exploit = child.total_reward / static_cast<double>(child.visits);
-  double explore = opts_.exploration_c *
+  double explore = opts.exploration_c *
                    std::sqrt(std::log(static_cast<double>(parent_visits)) /
                              static_cast<double>(child.visits));
   return exploit + explore;
 }
 
-Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
-  Rng rng(opts_.seed);
-  Stopwatch watch;
-  Deadline deadline(opts_.time_budget_ms);
+/// Result of one leaf-parallel simulation task (stats merged afterwards so
+/// SearchStats never needs to be thread-safe).
+struct LeafOutcome {
+  double child_cost = std::numeric_limits<double>::infinity();
+  double roll_cost = std::numeric_limits<double>::infinity();
+  DiffTree roll_best;
   SearchStats stats;
-  BestTracker best;
+};
 
-  const double c0_raw = evaluator_->SampleCost(initial, &rng);
+}  // namespace
+
+void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
+  Rng& rng = *p.rng;
+  SearchStats& stats = *p.stats;
+  const SearchOptions& opts = p.opts;
+  const Stopwatch& watch = *p.watch;
+  Deadline& deadline = *p.deadline;
+  const RolloutContext rctx{p.rules, p.evaluator, &opts};
+
+  double c0_raw;
+  if (std::isnan(p.anchor_cost)) {
+    c0_raw = p.evaluator->SampleCost(initial, &rng);
+    stats.initial_cost = c0_raw;
+    p.best->Offer(initial, c0_raw, watch, 0, &stats);
+  } else {
+    c0_raw = p.anchor_cost;
+    stats.initial_cost = c0_raw;
+  }
   // Normalization anchor; a state with cost c receives reward c0/(c0+c).
   const double c0 = std::isfinite(c0_raw) ? std::max(1.0, c0_raw) : 100.0;
-  stats.initial_cost = c0_raw;
-  best.Offer(initial, c0_raw, watch, 0, &stats);
   auto reward_of = [&](double cost) {
     if (!std::isfinite(cost)) return 0.0;
     return c0 / (c0 + cost);
@@ -38,12 +72,15 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   size_t payload_nodes = initial.NodeCount();
   auto ensure_apps = [&](Node* node) {
     if (node->apps_ready) return;
-    node->apps = rules_->EnumerateApplications(node->state);
+    node->apps = p.rules->EnumerateApplications(node->state);
     rng.Shuffle(&node->apps);  // expansion order should not bias the search
     stats.RecordFanout(node->apps.size());
     node->apps_ready = true;
   };
 
+  // Rewards stay in tree-local nodes (root-parallel merging reads them via
+  // root_actions); pushing them into the shared table too would put a lock
+  // per ancestor per iteration on the hottest loop for data nothing reads.
   auto backprop = [&](Node* from, double r) {
     for (Node* n = from; n != nullptr; n = n->parent) {
       ++n->visits;
@@ -55,10 +92,10 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   root->state = initial;
   root->canonical = initial.CanonicalHash();
   ensure_apps(root.get());
-  std::unordered_set<uint64_t> seen{root->canonical};
+  p.tt->Visit(root->canonical);
 
   while (!deadline.Expired()) {
-    if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
+    if (opts.max_iterations > 0 && stats.iterations >= opts.max_iterations) break;
     ++stats.iterations;
 
     // 1. Selection: descend by UCT while fully expanded.
@@ -70,7 +107,7 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
       double best_uct = -1.0;
       for (const auto& ch : node->children) {
         if (ch->dead) continue;
-        double u = Uct(*ch, std::max<size_t>(1, node->visits));
+        double u = Uct(opts, *ch, std::max<size_t>(1, node->visits));
         if (u > best_uct) {
           best_uct = u;
           picked = ch.get();
@@ -82,27 +119,27 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
 
     // 2. Expansion (bounded per iteration and by the payload budget).
     std::vector<Node*> fresh;
-    if (payload_nodes < opts_.max_search_tree_payload) {
+    if (payload_nodes < opts.max_search_tree_payload) {
       size_t available = node->apps.size() - node->next_untried;
-      size_t expansions = opts_.expand_all_children ? available
-                                                    : std::min<size_t>(1, available);
-      expansions = std::min(expansions, opts_.max_expansions_per_iteration);
+      size_t expansions =
+          opts.expand_all_children ? available : std::min<size_t>(1, available);
+      expansions = std::min(expansions, opts.max_expansions_per_iteration);
       for (size_t e = 0; e < expansions; ++e) {
         const RuleApplication& app = node->apps[node->next_untried++];
-        auto applied = rules_->Apply(node->state, app);
+        auto applied = p.rules->Apply(node->state, app);
         if (!applied.ok()) continue;
         auto child = std::make_unique<Node>();
         child->state = std::move(applied).MoveValueUnsafe();
         child->canonical = child->state.CanonicalHash();
         child->parent = node;
-        if (!seen.insert(child->canonical).second) {
+        if (!p.tt->Visit(child->canonical)) {
           ++stats.transposition_hits;
         }
         ++stats.states_expanded;
         payload_nodes += child->state.NodeCount();
         fresh.push_back(child.get());
         node->children.push_back(std::move(child));
-        if (deadline.Expired() || payload_nodes >= opts_.max_search_tree_payload) break;
+        if (deadline.Expired() || payload_nodes >= opts.max_search_tree_payload) break;
       }
     }
 
@@ -110,8 +147,8 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
       if (node->apps.empty() && node->children.empty()) {
         // True terminal: no applicable rules at all. Evaluate once, mark
         // dead so selection stops revisiting, and propagate death upward.
-        double cost = evaluator_->SampleCost(node->state, &rng);
-        best.Offer(node->state, cost, watch, stats.iterations, &stats);
+        double cost = p.evaluator->SampleCost(node->state, &rng);
+        p.best->Offer(node->state, cost, watch, stats.iterations, &stats);
         node->dead = true;
         for (Node* n = node->parent; n != nullptr; n = n->parent) {
           if (!n->apps_ready || n->next_untried < n->apps.size()) break;
@@ -126,8 +163,9 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
         // Payload budget reached (or every application failed): keep
         // learning by rolling out from the selected node itself.
         DiffTree rollout_best;
-        double cost = RolloutAndEvaluate(node->state, &rng, &stats, &rollout_best);
-        best.Offer(rollout_best, cost, watch, stats.iterations, &stats);
+        double cost =
+            RolloutAndEvaluateState(rctx, node->state, &rng, &stats, &rollout_best);
+        p.best->Offer(rollout_best, cost, watch, stats.iterations, &stats);
         backprop(node, reward_of(cost));
       }
       continue;
@@ -135,18 +173,103 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
 
     // 3.-5. Simulation from each fresh child + backpropagation. The child's
     // own (cached) evaluation also feeds the global best tracker.
-    for (Node* child : fresh) {
-      double child_cost = evaluator_->SampleCost(child->state, &rng);
-      best.Offer(child->state, child_cost, watch, stats.iterations, &stats);
+    if (p.leaf_pool != nullptr && p.leaf_pool->num_threads() > 0) {
+      // Leaf parallelism: fan the fresh children's evaluations and rollouts
+      // out to the pool. RNG streams split per (iteration, task) — the Fork
+      // below consumes exactly one tree-RNG draw per iteration, so the
+      // tree's own stream stays deterministic — and results merge in child
+      // order. Scheduling still leaks in through the shared evaluator
+      // cache: a task whose lookup hits (because a concurrent task filled
+      // the entry first) consumes fewer RNG draws, so sampled costs and the
+      // decisions built on them can vary run-to-run.
+      const size_t reps = std::max<size_t>(1, p.leaf_rollouts);
+      const Rng task_base = rng.Fork();
+      std::vector<LeafOutcome> outs(fresh.size() * reps);
+      TaskGroup group(p.leaf_pool);
+      for (size_t i = 0; i < fresh.size(); ++i) {
+        for (size_t r = 0; r < reps; ++r) {
+          const size_t slot = i * reps + r;
+          Node* child = fresh[i];
+          group.Run([&rctx, &task_base, &outs, slot, child, r] {
+            LeafOutcome& out = outs[slot];
+            Rng task_rng = task_base.Split(slot);
+            if (r == 0) {
+              out.child_cost = rctx.evaluator->SampleCost(child->state, &task_rng);
+            }
+            out.roll_cost = RolloutAndEvaluateState(rctx, child->state, &task_rng,
+                                                    &out.stats, &out.roll_best);
+          });
+        }
+      }
+      group.Wait();
+      for (size_t i = 0; i < fresh.size(); ++i) {
+        Node* child = fresh[i];
+        double best_reward = 0.0;
+        for (size_t r = 0; r < reps; ++r) {
+          LeafOutcome& out = outs[i * reps + r];
+          if (r == 0) {
+            p.tt->StoreCost(child->canonical, out.child_cost);
+            p.best->Offer(child->state, out.child_cost, watch, stats.iterations,
+                          &stats);
+            best_reward = reward_of(out.child_cost);
+          }
+          p.best->Offer(out.roll_best, out.roll_cost, watch, stats.iterations, &stats);
+          best_reward = std::max(best_reward, reward_of(out.roll_cost));
+          stats.Merge(out.stats);
+        }
+        backprop(child, best_reward);
+      }
+    } else {
+      for (Node* child : fresh) {
+        auto cached = p.tt->LookupCost(child->canonical);
+        double child_cost =
+            cached.has_value() ? *cached : p.evaluator->SampleCost(child->state, &rng);
+        if (!cached.has_value()) p.tt->StoreCost(child->canonical, child_cost);
+        p.best->Offer(child->state, child_cost, watch, stats.iterations, &stats);
 
-      DiffTree rollout_best;
-      double roll_cost = RolloutAndEvaluate(child->state, &rng, &stats, &rollout_best);
-      best.Offer(rollout_best, roll_cost, watch, stats.iterations, &stats);
+        DiffTree rollout_best;
+        double roll_cost =
+            RolloutAndEvaluateState(rctx, child->state, &rng, &stats, &rollout_best);
+        p.best->Offer(rollout_best, roll_cost, watch, stats.iterations, &stats);
 
-      backprop(child, std::max(reward_of(child_cost), reward_of(roll_cost)));
-      if (deadline.Expired()) break;
+        backprop(child, std::max(reward_of(child_cost), reward_of(roll_cost)));
+        if (deadline.Expired()) break;
+      }
     }
   }
+
+  if (p.root_actions != nullptr) {
+    for (const auto& ch : root->children) {
+      RootActionStat a;
+      a.canonical = ch->canonical;
+      a.visits = ch->visits;
+      a.total_reward = ch->total_reward;
+      p.root_actions->push_back(a);
+    }
+  }
+}
+
+Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
+  Rng rng(opts_.seed);
+  Stopwatch watch;
+  Deadline deadline(opts_.time_budget_ms);
+  SearchStats stats;
+  SharedBestTracker best;
+  // A single-shard table is exactly the old per-searcher unordered_set plus
+  // an in-run cost memo.
+  TranspositionTable tt(1);
+
+  MctsTreeParams params;
+  params.rules = rules_;
+  params.evaluator = evaluator_;
+  params.opts = opts_;
+  params.rng = &rng;
+  params.watch = &watch;
+  params.deadline = &deadline;
+  params.tt = &tt;
+  params.best = &best;
+  params.stats = &stats;
+  RunMctsTree(initial, params);
 
   SearchResult result;
   result.best_tree = best.tree;

@@ -1,11 +1,75 @@
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <memory>
-#include <unordered_set>
+#include <mutex>
 
+#include "runtime/thread_pool.h"
+#include "runtime/tt.h"
 #include "search/search_common.h"
 
 namespace ifgen {
+
+/// \brief Thread-safe global best tracker shared by all trees (and all leaf
+/// tasks) of one search. Only *global* improvements are recorded, so each
+/// contributing tree's trace is a slice of the monotone best-so-far curve.
+struct SharedBestTracker {
+  std::mutex mu;
+  DiffTree tree;
+  double cost = std::numeric_limits<double>::infinity();
+
+  bool Offer(const DiffTree& t, double c, const Stopwatch& watch, size_t iteration,
+             SearchStats* stats) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (c >= cost) return false;
+    cost = c;
+    tree = t;
+    stats->trace.push_back({watch.ElapsedMillis(), iteration, c});
+    return true;
+  }
+
+  double CostSnapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return cost;
+  }
+};
+
+/// \brief Wiring for one MCTS tree run (see RunMctsTree).
+///
+/// Serial search passes tree-local objects for everything; parallel
+/// ensembles share `tt`, `best`, `deadline`, and `watch` across trees while
+/// keeping `rng` and `stats` strictly per-tree.
+struct MctsTreeParams {
+  const RuleEngine* rules = nullptr;
+  StateEvaluator* evaluator = nullptr;
+  SearchOptions opts;
+  Rng* rng = nullptr;                ///< per-tree stream (never shared)
+  const Stopwatch* watch = nullptr;  ///< search-global clock (trace timestamps)
+  Deadline* deadline = nullptr;
+  TranspositionTable* tt = nullptr;
+  SharedBestTracker* best = nullptr;
+  SearchStats* stats = nullptr;  ///< per-tree (merged by the caller)
+  /// Reward-normalization anchor (the initial state's sampled cost). NaN =
+  /// "compute it here and offer the initial state to `best`" (serial mode);
+  /// parallel ensembles compute it once and pass it to every tree so all
+  /// trees normalize rewards identically.
+  double anchor_cost = std::numeric_limits<double>::quiet_NaN();
+  /// When set, the simulations of freshly expanded children fan out to this
+  /// pool (leaf parallelism) with `leaf_rollouts` rollouts per child, each
+  /// on an RNG stream split deterministically per (iteration, child, repeat).
+  ThreadPool* leaf_pool = nullptr;
+  size_t leaf_rollouts = 1;
+  /// When non-null, receives (canonical, visits, total_reward) of every root
+  /// child after the run — the raw material for root-ensemble merging.
+  std::vector<RootActionStat>* root_actions = nullptr;
+};
+
+/// Runs one MCTS tree to its deadline/iteration budget. The algorithm is
+/// the paper's (see MctsSearcher); this free function exists so that serial
+/// search, root-parallel ensembles, and leaf-parallel search all execute
+/// the *same* tree code.
+void RunMctsTree(const DiffTree& initial, const MctsTreeParams& params);
 
 /// \brief Monte Carlo Tree Search over difftree states (paper, "Monte Carlo
 /// Tree Search").
@@ -26,30 +90,13 @@ namespace ifgen {
 ///
 /// A transposition table over canonical difftree hashes detects revisited
 /// states (rule sequences often commute); revisits share evaluation results
-/// through the StateEvaluator's cache.
+/// through the table's cost cache and the StateEvaluator's cache.
 class MctsSearcher final : public Searcher {
  public:
   using Searcher::Searcher;
 
   std::string_view name() const override { return "mcts"; }
   Result<SearchResult> Run(const DiffTree& initial) override;
-
- private:
-  struct Node {
-    DiffTree state;
-    uint64_t canonical = 0;
-    Node* parent = nullptr;
-    double total_reward = 0.0;
-    size_t visits = 0;
-    std::vector<RuleApplication> apps;
-    bool apps_ready = false;
-    size_t next_untried = 0;
-    /// Fully expanded, childless (or all children dead): selection skips it.
-    bool dead = false;
-    std::vector<std::unique_ptr<Node>> children;
-  };
-
-  double Uct(const Node& child, size_t parent_visits) const;
 };
 
 }  // namespace ifgen

@@ -1,0 +1,138 @@
+#include "search/parallel_mcts.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace ifgen {
+
+Result<SearchResult> ParallelMctsSearcher::Run(const DiffTree& initial) {
+  if (parallel_.num_threads <= 1) {
+    // Serial fallback: the determinism contract ("num_threads=1 matches the
+    // serial searcher bit-for-bit") is discharged by running it.
+    MctsSearcher serial(rules_, evaluator_, opts_);
+    return serial.Run(initial);
+  }
+  return parallel_.mode == ParallelMode::kRoot ? RunRootParallel(initial)
+                                               : RunLeafParallel(initial);
+}
+
+Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initial) {
+  const size_t trees = parallel_.num_threads;
+  Stopwatch watch;
+  Deadline deadline(opts_.time_budget_ms);
+  TranspositionTable tt(parallel_.tt_shards);
+  SharedBestTracker best;
+
+  // One shared reward anchor: all trees normalize rewards identically (and
+  // none re-evaluates the initial state — the evaluator memoizes it anyway,
+  // but the anchor must not depend on which tree asks first).
+  Rng anchor_rng(opts_.seed);
+  SearchStats anchor_stats;
+  const double c0_raw = evaluator_->SampleCost(initial, &anchor_rng);
+  anchor_stats.initial_cost = c0_raw;
+  best.Offer(initial, c0_raw, watch, 0, &anchor_stats);
+  tt.StoreCost(initial.CanonicalHash(), c0_raw);
+
+  // Split the iteration budget so total work matches a serial run with the
+  // same cap; the wall-clock budget is shared (all trees race one deadline).
+  SearchOptions tree_opts = opts_;
+  if (opts_.max_iterations > 0) {
+    tree_opts.max_iterations = (opts_.max_iterations + trees - 1) / trees;
+  }
+
+  const Rng seed_base(opts_.seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(trees);
+  for (size_t t = 0; t < trees; ++t) rngs.push_back(seed_base.Split(t));
+  std::vector<SearchStats> tree_stats(trees);
+  std::vector<std::vector<RootActionStat>> tree_actions(trees);
+
+  ThreadPool pool(trees);
+  {
+    TaskGroup group(&pool);
+    for (size_t t = 0; t < trees; ++t) {
+      group.Run([&, t] {
+        MctsTreeParams params;
+        params.rules = rules_;
+        params.evaluator = evaluator_;
+        params.opts = tree_opts;
+        params.rng = &rngs[t];
+        params.watch = &watch;
+        params.deadline = &deadline;
+        params.tt = &tt;
+        params.best = &best;
+        params.stats = &tree_stats[t];
+        params.anchor_cost = c0_raw;
+        params.root_actions = &tree_actions[t];
+        RunMctsTree(initial, params);
+      });
+    }
+    group.Wait();
+  }
+
+  // Merge root actions across trees by canonical hash; rank by
+  // visit-weighted mean reward.
+  std::unordered_map<uint64_t, RootActionStat> merged;
+  for (const auto& actions : tree_actions) {
+    for (const RootActionStat& a : actions) {
+      RootActionStat& m = merged[a.canonical];
+      m.canonical = a.canonical;
+      m.visits += a.visits;
+      m.total_reward += a.total_reward;
+    }
+  }
+
+  SearchResult result;
+  result.best_tree = best.tree;
+  result.best_cost = best.cost;
+  result.stats = std::move(anchor_stats);
+  for (const SearchStats& s : tree_stats) result.stats.Merge(s);
+  result.stats.trees = trees;
+  result.stats.transposition_hits = tt.transposition_hits();
+  result.stats.elapsed_ms = watch.ElapsedMillis();
+  result.root_actions.reserve(merged.size());
+  for (const auto& [key, a] : merged) result.root_actions.push_back(a);
+  std::sort(result.root_actions.begin(), result.root_actions.end(),
+            [](const RootActionStat& a, const RootActionStat& b) {
+              double ma = a.MeanReward(), mb = b.MeanReward();
+              if (ma != mb) return ma > mb;
+              if (a.visits != b.visits) return a.visits > b.visits;
+              return a.canonical < b.canonical;
+            });
+  return result;
+}
+
+Result<SearchResult> ParallelMctsSearcher::RunLeafParallel(const DiffTree& initial) {
+  Stopwatch watch;
+  Deadline deadline(opts_.time_budget_ms);
+  TranspositionTable tt(parallel_.tt_shards);
+  SharedBestTracker best;
+  SearchStats stats;
+  Rng rng(opts_.seed);
+  ThreadPool pool(parallel_.num_threads);
+
+  MctsTreeParams params;
+  params.rules = rules_;
+  params.evaluator = evaluator_;
+  params.opts = opts_;
+  params.rng = &rng;
+  params.watch = &watch;
+  params.deadline = &deadline;
+  params.tt = &tt;
+  params.best = &best;
+  params.stats = &stats;
+  params.leaf_pool = &pool;
+  params.leaf_rollouts = std::max<size_t>(1, parallel_.leaf_rollouts);
+  RunMctsTree(initial, params);
+
+  SearchResult result;
+  result.best_tree = best.tree;
+  result.best_cost = best.cost;
+  result.stats = std::move(stats);
+  result.stats.elapsed_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace ifgen

@@ -1,12 +1,32 @@
 #include "search/search_common.h"
 
+#include <algorithm>
+
 namespace ifgen {
 
-DiffTree Searcher::Rollout(DiffTree state, Rng* rng, SearchStats* stats) {
+void SearchStats::Merge(const SearchStats& other) {
+  iterations += other.iterations;
+  states_expanded += other.states_expanded;
+  rollouts += other.rollouts;
+  rollout_steps += other.rollout_steps;
+  transposition_hits += other.transposition_hits;
+  if (initial_cost == 0.0) initial_cost = other.initial_cost;
+  fanout_samples += other.fanout_samples;
+  fanout_sum += other.fanout_sum;
+  fanout_max = std::max(fanout_max, other.fanout_max);
+  trace.insert(trace.end(), other.trace.begin(), other.trace.end());
+  std::sort(trace.begin(), trace.end(), [](const BestTrace& a, const BestTrace& b) {
+    return a.ms != b.ms ? a.ms < b.ms : a.cost > b.cost;
+  });
+}
+
+DiffTree RolloutState(const RolloutContext& ctx, DiffTree state, Rng* rng,
+                      SearchStats* stats) {
+  const SearchOptions& opts = *ctx.opts;
   ++stats->rollouts;
-  for (size_t step = 0; step < opts_.rollout_len; ++step) {
-    if (opts_.rollout_stop_prob > 0 && rng->Bernoulli(opts_.rollout_stop_prob)) break;
-    std::vector<RuleApplication> apps = rules_->EnumerateApplications(state);
+  for (size_t step = 0; step < opts.rollout_len; ++step) {
+    if (opts.rollout_stop_prob > 0 && rng->Bernoulli(opts.rollout_stop_prob)) break;
+    std::vector<RuleApplication> apps = ctx.rules->EnumerateApplications(state);
     stats->RecordFanout(apps.size());
     if (apps.empty()) break;
     // Retry on application failure (e.g. node-count guard) without burning
@@ -14,7 +34,7 @@ DiffTree Searcher::Rollout(DiffTree state, Rng* rng, SearchStats* stats) {
     bool advanced = false;
     for (int attempt = 0; attempt < 4 && !advanced && !apps.empty(); ++attempt) {
       size_t pick = rng->UniformIndex(apps.size());
-      auto next = rules_->Apply(state, apps[pick]);
+      auto next = ctx.rules->Apply(state, apps[pick]);
       if (next.ok()) {
         state = std::move(next).MoveValueUnsafe();
         advanced = true;
@@ -28,34 +48,35 @@ DiffTree Searcher::Rollout(DiffTree state, Rng* rng, SearchStats* stats) {
   return state;
 }
 
-double Searcher::RolloutAndEvaluate(const DiffTree& start, Rng* rng,
-                                    SearchStats* stats, DiffTree* best_state) {
+double RolloutAndEvaluateState(const RolloutContext& ctx, const DiffTree& start,
+                               Rng* rng, SearchStats* stats, DiffTree* best_state) {
+  const SearchOptions& opts = *ctx.opts;
   ++stats->rollouts;
   DiffTree state = start;
   double best_cost = std::numeric_limits<double>::infinity();
   auto consider = [&](const DiffTree& s) {
-    double cost = evaluator_->SampleCost(s, rng);
+    double cost = ctx.evaluator->SampleCost(s, rng);
     if (cost < best_cost) {
       best_cost = cost;
       *best_state = s;
     }
   };
-  const bool saturate = opts_.rollout_saturate_prob > 0 &&
-                        rng->Bernoulli(opts_.rollout_saturate_prob);
-  for (size_t step = 0; step < opts_.rollout_len; ++step) {
-    if (!saturate && opts_.rollout_stop_prob > 0 &&
-        rng->Bernoulli(opts_.rollout_stop_prob)) {
+  const bool saturate =
+      opts.rollout_saturate_prob > 0 && rng->Bernoulli(opts.rollout_saturate_prob);
+  for (size_t step = 0; step < opts.rollout_len; ++step) {
+    if (!saturate && opts.rollout_stop_prob > 0 &&
+        rng->Bernoulli(opts.rollout_stop_prob)) {
       break;
     }
-    std::vector<RuleApplication> apps = rules_->EnumerateApplications(state);
+    std::vector<RuleApplication> apps = ctx.rules->EnumerateApplications(state);
     stats->RecordFanout(apps.size());
     if (apps.empty()) break;
     if (saturate) {
       // Canonical factoring: first forward application in pre-order.
       bool advanced = false;
       for (const RuleApplication& a : apps) {
-        if (!rules_->IsForward(a)) continue;
-        auto next = rules_->Apply(state, a);
+        if (!ctx.rules->IsForward(a)) continue;
+        auto next = ctx.rules->Apply(state, a);
         if (!next.ok()) continue;
         state = std::move(next).MoveValueUnsafe();
         advanced = true;
@@ -63,10 +84,10 @@ double Searcher::RolloutAndEvaluate(const DiffTree& start, Rng* rng,
       }
       if (!advanced) break;  // forward fixpoint reached
     } else {
-      if (!StepRandom(&state, &apps, rng)) break;
+      if (!RolloutStepRandom(ctx, &state, &apps, rng)) break;
     }
     ++stats->rollout_steps;
-    if (opts_.rollout_eval_prob > 0 && rng->Bernoulli(opts_.rollout_eval_prob)) {
+    if (opts.rollout_eval_prob > 0 && rng->Bernoulli(opts.rollout_eval_prob)) {
       consider(state);
     }
   }
@@ -74,21 +95,21 @@ double Searcher::RolloutAndEvaluate(const DiffTree& start, Rng* rng,
   return best_cost;
 }
 
-bool Searcher::StepRandom(DiffTree* state, std::vector<RuleApplication>* apps,
-                          Rng* rng) {
+bool RolloutStepRandom(const RolloutContext& ctx, DiffTree* state,
+                       std::vector<RuleApplication>* apps, Rng* rng) {
+  const SearchOptions& opts = *ctx.opts;
   // Optionally restrict this step to the forward (factoring) subset.
   std::vector<RuleApplication>* pool = apps;
   std::vector<RuleApplication> forward;
-  if (opts_.rollout_forward_bias > 0.5 &&
-      rng->Bernoulli(opts_.rollout_forward_bias)) {
+  if (opts.rollout_forward_bias > 0.5 && rng->Bernoulli(opts.rollout_forward_bias)) {
     for (const RuleApplication& a : *apps) {
-      if (rules_->IsForward(a)) forward.push_back(a);
+      if (ctx.rules->IsForward(a)) forward.push_back(a);
     }
     if (!forward.empty()) pool = &forward;
   }
   for (int attempt = 0; attempt < 4 && !pool->empty(); ++attempt) {
     size_t pick = rng->UniformIndex(pool->size());
-    auto next = rules_->Apply(*state, (*pool)[pick]);
+    auto next = ctx.rules->Apply(*state, (*pool)[pick]);
     if (next.ok()) {
       *state = std::move(next).MoveValueUnsafe();
       return true;

@@ -74,6 +74,20 @@ struct BestTrace {
   double cost = 0.0;
 };
 
+/// \brief Per-root-action statistics of a (possibly merged) MCTS root.
+///
+/// Root-parallel ensembles merge per-tree root children by canonical hash;
+/// the ensemble's preferred action is the one with the highest
+/// visit-weighted mean reward.
+struct RootActionStat {
+  uint64_t canonical = 0;
+  uint64_t visits = 0;
+  double total_reward = 0.0;
+  double MeanReward() const {
+    return visits == 0 ? 0.0 : total_reward / static_cast<double>(visits);
+  }
+};
+
 /// \brief Instrumentation common to all searchers.
 struct SearchStats {
   size_t iterations = 0;
@@ -83,6 +97,8 @@ struct SearchStats {
   size_t transposition_hits = 0;
   double initial_cost = 0.0;
   int64_t elapsed_ms = 0;
+  /// Search trees contributing to this result (> 1 for root-parallel).
+  size_t trees = 1;
   std::vector<BestTrace> trace;
 
   // Fanout distribution (number of applicable rules per visited state).
@@ -100,6 +116,12 @@ struct SearchStats {
                ? 0.0
                : static_cast<double>(fanout_sum) / static_cast<double>(fanout_samples);
   }
+
+  /// Folds another tree's (or task's) stats into this one. Traces are
+  /// concatenated and re-sorted by time; because a shared best tracker only
+  /// records *global* improvements, the merged trace is again the monotone
+  /// best-so-far curve.
+  void Merge(const SearchStats& other);
 };
 
 /// \brief Outcome of a search: the best difftree found and its sampled cost.
@@ -107,7 +129,34 @@ struct SearchResult {
   DiffTree best_tree;
   double best_cost = 0.0;
   SearchStats stats;
+  /// Root actions ranked by visit-weighted mean reward (descending); filled
+  /// by root-parallel ensembles, empty for serial searchers.
+  std::vector<RootActionStat> root_actions;
 };
+
+/// \brief Everything a rollout needs; lets rollout helpers run as free
+/// functions on any thread (the parallel searchers fan rollouts out to a
+/// pool, where member functions bound to one searcher would not do).
+struct RolloutContext {
+  const RuleEngine* rules = nullptr;
+  StateEvaluator* evaluator = nullptr;
+  const SearchOptions* opts = nullptr;
+};
+
+/// One random rollout of up to opts->rollout_len rule applications; returns
+/// the final state. Thread-compatible: distinct (rng, stats) per caller.
+DiffTree RolloutState(const RolloutContext& ctx, DiffTree state, Rng* rng,
+                      SearchStats* stats);
+
+/// Rollout that also samples intermediate states for evaluation and always
+/// evaluates the terminus; returns the best cost seen (`best_state` receives
+/// the matching state). Thread-compatible like RolloutState.
+double RolloutAndEvaluateState(const RolloutContext& ctx, const DiffTree& start,
+                               Rng* rng, SearchStats* stats, DiffTree* best_state);
+
+/// One biased-random rule application; false when no application succeeds.
+bool RolloutStepRandom(const RolloutContext& ctx, DiffTree* state,
+                       std::vector<RuleApplication>* apps, Rng* rng);
 
 /// \brief Base class wiring a searcher to the rule engine and evaluator.
 class Searcher {
@@ -134,19 +183,19 @@ class Searcher {
     }
   };
 
-  /// One random rollout of up to opts_.rollout_len rule applications;
-  /// returns the final state (evaluating is the caller's job). Every
-  /// visited state's fanout is recorded.
-  DiffTree Rollout(DiffTree state, Rng* rng, SearchStats* stats);
-
-  /// Rollout that also samples intermediate states for evaluation (with
-  /// probability opts_.rollout_eval_prob) and always evaluates the terminus.
-  /// Returns the best cost seen; `best_state` receives the matching state.
+  /// Member conveniences over the free rollout helpers above, bound to this
+  /// searcher's engine/evaluator/options.
+  DiffTree Rollout(DiffTree state, Rng* rng, SearchStats* stats) {
+    return RolloutState({rules_, evaluator_, &opts_}, std::move(state), rng, stats);
+  }
   double RolloutAndEvaluate(const DiffTree& start, Rng* rng, SearchStats* stats,
-                            DiffTree* best_state);
-
-  /// One biased-random rule application; false when no application succeeds.
-  bool StepRandom(DiffTree* state, std::vector<RuleApplication>* apps, Rng* rng);
+                            DiffTree* best_state) {
+    return RolloutAndEvaluateState({rules_, evaluator_, &opts_}, start, rng, stats,
+                                   best_state);
+  }
+  bool StepRandom(DiffTree* state, std::vector<RuleApplication>* apps, Rng* rng) {
+    return RolloutStepRandom({rules_, evaluator_, &opts_}, state, apps, rng);
+  }
 
   const RuleEngine* rules_;
   StateEvaluator* evaluator_;

@@ -15,7 +15,7 @@ namespace ifgen {
 /// that searches, workload generators, and benchmarks are reproducible.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : seed_(seed), engine_(seed) {}
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   int64_t UniformInt(int64_t lo, int64_t hi) {
@@ -53,7 +53,27 @@ class Rng {
   }
 
   /// Derives an independent child generator (for parallel/nested use).
+  /// Unlike Split, Fork consumes a draw, so successive Forks differ.
   Rng Fork() { return Rng(engine_() ^ 0xd1b54a32d192ed03ULL); }
+
+  /// Derives the `stream_id`-th independent stream of this generator's
+  /// *seed* (a splitmix64 finalizer over seed + stream). Split is const —
+  /// it depends only on the construction seed, never on how many draws
+  /// have been consumed — so every thread of a parallel search can derive
+  /// its stream without coordination and reproducibly across runs.
+  /// Split(i) == Split(i) always; Split(i) != Split(j) for i != j (whp).
+  Rng Split(uint64_t stream_id) const { return Rng(SplitSeed(stream_id)); }
+
+  /// The seed Split(stream_id) would construct with.
+  uint64_t SplitSeed(uint64_t stream_id) const {
+    uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// The seed this generator was constructed with.
+  uint64_t seed() const { return seed_; }
 
   /// Raw 64-bit draw.
   uint64_t Next() { return engine_(); }
@@ -61,6 +81,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

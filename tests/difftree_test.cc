@@ -55,6 +55,45 @@ TEST(DiffTree, CanonicalHashKeepsAllOrder) {
   EXPECT_NE(a.CanonicalHash(), b.CanonicalHash());  // sequences are ordered
 }
 
+TEST(DiffTree, CanonicalHashInvariantUnderNestedAnyPermutation) {
+  // Permutations at *every* ANY level must hash equal — this is the
+  // transposition-table key, so a miss here would make parallel trees
+  // re-evaluate states that only differ in alternative order.
+  auto make = [](bool flip_outer, bool flip_inner) {
+    DiffTree inner = flip_inner
+        ? DiffTree::Any({DiffTree::FromAst(Col("c")), DiffTree::FromAst(Col("d"))})
+        : DiffTree::Any({DiffTree::FromAst(Col("d")), DiffTree::FromAst(Col("c"))});
+    std::vector<DiffTree> alts;
+    if (flip_outer) {
+      alts.push_back(DiffTree::FromAst(Col("a")));
+      alts.push_back(std::move(inner));
+    } else {
+      alts.push_back(std::move(inner));
+      alts.push_back(DiffTree::FromAst(Col("a")));
+    }
+    return DiffTree::Any(std::move(alts));
+  };
+  uint64_t h = make(false, false).CanonicalHash();
+  EXPECT_EQ(make(false, true).CanonicalHash(), h);
+  EXPECT_EQ(make(true, false).CanonicalHash(), h);
+  EXPECT_EQ(make(true, true).CanonicalHash(), h);
+}
+
+TEST(DiffTree, CanonicalHashSeparatesSemanticallyDistinctTrees) {
+  DiffTree leaf = DiffTree::FromAst(Col("a"));
+  DiffTree any = DiffTree::Any({leaf, DiffTree::FromAst(Col("b"))});
+  DiffTree opt = DiffTree::Opt(leaf);
+  DiffTree multi = DiffTree::Multi(leaf);
+  // Different choice kinds over the same children mean different query
+  // sets; the canonical hash must keep them apart.
+  EXPECT_NE(opt.CanonicalHash(), multi.CanonicalHash());
+  EXPECT_NE(opt.CanonicalHash(), any.CanonicalHash());
+  EXPECT_NE(any.CanonicalHash(), leaf.CanonicalHash());
+  // Different leaf values too.
+  EXPECT_NE(DiffTree::FromAst(Col("a")).CanonicalHash(),
+            DiffTree::FromAst(Col("b")).CanonicalHash());
+}
+
 TEST(DiffTree, NodeAtPaths) {
   DiffTree d = DiffTree::FromAst(Q("select a from t"));
   EXPECT_EQ(NodeAt(d, {})->sym, Symbol::kSelect);

@@ -101,6 +101,45 @@ TEST(Rng, ForkIndependent) {
   EXPECT_FALSE(all_equal);
 }
 
+TEST(Rng, SplitIsDeterministicPerStream) {
+  Rng a(123);
+  Rng b(123);
+  Rng sa = a.Split(7);
+  Rng sb = b.Split(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sa.Next(), sb.Next());
+  }
+}
+
+TEST(Rng, SplitIndependentOfConsumedDraws) {
+  // Split depends only on the construction seed — parallel workers can
+  // derive their streams at any point without coordinating.
+  Rng fresh(42);
+  Rng drained(42);
+  for (int i = 0; i < 100; ++i) drained.Next();
+  EXPECT_EQ(fresh.SplitSeed(3), drained.SplitSeed(3));
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng base(77);
+  Rng s0 = base.Split(0);
+  Rng s1 = base.Split(1);
+  EXPECT_NE(s0.seed(), s1.seed());
+  bool all_equal = true;
+  for (int i = 0; i < 20; ++i) {
+    if (s0.Next() != s1.Next()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+  // Streams must also differ from the parent stream.
+  Rng parent(77);
+  Rng s2 = parent.Split(2);
+  all_equal = true;
+  for (int i = 0; i < 20; ++i) {
+    if (parent.Next() != s2.Next()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
 TEST(Hash, CombineOrderSensitive) {
   uint64_t a = HashCombine(HashCombine(0, 1), 2);
   uint64_t b = HashCombine(HashCombine(0, 2), 1);
