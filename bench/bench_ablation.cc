@@ -3,14 +3,29 @@
 //  - k (random widget assignments per state),
 //  - the greedy-seed assignment (our refinement over pure random k),
 //  - saturation/forward-biased rollouts vs the paper's uniform walks,
-//  - expand-all-children vs single expansion.
+//  - expand-all-children vs single expansion,
+// plus the PR-2 search/evaluation refinements (see docs/search.md and
+// docs/cost-model.md):
+//  - log-derived action priors + progressive widening vs uniform expansion
+//    (iteration-capped, so "equal-or-better cost in fewer iterations" is
+//    read straight off the rows),
+//  - delta-cost evaluation vs forced full re-evaluation (bit-identical
+//    costs; the rows carry the recompute/hit counters).
+// JSON rows (one line each, `"bench":"ablation"`) are documented in
+// bench/README.md.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/interface_generator.h"
 #include "difftree/builder.h"
+#include "search/mcts.h"
 #include "sql/parser.h"
+#include "util/timer.h"
+#include "workload/flights.h"
 #include "workload/sdss.h"
+#include "workload/synthetic.h"
 
 using namespace ifgen;  // NOLINT
 
@@ -19,6 +34,114 @@ namespace {
 double RunOnce(const std::vector<Ast>& queries, GeneratorOptions opt) {
   auto r = GenerateInterfaceFromAsts(queries, opt);
   return r.ok() ? r->cost.total() : -1.0;
+}
+
+struct Workload {
+  const char* name;
+  std::vector<Ast> queries;
+};
+
+std::vector<Workload> AblationWorkloads() {
+  LogSpec spec;
+  spec.num_queries = 12;
+  spec.vary_predicate_count = true;
+  spec.optional_where = true;
+  return {{"flights", *ParseQueries(FlightsLog())},
+          {"sdss", *ParseQueries(SdssListing1())},
+          {"synthetic", *ParseQueries(GenerateLog(spec))}};
+}
+
+/// One iteration-capped MCTS run with explicit prior/widening flags;
+/// returns the best sampled cost and fills the evaluator counters.
+SearchResult RunMcts(const Workload& w, const SearchOptions& sopts,
+                     StateEvaluator* eval) {
+  RuleEngine rules;
+  MctsSearcher mcts(&rules, eval, sopts);
+  DiffTree initial = *BuildInitialTree(w.queries);
+  return *mcts.Run(initial);
+}
+
+void SweepPriors() {
+  bench::PrintHeader(
+      "Priors + progressive widening vs uniform expansion (iteration-capped; "
+      "lower cost at equal iterations is better)");
+  struct Config {
+    const char* tag;
+    bool use_priors;
+    bool widening;
+  };
+  const Config configs[] = {{"priors+widening", true, true},
+                            {"priors only", true, false},
+                            {"widening only", false, true},
+                            {"uniform (paper)", false, false}};
+  for (const Workload& w : AblationWorkloads()) {
+    std::printf("\n%s:\n", w.name);
+    for (size_t iters : {60, 150, 300}) {
+      for (const Config& c : configs) {
+        SearchOptions sopts;
+        sopts.time_budget_ms = 0;  // iteration-capped: comparable work
+        sopts.max_iterations = iters;
+        sopts.seed = 3;
+        sopts.priors.use_priors = c.use_priors;
+        sopts.priors.progressive_widening = c.widening;
+        EvalOptions eopts;
+        eopts.screen = {100, 40};
+        StateEvaluator eval(eopts, w.queries);
+        Stopwatch watch;
+        SearchResult r = RunMcts(w, sopts, &eval);
+        int64_t ms = watch.ElapsedMillis();
+        std::printf("  iters=%-4zu %-18s cost=%8.2f  expanded=%5zu  %5lld ms\n",
+                    iters, c.tag, r.best_cost, r.stats.states_expanded,
+                    static_cast<long long>(ms));
+        std::printf("{\"bench\":\"ablation\",\"group\":\"priors\","
+                    "\"workload\":\"%s\",\"use_priors\":%s,"
+                    "\"progressive_widening\":%s,\"iterations\":%zu,"
+                    "\"best_cost\":%.4f,\"states_expanded\":%zu,\"ms\":%lld}\n",
+                    w.name, c.use_priors ? "true" : "false",
+                    c.widening ? "true" : "false", iters, r.best_cost,
+                    r.stats.states_expanded, static_cast<long long>(ms));
+      }
+    }
+  }
+}
+
+void SweepDeltaCost() {
+  bench::PrintHeader(
+      "Delta-cost evaluation vs forced full re-evaluation (costs must be "
+      "bit-identical; only the recompute counters and wall-clock differ)");
+  for (const Workload& w : AblationWorkloads()) {
+    double costs[2] = {0.0, 0.0};
+    for (bool delta : {true, false}) {
+      SearchOptions sopts;
+      sopts.time_budget_ms = 0;
+      sopts.max_iterations = 150;
+      sopts.seed = 3;
+      EvalOptions eopts;
+      eopts.screen = {100, 40};
+      eopts.delta_eval = delta;
+      StateEvaluator eval(eopts, w.queries);
+      Stopwatch watch;
+      SearchResult r = RunMcts(w, sopts, &eval);
+      int64_t ms = watch.ElapsedMillis();
+      costs[delta ? 0 : 1] = r.best_cost;
+      std::printf("  %-9s delta=%-5s cost=%8.2f  subtree recompute/hit="
+                  "%6zu/%-6zu  plan recompute/hit=%5zu/%-5zu  %5lld ms\n",
+                  w.name, delta ? "on" : "off", r.best_cost,
+                  eval.subtree_recomputes(), eval.subtree_cache_hits(),
+                  eval.plan_recomputes(), eval.plan_cache_hits(),
+                  static_cast<long long>(ms));
+      std::printf("{\"bench\":\"ablation\",\"group\":\"delta\","
+                  "\"workload\":\"%s\",\"delta\":%s,\"best_cost\":%.4f,"
+                  "\"subtree_recomputes\":%zu,\"subtree_hits\":%zu,"
+                  "\"plan_recomputes\":%zu,\"plan_hits\":%zu,\"ms\":%lld}\n",
+                  w.name, delta ? "true" : "false", r.best_cost,
+                  eval.subtree_recomputes(), eval.subtree_cache_hits(),
+                  eval.plan_recomputes(), eval.plan_cache_hits(),
+                  static_cast<long long>(ms));
+    }
+    std::printf("  %-9s bit-identical: %s\n", w.name,
+                costs[0] == costs[1] ? "yes" : "NO (BUG)");
+  }
 }
 
 }  // namespace
@@ -83,6 +206,9 @@ int main() {
     std::printf("  expand_all=%-5s cost=%.2f\n", all ? "true" : "false",
                 RunOnce(queries, opt));
   }
+
+  SweepPriors();
+  SweepDeltaCost();
 
   return 0;
 }

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Documentation checks run by the CI docs job (and locally).
+
+1. Intra-repo markdown links: every relative link target in a tracked
+   *.md file must exist (anchors are stripped; http(s)/mailto links are
+   skipped).
+2. Header doc-comment lint: every header under src/ must carry at least one
+   Doxygen-style documentation comment (`\\brief` or a `///` line) — the
+   repo's convention is that each public type/function documents its
+   contract in the header.
+
+Exit code 0 = clean, 1 = findings (printed one per line).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — excluding images; inline code spans are stripped first.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+SKIP_DIRS = {"build", "build-tsan", ".git", ".claude"}
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for f in files:
+            if f.endswith(".md"):
+                yield os.path.join(root, f)
+
+
+def check_links():
+    errors = []
+    for md in markdown_files():
+        text = open(md, encoding="utf-8").read()
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = CODE_SPAN_RE.sub("", line)
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-z]+:", target):  # http:, https:, mailto:
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:  # pure in-page anchor
+                    continue
+                resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(md, REPO)
+                    errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def check_headers():
+    errors = []
+    src = os.path.join(REPO, "src")
+    for root, _, files in os.walk(src):
+        for f in sorted(files):
+            if not f.endswith(".h"):
+                continue
+            path = os.path.join(root, f)
+            text = open(path, encoding="utf-8").read()
+            if "\\brief" not in text and "///" not in text:
+                rel = os.path.relpath(path, REPO)
+                errors.append(f"{rel}: no documentation comment "
+                              f"(expected at least one \\brief or /// line)")
+    return errors
+
+
+def main():
+    errors = check_links() + check_headers()
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"\n{len(errors)} documentation finding(s)", file=sys.stderr)
+        return 1
+    print("docs clean: links resolve, headers documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

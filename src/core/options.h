@@ -53,7 +53,14 @@ struct ParallelOptions {
   size_t leaf_rollouts = 2;
 };
 
-/// \brief All knobs of the end-to-end generator, with paper defaults.
+/// \brief All knobs of the end-to-end generator, with paper defaults —
+/// except the PR-2 search/evaluation refinements, which default on and are
+/// individually ablatable:
+///  - `search.priors` (PriorOptions): log-derived action priors (PUCT) and
+///    progressive widening; `use_priors`/`progressive_widening` false
+///    recovers the paper's uniform expand-all search.
+///  - `delta_cost_eval`: per-subtree delta-cost evaluation; false forces
+///    full re-evaluation per state (bit-identical costs, more recomputes).
 struct GeneratorOptions {
   Screen screen{100, 40};
   Algorithm algorithm = Algorithm::kMcts;
@@ -63,6 +70,8 @@ struct GeneratorOptions {
   ParallelOptions parallel;
   RuleSetOptions rules;
   CostConstants constants;
+  /// Delta-cost evaluation ablation flag (EvalOptions::delta_eval).
+  bool delta_cost_eval = true;
   /// k random widget assignments per state during search (paper's k).
   size_t k_assignments = 8;
   /// Derivations per query for the min-change U computation.
@@ -77,6 +86,7 @@ struct GeneratorOptions {
     e.k_assignments = k_assignments;
     e.parse_limit = parse_limit;
     e.enumeration_cap = enumeration_cap;
+    e.delta_eval = delta_cost_eval;
     return e;
   }
 };

@@ -1,0 +1,73 @@
+#include "cost/delta.h"
+
+#include <limits>
+
+#include "widgets/appropriateness.h"
+
+namespace ifgen {
+
+ChoiceWidgetTerms ComputeChoiceWidgetTerms(const DiffTree& choice_node,
+                                           const CostConstants& constants,
+                                           const SizeModel& size_model) {
+  ChoiceWidgetTerms t;
+  t.domain = ExtractDomain(choice_node);
+  for (WidgetKind k : ValidWidgetKinds(t.domain)) {
+    // The adder composes its size from its children (layout-style), so it
+    // has no leaf template to check.
+    if (k == WidgetKind::kAdder || size_model.PickTemplate(k, t.domain).ok()) {
+      t.options.push_back(k);
+    }
+  }
+  // First minimum wins, matching the historical greedy-assignment loop.
+  double best_m = std::numeric_limits<double>::infinity();
+  for (size_t o = 0; o < t.options.size(); ++o) {
+    double m = AppropriatenessCost(constants, t.options[o], t.domain);
+    if (m < best_m) {
+      best_m = m;
+      t.min_m_pick = static_cast<int>(o);
+    }
+  }
+  return t;
+}
+
+std::shared_ptr<const ChoiceWidgetTerms> DeltaCostCache::GetChoiceTerms(
+    const DiffTree& choice_node, const CostConstants& constants,
+    const SizeModel& size_model) {
+  if (!enabled_) {
+    subtree_recomputes_.fetch_add(1, std::memory_order_relaxed);
+    return std::make_shared<const ChoiceWidgetTerms>(
+        ComputeChoiceWidgetTerms(choice_node, constants, size_model));
+  }
+  // Order-sensitive hash: the cached labels are read by index against the
+  // node's actual children at widget-build time (see delta.h).
+  uint64_t key = choice_node.Hash();
+  if (auto cached = terms_.Lookup(key)) {
+    subtree_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *cached;
+  }
+  subtree_recomputes_.fetch_add(1, std::memory_order_relaxed);
+  auto t = std::make_shared<const ChoiceWidgetTerms>(
+      ComputeChoiceWidgetTerms(choice_node, constants, size_model));
+  terms_.Insert(key, t);
+  return t;
+}
+
+std::shared_ptr<const TransitionPlan> DeltaCostCache::LookupPlan(
+    uint64_t tree_hash) const {
+  if (enabled_) {
+    if (auto cached = plans_.Lookup(tree_hash)) {
+      plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *cached;
+    }
+  }
+  plan_recomputes_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void DeltaCostCache::StorePlan(uint64_t tree_hash,
+                               std::shared_ptr<const TransitionPlan> plan) {
+  if (!enabled_) return;
+  plans_.Insert(tree_hash, std::move(plan));
+}
+
+}  // namespace ifgen

@@ -12,7 +12,19 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 StateEvaluator::StateEvaluator(const EvalOptions& opts, const std::vector<Ast>& queries)
     : opts_(opts), queries_(queries),
-      model_(opts_.constants, opts_.screen, opts_.parse_limit) {}
+      model_(opts_.constants, opts_.screen, opts_.parse_limit),
+      delta_(opts.delta_eval) {}
+
+std::shared_ptr<const TransitionPlan> StateEvaluator::PlanFor(const DiffTree& tree) {
+  // Order-sensitive hash: plans encode pre-order choice ids, so two trees
+  // that differ only in ANY-alternative order have different plans.
+  uint64_t key = tree.Hash();
+  if (auto cached = delta_.LookupPlan(key)) return cached;
+  auto plan = std::make_shared<const TransitionPlan>(
+      PlanTransitions(tree, queries_, opts_.parse_limit));
+  delta_.StorePlan(key, plan);
+  return plan;
+}
 
 double StateEvaluator::EvaluateAssignment(const WidgetAssigner& assigner,
                                           const Assignment& a,
@@ -36,59 +48,56 @@ double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
   uint64_t key = 0;
   if (opts_.cache_enabled) {
     key = tree.CanonicalHash();
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
+    if (auto cached = cost_cache_.Lookup(key)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      return *cached;
     }
   }
-  WidgetAssigner assigner(tree, opts_.constants);
+  WidgetAssigner assigner(tree, opts_.constants, &delta_);
   double best = kInf;
   if (assigner.viable()) {
-    TransitionPlan plan = PlanTransitions(tree, queries_, opts_.parse_limit);
+    auto plan = PlanFor(tree);
     size_t random_draws = opts_.k_assignments;
     if (opts_.greedy_seed && random_draws > 0) {
       best = std::min(best, EvaluateAssignment(
                                 assigner, assigner.MinAppropriatenessAssignment(),
-                                plan, nullptr));
+                                *plan, nullptr));
       --random_draws;
     }
     for (size_t i = 0; i < random_draws; ++i) {
       Assignment a = assigner.RandomAssignment(rng);
-      best = std::min(best, EvaluateAssignment(assigner, a, plan, nullptr));
+      best = std::min(best, EvaluateAssignment(assigner, a, *plan, nullptr));
     }
   }
   if (opts_.cache_enabled) {
     // First writer wins: concurrent misses on the same state each compute a
     // valid sample; overwriting would let the cached value drift mid-search.
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    cache_.emplace(key, best);
+    cost_cache_.Insert(key, best);
   }
   return best;
 }
 
 Result<ScoredWidgetTree> StateEvaluator::FindBest(const DiffTree& tree, Rng* rng) {
-  WidgetAssigner assigner(tree, opts_.constants);
+  WidgetAssigner assigner(tree, opts_.constants, &delta_);
   if (!assigner.viable()) {
     return Status::Invalid("state has a choice node with no valid widget");
   }
   ScoredWidgetTree best;
   best.cost.valid = false;  // total() == inf until something valid lands
-  TransitionPlan plan = PlanTransitions(tree, queries_, opts_.parse_limit);
+  auto plan = PlanFor(tree);
 
   if (assigner.CombinationCount() <= opts_.enumeration_cap) {
     Assignment a = assigner.FirstAssignment();
     do {
-      EvaluateAssignment(assigner, a, plan, &best);
+      EvaluateAssignment(assigner, a, *plan, &best);
     } while (assigner.NextAssignment(&a));
   } else {
     // Sample (greedy seed first), then coordinate-descent on the best.
-    EvaluateAssignment(assigner, assigner.MinAppropriatenessAssignment(), plan,
+    EvaluateAssignment(assigner, assigner.MinAppropriatenessAssignment(), *plan,
                        &best);
     for (size_t i = 0; i < opts_.sample_fallback; ++i) {
       Assignment a = assigner.RandomAssignment(rng);
-      EvaluateAssignment(assigner, a, plan, &best);
+      EvaluateAssignment(assigner, a, *plan, &best);
     }
     if (best.cost.valid) {
       bool improved = true;
@@ -104,7 +113,7 @@ Result<ScoredWidgetTree> StateEvaluator::FindBest(const DiffTree& tree, Rng* rng
             Assignment trial = current;
             trial.picks[d] = static_cast<int>(o);
             double before = best.cost.total();
-            EvaluateAssignment(assigner, trial, plan, &best);
+            EvaluateAssignment(assigner, trial, *plan, &best);
             if (best.cost.total() < before) {
               current = best.assignment;
               improved = true;

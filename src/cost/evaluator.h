@@ -1,11 +1,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
-#include <unordered_map>
 
 #include "cost/cost_model.h"
+#include "cost/delta.h"
 #include "interface/assignment.h"
+#include "runtime/tt.h"
 #include "util/rng.h"
 
 namespace ifgen {
@@ -25,6 +25,13 @@ struct EvalOptions {
   size_t sample_fallback = 800;
   /// Memoize sampled state costs by canonical difftree hash.
   bool cache_enabled = true;
+  /// Delta-cost evaluation: memoize per-subtree cost contributions (choice
+  /// widget terms, transition plans) so evaluating a state recomputes only
+  /// the subtrees touched by the rule application that produced it. The
+  /// ablation flag — setting this false forces full re-evaluation — yields
+  /// bit-identical costs (tested); only the recompute counters change.
+  /// See cost/delta.h and docs/cost-model.md.
+  bool delta_eval = true;
   /// Mix the greedy min-M assignment into each state's k samples. The paper
   /// uses k purely random assignments; the greedy seed makes the sampled
   /// reward a far better estimate of a state's potential (ablation:
@@ -67,15 +74,31 @@ class StateEvaluator {
   size_t evaluations() const { return evaluations_.load(std::memory_order_relaxed); }
   size_t cache_hits() const { return cache_hits_.load(std::memory_order_relaxed); }
 
+  /// Delta-cost instrumentation (see DeltaCostCache): subtree-term and
+  /// transition-plan computations performed vs. answered from the caches.
+  /// With `delta_eval` off, every call counts as a recompute, so the same
+  /// counters quantify both sides of the ablation.
+  size_t subtree_recomputes() const { return delta_.subtree_recomputes(); }
+  size_t subtree_cache_hits() const { return delta_.subtree_hits(); }
+  size_t plan_recomputes() const { return delta_.plan_recomputes(); }
+  size_t plan_cache_hits() const { return delta_.plan_hits(); }
+
  private:
   double EvaluateAssignment(const WidgetAssigner& assigner, const Assignment& a,
                             const TransitionPlan& plan, ScoredWidgetTree* best);
 
+  /// The state's transition plan, memoized by order-sensitive tree hash
+  /// when delta evaluation is on (shared immutable object — cache hits
+  /// copy a pointer, not the per-query change lists).
+  std::shared_ptr<const TransitionPlan> PlanFor(const DiffTree& tree);
+
   EvalOptions opts_;
   std::vector<Ast> queries_;
   CostModel model_;
-  mutable std::mutex cache_mu_;
-  std::unordered_map<uint64_t, double> cache_;
+  /// Sampled-cost memo by canonical state hash (sharded: many search
+  /// threads hit this on every rollout step).
+  ShardedMap<double> cost_cache_;
+  DeltaCostCache delta_;
   std::atomic<size_t> evaluations_{0};
   std::atomic<size_t> cache_hits_{0};
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "cost/delta.h"
 #include "util/logging.h"
 #include "widgets/appropriateness.h"
 #include "util/string_util.h"
@@ -38,8 +39,13 @@ bool ProducesWidgets(const DiffTree& n) { return n.ChoiceCount() > 0; }
 
 }  // namespace
 
-WidgetAssigner::WidgetAssigner(const DiffTree& tree, const CostConstants& constants)
-    : tree_(tree), constants_(constants), size_model_(constants_), index_(tree) {
+WidgetAssigner::WidgetAssigner(const DiffTree& tree, const CostConstants& constants,
+                               DeltaCostCache* delta)
+    : tree_(tree),
+      constants_(constants),
+      delta_(delta),
+      size_model_(constants_),
+      index_(tree) {
   Collect(tree_);
 }
 
@@ -72,16 +78,24 @@ void WidgetAssigner::Collect(const DiffTree& node) {
     case DKind::kAny:
     case DKind::kOpt:
     case DKind::kMulti: {
-      WidgetDomain domain = ExtractDomain(node);
+      // The subtree-local terms (domain, valid options, greedy min-M pick)
+      // come from the delta-cost cache when one is attached: after a rule
+      // application, only choice subtrees touched by the rewrite miss.
       DecisionPoint d;
       d.type = DecisionType::kChoiceWidget;
       d.node = &node;
-      for (WidgetKind k : ValidWidgetKinds(domain)) {
-        // The adder composes its size from its children (layout-style), so
-        // it has no leaf template to check.
-        if (k == WidgetKind::kAdder || size_model_.PickTemplate(k, domain).ok()) {
-          d.options.push_back(k);
-        }
+      if (delta_ != nullptr) {
+        std::shared_ptr<const ChoiceWidgetTerms> terms =
+            delta_->GetChoiceTerms(node, constants_, size_model_);
+        d.options = terms->options;
+        d.domain = terms->domain;
+        d.min_m_pick = terms->min_m_pick;
+      } else {
+        ChoiceWidgetTerms terms =
+            ComputeChoiceWidgetTerms(node, constants_, size_model_);
+        d.options = std::move(terms.options);
+        d.domain = std::move(terms.domain);
+        d.min_m_pick = terms.min_m_pick;
       }
       if (d.options.empty()) viable_ = false;
       decision_of_node_[&node].push_back(static_cast<int>(decisions_.size()));
@@ -133,18 +147,12 @@ bool WidgetAssigner::NextAssignment(Assignment* a) const {
 }
 
 Assignment WidgetAssigner::MinAppropriatenessAssignment() const {
+  // The per-choice greedy pick was computed once at Collect time (and is
+  // shared across states through the delta-cost cache).
   Assignment a = FirstAssignment();
   for (size_t i = 0; i < decisions_.size(); ++i) {
     if (decisions_[i].type != DecisionType::kChoiceWidget) continue;
-    WidgetDomain domain = ExtractDomain(*decisions_[i].node);
-    double best_m = std::numeric_limits<double>::infinity();
-    for (size_t o = 0; o < decisions_[i].options.size(); ++o) {
-      double m = AppropriatenessCost(constants_, decisions_[i].options[o], domain);
-      if (m < best_m) {
-        best_m = m;
-        a.picks[i] = static_cast<int>(o);
-      }
-    }
+    a.picks[i] = decisions_[i].min_m_pick;
   }
   return a;
 }
@@ -214,7 +222,7 @@ Status WidgetAssigner::BuildNode(const DiffTree& node, const Assignment& a,
         return Status::Invalid("choice node has no valid widget");
       }
       WidgetKind kind = d.options[static_cast<size_t>(a.picks[static_cast<size_t>(didx)])];
-      WidgetDomain domain = ExtractDomain(node);
+      const WidgetDomain& domain = d.domain;
       WidgetNode w;
       w.kind = kind;
       w.choice_id = index_.IdOf(&node);
@@ -249,7 +257,7 @@ Status WidgetAssigner::BuildNode(const DiffTree& node, const Assignment& a,
       if (didx < 0) return Status::Internal("missing OPT decision");
       const DecisionPoint& d = decisions_[static_cast<size_t>(didx)];
       if (d.options.empty()) return Status::Invalid("OPT has no valid widget");
-      WidgetDomain domain = ExtractDomain(node);
+      const WidgetDomain& domain = d.domain;
       WidgetNode toggle;
       toggle.kind = d.options[static_cast<size_t>(a.picks[static_cast<size_t>(didx)])];
       toggle.choice_id = index_.IdOf(&node);
@@ -291,7 +299,9 @@ Status WidgetAssigner::BuildNode(const DiffTree& node, const Assignment& a,
       return Status::OK();
     }
     case DKind::kMulti: {
-      WidgetDomain domain = ExtractDomain(node);
+      int didx = DecisionIndexOf(&node, DecisionType::kChoiceWidget);
+      if (didx < 0) return Status::Internal("missing MULTI decision");
+      const WidgetDomain& domain = decisions_[static_cast<size_t>(didx)].domain;
       WidgetNode adder;
       adder.kind = WidgetKind::kAdder;
       adder.choice_id = index_.IdOf(&node);

@@ -13,6 +13,8 @@
 
 namespace ifgen {
 
+class DeltaCostCache;
+
 /// \brief The kinds of decisions that turn a difftree into a widget tree.
 enum class DecisionType : uint8_t {
   kChoiceWidget,      ///< which interaction widget expresses a choice node
@@ -28,6 +30,12 @@ struct DecisionPoint {
   /// kBetweenComposite: {0 = separate widgets, 1 = range slider} — encoded
   /// as a two-entry dummy kind list for uniform odometer handling.
   std::vector<WidgetKind> options;
+  /// kChoiceWidget only: the choice node's widget domain, computed once at
+  /// Collect time (possibly from the delta-cost cache) and reused by every
+  /// Build of this assigner instead of re-extracting per assignment.
+  WidgetDomain domain;
+  /// kChoiceWidget only: options index minimizing M(.) — the greedy pick.
+  int min_m_pick = 0;
 };
 
 /// \brief A concrete pick per decision point.
@@ -42,7 +50,10 @@ struct Assignment {
 /// (b) exhaustively enumerate widget trees for the final state.
 class WidgetAssigner {
  public:
-  WidgetAssigner(const DiffTree& tree, const CostConstants& constants);
+  /// `delta` (optional) memoizes per-choice-subtree widget terms across
+  /// states (see cost/delta.h); null computes everything from scratch.
+  WidgetAssigner(const DiffTree& tree, const CostConstants& constants,
+                 DeltaCostCache* delta = nullptr);
 
   const std::vector<DecisionPoint>& decisions() const { return decisions_; }
   const ChoiceIndex& choice_index() const { return index_; }
@@ -88,6 +99,7 @@ class WidgetAssigner {
 
   const DiffTree& tree_;
   const CostConstants& constants_;
+  DeltaCostCache* delta_ = nullptr;
   SizeModel size_model_;
   ChoiceIndex index_;
   std::vector<DecisionPoint> decisions_;

@@ -1,7 +1,10 @@
 #include "search/mcts.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "search/priors.h"
 #include "util/logging.h"
 
 namespace ifgen {
@@ -15,6 +18,10 @@ struct Node {
   double total_reward = 0.0;
   size_t visits = 0;
   std::vector<RuleApplication> apps;
+  /// Index-aligned with `apps` (sorted together); empty when priors are off.
+  std::vector<double> priors;
+  /// Prior of the application that created this node (PUCT's P term).
+  double prior = 0.0;
   bool apps_ready = false;
   size_t next_untried = 0;
   /// Fully expanded, childless (or all children dead): selection skips it.
@@ -29,6 +36,27 @@ double Uct(const SearchOptions& opts, const Node& child, size_t parent_visits) {
                    std::sqrt(std::log(static_cast<double>(parent_visits)) /
                              static_cast<double>(child.visits));
   return exploit + explore;
+}
+
+/// PUCT (prior-weighted UCT): exploration is proportional to the action
+/// prior, so low-prior children need strong observed rewards to keep being
+/// selected. Fresh children are simulated at expansion, so visits >= 1 here.
+double Puct(const SearchOptions& opts, const Node& child, size_t parent_visits) {
+  double exploit = child.visits == 0
+                       ? 0.0
+                       : child.total_reward / static_cast<double>(child.visits);
+  double explore = opts.priors.puct_c * child.prior *
+                   std::sqrt(static_cast<double>(parent_visits)) /
+                   (1.0 + static_cast<double>(child.visits));
+  return exploit + explore;
+}
+
+/// Number of `apps` entries the node may consume given its visit count:
+/// everything without widening, the widening schedule's limit with it.
+size_t UnlockedApps(const SearchOptions& opts, const Node& node) {
+  if (!opts.priors.progressive_widening) return node.apps.size();
+  return std::min(node.apps.size(),
+                  ProgressiveWideningLimit(node.visits, opts.priors));
 }
 
 /// Result of one leaf-parallel simulation task (stats merged afterwards so
@@ -74,6 +102,25 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
     if (node->apps_ready) return;
     node->apps = p.rules->EnumerateApplications(node->state);
     rng.Shuffle(&node->apps);  // expansion order should not bias the search
+    if (p.priors != nullptr && !node->apps.empty()) {
+      // Prior-ordered expansion: highest prior first, shuffled ties (the
+      // stable sort keeps the shuffle's order among equal priors), so
+      // progressive widening unlocks the most promising actions first.
+      node->priors = p.priors->Evaluate(node->state, node->apps);
+      std::vector<size_t> order(node->apps.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return node->priors[a] > node->priors[b];
+      });
+      std::vector<RuleApplication> apps(node->apps.size());
+      std::vector<double> priors(node->apps.size());
+      for (size_t i = 0; i < order.size(); ++i) {
+        apps[i] = std::move(node->apps[order[i]]);
+        priors[i] = node->priors[order[i]];
+      }
+      node->apps = std::move(apps);
+      node->priors = std::move(priors);
+    }
     stats.RecordFanout(node->apps.size());
     node->apps_ready = true;
   };
@@ -98,18 +145,23 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
     if (opts.max_iterations > 0 && stats.iterations >= opts.max_iterations) break;
     ++stats.iterations;
 
-    // 1. Selection: descend by UCT while fully expanded.
+    // 1. Selection: descend by UCT (PUCT with priors) while the widening
+    // schedule offers no unexpanded action at the node.
     Node* node = root.get();
     while (true) {
       ensure_apps(node);
-      if (node->next_untried < node->apps.size() || node->children.empty()) break;
+      if (node->next_untried < UnlockedApps(opts, *node) || node->children.empty()) {
+        break;
+      }
       Node* picked = nullptr;
-      double best_uct = -1.0;
+      double best_score = -1.0;
       for (const auto& ch : node->children) {
         if (ch->dead) continue;
-        double u = Uct(opts, *ch, std::max<size_t>(1, node->visits));
-        if (u > best_uct) {
-          best_uct = u;
+        double u = p.priors != nullptr
+                       ? Puct(opts, *ch, std::max<size_t>(1, node->visits))
+                       : Uct(opts, *ch, std::max<size_t>(1, node->visits));
+        if (u > best_score) {
+          best_score = u;
           picked = ch.get();
         }
       }
@@ -117,21 +169,26 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
       node = picked;
     }
 
-    // 2. Expansion (bounded per iteration and by the payload budget).
+    // 2. Expansion (bounded per iteration, by the widening schedule, and by
+    // the payload budget). With priors, apps are in prior order, so widening
+    // unlocks the most promising neighbors first.
     std::vector<Node*> fresh;
     if (payload_nodes < opts.max_search_tree_payload) {
-      size_t available = node->apps.size() - node->next_untried;
+      size_t unlocked = UnlockedApps(opts, *node);
+      size_t available = unlocked > node->next_untried ? unlocked - node->next_untried : 0;
       size_t expansions =
           opts.expand_all_children ? available : std::min<size_t>(1, available);
       expansions = std::min(expansions, opts.max_expansions_per_iteration);
       for (size_t e = 0; e < expansions; ++e) {
-        const RuleApplication& app = node->apps[node->next_untried++];
+        const size_t app_index = node->next_untried++;
+        const RuleApplication& app = node->apps[app_index];
         auto applied = p.rules->Apply(node->state, app);
         if (!applied.ok()) continue;
         auto child = std::make_unique<Node>();
         child->state = std::move(applied).MoveValueUnsafe();
         child->canonical = child->state.CanonicalHash();
         child->parent = node;
+        child->prior = node->priors.empty() ? 0.0 : node->priors[app_index];
         if (!p.tt->Visit(child->canonical)) {
           ++stats.transposition_hits;
         }
@@ -258,6 +315,11 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   // A single-shard table is exactly the old per-searcher unordered_set plus
   // an in-run cost memo.
   TranspositionTable tt(1);
+  std::unique_ptr<ActionPriorModel> priors;
+  if (opts_.priors.use_priors) {
+    priors = std::make_unique<ActionPriorModel>(*rules_, evaluator_->queries(),
+                                                opts_.priors);
+  }
 
   MctsTreeParams params;
   params.rules = rules_;
@@ -269,6 +331,7 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   params.tt = &tt;
   params.best = &best;
   params.stats = &stats;
+  params.priors = priors.get();
   RunMctsTree(initial, params);
 
   SearchResult result;

@@ -11,6 +11,8 @@
 
 namespace ifgen {
 
+class ActionPriorModel;
+
 /// \brief Thread-safe global best tracker shared by all trees (and all leaf
 /// tasks) of one search. Only *global* improvements are recorded, so each
 /// contributing tree's trace is a slice of the monotone best-so-far curve.
@@ -50,6 +52,10 @@ struct MctsTreeParams {
   TranspositionTable* tt = nullptr;
   SharedBestTracker* best = nullptr;
   SearchStats* stats = nullptr;  ///< per-tree (merged by the caller)
+  /// Log-derived action priors (PUCT selection + prior-ordered expansion).
+  /// Null = uniform treatment (the paper's UCT). Immutable, so parallel
+  /// ensembles share one model across all trees.
+  const ActionPriorModel* priors = nullptr;
   /// Reward-normalization anchor (the initial state's sampled cost). NaN =
   /// "compute it here and offer the initial state to `best`" (serial mode);
   /// parallel ensembles compute it once and pass it to every tree so all
@@ -77,9 +83,15 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& params);
 /// Each search-tree node is a difftree; edges are rule applications. Per
 /// iteration:
 ///  1. Selection: descend from the root by maximum UCT
-///     (w/n + c * sqrt(ln N / n)).
+///     (w/n + c * sqrt(ln N / n)) — or, with priors enabled (the default,
+///     see PriorOptions), by maximum PUCT
+///     (w/n + puct_c * P(a) * sqrt(N) / (1 + n)) where P is the
+///     ActionPriorModel's log-derived prior of the child's creating action.
 ///  2. Expansion: materialize untried neighbor states — all of them when
-///     `expand_all_children` (the paper's variant), else one.
+///     `expand_all_children` (the paper's variant), else one. Progressive
+///     widening (default on) caps a node's children at
+///     ProgressiveWideningLimit(visits), so high-fanout nodes unlock
+///     children gradually, highest-prior first.
 ///  3. Simulation: from each new child, a uniformly random rule-application
 ///     walk of up to `rollout_len` steps (200 in the paper).
 ///  4. Reward: the final state's cost from k random widget assignments,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "search/priors.h"
 #include "util/logging.h"
 
 namespace ifgen {
@@ -24,6 +25,15 @@ Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initi
   Deadline deadline(opts_.time_budget_ms);
   TranspositionTable tt(parallel_.tt_shards);
   SharedBestTracker best;
+
+  // One prior model for the whole ensemble: it is immutable after
+  // construction, so all trees read it concurrently, and building it once
+  // keeps every tree's priors (and hence their expansion order) coherent.
+  std::unique_ptr<ActionPriorModel> priors;
+  if (opts_.priors.use_priors) {
+    priors = std::make_unique<ActionPriorModel>(*rules_, evaluator_->queries(),
+                                                opts_.priors);
+  }
 
   // One shared reward anchor: all trees normalize rewards identically (and
   // none re-evaluates the initial state — the evaluator memoizes it anyway,
@@ -64,6 +74,7 @@ Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initi
         params.tt = &tt;
         params.best = &best;
         params.stats = &tree_stats[t];
+        params.priors = priors.get();
         params.anchor_cost = c0_raw;
         params.root_actions = &tree_actions[t];
         RunMctsTree(initial, params);
@@ -112,6 +123,11 @@ Result<SearchResult> ParallelMctsSearcher::RunLeafParallel(const DiffTree& initi
   SearchStats stats;
   Rng rng(opts_.seed);
   ThreadPool pool(parallel_.num_threads);
+  std::unique_ptr<ActionPriorModel> priors;
+  if (opts_.priors.use_priors) {
+    priors = std::make_unique<ActionPriorModel>(*rules_, evaluator_->queries(),
+                                                opts_.priors);
+  }
 
   MctsTreeParams params;
   params.rules = rules_;
@@ -123,6 +139,7 @@ Result<SearchResult> ParallelMctsSearcher::RunLeafParallel(const DiffTree& initi
   params.tt = &tt;
   params.best = &best;
   params.stats = &stats;
+  params.priors = priors.get();
   params.leaf_pool = &pool;
   params.leaf_rollouts = std::max<size_t>(1, parallel_.leaf_rollouts);
   RunMctsTree(initial, params);

@@ -13,6 +13,39 @@
 
 namespace ifgen {
 
+/// \brief Knobs of the prior-guided search layer (PUCT selection +
+/// progressive widening); see docs/search.md and search/priors.h.
+///
+/// The paper expands all immediate neighbors and selects children by plain
+/// UCT — every rule application is treated as equally promising a priori.
+/// The query log says otherwise: its co-occurrence structure predicts which
+/// factoring edits pay off (Precision Interfaces; PI2). ActionPriorModel
+/// turns those statistics plus the rule type into a per-action prior; this
+/// struct holds the on/off ablation flags and the formula constants.
+struct PriorOptions {
+  /// Use log-derived action priors: PUCT selection and prior-ordered
+  /// expansion. Off = the paper's uniform treatment (ablation baseline).
+  bool use_priors = true;
+  /// Progressive widening: a node may only have ceil(widen_c * (v+1)^
+  /// widen_alpha) children at v visits, so high-fanout nodes expand their
+  /// children lazily (in prior order when `use_priors`) instead of all at
+  /// once. Off = the paper's expand-all behavior (ablation baseline).
+  bool progressive_widening = true;
+  /// PUCT exploration multiplier: score = Q + puct_c * P * sqrt(N)/(1+n).
+  double puct_c = 1.2;
+  /// Widening schedule constants (see ProgressiveWideningLimit).
+  double widen_c = 3.0;
+  double widen_alpha = 0.5;
+  /// Weight of the log label-frequency site signal in the prior.
+  double freq_weight = 1.0;
+  /// Weight of the log co-occurrence (pair-affinity) site signal; applied
+  /// to forward/factoring applications only.
+  double cooc_weight = 1.0;
+  /// Floor applied to each raw prior before normalization, so no action's
+  /// exploration term is starved entirely.
+  double min_prior = 0.02;
+};
+
 /// \brief Options shared by every search algorithm.
 struct SearchOptions {
   /// Wall-clock budget; <= 0 means "iteration-capped only" (deterministic
@@ -58,6 +91,9 @@ struct SearchOptions {
   /// reward the best state *seen*, which is what the anytime result tracker
   /// needs (random walks drift, so termini are rarely the walk's best).
   double rollout_eval_prob = 0.25;
+
+  /// Prior-guided selection/expansion (MCTS only; see PriorOptions).
+  PriorOptions priors;
 
   // Greedy / beam.
   size_t beam_width = 8;

@@ -57,11 +57,17 @@ class Rng {
   Rng Fork() { return Rng(engine_() ^ 0xd1b54a32d192ed03ULL); }
 
   /// Derives the `stream_id`-th independent stream of this generator's
-  /// *seed* (a splitmix64 finalizer over seed + stream). Split is const —
-  /// it depends only on the construction seed, never on how many draws
-  /// have been consumed — so every thread of a parallel search can derive
-  /// its stream without coordination and reproducibly across runs.
-  /// Split(i) == Split(i) always; Split(i) != Split(j) for i != j (whp).
+  /// *seed*: a splitmix64 finalizer over (construction seed, stream_id),
+  /// and nothing else. Split is const and consumes no draws — calling it
+  /// before or after any number of draws yields the same stream, so every
+  /// thread of a parallel search derives its stream without coordination,
+  /// and the same (seed, stream_id) pair names the same stream in every
+  /// run. Split(i) == Split(i) always; Split(i) != Split(j) for i != j
+  /// (whp). Note the limit of what this buys: with more than one thread
+  /// the *streams* are reproducible but the search *trajectories* are not,
+  /// because shared-cache timing changes how many draws each stream
+  /// consumes (see docs/search.md, "Determinism"). Note also that Split on
+  /// a Fork()ed generator splits the fork's own (draw-derived) seed.
   Rng Split(uint64_t stream_id) const { return Rng(SplitSeed(stream_id)); }
 
   /// The seed Split(stream_id) would construct with.

@@ -211,6 +211,49 @@ TEST(GenerateInterface, RejectsEmptyLog) {
   EXPECT_FALSE(GenerateInterface({}, {}).ok());
 }
 
+TEST(GenerateInterface, DeltaCostAblationIsBitIdenticalEndToEnd) {
+  // The delta-cost ablation guard: forcing full re-evaluation must change
+  // nothing about the search (costs are bit-identical, so every decision
+  // built on them is too) — only the recompute counters move.
+  std::vector<std::string> sqls = {
+      "select Sales from sales where cty = 'USA'",
+      "select Costs from sales where cty = 'EUR'", "select Costs from sales"};
+  GeneratorOptions opt;
+  opt.screen = {80, 24};
+  opt.search.time_budget_ms = 0;
+  opt.search.max_iterations = 25;
+  opt.delta_cost_eval = true;
+  auto with_delta = GenerateInterface(sqls, opt);
+  opt.delta_cost_eval = false;
+  auto full = GenerateInterface(sqls, opt);
+  ASSERT_TRUE(with_delta.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(with_delta->cost.total(), full->cost.total());
+  EXPECT_EQ(with_delta->difftree, full->difftree);
+  EXPECT_EQ(with_delta->cost.m_total, full->cost.m_total);
+  EXPECT_EQ(with_delta->cost.u_total, full->cost.u_total);
+}
+
+TEST(GenerateInterface, PriorAblationFlagsSelectTheUniformSearch) {
+  // Both the prior-guided default and the paper's uniform ablation must
+  // produce valid interfaces over the same log (costs may differ — that
+  // delta is what bench_ablation measures).
+  std::vector<std::string> sqls = {
+      "select a from t where x between 1 and 5",
+      "select b from t where x between 2 and 9"};
+  for (bool use_priors : {true, false}) {
+    GeneratorOptions opt;
+    opt.screen = {80, 24};
+    opt.search.time_budget_ms = 0;
+    opt.search.max_iterations = 20;
+    opt.search.priors.use_priors = use_priors;
+    opt.search.priors.progressive_widening = use_priors;
+    auto r = GenerateInterface(sqls, opt);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->cost.valid);
+  }
+}
+
 TEST(GenerateInterface, ScreenSensitivity) {
   // The narrow screen must still produce a valid interface, and it must fit.
   GeneratorOptions opt;
