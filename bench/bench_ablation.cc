@@ -74,9 +74,12 @@ void SweepPriors() {
                             {"priors only", true, false},
                             {"widening only", false, true},
                             {"uniform (paper)", false, false}};
+  const std::vector<size_t> iter_points =
+      bench::SmokeMode() ? std::vector<size_t>{5, 10}
+                         : std::vector<size_t>{60, 150, 300};
   for (const Workload& w : AblationWorkloads()) {
     std::printf("\n%s:\n", w.name);
-    for (size_t iters : {60, 150, 300}) {
+    for (size_t iters : iter_points) {
       for (const Config& c : configs) {
         SearchOptions sopts;
         sopts.time_budget_ms = 0;  // iteration-capped: comparable work
@@ -114,7 +117,7 @@ void SweepDeltaCost() {
     for (bool delta : {true, false}) {
       SearchOptions sopts;
       sopts.time_budget_ms = 0;
-      sopts.max_iterations = 150;
+      sopts.max_iterations = bench::SmokeMode() ? 10 : 150;
       sopts.seed = 3;
       EvalOptions eopts;
       eopts.screen = {100, 40};
@@ -148,7 +151,7 @@ void SweepDeltaCost() {
 
 int main() {
   bench::PrintHeader("Ablations on Listing 1 (lower cost is better)");
-  const int64_t budget = bench::BudgetMs(2500);
+  const int64_t budget = bench::SmokeMode() ? 50 : bench::BudgetMs(2500);
   auto queries = *ParseQueries(SdssListing1());
 
   GeneratorOptions base;

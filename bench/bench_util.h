@@ -19,6 +19,14 @@ inline int64_t BudgetMs(int64_t fallback) {
   return env != nullptr ? std::atoll(env) : fallback;
 }
 
+/// IFGEN_BENCH_SMOKE=1 shrinks sweeps to seconds for the CI bench-smoke
+/// job: tiny iteration counts and data sizes, same code paths and JSON row
+/// schema (validated by scripts/check_bench_json.py).
+inline bool SmokeMode() {
+  const char* env = std::getenv("IFGEN_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
 inline void PrintHeader(const char* title) {
   std::printf("\n==================================================================\n");
   std::printf("%s\n", title);

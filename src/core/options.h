@@ -1,6 +1,7 @@
 #pragma once
 
 #include "cost/evaluator.h"
+#include "engine/backend.h"
 #include "rules/rule.h"
 #include "search/search_common.h"
 #include "widgets/widget.h"
@@ -70,6 +71,11 @@ struct GeneratorOptions {
   ParallelOptions parallel;
   RuleSetOptions rules;
   CostConstants constants;
+  /// Execution backend the generated interface's queries run against
+  /// (InterfaceSession::ExecuteCurrent, GenerationService::BackendFor).
+  /// Does not affect the generated interface itself, so it is excluded from
+  /// the service's result-cache key.
+  BackendKind backend = BackendKind::kColumnar;
   /// Delta-cost evaluation ablation flag (EvalOptions::delta_eval).
   bool delta_cost_eval = true;
   /// k random widget assignments per state during search (paper's k).

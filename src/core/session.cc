@@ -134,4 +134,10 @@ Result<Table> InterfaceSession::ExecuteCurrent(const Database& db) const {
   return exec.Execute(q);
 }
 
+Result<Table> InterfaceSession::ExecuteCurrent(ExecutionBackend* backend) const {
+  if (backend == nullptr) return Status::Invalid("null backend");
+  IFGEN_ASSIGN_OR_RETURN(Ast q, CurrentQuery());
+  return backend->Execute(q);
+}
+
 }  // namespace ifgen

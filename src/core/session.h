@@ -8,6 +8,7 @@
 #include "cost/transition.h"
 #include "difftree/match.h"
 #include "difftree/selection.h"
+#include "engine/backend.h"
 #include "engine/executor.h"
 #include "util/status.h"
 
@@ -50,8 +51,16 @@ class InterfaceSession {
   Result<Ast> CurrentQuery() const;
   Result<std::string> CurrentSql() const;
 
-  /// Executes the current query against `db` (the "visualization" feed).
+  /// Executes the current query against `db` (the "visualization" feed)
+  /// with a throwaway reference executor.
   Result<Table> ExecuteCurrent(const Database& db) const;
+
+  /// Executes the current query through an execution backend; repeated
+  /// widget transitions hit the backend's plan cache (same query shape,
+  /// new literal bindings). Backend selection comes from
+  /// GeneratorOptions::backend (see CreateBackend /
+  /// GenerationService::BackendFor).
+  Result<Table> ExecuteCurrent(ExecutionBackend* backend) const;
 
   const SelectionMap& selections() const { return selections_; }
   const DiffTree& difftree() const { return *tree_; }

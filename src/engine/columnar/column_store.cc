@@ -1,0 +1,89 @@
+#include "engine/columnar/column_store.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ifgen {
+
+int Scalar::Compare(const Scalar& o) const {
+  if (is_null() || o.is_null()) {
+    if (is_null() && o.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_num() && o.is_num()) {
+    if (num < o.num) return -1;
+    if (num > o.num) return 1;
+    return 0;
+  }
+  if (is_str() && o.is_str()) return str->compare(*o.str);
+  return is_num() ? -1 : 1;
+}
+
+Value Scalar::ToValue() const {
+  if (is_null()) return Value();
+  if (is_str()) return Value(*str);
+  if (is_int) return Value(ival);
+  return Value(num);
+}
+
+void Scalar::AppendKey(std::string* out) const {
+  // Must render exactly like Value::ToString so the columnar grouping keys
+  // match the reference executor's.
+  if (is_null()) {
+    *out += "null";
+  } else if (is_str()) {
+    *out += *str;
+  } else if (is_int) {
+    *out += std::to_string(ival);
+  } else if (std::floor(num) == num && std::abs(num) < 1e15) {
+    *out += StrFormat("%.1f", num);
+  } else {
+    *out += StrFormat("%.4g", num);
+  }
+}
+
+ColumnVector ColumnVector::Decode(const Table& t, size_t col) {
+  ColumnVector out;
+  out.type = t.schema().columns[col].type;
+  const size_t n = t.num_rows();
+  out.flags.resize(n, 0);
+  if (out.type == ColumnType::kString) {
+    out.strings.resize(n);
+  } else {
+    out.nums.resize(n, 0.0);
+    out.ints.resize(n, 0);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const Value& v = t.At(r, col);
+    if (v.is_null()) {
+      out.flags[r] = kNullBit;
+      continue;
+    }
+    if (out.type == ColumnType::kString) {
+      out.strings[r] = v.AsString();
+      continue;
+    }
+    // Numeric columns may hold ints and doubles interchangeably (the
+    // row-store allows any numeric Value in either column type).
+    out.nums[r] = v.AsDouble();
+    if (v.is_int()) {
+      out.ints[r] = v.AsInt();
+      out.flags[r] |= kIntBit;
+    }
+  }
+  return out;
+}
+
+ColumnarTable ColumnarTable::Decode(const Table& t) {
+  ColumnarTable out;
+  out.schema = t.schema();
+  out.num_rows = t.num_rows();
+  out.columns.reserve(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    out.columns.push_back(ColumnVector::Decode(t, c));
+  }
+  return out;
+}
+
+}  // namespace ifgen

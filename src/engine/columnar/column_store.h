@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace ifgen {
+
+/// \brief A cheap, non-owning scalar used during vectorized evaluation:
+/// numerics are unboxed doubles, strings are pointers into column storage.
+/// Mirrors Value semantics (Compare, ToString keys) without allocation.
+struct Scalar {
+  enum class Tag : uint8_t { kNull, kNum, kStr };
+  Tag tag = Tag::kNull;
+  double num = 0.0;             ///< comparison domain (ints widened)
+  bool is_int = false;          ///< numeric was an integer (for Value round-trip)
+  int64_t ival = 0;             ///< exact payload when is_int
+  const std::string* str = nullptr;
+
+  static Scalar Null() { return {}; }
+  static Scalar Int(int64_t v) {
+    Scalar s;
+    s.tag = Tag::kNum;
+    s.num = static_cast<double>(v);
+    s.is_int = true;
+    s.ival = v;
+    return s;
+  }
+  static Scalar Double(double v) {
+    Scalar s;
+    s.tag = Tag::kNum;
+    s.num = v;
+    return s;
+  }
+  static Scalar Str(const std::string* v) {
+    Scalar s;
+    s.tag = Tag::kStr;
+    s.str = v;
+    return s;
+  }
+
+  bool is_null() const { return tag == Tag::kNull; }
+  bool is_num() const { return tag == Tag::kNum; }
+  bool is_str() const { return tag == Tag::kStr; }
+
+  /// Same total order as Value::Compare: NULLs first, numerics as double,
+  /// strings lexicographic, numbers before strings.
+  int Compare(const Scalar& o) const;
+
+  bool Truthy() const { return is_num() && num != 0.0; }
+
+  /// Boxes back into a Value matching what the reference executor produces.
+  Value ToValue() const;
+
+  /// Appends the Value::ToString rendering (group/distinct key building).
+  void AppendKey(std::string* out) const;
+};
+
+/// \brief One typed column batch: parallel arrays decoded once from the
+/// row-store Table so that scans touch unboxed memory.
+///
+/// Numeric columns keep a double array (the comparison domain of Value) plus
+/// the original int64 payloads for exact Value round-trips; `flags` packs
+/// null (bit 0) and was-int (bit 1) per row.
+struct ColumnVector {
+  ColumnType type = ColumnType::kDouble;
+  std::vector<double> nums;
+  std::vector<int64_t> ints;
+  std::vector<std::string> strings;
+  std::vector<uint8_t> flags;
+
+  static constexpr uint8_t kNullBit = 1;
+  static constexpr uint8_t kIntBit = 2;
+
+  size_t size() const { return flags.size(); }
+  bool IsNull(size_t row) const { return (flags[row] & kNullBit) != 0; }
+
+  Scalar Get(size_t row) const {
+    uint8_t f = flags[row];
+    if ((f & kNullBit) != 0) return Scalar::Null();
+    if (type == ColumnType::kString) return Scalar::Str(&strings[row]);
+    if ((f & kIntBit) != 0) return Scalar::Int(ints[row]);
+    return Scalar::Double(nums[row]);
+  }
+
+  static ColumnVector Decode(const Table& t, size_t col);
+};
+
+/// \brief A table decoded into typed column batches (built once per backend).
+struct ColumnarTable {
+  TableSchema schema;
+  std::vector<ColumnVector> columns;
+  size_t num_rows = 0;
+
+  static ColumnarTable Decode(const Table& t);
+};
+
+}  // namespace ifgen

@@ -1,0 +1,817 @@
+#include "engine/columnar/columnar_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "engine/columnar/column_store.h"
+#include "engine/exec_util.h"
+#include "util/string_util.h"
+
+namespace ifgen {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compiled expressions.
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct CExpr {
+  enum class Op : uint8_t {
+    kColumn,   // col
+    kConst,    // constant (typed Value)
+    kParam,    // param (0-based index into the execution bindings)
+    kArith,    // arith over children[0], children[1]
+    kCmp,      // cmp over children[0], children[1]
+    kLike,     // children[0] like children[1]
+    kBetween,  // children[0] between children[1] and children[2]
+    kIn,       // children[0] in children[1..]
+    kAnd,
+    kOr,
+    kNot,
+  };
+  Op op = Op::kConst;
+  int col = -1;
+  Value constant;
+  size_t param = 0;
+  char arith = 0;
+  CmpOp cmp = CmpOp::kEq;
+  std::vector<CExpr> children;
+};
+
+/// Per-execution evaluation context. Type errors inside the tight loops are
+/// latched here instead of threading Result through every scalar.
+struct EvalCtx {
+  const ColumnarTable& table;
+  const std::vector<Value>& params;
+  Status error = Status::OK();
+
+  void Fail(const std::string& msg) {
+    if (error.ok()) error = Status::Invalid(msg);
+  }
+};
+
+Scalar ValueToScalar(const Value& v) {
+  if (v.is_null()) return Scalar::Null();
+  if (v.is_int()) return Scalar::Int(v.AsInt());
+  if (v.is_double()) return Scalar::Double(v.AsDouble());
+  return Scalar::Str(&v.AsString());
+}
+
+bool CmpHolds(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+Scalar EvalScalar(const CExpr& e, size_t row, EvalCtx* ctx) {
+  switch (e.op) {
+    case CExpr::Op::kColumn:
+      return ctx->table.columns[static_cast<size_t>(e.col)].Get(row);
+    case CExpr::Op::kConst:
+      return ValueToScalar(e.constant);
+    case CExpr::Op::kParam:
+      return ValueToScalar(ctx->params[e.param]);
+    case CExpr::Op::kArith: {
+      Scalar a = EvalScalar(e.children[0], row, ctx);
+      Scalar b = EvalScalar(e.children[1], row, ctx);
+      if (!a.is_num() || !b.is_num()) {
+        ctx->Fail("arithmetic on non-numeric values");
+        return Scalar::Null();
+      }
+      double x = a.num;
+      double y = b.num;
+      double r = e.arith == '+'   ? x + y
+                 : e.arith == '-' ? x - y
+                 : e.arith == '*' ? x * y
+                                  : x / y;
+      if (a.is_int && b.is_int && e.arith != '/') {
+        return Scalar::Int(static_cast<int64_t>(std::llround(r)));
+      }
+      return Scalar::Double(r);
+    }
+    case CExpr::Op::kCmp: {
+      Scalar a = EvalScalar(e.children[0], row, ctx);
+      Scalar b = EvalScalar(e.children[1], row, ctx);
+      return Scalar::Int(CmpHolds(e.cmp, a.Compare(b)) ? 1 : 0);
+    }
+    case CExpr::Op::kLike: {
+      Scalar a = EvalScalar(e.children[0], row, ctx);
+      Scalar b = EvalScalar(e.children[1], row, ctx);
+      if (!a.is_str() || !b.is_str()) {
+        ctx->Fail("LIKE on non-string values");
+        return Scalar::Null();
+      }
+      return Scalar::Int(LikeMatch(*a.str, *b.str) ? 1 : 0);
+    }
+    case CExpr::Op::kBetween: {
+      Scalar v = EvalScalar(e.children[0], row, ctx);
+      Scalar lo = EvalScalar(e.children[1], row, ctx);
+      Scalar hi = EvalScalar(e.children[2], row, ctx);
+      return Scalar::Int(v.Compare(lo) >= 0 && v.Compare(hi) <= 0 ? 1 : 0);
+    }
+    case CExpr::Op::kIn: {
+      Scalar v = EvalScalar(e.children[0], row, ctx);
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        Scalar item = EvalScalar(e.children[i], row, ctx);
+        if (v.Compare(item) == 0) return Scalar::Int(1);
+      }
+      return Scalar::Int(0);
+    }
+    case CExpr::Op::kAnd: {
+      for (const CExpr& c : e.children) {
+        if (!EvalScalar(c, row, ctx).Truthy()) return Scalar::Int(0);
+      }
+      return Scalar::Int(1);
+    }
+    case CExpr::Op::kOr: {
+      for (const CExpr& c : e.children) {
+        if (EvalScalar(c, row, ctx).Truthy()) return Scalar::Int(1);
+      }
+      return Scalar::Int(0);
+    }
+    case CExpr::Op::kNot:
+      return Scalar::Int(EvalScalar(e.children[0], row, ctx).Truthy() ? 0 : 1);
+  }
+  return Scalar::Null();
+}
+
+/// True when the expression always evaluates to a numeric constant for the
+/// whole execution (literal or numeric parameter binding).
+bool ConstNumeric(const CExpr& e, const std::vector<Value>& params, double* out) {
+  const Value* v = nullptr;
+  if (e.op == CExpr::Op::kConst) v = &e.constant;
+  if (e.op == CExpr::Op::kParam) v = &params[e.param];
+  if (v == nullptr || !v->is_numeric()) return false;
+  *out = v->AsDouble();
+  return true;
+}
+
+/// Narrows `sel` to rows satisfying the predicate. AND applies conjuncts
+/// sequentially (short-circuit: later conjuncts see only survivors); the
+/// column-vs-constant comparison and BETWEEN fast paths run unboxed over
+/// the numeric batch.
+void FilterRows(const CExpr& pred, EvalCtx* ctx, std::vector<uint32_t>* sel) {
+  switch (pred.op) {
+    case CExpr::Op::kAnd: {
+      for (const CExpr& c : pred.children) {
+        FilterRows(c, ctx, sel);
+        if (sel->empty() || !ctx->error.ok()) return;
+      }
+      return;
+    }
+    case CExpr::Op::kOr: {
+      std::vector<uint8_t> keep(sel->size(), 0);
+      for (const CExpr& c : pred.children) {
+        std::vector<uint32_t> branch = *sel;
+        FilterRows(c, ctx, &branch);
+        if (!ctx->error.ok()) return;
+        // Mark survivors by position in the incoming selection.
+        size_t bi = 0;
+        for (size_t i = 0; i < sel->size() && bi < branch.size(); ++i) {
+          if ((*sel)[i] == branch[bi]) {
+            keep[i] = 1;
+            ++bi;
+          }
+        }
+      }
+      std::vector<uint32_t> out;
+      out.reserve(sel->size());
+      for (size_t i = 0; i < sel->size(); ++i) {
+        if (keep[i]) out.push_back((*sel)[i]);
+      }
+      *sel = std::move(out);
+      return;
+    }
+    case CExpr::Op::kNot: {
+      std::vector<uint32_t> branch = *sel;
+      FilterRows(pred.children[0], ctx, &branch);
+      if (!ctx->error.ok()) return;
+      std::vector<uint32_t> out;
+      out.reserve(sel->size());
+      size_t bi = 0;
+      for (uint32_t r : *sel) {
+        if (bi < branch.size() && branch[bi] == r) {
+          ++bi;  // child kept it -> NOT drops it
+        } else {
+          out.push_back(r);
+        }
+      }
+      *sel = std::move(out);
+      return;
+    }
+    case CExpr::Op::kCmp: {
+      // Fast path: numeric column vs numeric constant/parameter.
+      const CExpr& lhs = pred.children[0];
+      double rhs_num = 0.0;
+      if (lhs.op == CExpr::Op::kColumn &&
+          ConstNumeric(pred.children[1], ctx->params, &rhs_num)) {
+        const ColumnVector& col = ctx->table.columns[static_cast<size_t>(lhs.col)];
+        if (col.type != ColumnType::kString) {
+          std::vector<uint32_t> out;
+          out.reserve(sel->size());
+          for (uint32_t r : *sel) {
+            if (col.IsNull(r)) {
+              // NULLs order first (Value::Compare): null < any number.
+              if (CmpHolds(pred.cmp, -1)) out.push_back(r);
+              continue;
+            }
+            double v = col.nums[r];
+            int cmp = v < rhs_num ? -1 : v > rhs_num ? 1 : 0;
+            if (CmpHolds(pred.cmp, cmp)) out.push_back(r);
+          }
+          *sel = std::move(out);
+          return;
+        }
+      }
+      break;  // generic path below
+    }
+    case CExpr::Op::kBetween: {
+      const CExpr& lhs = pred.children[0];
+      double lo = 0.0;
+      double hi = 0.0;
+      if (lhs.op == CExpr::Op::kColumn &&
+          ConstNumeric(pred.children[1], ctx->params, &lo) &&
+          ConstNumeric(pred.children[2], ctx->params, &hi)) {
+        const ColumnVector& col = ctx->table.columns[static_cast<size_t>(lhs.col)];
+        if (col.type != ColumnType::kString) {
+          std::vector<uint32_t> out;
+          out.reserve(sel->size());
+          for (uint32_t r : *sel) {
+            if (col.IsNull(r)) continue;  // null >= lo is false (nulls first)
+            double v = col.nums[r];
+            if (v >= lo && v <= hi) out.push_back(r);
+          }
+          *sel = std::move(out);
+          return;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  // Generic row-wise truthiness.
+  std::vector<uint32_t> out;
+  out.reserve(sel->size());
+  for (uint32_t r : *sel) {
+    if (EvalScalar(pred, r, ctx).Truthy()) out.push_back(r);
+    if (!ctx->error.ok()) return;
+  }
+  *sel = std::move(out);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled SELECT-list items (aggregate-aware).
+
+struct CItem {
+  enum class Kind : uint8_t {
+    kExpr,      // plain expression: first row of the group (or per row)
+    kAgg,       // aggregate function over the group
+    kArith,     // arithmetic over aggregate sub-items
+  };
+  enum class AggFn : uint8_t { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+  Kind kind = Kind::kExpr;
+  CExpr expr;                  // kExpr / kAgg argument
+  AggFn fn = AggFn::kCountStar;
+  char arith = 0;
+  std::vector<CItem> children;  // kArith operands
+};
+
+Scalar EvalAggItem(const CItem& item, const std::vector<uint32_t>& rows,
+                   EvalCtx* ctx) {
+  switch (item.kind) {
+    case CItem::Kind::kExpr:
+      if (rows.empty()) return Scalar::Null();
+      return EvalScalar(item.expr, rows[0], ctx);
+    case CItem::Kind::kAgg: {
+      if (item.fn == CItem::AggFn::kCountStar) {
+        return Scalar::Int(static_cast<int64_t>(rows.size()));
+      }
+      size_t count = 0;
+      double sum = 0.0;
+      bool numeric_ok = true;
+      Scalar best = Scalar::Null();
+      for (uint32_t r : rows) {
+        Scalar v = EvalScalar(item.expr, r, ctx);
+        if (v.is_null()) continue;
+        ++count;
+        if (item.fn == CItem::AggFn::kMin || item.fn == CItem::AggFn::kMax) {
+          if (best.is_null()) {
+            best = v;
+          } else {
+            int cmp = v.Compare(best);
+            if ((item.fn == CItem::AggFn::kMin && cmp < 0) ||
+                (item.fn == CItem::AggFn::kMax && cmp > 0)) {
+              best = v;
+            }
+          }
+        } else if (item.fn != CItem::AggFn::kCount) {
+          if (!v.is_num()) {
+            numeric_ok = false;
+            break;
+          }
+          sum += v.num;
+        }
+      }
+      if (!numeric_ok) {
+        ctx->Fail("aggregate on non-numeric value");
+        return Scalar::Null();
+      }
+      switch (item.fn) {
+        case CItem::AggFn::kCount:
+          return Scalar::Int(static_cast<int64_t>(count));
+        case CItem::AggFn::kMin:
+        case CItem::AggFn::kMax:
+          return best;
+        case CItem::AggFn::kSum:
+          return count == 0 ? Scalar::Null() : Scalar::Double(sum);
+        case CItem::AggFn::kAvg:
+          return count == 0 ? Scalar::Null()
+                            : Scalar::Double(sum / static_cast<double>(count));
+        case CItem::AggFn::kCountStar:
+          break;  // handled above
+      }
+      return Scalar::Null();
+    }
+    case CItem::Kind::kArith: {
+      Scalar a = EvalAggItem(item.children[0], rows, ctx);
+      Scalar b = EvalAggItem(item.children[1], rows, ctx);
+      if (!a.is_num() || !b.is_num()) {
+        ctx->Fail("arithmetic on non-numeric aggregate");
+        return Scalar::Null();
+      }
+      double x = a.num;
+      double y = b.num;
+      double r = item.arith == '+'   ? x + y
+                 : item.arith == '-' ? x - y
+                 : item.arith == '*' ? x * y
+                                     : x / y;
+      return Scalar::Double(r);
+    }
+  }
+  return Scalar::Null();
+}
+
+// ---------------------------------------------------------------------------
+// Compilation.
+
+struct CCount {
+  int64_t fixed = -1;  // -1 = absent
+  int param = -1;      // >= 0: 0-based parameter index overrides `fixed`
+};
+
+class ColumnarPlan;
+
+Result<CExpr> CompileExpr(const Ast& e, const TableSchema& schema,
+                          size_t num_params) {
+  CExpr out;
+  switch (e.sym) {
+    case Symbol::kNumExpr: {
+      out.op = CExpr::Op::kConst;
+      IFGEN_ASSIGN_OR_RETURN(out.constant, ParseNumericLiteral(e.value));
+      return out;
+    }
+    case Symbol::kStrExpr:
+      out.op = CExpr::Op::kConst;
+      out.constant = Value(e.value);
+      return out;
+    case Symbol::kParam: {
+      IFGEN_ASSIGN_OR_RETURN(out.param, ParseParamMarker(e.value, num_params));
+      out.op = CExpr::Op::kParam;
+      return out;
+    }
+    case Symbol::kColExpr: {
+      int idx = schema.FindColumn(e.value);
+      if (idx < 0) return Status::Invalid("unknown column: " + e.value);
+      out.op = CExpr::Op::kColumn;
+      out.col = idx;
+      return out;
+    }
+    case Symbol::kAlias:
+      return CompileExpr(e.children[0], schema, num_params);
+    case Symbol::kBiExpr: {
+      const std::string& op = e.value;
+      if (op == "+" || op == "-" || op == "*" || op == "/") {
+        out.op = CExpr::Op::kArith;
+        out.arith = op[0];
+      } else if (op == "like") {
+        out.op = CExpr::Op::kLike;
+      } else {
+        out.op = CExpr::Op::kCmp;
+        if (op == "=") {
+          out.cmp = CmpOp::kEq;
+        } else if (op == "<>") {
+          out.cmp = CmpOp::kNe;
+        } else if (op == "<") {
+          out.cmp = CmpOp::kLt;
+        } else if (op == "<=") {
+          out.cmp = CmpOp::kLe;
+        } else if (op == ">") {
+          out.cmp = CmpOp::kGt;
+        } else if (op == ">=") {
+          out.cmp = CmpOp::kGe;
+        } else {
+          return Status::Unimplemented("operator " + op);
+        }
+      }
+      for (const Ast& c : e.children) {
+        IFGEN_ASSIGN_OR_RETURN(CExpr cc, CompileExpr(c, schema, num_params));
+        out.children.push_back(std::move(cc));
+      }
+      if (out.children.size() != 2) {
+        return Status::Invalid("binary operator needs two operands");
+      }
+      return out;
+    }
+    case Symbol::kBetween: {
+      out.op = CExpr::Op::kBetween;
+      for (const Ast& c : e.children) {
+        IFGEN_ASSIGN_OR_RETURN(CExpr cc, CompileExpr(c, schema, num_params));
+        out.children.push_back(std::move(cc));
+      }
+      if (out.children.size() != 3) return Status::Invalid("BETWEEN needs 3 operands");
+      return out;
+    }
+    case Symbol::kIn: {
+      out.op = CExpr::Op::kIn;
+      IFGEN_ASSIGN_OR_RETURN(CExpr head,
+                             CompileExpr(e.children[0], schema, num_params));
+      out.children.push_back(std::move(head));
+      for (const Ast& item : e.children[1].children) {
+        IFGEN_ASSIGN_OR_RETURN(CExpr cc, CompileExpr(item, schema, num_params));
+        out.children.push_back(std::move(cc));
+      }
+      return out;
+    }
+    case Symbol::kAnd:
+    case Symbol::kOr:
+    case Symbol::kNot: {
+      out.op = e.sym == Symbol::kAnd  ? CExpr::Op::kAnd
+               : e.sym == Symbol::kOr ? CExpr::Op::kOr
+                                      : CExpr::Op::kNot;
+      for (const Ast& c : e.children) {
+        IFGEN_ASSIGN_OR_RETURN(CExpr cc, CompileExpr(c, schema, num_params));
+        out.children.push_back(std::move(cc));
+      }
+      return out;
+    }
+    default:
+      return Status::Unimplemented("cannot evaluate " +
+                                   std::string(SymbolName(e.sym)) + " per row");
+  }
+}
+
+Result<CItem> CompileItem(const Ast& e, const TableSchema& schema,
+                          size_t num_params) {
+  if (e.sym == Symbol::kAlias) return CompileItem(e.children[0], schema, num_params);
+  if (e.sym == Symbol::kFuncExpr) {
+    const std::string& fn = e.value;
+    CItem out;
+    out.kind = CItem::Kind::kAgg;
+    if (fn == "count" && (e.children.empty() || e.children[0].sym == Symbol::kStar)) {
+      out.fn = CItem::AggFn::kCountStar;
+      return out;
+    }
+    if (fn == "count" || fn == "sum" || fn == "avg" || fn == "min" || fn == "max") {
+      if (e.children.empty()) return Status::Invalid(fn + " needs an argument");
+      out.fn = fn == "count" ? CItem::AggFn::kCount
+               : fn == "sum" ? CItem::AggFn::kSum
+               : fn == "avg" ? CItem::AggFn::kAvg
+               : fn == "min" ? CItem::AggFn::kMin
+                             : CItem::AggFn::kMax;
+      IFGEN_ASSIGN_OR_RETURN(out.expr,
+                             CompileExpr(e.children[0], schema, num_params));
+      return out;
+    }
+    return Status::Unimplemented("function " + fn);
+  }
+  if (e.sym == Symbol::kBiExpr && ContainsAggregate(e)) {
+    CItem out;
+    out.kind = CItem::Kind::kArith;
+    out.arith = e.value.empty() ? '+' : e.value[0];
+    if (out.arith != '+' && out.arith != '-' && out.arith != '*' &&
+        out.arith != '/') {
+      return Status::Unimplemented("operator " + e.value + " over aggregates");
+    }
+    for (const Ast& c : e.children) {
+      IFGEN_ASSIGN_OR_RETURN(CItem cc, CompileItem(c, schema, num_params));
+      out.children.push_back(std::move(cc));
+    }
+    if (out.children.size() != 2) {
+      return Status::Invalid("binary operator needs two operands");
+    }
+    return out;
+  }
+  CItem out;
+  out.kind = CItem::Kind::kExpr;
+  IFGEN_ASSIGN_OR_RETURN(out.expr, CompileExpr(e, schema, num_params));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The compiled plan.
+
+class ColumnarPlan : public PreparedQuery {
+ public:
+  ColumnarPlan(std::string key, size_t num_params)
+      : PreparedQuery(std::move(key), num_params) {}
+
+  Result<Table> Execute(const std::vector<Value>& params) override {
+    if (params.size() != num_params()) {
+      return Status::Invalid("expected " + std::to_string(num_params()) +
+                             " parameters, got " + std::to_string(params.size()));
+    }
+    EvalCtx ctx{*table, params, Status::OK()};
+
+    // Filter.
+    std::vector<uint32_t> sel(table->num_rows);
+    for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
+    if (has_filter) {
+      FilterRows(filter, &ctx, &sel);
+      IFGEN_RETURN_NOT_OK(ctx.error);
+    }
+
+    Table out(out_schema);
+    if (is_aggregate) {
+      IFGEN_RETURN_NOT_OK(ExecuteAggregate(sel, &ctx, &out));
+    } else {
+      IFGEN_RETURN_NOT_OK(ExecuteProjection(sel, &ctx, &out));
+    }
+
+    // ORDER BY keys resolve per execution, and only when there is
+    // something to order — mirroring the reference executor, which
+    // tolerates a sticky ORDER BY over a non-output column as long as the
+    // result has at most one row.
+    if (!order_keys.empty() && out.num_rows() > 1) {
+      std::vector<SortKey> keys;
+      for (const auto& [name, desc] : order_keys) {
+        int col = out_schema.FindColumn(name);
+        if (col < 0) {
+          return Status::Invalid("ORDER BY column not in output: " + name);
+        }
+        keys.push_back({col, desc});
+      }
+      SortRows(&out, keys);
+    }
+    IFGEN_ASSIGN_OR_RETURN(int64_t limit, ResolveLimit(params));
+    TruncateRows(&out, limit);
+    return out;
+  }
+
+ private:
+  Status ExecuteAggregate(const std::vector<uint32_t>& sel, EvalCtx* ctx,
+                          Table* out) const {
+    // Hash aggregate: length-prefixed ToString key tuple -> group id.
+    std::unordered_map<std::string, uint32_t> key_to_group;
+    key_to_group.reserve(64);
+    std::vector<std::vector<uint32_t>> group_rows;
+    std::string key;
+    std::string part;
+    for (uint32_t r : sel) {
+      key.clear();
+      for (const CExpr& g : group_exprs) {
+        part.clear();
+        EvalScalar(g, r, ctx).AppendKey(&part);
+        key += std::to_string(part.size());
+        key += ':';
+        key += part;
+      }
+      IFGEN_RETURN_NOT_OK(ctx->error);
+      auto [it, inserted] =
+          key_to_group.emplace(key, static_cast<uint32_t>(group_rows.size()));
+      if (inserted) group_rows.emplace_back();
+      group_rows[it->second].push_back(r);
+    }
+    if (group_rows.empty() && group_exprs.empty()) {
+      group_rows.emplace_back();  // aggregates over empty input: one row
+    }
+    for (const std::vector<uint32_t>& rows : group_rows) {
+      std::vector<Value> row;
+      row.reserve(agg_items.size());
+      for (size_t i = 0; i < agg_items.size(); ++i) {
+        if (star_copy[i]) {
+          return Status::Invalid("SELECT * cannot be combined with aggregates");
+        }
+        row.push_back(EvalAggItem(agg_items[i], rows, ctx).ToValue());
+      }
+      IFGEN_RETURN_NOT_OK(ctx->error);
+      IFGEN_RETURN_NOT_OK(out->AppendRow(std::move(row)));
+    }
+    return Status::OK();
+  }
+
+  Status ExecuteProjection(const std::vector<uint32_t>& sel, EvalCtx* ctx,
+                           Table* out) const {
+    std::set<std::string> seen;
+    std::string key;
+    for (uint32_t r : sel) {
+      std::vector<Value> row;
+      row.reserve(proj_exprs.size());
+      for (size_t i = 0; i < proj_exprs.size(); ++i) {
+        if (star_copy[i]) {
+          // Mirrors the reference executor: a `*` output column copies the
+          // input column at the same output position.
+          row.push_back(table->columns[row.size()].Get(r).ToValue());
+        } else {
+          row.push_back(EvalScalar(proj_exprs[i], r, ctx).ToValue());
+        }
+      }
+      IFGEN_RETURN_NOT_OK(ctx->error);
+      if (distinct) {
+        key.clear();
+        for (const Value& v : row) key += v.ToString() + "\x01";
+        if (!seen.insert(key).second) continue;
+      }
+      IFGEN_RETURN_NOT_OK(out->AppendRow(std::move(row)));
+    }
+    return Status::OK();
+  }
+
+  Result<int64_t> ResolveLimit(const std::vector<Value>& params) const {
+    int64_t limit = -1;
+    for (const CCount& c : {top, lim}) {
+      int64_t v = -1;
+      if (c.param >= 0) {
+        const Value& p = params[static_cast<size_t>(c.param)];
+        if (!p.is_int()) return Status::Invalid("TOP/LIMIT parameter must be an integer");
+        v = p.AsInt();
+      } else if (c.fixed >= 0) {
+        v = c.fixed;
+      }
+      if (v >= 0) limit = limit < 0 ? v : std::min(limit, v);
+    }
+    return limit;
+  }
+
+ public:
+  const ColumnarTable* table = nullptr;
+  bool has_filter = false;
+  CExpr filter;
+  bool is_aggregate = false;
+  bool distinct = false;
+  std::vector<CExpr> group_exprs;
+  /// Parallel to the output columns; star_copy[i] marks direct column copies.
+  std::vector<uint8_t> star_copy;
+  std::vector<CExpr> proj_exprs;   // non-aggregate path
+  std::vector<CItem> agg_items;    // aggregate path
+  TableSchema out_schema;
+  /// ORDER BY (output column name, desc); resolved lazily per execution.
+  std::vector<std::pair<std::string, bool>> order_keys;
+  CCount top;
+  CCount lim;
+};
+
+Result<CCount> CompileCount(const std::string& text, size_t num_params) {
+  CCount out;
+  if (!text.empty() && text[0] == '?') {
+    IFGEN_ASSIGN_OR_RETURN(size_t idx, ParseParamMarker(text, num_params));
+    out.param = static_cast<int>(idx);
+    return out;
+  }
+  IFGEN_ASSIGN_OR_RETURN(out.fixed, ParseCountLiteral(text));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The backend.
+
+class ColumnarBackend : public ExecutionBackend {
+ public:
+  explicit ColumnarBackend(const Database* db) : ExecutionBackend(db) {
+    for (const TableSchema& schema : db->catalog().tables()) {
+      auto t = db->GetTable(schema.name);
+      if (t.ok()) {
+        tables_.emplace(ToLower(schema.name), ColumnarTable::Decode(**t));
+      }
+    }
+  }
+
+  std::string_view name() const override { return "columnar"; }
+  BackendKind kind() const override { return BackendKind::kColumnar; }
+
+ protected:
+  Result<std::unique_ptr<PreparedQuery>> Compile(
+      const ParameterizedQuery& pq) override {
+    auto plan = std::make_unique<ColumnarPlan>(pq.key, pq.params.size());
+    // pq outlives this call; everything below compiles into plan-owned
+    // structures, so the shape itself is not retained.
+    const Ast& query = pq.shape;
+
+    const Ast* project = nullptr;
+    const Ast* from = nullptr;
+    const Ast* where = nullptr;
+    const Ast* group = nullptr;
+    const Ast* order = nullptr;
+    for (const Ast& c : query.children) {
+      switch (c.sym) {
+        case Symbol::kProject:
+          project = &c;
+          break;
+        case Symbol::kTop: {
+          IFGEN_ASSIGN_OR_RETURN(plan->top, CompileCount(c.value, pq.params.size()));
+          break;
+        }
+        case Symbol::kFrom:
+          from = &c;
+          break;
+        case Symbol::kWhere:
+          where = &c;
+          break;
+        case Symbol::kGroupBy:
+          group = &c;
+          break;
+        case Symbol::kOrderBy:
+          order = &c;
+          break;
+        case Symbol::kLimit: {
+          IFGEN_ASSIGN_OR_RETURN(plan->lim, CompileCount(c.value, pq.params.size()));
+          break;
+        }
+        default:
+          return Status::Invalid("unexpected clause: " +
+                                 std::string(SymbolName(c.sym)));
+      }
+    }
+    if (project == nullptr || from == nullptr || from->children.empty()) {
+      return Status::Invalid("query needs SELECT list and FROM clause");
+    }
+    if (from->children.size() != 1) {
+      return Status::Unimplemented("single-table FROM only");
+    }
+    auto it = tables_.find(ToLower(from->children[0].value));
+    if (it == tables_.end()) {
+      return Status::NotFound("no such table: " + from->children[0].value);
+    }
+    plan->table = &it->second;
+    const TableSchema& schema = plan->table->schema;
+
+    if (where != nullptr && !where->children.empty()) {
+      plan->has_filter = true;
+      IFGEN_ASSIGN_OR_RETURN(plan->filter, CompileExpr(where->children[0], schema,
+                                                       pq.params.size()));
+    }
+
+    bool has_agg = false;
+    for (const Ast& item : project->children) has_agg |= ContainsAggregate(item);
+    plan->is_aggregate = has_agg || group != nullptr;
+    plan->distinct = project->value == "distinct";
+
+    IFGEN_ASSIGN_OR_RETURN(OutputSpec spec, BuildOutputSpec(*project, schema, has_agg));
+    plan->out_schema = spec.schema;
+    for (const Ast* item : spec.items) {
+      plan->star_copy.push_back(item == nullptr ? 1 : 0);
+      if (plan->is_aggregate) {
+        CItem ci;
+        if (item != nullptr) {
+          IFGEN_ASSIGN_OR_RETURN(ci, CompileItem(*item, schema, pq.params.size()));
+        }
+        plan->agg_items.push_back(std::move(ci));
+      } else {
+        CExpr ce;
+        if (item != nullptr) {
+          IFGEN_ASSIGN_OR_RETURN(ce, CompileExpr(*item, schema, pq.params.size()));
+        }
+        plan->proj_exprs.push_back(std::move(ce));
+      }
+    }
+    if (group != nullptr) {
+      for (const Ast& g : group->children) {
+        IFGEN_ASSIGN_OR_RETURN(CExpr ge, CompileExpr(g, schema, pq.params.size()));
+        plan->group_exprs.push_back(std::move(ge));
+      }
+    }
+    if (order != nullptr) {
+      for (const Ast& k : order->children) {
+        plan->order_keys.emplace_back(OutputColumnName(k.children[0], 0),
+                                      k.value == "desc");
+      }
+    }
+    return std::unique_ptr<PreparedQuery>(std::move(plan));
+  }
+
+ private:
+  std::unordered_map<std::string, ColumnarTable> tables_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ExecutionBackend>> MakeColumnarBackend(const Database* db) {
+  return std::unique_ptr<ExecutionBackend>(new ColumnarBackend(db));
+}
+
+}  // namespace ifgen

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <memory>
+
+#include "engine/backend.h"
+
+namespace ifgen {
+
+/// \brief Builds the vectorized columnar backend over `db` (not owned).
+///
+/// Construction decodes every table into typed column batches
+/// (engine/columnar/column_store.h). `Prepare` compiles a parameterized
+/// query shape into a physical plan with pre-resolved column indices;
+/// `Execute` evaluates it without Value boxing on the hot paths:
+///  - WHERE runs over a selection vector, conjunct by conjunct, so later
+///    predicates only touch surviving rows (short-circuiting), with tight
+///    numeric loops for column-vs-literal comparisons and BETWEEN;
+///  - GROUP BY is a hash aggregate (key -> row set) instead of the
+///    reference executor's ordered map of stringified key tuples.
+/// Results are equivalent to the reference executor's (ctest-enforced).
+Result<std::unique_ptr<ExecutionBackend>> MakeColumnarBackend(const Database* db);
+
+}  // namespace ifgen

@@ -1,0 +1,164 @@
+#include "engine/exec_util.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "sql/unparser.h"
+#include "util/string_util.h"
+
+namespace ifgen {
+
+bool LikeMatch(const std::string& text, const std::string& pattern, size_t ti,
+               size_t pi) {
+  if (pi == pattern.size()) return ti == text.size();
+  if (pattern[pi] == '%') {
+    for (size_t skip = 0; ti + skip <= text.size(); ++skip) {
+      if (LikeMatch(text, pattern, ti + skip, pi + 1)) return true;
+    }
+    return false;
+  }
+  if (ti == text.size()) return false;
+  if (pattern[pi] == '_' || pattern[pi] == text[ti]) {
+    return LikeMatch(text, pattern, ti + 1, pi + 1);
+  }
+  return false;
+}
+
+Result<Value> ParseNumericLiteral(const std::string& text) {
+  try {
+    if (text.find_first_of(".eE") != std::string::npos) {
+      size_t used = 0;
+      double d = std::stod(text, &used);
+      if (used != text.size()) throw std::invalid_argument(text);
+      return Value(d);
+    }
+    size_t used = 0;
+    int64_t i = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return Value(i);
+  } catch (const std::exception&) {
+    return Status::Invalid("malformed numeric literal: " + text);
+  }
+}
+
+Result<int64_t> ParseCountLiteral(const std::string& text) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::Invalid("TOP/LIMIT value is not a number literal: " + text);
+  }
+  try {
+    return static_cast<int64_t>(std::stoll(text));
+  } catch (const std::exception&) {
+    return Status::Invalid("TOP/LIMIT value out of range: " + text);
+  }
+}
+
+Result<size_t> ParseParamMarker(const std::string& marker, size_t num_params) {
+  std::string digits =
+      !marker.empty() && marker[0] == '?' ? marker.substr(1) : marker;
+  if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::Invalid("malformed parameter marker: " + marker);
+  }
+  size_t idx = 0;
+  try {
+    idx = static_cast<size_t>(std::stoull(digits));
+  } catch (const std::exception&) {
+    return Status::Invalid("parameter index out of range: " + marker);
+  }
+  if (idx == 0 || idx > num_params) {
+    return Status::Invalid("parameter index out of range: " + marker);
+  }
+  return idx - 1;
+}
+
+bool ContainsAggregate(const Ast& e) {
+  if (e.sym == Symbol::kFuncExpr) {
+    static constexpr std::string_view kAggs[] = {"count", "sum", "avg", "min", "max"};
+    for (std::string_view a : kAggs) {
+      if (e.value == a) return true;
+    }
+  }
+  for (const Ast& c : e.children) {
+    if (ContainsAggregate(c)) return true;
+  }
+  return false;
+}
+
+std::string OutputColumnName(const Ast& item, size_t index) {
+  if (item.sym == Symbol::kAlias) return item.value;
+  if (item.sym == Symbol::kColExpr) return item.value;
+  if (item.sym == Symbol::kStar) return "*";
+  std::string frag = UnparseFragment(item);
+  if (!frag.empty()) return frag;
+  return StrFormat("col%zu", index);
+}
+
+Result<OutputSpec> BuildOutputSpec(const Ast& project, const TableSchema& input,
+                                   bool has_aggregate) {
+  OutputSpec spec;
+  spec.schema.name = "result";
+  const std::vector<Ast>& items = project.children;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].sym == Symbol::kStar && !has_aggregate) {
+      for (const ColumnDef& col : input.columns) {
+        spec.schema.columns.push_back(col);
+        spec.items.push_back(nullptr);  // marker: direct column copy
+      }
+      continue;
+    }
+    // Column type: strings stay strings; everything else is double-ish.
+    ColumnType t = ColumnType::kDouble;
+    const Ast* leaf = &items[i];
+    if (leaf->sym == Symbol::kAlias) leaf = &leaf->children[0];
+    if (leaf->sym == Symbol::kColExpr) {
+      int idx = input.FindColumn(leaf->value);
+      if (idx < 0) return Status::Invalid("unknown column: " + leaf->value);
+      t = input.columns[static_cast<size_t>(idx)].type;
+    } else if (leaf->sym == Symbol::kStrExpr) {
+      t = ColumnType::kString;
+    } else if (leaf->sym == Symbol::kFuncExpr && leaf->value == "count") {
+      t = ColumnType::kInt64;
+    }
+    spec.schema.columns.push_back({OutputColumnName(items[i], i), t});
+    spec.items.push_back(&items[i]);
+  }
+  return spec;
+}
+
+Result<std::vector<SortKey>> ResolveSortKeys(const Ast& order,
+                                             const TableSchema& out_schema) {
+  std::vector<SortKey> keys;
+  for (const Ast& k : order.children) {
+    std::string name = OutputColumnName(k.children[0], 0);
+    int col = out_schema.FindColumn(name);
+    if (col < 0) {
+      return Status::Invalid("ORDER BY column not in output: " + name);
+    }
+    keys.push_back({col, k.value == "desc"});
+  }
+  return keys;
+}
+
+void SortRows(Table* out, const std::vector<SortKey>& keys) {
+  if (keys.empty() || out->num_rows() < 2) return;
+  std::vector<size_t> idx(out->num_rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    for (const SortKey& k : keys) {
+      int cmp = out->At(a, static_cast<size_t>(k.col))
+                    .Compare(out->At(b, static_cast<size_t>(k.col)));
+      if (cmp != 0) return k.desc ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  *out = out->Gather(idx);
+}
+
+void TruncateRows(Table* out, int64_t limit) {
+  if (limit < 0 || static_cast<size_t>(limit) >= out->num_rows()) return;
+  std::vector<size_t> idx(static_cast<size_t>(limit));
+  std::iota(idx.begin(), idx.end(), 0);
+  *out = out->Gather(idx);
+}
+
+}  // namespace ifgen

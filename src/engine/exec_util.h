@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief Helpers shared by the execution backends (reference executor,
+/// vectorized columnar, SQLite) so that semantics — LIKE matching, output
+/// column naming, output schema inference, ORDER BY resolution — are
+/// identical across backends by construction, not by coincidence.
+
+/// SQL LIKE with `%` and `_` wildcards, case-sensitive.
+bool LikeMatch(const std::string& text, const std::string& pattern, size_t ti = 0,
+               size_t pi = 0);
+
+/// Parses a numeric literal (text containing '.', 'e', or 'E' -> double,
+/// else int64). Returns Invalid instead of throwing on malformed text —
+/// rule rewrites can hand backends transiently odd fragments.
+Result<Value> ParseNumericLiteral(const std::string& text);
+
+/// Parses a non-negative clause count (a TOP/LIMIT value). Rejects
+/// anything but plain digits, including `?N` parameter markers.
+Result<int64_t> ParseCountLiteral(const std::string& text);
+
+/// Parses a `?N` parameter marker (leading '?' optional — clause values
+/// keep it, kParam node values do not) into the 0-based parameter index;
+/// Invalid on malformed markers or indices outside [1, num_params].
+Result<size_t> ParseParamMarker(const std::string& marker, size_t num_params);
+
+/// True when the expression contains an aggregate function call.
+bool ContainsAggregate(const Ast& e);
+
+/// The display name of a SELECT-list item: alias > bare column name > the
+/// unparsed fragment > "colN".
+std::string OutputColumnName(const Ast& item, size_t index);
+
+/// \brief The output layout of a query: the result schema plus, per output
+/// column, the SELECT-list item computing it (nullptr = a `*` column copied
+/// straight from the input table at the same position).
+struct OutputSpec {
+  TableSchema schema;
+  std::vector<const Ast*> items;
+};
+
+/// Infers the output spec from the SELECT list against the input schema.
+/// Type rules (all backends coerce to these): bare columns keep their input
+/// type, string literals are strings, count() is int64, every other
+/// expression is double. Returned pointers alias `project`'s children —
+/// the caller must keep that AST alive.
+Result<OutputSpec> BuildOutputSpec(const Ast& project, const TableSchema& input,
+                                   bool has_aggregate);
+
+/// \brief A resolved ORDER BY key over the output table.
+struct SortKey {
+  int col = -1;
+  bool desc = false;
+};
+
+/// Resolves ORDER BY expressions to output columns by display name; errors
+/// when a key is not part of the output (all backends share this rule).
+Result<std::vector<SortKey>> ResolveSortKeys(const Ast& order,
+                                             const TableSchema& out_schema);
+
+/// Stable-sorts `out` rows by the resolved keys (Value::Compare order).
+void SortRows(Table* out, const std::vector<SortKey>& keys);
+
+/// Keeps the first `limit` rows; negative = no limit.
+void TruncateRows(Table* out, int64_t limit);
+
+}  // namespace ifgen

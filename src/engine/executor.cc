@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <numeric>
 #include <set>
 
+#include "engine/exec_util.h"
 #include "sql/parser.h"
-#include "sql/unparser.h"
 #include "util/string_util.h"
 
 namespace ifgen {
@@ -62,37 +61,23 @@ Result<QueryClauses> SplitClauses(const Ast& query) {
   return c;
 }
 
-bool LikeMatch(const std::string& text, const std::string& pattern, size_t ti = 0,
-               size_t pi = 0) {
-  if (pi == pattern.size()) return ti == text.size();
-  if (pattern[pi] == '%') {
-    for (size_t skip = 0; ti + skip <= text.size(); ++skip) {
-      if (LikeMatch(text, pattern, ti + skip, pi + 1)) return true;
-    }
-    return false;
-  }
-  if (ti == text.size()) return false;
-  if (pattern[pi] == '_' || pattern[pi] == text[ti]) {
-    return LikeMatch(text, pattern, ti + 1, pi + 1);
-  }
-  return false;
-}
-
-/// Row-wise scalar expression evaluator.
+/// Row-wise scalar expression evaluator; resolves kParam placeholders
+/// against `params` (1-based indices) when executing a prepared shape.
 class RowEval {
  public:
-  RowEval(const Table& table) : table_(table) {}
+  RowEval(const Table& table, const std::vector<Value>& params)
+      : table_(table), params_(params) {}
 
   Result<Value> Eval(const Ast& e, size_t row) const {
     switch (e.sym) {
-      case Symbol::kNumExpr: {
-        if (e.value.find('.') != std::string::npos) {
-          return Value(std::stod(e.value));
-        }
-        return Value(static_cast<int64_t>(std::stoll(e.value)));
-      }
+      case Symbol::kNumExpr:
+        return ParseNumericLiteral(e.value);
       case Symbol::kStrExpr:
         return Value(e.value);
+      case Symbol::kParam: {
+        IFGEN_ASSIGN_OR_RETURN(size_t idx, ParseParamMarker(e.value, params_.size()));
+        return params_[idx];
+      }
       case Symbol::kColExpr: {
         int idx = table_.schema().FindColumn(e.value);
         if (idx < 0) return Status::Invalid("unknown column: " + e.value);
@@ -189,29 +174,8 @@ class RowEval {
   }
 
   const Table& table_;
+  const std::vector<Value>& params_;
 };
-
-bool IsAggregate(const Ast& e) {
-  if (e.sym == Symbol::kFuncExpr) {
-    static constexpr std::string_view kAggs[] = {"count", "sum", "avg", "min", "max"};
-    for (std::string_view a : kAggs) {
-      if (e.value == a) return true;
-    }
-  }
-  for (const Ast& c : e.children) {
-    if (IsAggregate(c)) return true;
-  }
-  return false;
-}
-
-std::string OutputName(const Ast& item, size_t index) {
-  if (item.sym == Symbol::kAlias) return item.value;
-  if (item.sym == Symbol::kColExpr) return item.value;
-  if (item.sym == Symbol::kStar) return "*";
-  std::string frag = UnparseFragment(item);
-  if (!frag.empty()) return frag;
-  return StrFormat("col%zu", index);
-}
 
 Result<Value> EvalAggregate(const Ast& e, const RowEval& ev,
                             const std::vector<size_t>& rows) {
@@ -249,7 +213,12 @@ Result<Value> EvalAggregate(const Ast& e, const RowEval& ev,
     return Status::Unimplemented("function " + fn);
   }
   if (e.sym == Symbol::kAlias) return EvalAggregate(e.children[0], ev, rows);
-  if (e.sym == Symbol::kBiExpr && IsAggregate(e)) {
+  if (e.sym == Symbol::kBiExpr && ContainsAggregate(e)) {
+    const std::string& op = e.value;
+    if (op != "+" && op != "-" && op != "*" && op != "/") {
+      // Matches the columnar compiler: only arithmetic combines aggregates.
+      return Status::Unimplemented("operator " + op + " over aggregates");
+    }
     IFGEN_ASSIGN_OR_RETURN(Value a, EvalAggregate(e.children[0], ev, rows));
     IFGEN_ASSIGN_OR_RETURN(Value b, EvalAggregate(e.children[1], ev, rows));
     if (!a.is_numeric() || !b.is_numeric()) {
@@ -257,7 +226,6 @@ Result<Value> EvalAggregate(const Ast& e, const RowEval& ev,
     }
     double x = a.AsDouble();
     double y = b.AsDouble();
-    const std::string& op = e.value;
     double r = op == "+" ? x + y : op == "-" ? x - y : op == "*" ? x * y : x / y;
     return Value(r);
   }
@@ -267,15 +235,33 @@ Result<Value> EvalAggregate(const Ast& e, const RowEval& ev,
   return ev.Eval(e, rows[0]);
 }
 
+/// Clause counts (TOP/LIMIT) are either a number or a "?N" parameter.
+Result<int64_t> ResolveCount(const std::string& text,
+                             const std::vector<Value>& params) {
+  if (!text.empty() && text[0] == '?') {
+    IFGEN_ASSIGN_OR_RETURN(size_t idx, ParseParamMarker(text, params.size()));
+    if (!params[idx].is_int()) {
+      return Status::Invalid("TOP/LIMIT parameter must be an integer");
+    }
+    return params[idx].AsInt();
+  }
+  return ParseCountLiteral(text);
+}
+
 }  // namespace
 
 Result<Table> Executor::Execute(const Ast& query) const {
+  return Execute(query, {});
+}
+
+Result<Table> Executor::Execute(const Ast& query,
+                                const std::vector<Value>& params) const {
   IFGEN_ASSIGN_OR_RETURN(QueryClauses c, SplitClauses(query));
   if (c.from->children.size() != 1) {
     return Status::Unimplemented("single-table FROM only");
   }
   IFGEN_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(c.from->children[0].value));
-  RowEval ev(*table);
+  RowEval ev(*table, params);
 
   // Filter.
   std::vector<size_t> rows;
@@ -290,38 +276,11 @@ Result<Table> Executor::Execute(const Ast& query) const {
 
   const std::vector<Ast>& items = c.project->children;
   bool has_agg = false;
-  for (const Ast& item : items) has_agg |= IsAggregate(item);
+  for (const Ast& item : items) has_agg |= ContainsAggregate(item);
 
-  // Output schema.
-  TableSchema out_schema;
-  out_schema.name = "result";
-  std::vector<const Ast*> out_items;
-  for (size_t i = 0; i < items.size(); ++i) {
-    if (items[i].sym == Symbol::kStar && !has_agg) {
-      for (const ColumnDef& col : table->schema().columns) {
-        out_schema.columns.push_back(col);
-        out_items.push_back(nullptr);  // marker: direct column copy
-      }
-    } else {
-      // Column type: strings stay strings; everything else is double-ish.
-      ColumnType t = ColumnType::kDouble;
-      const Ast* leaf = &items[i];
-      if (leaf->sym == Symbol::kAlias) leaf = &leaf->children[0];
-      if (leaf->sym == Symbol::kColExpr) {
-        int idx = table->schema().FindColumn(leaf->value);
-        if (idx < 0) return Status::Invalid("unknown column: " + leaf->value);
-        t = table->schema().columns[static_cast<size_t>(idx)].type;
-      } else if (leaf->sym == Symbol::kStrExpr) {
-        t = ColumnType::kString;
-      } else if (leaf->sym == Symbol::kFuncExpr &&
-                 (leaf->value == "count")) {
-        t = ColumnType::kInt64;
-      }
-      out_schema.columns.push_back({OutputName(items[i], i), t});
-      out_items.push_back(&items[i]);
-    }
-  }
-  Table out(out_schema);
+  IFGEN_ASSIGN_OR_RETURN(OutputSpec spec,
+                         BuildOutputSpec(*c.project, table->schema(), has_agg));
+  Table out(spec.schema);
 
   if (has_agg || c.group != nullptr) {
     // Group rows by the GROUP BY key tuple (empty key = single group).
@@ -341,16 +300,13 @@ Result<Table> Executor::Execute(const Ast& query) const {
     }
     for (const auto& [key, group_rows] : groups) {
       std::vector<Value> row;
-      size_t item_idx = 0;
-      for (const Ast* item : out_items) {
+      for (const Ast* item : spec.items) {
         if (item == nullptr) {
           return Status::Invalid("SELECT * cannot be combined with aggregates");
         }
         IFGEN_ASSIGN_OR_RETURN(Value v, EvalAggregate(*item, ev, group_rows));
         row.push_back(std::move(v));
-        ++item_idx;
       }
-      (void)item_idx;
       IFGEN_RETURN_NOT_OK(out.AppendRow(std::move(row)));
     }
   } else {
@@ -358,11 +314,11 @@ Result<Table> Executor::Execute(const Ast& query) const {
     const bool distinct = c.project->value == "distinct";
     for (size_t r : rows) {
       std::vector<Value> row;
-      for (size_t i = 0; i < out_items.size(); ++i) {
-        if (out_items[i] == nullptr) {
+      for (size_t i = 0; i < spec.items.size(); ++i) {
+        if (spec.items[i] == nullptr) {
           row.push_back(table->At(r, row.size()));
         } else {
-          IFGEN_ASSIGN_OR_RETURN(Value v, ev.Eval(*out_items[i], r));
+          IFGEN_ASSIGN_OR_RETURN(Value v, ev.Eval(*spec.items[i], r));
           row.push_back(std::move(v));
         }
       }
@@ -375,53 +331,37 @@ Result<Table> Executor::Execute(const Ast& query) const {
     }
   }
 
-  // ORDER BY (on output columns when possible, else input expressions).
+  // ORDER BY. Resolution is deliberately gated on >1 rows (matching the
+  // original executor): a widget state can combine a projection variant
+  // with a sticky ORDER BY over a column it no longer outputs, and such a
+  // state must keep executing when the result needs no ordering anyway.
   if (c.order != nullptr && out.num_rows() > 1) {
-    std::vector<size_t> idx(out.num_rows());
-    std::iota(idx.begin(), idx.end(), 0);
-    // Pre-extract sort keys from the output table by matching names.
-    struct Key {
-      int col;
-      bool desc;
-    };
-    std::vector<Key> keys;
-    for (const Ast& k : c.order->children) {
-      std::string name = OutputName(k.children[0], 0);
-      int col = out.schema().FindColumn(name);
-      if (col < 0) {
-        return Status::Invalid("ORDER BY column not in output: " + name);
-      }
-      keys.push_back({col, k.value == "desc"});
-    }
-    std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
-      for (const Key& k : keys) {
-        int cmp = out.At(a, static_cast<size_t>(k.col))
-                      .Compare(out.At(b, static_cast<size_t>(k.col)));
-        if (cmp != 0) return k.desc ? cmp > 0 : cmp < 0;
-      }
-      return false;
-    });
-    out = out.Gather(idx);
+    IFGEN_ASSIGN_OR_RETURN(std::vector<SortKey> keys,
+                           ResolveSortKeys(*c.order, out.schema()));
+    SortRows(&out, keys);
   }
 
   // TOP / LIMIT.
   int64_t limit = -1;
-  if (c.top != nullptr) limit = std::stoll(c.top->value);
+  if (c.top != nullptr) {
+    IFGEN_ASSIGN_OR_RETURN(limit, ResolveCount(c.top->value, params));
+  }
   if (c.limit != nullptr) {
-    int64_t l = std::stoll(c.limit->value);
+    IFGEN_ASSIGN_OR_RETURN(int64_t l, ResolveCount(c.limit->value, params));
     limit = limit < 0 ? l : std::min(limit, l);
   }
-  if (limit >= 0 && static_cast<size_t>(limit) < out.num_rows()) {
-    std::vector<size_t> idx(static_cast<size_t>(limit));
-    std::iota(idx.begin(), idx.end(), 0);
-    out = out.Gather(idx);
-  }
+  TruncateRows(&out, limit);
   return out;
 }
 
 Result<Table> Executor::ExecuteSql(std::string_view sql) const {
-  IFGEN_ASSIGN_OR_RETURN(Ast q, ParseQuery(sql));
-  return Execute(q);
+  std::string key(sql);
+  std::shared_ptr<const Ast> parsed = sql_cache_.Lookup(key);
+  if (parsed == nullptr) {
+    IFGEN_ASSIGN_OR_RETURN(Ast q, ParseQuery(sql));
+    parsed = sql_cache_.Insert(key, std::make_shared<const Ast>(std::move(q)));
+  }
+  return Execute(*parsed);
 }
 
 }  // namespace ifgen

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "engine/plan_cache.h"
 #include "engine/table.h"
 #include "sql/ast.h"
 #include "util/status.h"
@@ -12,17 +13,41 @@ namespace ifgen {
 /// (or plain projection) -> ORDER BY -> TOP/LIMIT. Supported aggregates:
 /// count(*), count(col), sum, avg, min, max. DISTINCT applies to plain
 /// projections.
+///
+/// This is the *reference* backend: row-at-a-time Value interpretation,
+/// deliberately simple. The vectorized columnar and SQLite backends
+/// (engine/backend.h) must match its results on every supported query.
 class Executor {
  public:
   explicit Executor(const Database* db) : db_(db) {}
 
   Result<Table> Execute(const Ast& query) const;
 
-  /// Convenience: parse + execute.
+  /// Executes a parameterized shape (Symbol::kParam placeholders, 1-based)
+  /// with the given bindings; the backend layer's "rebind, don't re-plan"
+  /// path (see ParameterizeQuery in engine/backend.h).
+  Result<Table> Execute(const Ast& query, const std::vector<Value>& params) const;
+
+  /// Convenience: parse + execute. Parses each distinct SQL text once —
+  /// repeated widget-driven re-executions of the same query hit the
+  /// prepared-AST cache instead of re-parsing (counters below). The cache
+  /// keys literal-bearing text, so it is capped (flush-on-full); callers
+  /// that want literal-independent plan reuse go through ExecutionBackend,
+  /// whose cache keys the parameterized shape.
   Result<Table> ExecuteSql(std::string_view sql) const;
 
+  size_t sql_cache_hits() const { return sql_cache_.hits(); }
+  size_t sql_cache_misses() const { return sql_cache_.misses(); }
+
  private:
+  /// sql_cache_ capacity: distinct SQL texts kept (bindings make the text
+  /// space unbounded; the hot set — one text per reachable widget state a
+  /// user toggles between — is far smaller).
+  static constexpr size_t kSqlCacheCapacity = 256;
+
   const Database* db_;
+  /// Raw SQL text -> parsed AST (thread-safe, per-executor).
+  mutable SqlKeyedCache<const Ast> sql_cache_{kSqlCacheCapacity};
 };
 
 }  // namespace ifgen

@@ -1,0 +1,280 @@
+// Compiled only when the IFGEN_WITH_SQLITE CMake option is ON.
+#include "engine/sqlite/sqlite_backend.h"
+
+#include <sqlite3.h>
+
+#include <mutex>
+
+#include "engine/exec_util.h"
+#include "sql/unparser.h"
+#include "util/string_util.h"
+
+namespace ifgen {
+
+namespace {
+
+/// The sqlite3 handle plus its statement-serialization lock, shared by the
+/// backend and every prepared plan so the connection outlives all
+/// statements regardless of destruction order.
+struct Connection {
+  sqlite3* db = nullptr;
+  std::mutex mu;
+
+  ~Connection() {
+    if (db != nullptr) sqlite3_close(db);
+  }
+};
+
+std::string Quoted(const std::string& ident) { return "\"" + ident + "\""; }
+
+std::string_view SqlType(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "INTEGER";
+    case ColumnType::kDouble:
+      return "REAL";
+    case ColumnType::kString:
+      return "TEXT";
+  }
+  return "TEXT";
+}
+
+Status SqliteError(sqlite3* db, const std::string& what) {
+  return Status::Internal(what + ": " + sqlite3_errmsg(db));
+}
+
+Status ExecSimple(sqlite3* db, const std::string& sql) {
+  char* err = nullptr;
+  if (sqlite3_exec(db, sql.c_str(), nullptr, nullptr, &err) != SQLITE_OK) {
+    std::string msg = err != nullptr ? err : "unknown sqlite error";
+    sqlite3_free(err);
+    return Status::Internal("sqlite exec failed (" + sql + "): " + msg);
+  }
+  return Status::OK();
+}
+
+Status BindValue(sqlite3* db, sqlite3_stmt* stmt, int index, const Value& v) {
+  int rc = SQLITE_OK;
+  if (v.is_null()) {
+    rc = sqlite3_bind_null(stmt, index);
+  } else if (v.is_int()) {
+    rc = sqlite3_bind_int64(stmt, index, v.AsInt());
+  } else if (v.is_double()) {
+    rc = sqlite3_bind_double(stmt, index, v.AsDouble());
+  } else {
+    rc = sqlite3_bind_text(stmt, index, v.AsString().c_str(),
+                           static_cast<int>(v.AsString().size()), SQLITE_TRANSIENT);
+  }
+  return rc == SQLITE_OK ? Status::OK() : SqliteError(db, "bind");
+}
+
+Status IngestTable(sqlite3* db, const Table& t) {
+  const TableSchema& schema = t.schema();
+  std::string create = "CREATE TABLE " + Quoted(schema.name) + " (";
+  for (size_t c = 0; c < schema.columns.size(); ++c) {
+    if (c > 0) create += ", ";
+    create += Quoted(schema.columns[c].name) + " " +
+              std::string(SqlType(schema.columns[c].type));
+  }
+  create += ");";
+  IFGEN_RETURN_NOT_OK(ExecSimple(db, create));
+
+  std::string insert = "INSERT INTO " + Quoted(schema.name) + " VALUES (";
+  for (size_t c = 0; c < schema.columns.size(); ++c) {
+    insert += c > 0 ? ", ?" : "?";
+  }
+  insert += ");";
+  sqlite3_stmt* stmt = nullptr;
+  if (sqlite3_prepare_v2(db, insert.c_str(), -1, &stmt, nullptr) != SQLITE_OK) {
+    return SqliteError(db, "prepare insert");
+  }
+  IFGEN_RETURN_NOT_OK(ExecSimple(db, "BEGIN;"));
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      Status s = BindValue(db, stmt, static_cast<int>(c) + 1, t.At(r, c));
+      if (!s.ok()) {
+        sqlite3_finalize(stmt);
+        return s;
+      }
+    }
+    if (sqlite3_step(stmt) != SQLITE_DONE) {
+      Status s = SqliteError(db, "insert row");
+      sqlite3_finalize(stmt);
+      return s;
+    }
+    sqlite3_reset(stmt);
+  }
+  sqlite3_finalize(stmt);
+  return ExecSimple(db, "COMMIT;");
+}
+
+/// Forces real division: the reference executor evaluates `/` as double
+/// division regardless of operand types, SQLite truncates INTEGER/INTEGER.
+void ForceRealDivision(Ast* e) {
+  for (Ast& c : e->children) ForceRealDivision(&c);
+  if (e->sym == Symbol::kBiExpr && e->value == "/" && e->children.size() == 2) {
+    Ast lhs = std::move(e->children[0]);
+    e->children[0] =
+        Ast(Symbol::kBiExpr, "*", {std::move(lhs), Ast(Symbol::kNumExpr, "1.0")});
+  }
+}
+
+/// Renders the parameterized shape as SQLite SQL: TOP folds into LIMIT
+/// (both present -> `LIMIT min(a, b)`, matching the reference executor),
+/// `?N` placeholders pass through the unparser natively.
+Result<std::string> RenderSqliteSql(const Ast& shape) {
+  Ast rendered = shape;
+  ForceRealDivision(&rendered);
+  std::string top_text;
+  std::string limit_text;
+  std::vector<Ast> kept;
+  for (Ast& c : rendered.children) {
+    if (c.sym == Symbol::kTop) {
+      top_text = c.value;
+    } else if (c.sym == Symbol::kLimit) {
+      limit_text = c.value;
+    } else {
+      kept.push_back(std::move(c));
+    }
+  }
+  rendered.children = std::move(kept);
+  IFGEN_ASSIGN_OR_RETURN(std::string sql, Unparse(rendered));
+  if (!top_text.empty() && !limit_text.empty()) {
+    sql += " limit min(" + top_text + ", " + limit_text + ")";
+  } else if (!top_text.empty() || !limit_text.empty()) {
+    sql += " limit " + (top_text.empty() ? limit_text : top_text);
+  }
+  return sql;
+}
+
+class SqlitePlan : public PreparedQuery {
+ public:
+  SqlitePlan(std::string key, size_t num_params, std::shared_ptr<Connection> conn,
+             sqlite3_stmt* stmt, TableSchema out_schema)
+      : PreparedQuery(std::move(key), num_params),
+        conn_(std::move(conn)),
+        stmt_(stmt),
+        out_schema_(std::move(out_schema)) {}
+
+  ~SqlitePlan() override {
+    std::lock_guard<std::mutex> lock(conn_->mu);
+    sqlite3_finalize(stmt_);
+  }
+
+  Result<Table> Execute(const std::vector<Value>& params) override {
+    if (params.size() != num_params()) {
+      return Status::Invalid("expected " + std::to_string(num_params()) +
+                             " parameters, got " + std::to_string(params.size()));
+    }
+    std::lock_guard<std::mutex> lock(conn_->mu);
+    sqlite3_reset(stmt_);
+    sqlite3_clear_bindings(stmt_);
+    for (size_t i = 0; i < params.size(); ++i) {
+      IFGEN_RETURN_NOT_OK(
+          BindValue(conn_->db, stmt_, static_cast<int>(i) + 1, params[i]));
+    }
+    Table out(out_schema_);
+    const int ncols = sqlite3_column_count(stmt_);
+    if (static_cast<size_t>(ncols) != out_schema_.columns.size()) {
+      return Status::Internal("sqlite column count mismatch");
+    }
+    while (true) {
+      int rc = sqlite3_step(stmt_);
+      if (rc == SQLITE_DONE) break;
+      if (rc != SQLITE_ROW) return SqliteError(conn_->db, "step");
+      std::vector<Value> row;
+      row.reserve(static_cast<size_t>(ncols));
+      for (int c = 0; c < ncols; ++c) {
+        switch (sqlite3_column_type(stmt_, c)) {
+          case SQLITE_INTEGER:
+            row.push_back(Value(static_cast<int64_t>(sqlite3_column_int64(stmt_, c))));
+            break;
+          case SQLITE_FLOAT:
+            row.push_back(Value(sqlite3_column_double(stmt_, c)));
+            break;
+          case SQLITE_NULL:
+            row.push_back(Value());
+            break;
+          default: {
+            const unsigned char* text = sqlite3_column_text(stmt_, c);
+            int len = sqlite3_column_bytes(stmt_, c);
+            row.push_back(Value(std::string(reinterpret_cast<const char*>(text),
+                                            static_cast<size_t>(len))));
+            break;
+          }
+        }
+      }
+      IFGEN_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<Connection> conn_;
+  sqlite3_stmt* stmt_;
+  TableSchema out_schema_;
+};
+
+class SqliteBackend : public ExecutionBackend {
+ public:
+  SqliteBackend(const Database* db, std::shared_ptr<Connection> conn)
+      : ExecutionBackend(db), conn_(std::move(conn)) {}
+
+  std::string_view name() const override { return "sqlite"; }
+  BackendKind kind() const override { return BackendKind::kSqlite; }
+
+ protected:
+  Result<std::unique_ptr<PreparedQuery>> Compile(
+      const ParameterizedQuery& pq) override {
+    // The output schema comes from the shared inference (exec_util), not
+    // from sqlite3_column_name, so names/arity are identical across
+    // backends by construction.
+    const Ast* project = nullptr;
+    const Ast* from = nullptr;
+    bool has_agg = false;
+    for (const Ast& c : pq.shape.children) {
+      if (c.sym == Symbol::kProject) project = &c;
+      if (c.sym == Symbol::kFrom) from = &c;
+    }
+    if (project == nullptr || from == nullptr || from->children.empty()) {
+      return Status::Invalid("query needs SELECT list and FROM clause");
+    }
+    if (from->children.size() != 1) {
+      return Status::Unimplemented("single-table FROM only");
+    }
+    for (const Ast& item : project->children) has_agg |= ContainsAggregate(item);
+    IFGEN_ASSIGN_OR_RETURN(TableSchema source,
+                           catalog().GetTable(from->children[0].value));
+    IFGEN_ASSIGN_OR_RETURN(OutputSpec spec, BuildOutputSpec(*project, source, has_agg));
+
+    IFGEN_ASSIGN_OR_RETURN(std::string sql, RenderSqliteSql(pq.shape));
+    sqlite3_stmt* stmt = nullptr;
+    std::lock_guard<std::mutex> lock(conn_->mu);
+    if (sqlite3_prepare_v2(conn_->db, sql.c_str(), -1, &stmt, nullptr) != SQLITE_OK) {
+      return SqliteError(conn_->db, "prepare (" + sql + ")");
+    }
+    return std::unique_ptr<PreparedQuery>(new SqlitePlan(
+        pq.key, pq.params.size(), conn_, stmt, std::move(spec.schema)));
+  }
+
+ private:
+  std::shared_ptr<Connection> conn_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ExecutionBackend>> MakeSqliteBackend(const Database* db) {
+  auto conn = std::make_shared<Connection>();
+  if (sqlite3_open(":memory:", &conn->db) != SQLITE_OK) {
+    return Status::Internal("cannot open :memory: sqlite database");
+  }
+  // The reference executor's LIKE is case-sensitive; SQLite's default isn't.
+  IFGEN_RETURN_NOT_OK(ExecSimple(conn->db, "PRAGMA case_sensitive_like = ON;"));
+  for (const TableSchema& schema : db->catalog().tables()) {
+    IFGEN_ASSIGN_OR_RETURN(const Table* t, db->GetTable(schema.name));
+    IFGEN_RETURN_NOT_OK(IngestTable(conn->db, *t));
+  }
+  return std::unique_ptr<ExecutionBackend>(new SqliteBackend(db, std::move(conn)));
+}
+
+}  // namespace ifgen

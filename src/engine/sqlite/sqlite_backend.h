@@ -1,0 +1,22 @@
+#pragma once
+
+#include <memory>
+
+#include "engine/backend.h"
+
+namespace ifgen {
+
+/// \brief Builds the SQLite execution backend over `db` (not owned).
+///
+/// Only available when the build enables the IFGEN_WITH_SQLITE CMake option
+/// (the factory is not compiled otherwise; CreateBackend returns
+/// Unimplemented). Construction ingests every workload table into a
+/// `:memory:` SQLite database; Prepare renders the parameterized shape to
+/// SQLite SQL via the unparser (`?N` placeholders bind natively, TOP folds
+/// into LIMIT, `/` is forced to real division to match the reference
+/// executor) and compiles it with sqlite3_prepare_v2. Execute binds the
+/// parameters and steps the statement; each plan serializes its own
+/// executions (SQLite statements are single-stream).
+Result<std::unique_ptr<ExecutionBackend>> MakeSqliteBackend(const Database* db);
+
+}  // namespace ifgen

@@ -90,6 +90,30 @@ uint64_t GenerationService::JobKey(const JobSpec& spec) {
   return h;
 }
 
+Result<std::shared_ptr<ExecutionBackend>> GenerationService::BackendFor(
+    const Database* db, BackendKind kind) {
+  if (db == nullptr) return Status::Invalid("BackendFor: null database");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = backends_.find({db, kind});
+    if (it != backends_.end()) return it->second;
+  }
+  // Construct outside the lock (SQLite ingestion can be slow); on a race
+  // the first-inserted instance wins so plan caches stay shared.
+  IFGEN_ASSIGN_OR_RETURN(std::unique_ptr<ExecutionBackend> fresh,
+                         CreateBackend(kind, db));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      backends_.emplace(std::make_pair(db, kind),
+                        std::shared_ptr<ExecutionBackend>(std::move(fresh)));
+  return it->second;
+}
+
+size_t GenerationService::backends_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backends_.size();
+}
+
 GenerationService::GenerationService() : GenerationService(Options()) {}
 
 GenerationService::GenerationService(Options opts)

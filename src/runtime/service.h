@@ -2,13 +2,16 @@
 
 #include <future>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/interface_generator.h"
+#include "engine/backend.h"
 #include "runtime/thread_pool.h"
 
 namespace ifgen {
@@ -56,7 +59,17 @@ class GenerationService {
   /// unparsed, the list sorted) combined with a hash of every
   /// result-affecting option. Unparsable logs fall back to the raw strings
   /// (still deterministic; such jobs fail identically anyway).
+  /// GeneratorOptions::backend is deliberately excluded: the execution
+  /// backend never changes the generated interface.
   static uint64_t JobKey(const JobSpec& spec);
+
+  /// Returns the execution backend for (db, kind), constructing it on first
+  /// use and caching it for the service's lifetime so plan caches stay warm
+  /// across jobs that serve interfaces over the same store. `db` must
+  /// outlive the service.
+  Result<std::shared_ptr<ExecutionBackend>> BackendFor(const Database* db,
+                                                       BackendKind kind);
+  size_t backends_created() const;
 
   size_t jobs_submitted() const;
   size_t jobs_executed() const;
@@ -79,6 +92,11 @@ class GenerationService {
   size_t jobs_submitted_ = 0;
   size_t jobs_executed_ = 0;
   size_t cache_hits_ = 0;
+
+  /// (database, kind) -> shared backend instance.
+  std::map<std::pair<const Database*, BackendKind>,
+           std::shared_ptr<ExecutionBackend>>
+      backends_;
 
   /// Declared last on purpose: ~ThreadPool joins the workers, and in-flight
   /// jobs touch the mutex/cache members above — those must still be alive

@@ -54,6 +54,8 @@ std::string_view SymbolName(Symbol s) {
       return "Seq";
     case Symbol::kEmpty:
       return "Empty";
+    case Symbol::kParam:
+      return "Param";
   }
   return "?";
 }
@@ -71,6 +73,7 @@ bool SymbolHasValue(Symbol s) {
     case Symbol::kNumExpr:
     case Symbol::kStrExpr:
     case Symbol::kProject:
+    case Symbol::kParam:
       return true;
     default:
       return false;

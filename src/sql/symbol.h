@@ -43,6 +43,10 @@ enum class Symbol : uint8_t {
   // Difftree internals (never produced by the parser).
   kSeq,    ///< Transparent sequence of nodes (splices into the parent).
   kEmpty,  ///< The empty sequence (epsilon).
+
+  // Execution-backend internals (never produced by the parser and never
+  // present in a difftree).
+  kParam,  ///< Parameter placeholder; value = 1-based parameter index.
 };
 
 /// Human-readable symbol name ("Select", "ColExpr", ...).

@@ -107,6 +107,11 @@ void RenderExpr(const Ast& e, int parent_prec, std::string* out) {
     case Symbol::kStar:
       *out += "*";
       break;
+    case Symbol::kParam:
+      // Execution-backend placeholder; value is the 1-based parameter index
+      // (matches SQLite's ?NNN syntax).
+      *out += "?" + e.value;
+      break;
     case Symbol::kList:
       *out += "(";
       RenderChildList(e, 0, ", ", out);

@@ -1,0 +1,53 @@
+#include "workload/loader.h"
+
+#include "workload/flights.h"
+#include "workload/sdss.h"
+#include "workload/synthetic.h"
+
+namespace ifgen {
+
+const std::vector<std::string>& WorkloadNames() {
+  static const std::vector<std::string> kNames = {"flights", "sdss", "synthetic"};
+  return kNames;
+}
+
+Result<WorkloadBundle> LoadWorkload(std::string_view name, size_t rows) {
+  WorkloadBundle w;
+  w.name = std::string(name);
+  if (name == "flights") {
+    w.log = FlightsLog();
+    w.db = MakeFlightsDatabase(rows == 0 ? 2000 : rows);
+    return w;
+  }
+  if (name == "sdss") {
+    w.log = SdssListing1();
+    w.db = MakeSdssDatabase(rows == 0 ? 500 : rows);
+    return w;
+  }
+  if (name == "synthetic") {
+    LogSpec spec;
+    spec.num_queries = 12;
+    spec.vary_predicate_count = true;
+    spec.optional_where = true;
+    w.log = GenerateLog(spec);
+    w.db = MakeSyntheticDatabase(spec, rows == 0 ? 200 : rows);
+    return w;
+  }
+  return Status::NotFound("unknown workload: " + std::string(name));
+}
+
+Result<std::vector<WorkloadBundle>> LoadAllWorkloads(size_t rows) {
+  std::vector<WorkloadBundle> out;
+  for (const std::string& name : WorkloadNames()) {
+    IFGEN_ASSIGN_OR_RETURN(WorkloadBundle w, LoadWorkload(name, rows));
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<ExecutionBackend>> MakeBackendFor(const WorkloadBundle& w,
+                                                         BackendKind kind) {
+  return CreateBackend(kind, &w.db);
+}
+
+}  // namespace ifgen

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/backend.h"
+#include "engine/table.h"
+
+namespace ifgen {
+
+/// \brief One workload: a query log plus the database it runs against.
+///
+/// The uniform entry point benches and tests use to sweep every workload ×
+/// every execution backend without per-workload glue.
+struct WorkloadBundle {
+  std::string name;
+  std::vector<std::string> log;
+  Database db;
+};
+
+/// The registered workload names: "flights", "sdss", "synthetic".
+const std::vector<std::string>& WorkloadNames();
+
+/// Loads a workload by name. `rows` scales the database (rows per table);
+/// 0 keeps each workload's default size. The synthetic workload uses the
+/// variation-rich LogSpec (variable predicate counts, optional WHERE).
+Result<WorkloadBundle> LoadWorkload(std::string_view name, size_t rows = 0);
+
+/// Loads every registered workload.
+Result<std::vector<WorkloadBundle>> LoadAllWorkloads(size_t rows = 0);
+
+/// Convenience: a backend of `kind` over the bundle's database (which must
+/// outlive the returned backend).
+Result<std::unique_ptr<ExecutionBackend>> MakeBackendFor(const WorkloadBundle& w,
+                                                         BackendKind kind);
+
+}  // namespace ifgen
