@@ -57,6 +57,17 @@ SCHEMAS = {
         "plan_hits": int,
         "ms": NUM,
     },
+    "interactive": {
+        "workload": str,
+        "backend": str,
+        "transition": str,
+        "rows_db": int,
+        "steps": int,
+        "incremental_steps": int,
+        "inc_us_per_step": NUM,
+        "full_us_per_step": NUM,
+        "speedup": NUM,
+    },
     "parallel": {
         "workload": str,
         "mode": str,

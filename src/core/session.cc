@@ -130,8 +130,13 @@ Result<std::string> InterfaceSession::CurrentSql() const {
 
 Result<Table> InterfaceSession::ExecuteCurrent(const Database& db) const {
   IFGEN_ASSIGN_OR_RETURN(Ast q, CurrentQuery());
-  Executor exec(&db);
-  return exec.Execute(q);
+  if (db_backend_for_ != &db) {
+    IFGEN_ASSIGN_OR_RETURN(db_backend_,
+                           CreateBackend(BackendKind::kReference, &db));
+    db_backend_for_ = &db;
+    ++backends_created_;
+  }
+  return db_backend_->Execute(q);
 }
 
 Result<Table> InterfaceSession::ExecuteCurrent(ExecutionBackend* backend) const {

@@ -160,7 +160,12 @@ Result<Ast> BindParams(const Ast& shape, const std::vector<Value>& params) {
 Result<PreparedQuery*> ExecutionBackend::Prepare(const Ast& query,
                                                  std::vector<Value>* params_out) {
   IFGEN_ASSIGN_OR_RETURN(ParameterizedQuery pq, ParameterizeQuery(query));
-  if (params_out != nullptr) *params_out = pq.params;
+  IFGEN_ASSIGN_OR_RETURN(PreparedQuery * plan, PrepareShape(pq));
+  if (params_out != nullptr) *params_out = std::move(pq.params);
+  return plan;
+}
+
+Result<PreparedQuery*> ExecutionBackend::PrepareShape(const ParameterizedQuery& pq) {
   if (std::shared_ptr<PreparedQuery> hit = plans_.Lookup(pq.key)) {
     return hit.get();
   }

@@ -101,6 +101,11 @@ class ExecutionBackend {
   Result<PreparedQuery*> Prepare(const Ast& query,
                                  std::vector<Value>* params_out = nullptr);
 
+  /// Same, for a caller that already parameterized (the interactive runtime
+  /// classifies transitions on the shape first) — skips the redundant
+  /// ParameterizeQuery + canonical-SQL unparse on the interaction hot path.
+  Result<PreparedQuery*> PrepareShape(const ParameterizedQuery& pq);
+
   /// Prepare + Execute with the query's own literals.
   Result<Table> Execute(const Ast& query);
 

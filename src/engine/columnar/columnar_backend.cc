@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "engine/columnar/column_store.h"
+#include "engine/delta_exec.h"
 #include "engine/exec_util.h"
 #include "util/string_util.h"
 
@@ -526,24 +527,63 @@ Result<CItem> CompileItem(const Ast& e, const TableSchema& schema,
 // ---------------------------------------------------------------------------
 // The compiled plan.
 
-class ColumnarPlan : public PreparedQuery {
+class ColumnarPlan : public PreparedQuery, public DeltaCapablePlan {
  public:
   ColumnarPlan(std::string key, size_t num_params)
       : PreparedQuery(std::move(key), num_params) {}
 
   Result<Table> Execute(const std::vector<Value>& params) override {
+    IFGEN_ASSIGN_OR_RETURN(DeltaResult dr, ExecuteDelta(params, nullptr));
+    TruncateRows(&dr.full, dr.limit);
+    return std::move(dr.full);
+  }
+
+  /// The full pipeline with an optional selection seed. A tighten hint
+  /// re-runs WHERE over the prior survivors only; a loosen hint keeps the
+  /// prior survivors wholesale and evaluates WHERE over their complement.
+  /// Everything downstream of the filter (projection/aggregation, ORDER BY,
+  /// limit resolution) is the identical code path in all three modes, so
+  /// results are bit-identical by construction.
+  Result<DeltaResult> ExecuteDelta(const std::vector<Value>& params,
+                                   const DeltaHint* hint) override {
     if (params.size() != num_params()) {
       return Status::Invalid("expected " + std::to_string(num_params()) +
                              " parameters, got " + std::to_string(params.size()));
     }
     EvalCtx ctx{*table, params, Status::OK()};
 
-    // Filter.
-    std::vector<uint32_t> sel(table->num_rows);
-    for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
-    if (has_filter) {
-      FilterRows(filter, &ctx, &sel);
+    DeltaResult dr;
+    std::vector<uint32_t>& sel = dr.selection;
+    if (hint != nullptr && hint->prior_selection != nullptr && has_filter) {
+      const std::vector<uint32_t>& prior = *hint->prior_selection;
+      if (hint->mode == DeltaHint::Mode::kTighten) {
+        sel = prior;
+        FilterRows(filter, &ctx, &sel);
+      } else {
+        // Complement of the prior selection, in base-row order.
+        std::vector<uint32_t> rest;
+        rest.reserve(table->num_rows - std::min<size_t>(prior.size(), table->num_rows));
+        size_t pi = 0;
+        for (uint32_t r = 0; r < static_cast<uint32_t>(table->num_rows); ++r) {
+          if (pi < prior.size() && prior[pi] == r) {
+            ++pi;
+            continue;
+          }
+          rest.push_back(r);
+        }
+        FilterRows(filter, &ctx, &rest);
+        sel.reserve(prior.size() + rest.size());
+        std::merge(prior.begin(), prior.end(), rest.begin(), rest.end(),
+                   std::back_inserter(sel));
+      }
       IFGEN_RETURN_NOT_OK(ctx.error);
+    } else {
+      sel.resize(table->num_rows);
+      for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
+      if (has_filter) {
+        FilterRows(filter, &ctx, &sel);
+        IFGEN_RETURN_NOT_OK(ctx.error);
+      }
     }
 
     Table out(out_schema);
@@ -568,9 +608,9 @@ class ColumnarPlan : public PreparedQuery {
       }
       SortRows(&out, keys);
     }
-    IFGEN_ASSIGN_OR_RETURN(int64_t limit, ResolveLimit(params));
-    TruncateRows(&out, limit);
-    return out;
+    IFGEN_ASSIGN_OR_RETURN(dr.limit, ResolveLimit(params));
+    dr.full = std::move(out);
+    return dr;
   }
 
  private:

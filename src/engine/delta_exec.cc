@@ -1,0 +1,238 @@
+#include "engine/delta_exec.h"
+
+#include <algorithm>
+
+#include "engine/exec_util.h"
+
+namespace ifgen {
+
+std::string_view TransitionClassName(TransitionClass c) {
+  switch (c) {
+    case TransitionClass::kNoop:
+      return "noop";
+    case TransitionClass::kTighten:
+      return "tighten";
+    case TransitionClass::kLoosen:
+      return "loosen";
+    case TransitionClass::kLimitOnly:
+      return "limit_only";
+    case TransitionClass::kRebind:
+      return "rebind";
+    case TransitionClass::kShapeChange:
+      return "shape_change";
+  }
+  return "?";
+}
+
+bool ShapeDeltaInfo::has_limit_param() const {
+  for (ParamRole r : roles) {
+    if (r == ParamRole::kLimit) return true;
+  }
+  return false;
+}
+
+namespace {
+
+using ParamRole = ShapeDeltaInfo::ParamRole;
+
+bool ContainsParam(const Ast& e) {
+  if (e.sym == Symbol::kParam) return true;
+  for (const Ast& c : e.children) {
+    if (ContainsParam(c)) return true;
+  }
+  return false;
+}
+
+/// 0-based parameter index of a kParam node, or -1 on malformed markers.
+int ParamIndexOf(const Ast& e, size_t num_params) {
+  auto idx = ParseParamMarker(e.value, num_params);
+  return idx.ok() ? static_cast<int>(*idx) : -1;
+}
+
+/// Role assignment with duplicate detection: a parameter never legitimately
+/// appears twice (each literal occurrence is its own parameter), but if the
+/// walk ever touches one twice, it degrades to opaque rather than risk an
+/// unsound direction.
+struct RoleCtx {
+  std::vector<ParamRole>* roles;
+  std::vector<uint8_t> seen;
+
+  void Set(int idx, ParamRole role) {
+    if (idx < 0 || static_cast<size_t>(idx) >= roles->size()) return;
+    size_t i = static_cast<size_t>(idx);
+    (*roles)[i] = seen[i] ? ParamRole::kOpaque : role;
+    seen[i] = 1;
+  }
+};
+
+void MarkOpaque(const Ast& e, RoleCtx* ctx) {
+  if (e.sym == Symbol::kParam) {
+    ctx->Set(ParamIndexOf(e, ctx->roles->size()), ParamRole::kOpaque);
+  }
+  for (const Ast& c : e.children) MarkOpaque(c, ctx);
+}
+
+/// Walks a predicate with polarity tracking: AND/OR are monotone in their
+/// operands, NOT flips tighten/loosen. `positive` = an even number of
+/// enclosing NOTs.
+void AnalyzePredicate(const Ast& e, bool positive, RoleCtx* ctx) {
+  switch (e.sym) {
+    case Symbol::kAnd:
+    case Symbol::kOr:
+      for (const Ast& c : e.children) AnalyzePredicate(c, positive, ctx);
+      return;
+    case Symbol::kNot:
+      for (const Ast& c : e.children) AnalyzePredicate(c, !positive, ctx);
+      return;
+    case Symbol::kBiExpr: {
+      const std::string& op = e.value;
+      bool is_cmp = op == ">" || op == ">=" || op == "<" || op == "<=";
+      if (is_cmp && e.children.size() == 2) {
+        const Ast& lhs = e.children[0];
+        const Ast& rhs = e.children[1];
+        if (rhs.sym == Symbol::kParam && !ContainsParam(lhs)) {
+          // col > ?  => the param is a lower bound: raising it tightens.
+          bool lower = op == ">" || op == ">=";
+          bool tighten_up = positive ? lower : !lower;
+          ctx->Set(ParamIndexOf(rhs, ctx->roles->size()),
+                   tighten_up ? ParamRole::kLowerBound : ParamRole::kUpperBound);
+          return;
+        }
+        if (lhs.sym == Symbol::kParam && !ContainsParam(rhs)) {
+          // ? < col  ≡  col > ?  => lower bound, mirrored operators.
+          bool lower = op == "<" || op == "<=";
+          bool tighten_up = positive ? lower : !lower;
+          ctx->Set(ParamIndexOf(lhs, ctx->roles->size()),
+                   tighten_up ? ParamRole::kLowerBound : ParamRole::kUpperBound);
+          return;
+        }
+      }
+      // =, <>, LIKE, arithmetic, param-vs-param: no usable monotonicity.
+      MarkOpaque(e, ctx);
+      return;
+    }
+    case Symbol::kBetween: {
+      if (e.children.size() != 3 || ContainsParam(e.children[0])) {
+        MarkOpaque(e, ctx);
+        return;
+      }
+      const Ast& lo = e.children[1];
+      const Ast& hi = e.children[2];
+      if (lo.sym == Symbol::kParam) {
+        ctx->Set(ParamIndexOf(lo, ctx->roles->size()),
+                 positive ? ParamRole::kLowerBound : ParamRole::kUpperBound);
+      } else {
+        MarkOpaque(lo, ctx);
+      }
+      if (hi.sym == Symbol::kParam) {
+        ctx->Set(ParamIndexOf(hi, ctx->roles->size()),
+                 positive ? ParamRole::kUpperBound : ParamRole::kLowerBound);
+      } else {
+        MarkOpaque(hi, ctx);
+      }
+      return;
+    }
+    default:
+      // IN lists, function calls, bare columns containing params, ...
+      MarkOpaque(e, ctx);
+      return;
+  }
+}
+
+/// True when prev -> next is a same-type change usable for direction
+/// analysis (numeric stays numeric, string stays string, no NULLs).
+bool ComparableChange(const Value& prev, const Value& next) {
+  if (prev.is_null() || next.is_null()) return false;
+  if (prev.is_numeric() && next.is_numeric()) return true;
+  return prev.is_string() && next.is_string();
+}
+
+}  // namespace
+
+ShapeDeltaInfo AnalyzeShape(const ParameterizedQuery& pq) {
+  ShapeDeltaInfo info;
+  info.roles.assign(pq.params.size(), ParamRole::kOpaque);
+  RoleCtx ctx{&info.roles, std::vector<uint8_t>(pq.params.size(), 0)};
+  for (const Ast& clause : pq.shape.children) {
+    switch (clause.sym) {
+      case Symbol::kWhere:
+        for (const Ast& c : clause.children) {
+          AnalyzePredicate(c, /*positive=*/true, &ctx);
+        }
+        break;
+      case Symbol::kTop:
+      case Symbol::kLimit: {
+        if (!clause.value.empty() && clause.value[0] == '?') {
+          auto idx = ParseParamMarker(clause.value, pq.params.size());
+          if (idx.ok()) ctx.Set(static_cast<int>(*idx), ParamRole::kLimit);
+        }
+        break;
+      }
+      default:
+        break;  // SELECT/GROUP BY/ORDER BY never carry params
+    }
+  }
+  return info;
+}
+
+TransitionClass ClassifyParamDelta(const ShapeDeltaInfo& info,
+                                   const std::vector<Value>& prev,
+                                   const std::vector<Value>& next) {
+  if (prev.size() != info.roles.size() || next.size() != info.roles.size()) {
+    return TransitionClass::kShapeChange;
+  }
+  bool any_changed = false;
+  bool any_non_limit = false;
+  bool all_tighten = true;
+  bool all_loosen = true;
+  for (size_t i = 0; i < info.roles.size(); ++i) {
+    const Value& p = prev[i];
+    const Value& n = next[i];
+    // "Unchanged" is exact: same type class and equal under Compare. A type
+    // flip with equal numeric value (1 vs 1.0) still counts as changed — the
+    // fingerprints differ — but compares as direction 0, which every class
+    // below treats as neutral (the row set cannot move).
+    bool same_type = (p.is_null() && n.is_null()) ||
+                     (p.is_numeric() && n.is_numeric() && p.is_int() == n.is_int()) ||
+                     (p.is_string() && n.is_string());
+    if (same_type && (p.is_null() || p.Compare(n) == 0)) continue;
+    any_changed = true;
+    if (info.roles[i] == ParamRole::kLimit) continue;
+    any_non_limit = true;
+    if (info.roles[i] == ParamRole::kOpaque || !ComparableChange(p, n)) {
+      return TransitionClass::kRebind;
+    }
+    int dir = n.Compare(p);  // >0: value went up
+    if (dir == 0) continue;  // type flip with equal value: neutral
+    bool tightens = info.roles[i] == ParamRole::kLowerBound ? dir > 0 : dir < 0;
+    if (tightens) {
+      all_loosen = false;
+    } else {
+      all_tighten = false;
+    }
+  }
+  if (!any_changed) return TransitionClass::kNoop;
+  if (!any_non_limit) return TransitionClass::kLimitOnly;
+  if (all_tighten) return TransitionClass::kTighten;
+  if (all_loosen) return TransitionClass::kLoosen;
+  return TransitionClass::kRebind;
+}
+
+Result<int64_t> ResolveLimitParams(const ShapeDeltaInfo& info,
+                                   const std::vector<Value>& params) {
+  if (params.size() != info.roles.size()) {
+    return Status::Invalid("param count does not match shape info");
+  }
+  int64_t limit = -1;
+  for (size_t i = 0; i < info.roles.size(); ++i) {
+    if (info.roles[i] != ParamRole::kLimit) continue;
+    if (!params[i].is_int() || params[i].AsInt() < 0) {
+      return Status::Invalid("TOP/LIMIT parameter must be a non-negative integer");
+    }
+    int64_t v = params[i].AsInt();
+    limit = limit < 0 ? v : std::min(limit, v);
+  }
+  return limit;
+}
+
+}  // namespace ifgen

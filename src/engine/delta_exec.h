@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "engine/backend.h"
+#include "engine/table.h"
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief Delta execution: the engine-side half of the interactive runtime
+/// (runtime/interactive.h).
+///
+/// A widget change w(q, u) -> q' usually perturbs one literal of the current
+/// query. PR 3's plan cache already avoids re-*planning* such transitions;
+/// this layer avoids re-*executing* them from scratch by (a) classifying the
+/// parameter delta between two executions of one query shape and (b) letting
+/// capable plans resume from retained per-execution state (the post-WHERE
+/// selection vector and the pre-TOP/LIMIT result). Every incremental path is
+/// bit-identical to full re-execution by construction — it re-runs the same
+/// pipeline over a provably sufficient subset — and tests/interactive_test.cc
+/// enforces that differentially on randomized interaction walks.
+
+/// \brief How one executed query state relates to the previous one.
+enum class TransitionClass : uint8_t {
+  kNoop,         ///< same shape, identical parameters: previous result stands
+  kTighten,      ///< same shape; every changed predicate param narrows its
+                 ///< predicate, so new rows are a subset of the prior selection
+  kLoosen,       ///< same shape; every changed predicate param widens its
+                 ///< predicate, so the prior selection survives wholesale
+  kLimitOnly,    ///< same shape; only TOP/LIMIT params changed
+  kRebind,       ///< same shape; param change with no exploitable structure
+  kShapeChange,  ///< different shape (or no previous execution)
+};
+
+std::string_view TransitionClassName(TransitionClass c);
+
+/// \brief Per-parameter roles of one query shape, derived once per shape by
+/// AnalyzeShape and consulted by ClassifyParamDelta on every transition.
+struct ShapeDeltaInfo {
+  enum class ParamRole : uint8_t {
+    kOpaque,      ///< no monotonicity known (=, <>, LIKE, IN, arithmetic, ...)
+    kLowerBound,  ///< increasing the value tightens the predicate (col > ?)
+    kUpperBound,  ///< decreasing the value tightens the predicate (col < ?)
+    kLimit,       ///< a TOP/LIMIT row cap
+  };
+  /// One role per parameter of the shape (params[i] has roles[i]).
+  std::vector<ParamRole> roles;
+
+  bool has_limit_param() const;
+};
+
+/// Derives parameter roles from a parameterized shape. Monotone direction is
+/// tracked through AND/OR (both monotone) and flipped under NOT; only direct
+/// column-vs-parameter comparisons and BETWEEN bounds get a direction —
+/// everything else is conservatively opaque (fallback to full execution).
+ShapeDeltaInfo AnalyzeShape(const ParameterizedQuery& pq);
+
+/// Classifies the transition between two parameter vectors of one shape.
+/// `prev` and `next` must both match `info.roles` in size (same shape); the
+/// classification is conservative: any doubt (opaque role, cross-type change,
+/// mixed directions) degrades toward kRebind, never toward an unsound
+/// incremental class.
+TransitionClass ClassifyParamDelta(const ShapeDeltaInfo& info,
+                                   const std::vector<Value>& prev,
+                                   const std::vector<Value>& next);
+
+/// Resolves the effective row cap of `params` under `info` (the minimum over
+/// all kLimit parameters; -1 when the shape has none). Errors on non-integer
+/// or negative caps — callers fall back to full execution.
+Result<int64_t> ResolveLimitParams(const ShapeDeltaInfo& info,
+                                   const std::vector<Value>& params);
+
+/// \brief A hint telling a delta-capable plan how the prior selection vector
+/// relates to the new parameters.
+struct DeltaHint {
+  enum class Mode : uint8_t {
+    kTighten,  ///< new predicate implies the old: filter only prior rows
+    kLoosen,   ///< old predicate implies the new: prior rows survive; only the
+               ///< complement needs evaluation
+  };
+  Mode mode = Mode::kTighten;
+  /// Sorted base-table row ids that passed the *previous* execution's WHERE
+  /// on the same plan. Must outlive the ExecuteDelta call.
+  const std::vector<uint32_t>* prior_selection = nullptr;
+};
+
+/// \brief The retained state of one execution: everything a later transition
+/// of the same shape can resume from.
+struct DeltaResult {
+  /// The pre-TOP/LIMIT result (post-ORDER BY). A later limit-only transition
+  /// re-truncates this table instead of re-executing.
+  Table full;
+  /// Resolved row cap of this execution (-1 = none); the served result is
+  /// `full` truncated to `limit` rows.
+  int64_t limit = -1;
+  /// Sorted base-table row ids that passed WHERE (all rows when the shape has
+  /// no WHERE). Seed for tighten/loosen transitions.
+  std::vector<uint32_t> selection;
+};
+
+/// \brief Optional capability interface a PreparedQuery may additionally
+/// implement (discovered via dynamic_cast). The columnar backend's plans do;
+/// the reference and SQLite plans do not — the interactive runtime then
+/// falls back to memoized results and full re-execution.
+class DeltaCapablePlan {
+ public:
+  virtual ~DeltaCapablePlan() = default;
+
+  /// Executes with the given bindings, optionally resuming from a prior
+  /// selection (`hint`), and returns the retained state. The produced table
+  /// must be bit-identical to a hintless execution with the same params —
+  /// the hint is a performance contract, never a semantic one.
+  virtual Result<DeltaResult> ExecuteDelta(const std::vector<Value>& params,
+                                           const DeltaHint* hint) = 0;
+};
+
+}  // namespace ifgen

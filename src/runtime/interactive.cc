@@ -1,0 +1,489 @@
+#include "runtime/interactive.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cost/cost_model.h"
+#include "engine/exec_util.h"
+#include "util/string_util.h"
+#include "widgets/appropriateness.h"
+
+namespace ifgen {
+
+namespace {
+
+/// Type-tagged, length-prefixed cell encoding: distinct Values never
+/// collide ("1" the int vs "1" the string vs 1.0 the double).
+void AppendCell(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    *out += "n|";
+  } else if (v.is_int()) {
+    *out += "i" + std::to_string(v.AsInt()) + "|";
+  } else if (v.is_double()) {
+    *out += "d" + StrFormat("%.17g", v.AsDouble()) + "|";
+  } else {
+    const std::string& s = v.AsString();
+    *out += "s" + std::to_string(s.size()) + ":" + s + "|";
+  }
+}
+
+std::string RowFingerprint(const Table& t, size_t row) {
+  std::string key;
+  for (size_t c = 0; c < t.num_columns(); ++c) AppendCell(t.At(row, c), &key);
+  return key;
+}
+
+std::string KeyFingerprint(const Table& t, size_t row,
+                           const std::vector<size_t>& key_cols) {
+  std::string key;
+  for (size_t c : key_cols) AppendCell(t.At(row, c), &key);
+  return key;
+}
+
+std::string FingerprintParams(const std::vector<Value>& params) {
+  std::string fp;
+  for (const Value& v : params) AppendCell(v, &fp);
+  return fp;
+}
+
+std::vector<Value> RowOf(const Table& t, size_t row) {
+  std::vector<Value> out;
+  out.reserve(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) out.push_back(t.At(row, c));
+  return out;
+}
+
+bool SameSchema(const Table& a, const Table& b) {
+  if (a.num_columns() != b.num_columns()) return false;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (a.schema().columns[c].name != b.schema().columns[c].name) return false;
+  }
+  return true;
+}
+
+/// Output columns usable as a stable row identity: the non-aggregate items
+/// of an aggregate SELECT list (group keys are unique per result row).
+/// Empty for non-aggregate queries — no stable identity, diffs are pure
+/// adds/removes.
+std::vector<size_t> GroupKeyCols(const Ast& shape) {
+  const Ast* project = nullptr;
+  for (const Ast& c : shape.children) {
+    if (c.sym == Symbol::kProject) project = &c;
+  }
+  if (project == nullptr) return {};
+  bool has_agg = false;
+  for (const Ast& item : project->children) has_agg |= ContainsAggregate(item);
+  if (!has_agg) return {};
+  std::vector<size_t> keys;
+  for (size_t i = 0; i < project->children.size(); ++i) {
+    const Ast& item = project->children[i];
+    if (!ContainsAggregate(item) && item.sym != Symbol::kStar) keys.push_back(i);
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<InteractiveRuntime::RowChange> DiffTables(
+    const Table& before, const Table& after, const std::vector<size_t>& key_cols) {
+  using RowChange = InteractiveRuntime::RowChange;
+  std::vector<RowChange> out;
+  if (!SameSchema(before, after)) {
+    // Different result shape: everything turned over.
+    for (size_t r = 0; r < before.num_rows(); ++r) {
+      out.push_back({RowChange::Kind::kRemove, RowOf(before, r), {}});
+    }
+    for (size_t r = 0; r < after.num_rows(); ++r) {
+      out.push_back({RowChange::Kind::kAdd, RowOf(after, r), {}});
+    }
+    return out;
+  }
+
+  // Multiset diff: rows common to both sides cancel out. Before-row
+  // fingerprints are computed once and reused by the removed pass.
+  std::vector<std::string> before_keys;
+  before_keys.reserve(before.num_rows());
+  std::unordered_map<std::string, int64_t> counts;
+  for (size_t r = 0; r < before.num_rows(); ++r) {
+    before_keys.push_back(RowFingerprint(before, r));
+    ++counts[before_keys.back()];
+  }
+  std::vector<size_t> added;
+  for (size_t r = 0; r < after.num_rows(); ++r) {
+    auto it = counts.find(RowFingerprint(after, r));
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+    } else {
+      added.push_back(r);
+    }
+  }
+  std::vector<size_t> removed;
+  for (size_t r = 0; r < before.num_rows(); ++r) {
+    auto it = counts.find(before_keys[r]);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      removed.push_back(r);
+    }
+  }
+
+  // Pair removed/added rows sharing a group key into updates. Keys are
+  // unique per result for real GROUP BY outputs; duplicate keys (defensive)
+  // fall back to add/remove.
+  std::vector<uint8_t> removed_used(removed.size(), 0);
+  std::unordered_map<std::string, int> removed_by_key;
+  bool use_keys = !key_cols.empty();
+  if (use_keys) {
+    for (size_t i = 0; i < removed.size(); ++i) {
+      std::string k = KeyFingerprint(before, removed[i], key_cols);
+      auto [it, inserted] = removed_by_key.emplace(k, static_cast<int>(i));
+      if (!inserted) it->second = -1;  // ambiguous key
+    }
+  }
+  std::vector<RowChange> adds_and_updates;
+  for (size_t r : added) {
+    if (use_keys) {
+      auto it = removed_by_key.find(KeyFingerprint(after, r, key_cols));
+      if (it != removed_by_key.end() && it->second >= 0 &&
+          !removed_used[static_cast<size_t>(it->second)]) {
+        size_t ri = static_cast<size_t>(it->second);
+        removed_used[ri] = 1;
+        adds_and_updates.push_back({RowChange::Kind::kUpdate, RowOf(after, r),
+                                    RowOf(before, removed[ri])});
+        continue;
+      }
+    }
+    adds_and_updates.push_back({RowChange::Kind::kAdd, RowOf(after, r), {}});
+  }
+  for (size_t i = 0; i < removed.size(); ++i) {
+    if (!removed_used[i]) {
+      out.push_back({RowChange::Kind::kRemove, RowOf(before, removed[i]), {}});
+    }
+  }
+  out.insert(out.end(), std::make_move_iterator(adds_and_updates.begin()),
+             std::make_move_iterator(adds_and_updates.end()));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+InteractiveRuntime::InteractiveRuntime(InterfaceSession session,
+                                       std::shared_ptr<ExecutionBackend> backend,
+                                       Options opts)
+    : session_(std::make_unique<InterfaceSession>(std::move(session))),
+      backend_(std::move(backend)),
+      opts_(opts) {}
+
+Result<std::unique_ptr<InteractiveRuntime>> InteractiveRuntime::Create(
+    const GeneratedInterface& iface, const CostConstants& constants,
+    std::shared_ptr<ExecutionBackend> backend, Options opts) {
+  if (backend == nullptr) return Status::Invalid("InteractiveRuntime: null backend");
+  IFGEN_ASSIGN_OR_RETURN(InterfaceSession session,
+                         InterfaceSession::Create(iface, constants));
+  std::unique_ptr<InteractiveRuntime> rt(
+      new InteractiveRuntime(std::move(session), std::move(backend), opts));
+  rt->constants_ = constants;
+  {
+    std::lock_guard<std::mutex> lock(rt->mu_);
+    IFGEN_RETURN_NOT_OK(rt->StepLocked(0, 0.0, 0.0).status());
+    // The initial execution primes prev state and version 1; counters track
+    // *interactions*, so they restart at zero.
+    rt->counters_ = Counters{};
+  }
+  return rt;
+}
+
+Result<InteractiveRuntime::StepReport> InteractiveRuntime::LoadQuery(
+    const Ast& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IFGEN_ASSIGN_OR_RETURN(InterfaceSession::StepReport sess,
+                         session_->LoadQuery(query));
+  return StepLocked(sess.widgets_changed, sess.interaction_cost,
+                    sess.navigation_cost);
+}
+
+Result<InteractiveRuntime::StepReport> InteractiveRuntime::SetAnyChoice(
+    int choice_id, int option_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IFGEN_RETURN_NOT_OK(session_->SetAnyChoice(choice_id, option_index));
+  double ic = 0.0, nc = 0.0;
+  PriceWidgetChange(choice_id, &ic, &nc);
+  return StepLocked(1, ic, nc);
+}
+
+Result<InteractiveRuntime::StepReport> InteractiveRuntime::SetOptPresent(
+    int choice_id, bool present) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IFGEN_RETURN_NOT_OK(session_->SetOptPresent(choice_id, present));
+  double ic = 0.0, nc = 0.0;
+  PriceWidgetChange(choice_id, &ic, &nc);
+  return StepLocked(1, ic, nc);
+}
+
+Result<InteractiveRuntime::StepReport> InteractiveRuntime::SetMultiCount(
+    int choice_id, size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IFGEN_RETURN_NOT_OK(session_->SetMultiCount(choice_id, count));
+  double ic = 0.0, nc = 0.0;
+  PriceWidgetChange(choice_id, &ic, &nc);
+  return StepLocked(1, ic, nc);
+}
+
+void InteractiveRuntime::PriceWidgetChange(int choice_id, double* interaction_cost,
+                                           double* navigation_cost) const {
+  const WidgetTree& wt = session_->widgets();
+  auto it = wt.path_by_choice.find(choice_id);
+  if (it == wt.path_by_choice.end()) return;  // owned by an enclosing adder
+  const WidgetNode* w = wt.NodeAtPath(it->second);
+  if (w == nullptr) return;
+  *interaction_cost = InteractionCost(constants_, w->kind, w->domain);
+  *navigation_cost = SteinerNavigationCost(wt.root, {it->second}, constants_);
+}
+
+Result<InteractiveRuntime::StepReport> InteractiveRuntime::StepLocked(
+    size_t widgets_changed, double interaction_cost, double navigation_cost) {
+  StepReport report;
+  report.widgets_changed = widgets_changed;
+  report.interaction_cost = interaction_cost;
+  report.navigation_cost = navigation_cost;
+
+  IFGEN_ASSIGN_OR_RETURN(Ast query, session_->CurrentQuery());
+  IFGEN_ASSIGN_OR_RETURN(ParameterizedQuery pq, ParameterizeQuery(query));
+
+  bool same_shape = !prev_key_.empty() && pq.key == prev_key_;
+  ShapeDeltaInfo info = same_shape ? prev_info_ : AnalyzeShape(pq);
+  TransitionClass cls = TransitionClass::kShapeChange;
+  if (same_shape && prev_result_ != nullptr) {
+    cls = ClassifyParamDelta(info, prev_params_, pq.params);
+  }
+  report.transition = cls;
+
+  const std::string memo_key = pq.key + "\x1f" + FingerprintParams(pq.params);
+  CachedResultPtr out;
+  if (opts_.enable_delta) {
+    if (cls == TransitionClass::kNoop) {
+      out = prev_result_;
+      report.incremental = true;
+      ++counters_.noops;
+    }
+    if (out == nullptr) {
+      out = MemoLookup(memo_key);
+      if (out != nullptr) {
+        report.incremental = true;
+        report.from_cache = true;
+        ++counters_.cache_hits;
+      }
+    }
+    if (out == nullptr && cls == TransitionClass::kLimitOnly &&
+        prev_result_->delta_state()) {
+      auto limit = ResolveLimitParams(info, pq.params);
+      if (limit.ok()) {
+        // Shares the retained pre-truncation table and selection; only the
+        // truncated view (if the cap cuts) is materialized.
+        out = MakeCachedShared(prev_result_->full, *limit, prev_result_->selection);
+        report.incremental = true;
+        ++counters_.retruncates;
+      }
+    }
+    if (out == nullptr &&
+        (cls == TransitionClass::kTighten || cls == TransitionClass::kLoosen) &&
+        prev_result_->delta_state()) {
+      auto prepared = backend_->PrepareShape(pq);
+      if (prepared.ok()) {
+        if (auto* dc = dynamic_cast<DeltaCapablePlan*>(*prepared)) {
+          DeltaHint hint;
+          hint.mode = cls == TransitionClass::kTighten ? DeltaHint::Mode::kTighten
+                                                       : DeltaHint::Mode::kLoosen;
+          hint.prior_selection = prev_result_->selection.get();
+          IFGEN_ASSIGN_OR_RETURN(DeltaResult dr, dc->ExecuteDelta(pq.params, &hint));
+          out = MakeCached(std::move(dr));
+          report.incremental = true;
+          ++counters_.delta_execs;
+        }
+      }
+    }
+    if (out == nullptr) {
+      IFGEN_ASSIGN_OR_RETURN(out, ExecuteFull(pq));
+      ++counters_.full_execs;
+      ++counters_.fallbacks;
+    }
+  } else {
+    IFGEN_ASSIGN_OR_RETURN(out, ExecuteFull(pq));
+    ++counters_.full_execs;
+  }
+
+  // Row-level delta against the previous served result (also feeds the
+  // change-feed semantics tests). Pointer-equal results (noops, immediate
+  // memo revisits) are identical by construction — skip the O(rows) diff.
+  std::vector<size_t> key_cols =
+      same_shape ? prev_group_key_cols_ : GroupKeyCols(pq.shape);
+  report.rows = out->served->num_rows();
+  if (prev_result_ == nullptr) {
+    report.rows_added = out->served->num_rows();
+  } else if (out->served != prev_result_->served) {
+    for (const RowChange& c :
+         DiffTables(*prev_result_->served, *out->served, key_cols)) {
+      switch (c.kind) {
+        case RowChange::Kind::kAdd:
+          ++report.rows_added;
+          break;
+        case RowChange::Kind::kRemove:
+          ++report.rows_removed;
+          break;
+        case RowChange::Kind::kUpdate:
+          ++report.rows_updated;
+          break;
+      }
+    }
+  }
+
+  if (opts_.enable_delta) MemoStore(memo_key, out);
+  prev_key_ = std::move(pq.key);
+  prev_params_ = std::move(pq.params);
+  prev_info_ = std::move(info);
+  prev_group_key_cols_ = std::move(key_cols);
+  prev_result_ = std::move(out);
+  ++version_;
+  ++counters_.steps;
+  last_report_ = report;
+  return report;
+}
+
+InteractiveRuntime::CachedResultPtr InteractiveRuntime::MakeCached(DeltaResult dr) {
+  return MakeCachedShared(
+      std::make_shared<const Table>(std::move(dr.full)), dr.limit,
+      std::make_shared<const std::vector<uint32_t>>(std::move(dr.selection)));
+}
+
+InteractiveRuntime::CachedResultPtr InteractiveRuntime::MakeCachedShared(
+    std::shared_ptr<const Table> full, int64_t limit,
+    std::shared_ptr<const std::vector<uint32_t>> selection) {
+  auto cr = std::make_shared<CachedResult>();
+  cr->limit = limit;
+  cr->selection = std::move(selection);
+  if (limit >= 0 && static_cast<size_t>(limit) < full->num_rows()) {
+    Table t = *full;
+    TruncateRows(&t, limit);
+    cr->served = std::make_shared<const Table>(std::move(t));
+  } else {
+    cr->served = full;
+  }
+  cr->full = std::move(full);
+  return cr;
+}
+
+Result<InteractiveRuntime::CachedResultPtr> InteractiveRuntime::ExecuteFull(
+    const ParameterizedQuery& pq) {
+  IFGEN_ASSIGN_OR_RETURN(PreparedQuery * plan, backend_->PrepareShape(pq));
+  DeltaCapablePlan* dc =
+      opts_.enable_delta ? dynamic_cast<DeltaCapablePlan*>(plan) : nullptr;
+  if (dc != nullptr) {
+    IFGEN_ASSIGN_OR_RETURN(DeltaResult dr, dc->ExecuteDelta(pq.params, nullptr));
+    return MakeCached(std::move(dr));
+  }
+  auto cr = std::make_shared<CachedResult>();
+  IFGEN_ASSIGN_OR_RETURN(Table served, plan->Execute(pq.params));
+  cr->served = std::make_shared<const Table>(std::move(served));
+  cr->full = cr->served;
+  return CachedResultPtr(std::move(cr));
+}
+
+InteractiveRuntime::CachedResultPtr InteractiveRuntime::MemoLookup(
+    const std::string& key) {
+  auto it = memo_.find(key);
+  if (it == memo_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void InteractiveRuntime::MemoStore(const std::string& key, CachedResultPtr value) {
+  if (opts_.result_cache_capacity == 0) return;
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = std::move(value);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  memo_[key] = lru_.begin();
+  while (lru_.size() > opts_.result_cache_capacity) {
+    memo_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// State + change feed.
+
+Result<Table> InteractiveRuntime::CurrentResult() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (prev_result_ == nullptr) return Status::Invalid("no result yet");
+  return *prev_result_->served;
+}
+
+Result<std::string> InteractiveRuntime::CurrentSql() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return session_->CurrentSql();
+}
+
+Result<Ast> InteractiveRuntime::CurrentQuery() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return session_->CurrentQuery();
+}
+
+uint64_t InteractiveRuntime::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+InteractiveRuntime::Counters InteractiveRuntime::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+InteractiveRuntime::SubscriberId InteractiveRuntime::Subscribe() {
+  return Subscribe(nullptr);
+}
+
+InteractiveRuntime::SubscriberId InteractiveRuntime::Subscribe(
+    Table* initial_snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SubscriberId id = next_subscriber_++;
+  Subscriber& sub = subscribers_[id];
+  sub.version = version_;
+  if (prev_result_ != nullptr) sub.snapshot = prev_result_->served;  // shared
+  if (initial_snapshot != nullptr && sub.snapshot != nullptr) {
+    *initial_snapshot = *sub.snapshot;
+  }
+  return id;
+}
+
+Status InteractiveRuntime::Unsubscribe(SubscriberId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscribers_.erase(id) > 0
+             ? Status::OK()
+             : Status::NotFound("no such subscriber: " + std::to_string(id));
+}
+
+Result<InteractiveRuntime::ChangeBatch> InteractiveRuntime::Poll(SubscriberId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subscribers_.find(id);
+  if (it == subscribers_.end()) {
+    return Status::NotFound("no such subscriber: " + std::to_string(id));
+  }
+  Subscriber& sub = it->second;
+  ChangeBatch batch;
+  batch.from_version = sub.version;
+  batch.to_version = version_;
+  batch.last_step = last_report_;
+  if (sub.version != version_ && prev_result_ != nullptr) {
+    if (sub.snapshot != prev_result_->served) {  // pointer-equal => no diff
+      batch.changes = DiffTables(sub.snapshot == nullptr ? Table() : *sub.snapshot,
+                                 *prev_result_->served, prev_group_key_cols_);
+    }
+    sub.snapshot = prev_result_->served;
+    sub.version = version_;
+  }
+  return batch;
+}
+
+}  // namespace ifgen

@@ -1,0 +1,252 @@
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.h"
+#include "engine/backend.h"
+#include "engine/delta_exec.h"
+
+namespace ifgen {
+
+/// \brief The incremental interactive runtime: an InterfaceSession plus
+/// delta result maintenance and a change feed.
+///
+/// Every widget change w(q, u) -> q' goes through one pipeline: materialize
+/// the new query, parameterize it (engine/backend.h), classify the
+/// transition against the previously *executed* state
+/// (engine/delta_exec.h), and maintain the previous result instead of
+/// re-executing when a sound incremental path exists:
+///
+///  - `noop`        — identical (shape, params): the previous result stands.
+///  - memo hit      — any class: a per-(shape, params) LRU of past results
+///                    answers revisited states (toggling back) outright.
+///  - `tighten`     — delta-capable plans re-filter only the retained
+///                    selection vector (columnar backend).
+///  - `loosen`      — prior selection survives wholesale; only its
+///                    complement is evaluated, then merged in row order.
+///  - `limit_only`  — the retained pre-TOP/LIMIT table is re-truncated.
+///  - `rebind` / `shape_change` — full execution through the backend's plan
+///                    cache (rebind re-uses the compiled plan; shape change
+///                    may compile).
+///
+/// Incremental results are bit-identical to full re-execution — enforced
+/// differentially by tests/interactive_test.cc on randomized walks across
+/// all backends. Backends whose plans are not delta-capable (reference,
+/// SQLite) still get the noop/memo paths; everything else falls back to
+/// full execution. All public methods are serialized by an internal mutex
+/// so a future HTTP front-end can poll the change feed concurrently with
+/// interactions.
+/// \brief Tuning knobs of an InteractiveRuntime (namespace-scope so it can
+/// serve as an in-class default argument).
+struct InteractiveOptions {
+  /// Memoized results retained per runtime (LRU); 0 disables the memo.
+  size_t result_cache_capacity = 64;
+  /// Ablation flag: false forces full re-execution on every step (the
+  /// differential baseline and the bench comparison arm).
+  bool enable_delta = true;
+};
+
+class InteractiveRuntime {
+ public:
+  using Options = InteractiveOptions;
+
+  /// Builds a runtime positioned at the interface's first query, with that
+  /// query already executed (current_result() is valid on success).
+  /// `backend` is shared (GenerationService::BackendFor hands out one per
+  /// database × kind) and must outlive the runtime.
+  static Result<std::unique_ptr<InteractiveRuntime>> Create(
+      const GeneratedInterface& iface, const CostConstants& constants,
+      std::shared_ptr<ExecutionBackend> backend, Options opts = {});
+
+  /// \brief What one interaction step did: transition class, how the result
+  /// was maintained, and the row-level delta against the previous result.
+  struct StepReport {
+    TransitionClass transition = TransitionClass::kShapeChange;
+    bool incremental = false;  ///< served without a full pipeline execution
+    bool from_cache = false;   ///< memoized result cache hit
+    size_t widgets_changed = 0;
+    double interaction_cost = 0.0;
+    double navigation_cost = 0.0;
+    size_t rows = 0;          ///< rows in the new current result
+    size_t rows_added = 0;    ///< rows in new but not old (multiset)
+    size_t rows_removed = 0;  ///< rows in old but not new (multiset)
+    size_t rows_updated = 0;  ///< group-key matches with changed values
+    double total_cost() const { return interaction_cost + navigation_cost; }
+  };
+
+  // ------------------------------------------------------------------
+  // Interactions (each executes/maintains the result and bumps version).
+
+  /// Moves the widgets to express `query` (min-change transition), then
+  /// maintains the result.
+  Result<StepReport> LoadQuery(const Ast& query);
+
+  /// Widget manipulation by choice id — the w(q, u) -> q' interface.
+  Result<StepReport> SetAnyChoice(int choice_id, int option_index);
+  Result<StepReport> SetOptPresent(int choice_id, bool present);
+  Result<StepReport> SetMultiCount(int choice_id, size_t count);
+
+  // ------------------------------------------------------------------
+  // State.
+
+  /// Copy of the current result (thread-safe snapshot).
+  Result<Table> CurrentResult() const;
+  Result<std::string> CurrentSql() const;
+  Result<Ast> CurrentQuery() const;
+
+  /// The wrapped session. NOT synchronized with concurrent interactions —
+  /// single-threaded inspection only (tests, benches).
+  const InterfaceSession& session() const { return *session_; }
+
+  /// Monotone result version; bumped on every step that changes which
+  /// result is current (including steps whose result is value-identical).
+  uint64_t version() const;
+
+  // ------------------------------------------------------------------
+  // Change feed.
+
+  using SubscriberId = uint64_t;
+
+  /// \brief One row-level change. Applying a batch to the subscriber's last
+  /// table — remove one row equal to `row` per kRemove, append `row` per
+  /// kAdd, and per kUpdate remove one row equal to `old_row` then append
+  /// `row` — reproduces the current result as a multiset (row order is not
+  /// part of the contract; tests compare canonically sorted tables).
+  struct RowChange {
+    enum class Kind : uint8_t { kAdd, kRemove, kUpdate };
+    Kind kind = Kind::kAdd;
+    std::vector<Value> row;      ///< kAdd/kUpdate: the new row; kRemove: the removed row
+    std::vector<Value> old_row;  ///< kUpdate only: the replaced row
+  };
+
+  /// \brief Everything a Poll delivers: the diff from the subscriber's last
+  /// delivered version to the current one, plus the report of the step that
+  /// produced the current version.
+  struct ChangeBatch {
+    uint64_t from_version = 0;
+    uint64_t to_version = 0;
+    std::vector<RowChange> changes;
+    StepReport last_step;
+  };
+
+  /// Registers a subscriber positioned at the current version (the first
+  /// Poll only reports changes made after Subscribe). The overload with
+  /// `initial_snapshot` atomically copies the current result under the same
+  /// lock — use it when interactions run concurrently, otherwise a step
+  /// between Subscribe and CurrentResult desynchronizes the caller's base
+  /// table from the first Poll's diff.
+  SubscriberId Subscribe();
+  SubscriberId Subscribe(Table* initial_snapshot);
+  Status Unsubscribe(SubscriberId id);
+
+  /// Returns the changes since the subscriber's last Poll (empty `changes`
+  /// with from_version == to_version when nothing happened) and advances
+  /// the subscriber to the current version.
+  Result<ChangeBatch> Poll(SubscriberId id);
+
+  // ------------------------------------------------------------------
+  // Introspection.
+
+  struct Counters {
+    size_t steps = 0;        ///< successful interaction steps
+    size_t noops = 0;        ///< identical (shape, params): zero work
+    size_t cache_hits = 0;   ///< memoized result served
+    size_t delta_execs = 0;  ///< tighten/loosen selection-delta executions
+    size_t retruncates = 0;  ///< limit-only: retained table re-truncated
+    size_t full_execs = 0;   ///< full pipeline executions
+    size_t fallbacks = 0;    ///< full executions forced while delta enabled
+  };
+  Counters counters() const;
+
+ private:
+  /// One retained execution, shared immutably between the runtime's prev
+  /// state, the memo, and subscriber snapshots. `served` aliases `full`
+  /// whenever the limit does not actually cut rows, so the common no-limit
+  /// case never copies the result table.
+  struct CachedResult {
+    std::shared_ptr<const Table> full;    ///< pre-TOP/LIMIT result
+    std::shared_ptr<const Table> served;  ///< post-TOP/LIMIT (== full when uncut)
+    int64_t limit = -1;
+    /// Post-WHERE base-row selection; null when the plan was not
+    /// delta-capable (no retained state to resume from).
+    std::shared_ptr<const std::vector<uint32_t>> selection;
+    bool delta_state() const { return selection != nullptr; }
+  };
+  using CachedResultPtr = std::shared_ptr<const CachedResult>;
+
+  InteractiveRuntime(InterfaceSession session,
+                     std::shared_ptr<ExecutionBackend> backend, Options opts);
+
+  /// The shared tail of every interaction: (re)executes or maintains the
+  /// result for the session's current query. Requires mu_ held.
+  ///
+  /// On error (e.g. the new widget state orders by a column the projection
+  /// dropped) the result side of the runtime — CurrentResult, version, the
+  /// feed, and the retained delta state — stays at the last *executed*
+  /// step, while the session's widget state (CurrentSql) has already
+  /// advanced; the next successful step re-synchronizes them.
+  Result<StepReport> StepLocked(size_t widgets_changed, double interaction_cost,
+                                double navigation_cost);
+  /// Cost attribution of flipping one widget (mirrors cost/transition.cc).
+  void PriceWidgetChange(int choice_id, double* interaction_cost,
+                         double* navigation_cost) const;
+
+  static CachedResultPtr MakeCached(DeltaResult dr);
+  /// The single owner of the served-aliases-full invariant: `served` copies
+  /// and truncates only when `limit` actually cuts rows.
+  static CachedResultPtr MakeCachedShared(
+      std::shared_ptr<const Table> full, int64_t limit,
+      std::shared_ptr<const std::vector<uint32_t>> selection);
+  Result<CachedResultPtr> ExecuteFull(const ParameterizedQuery& pq);
+  CachedResultPtr MemoLookup(const std::string& key);
+  void MemoStore(const std::string& key, CachedResultPtr value);
+
+  std::unique_ptr<InterfaceSession> session_;
+  std::shared_ptr<ExecutionBackend> backend_;
+  Options opts_;
+  CostConstants constants_;
+
+  mutable std::mutex mu_;
+
+  // Previously *executed* state (survives failed steps unchanged).
+  std::string prev_key_;  ///< canonical shape SQL; empty = nothing executed
+  std::vector<Value> prev_params_;
+  ShapeDeltaInfo prev_info_;
+  std::vector<size_t> prev_group_key_cols_;  ///< update-detection key columns
+  CachedResultPtr prev_result_;
+
+  // Memoized results, LRU: (shape key + param fingerprint) -> result.
+  std::list<std::pair<std::string, CachedResultPtr>> lru_;
+  std::unordered_map<
+      std::string, std::list<std::pair<std::string, CachedResultPtr>>::iterator>
+      memo_;
+
+  // Change feed. Snapshots share the immutable result tables — a
+  // subscriber costs one shared_ptr, not a table copy.
+  struct Subscriber {
+    uint64_t version = 0;
+    std::shared_ptr<const Table> snapshot;
+  };
+  std::map<SubscriberId, Subscriber> subscribers_;
+  SubscriberId next_subscriber_ = 1;
+  uint64_t version_ = 0;
+  StepReport last_report_;
+
+  Counters counters_;
+};
+
+/// Computes the row-level diff between two tables: multiset removes/adds,
+/// with add/remove pairs sharing equal values in `key_cols` reported as a
+/// single kUpdate (group-by keys are unique per result, so the pairing is
+/// well defined). Pass empty `key_cols` for pure add/remove diffs. Exposed
+/// for tests and the bench.
+std::vector<InteractiveRuntime::RowChange> DiffTables(
+    const Table& before, const Table& after, const std::vector<size_t>& key_cols);
+
+}  // namespace ifgen

@@ -114,6 +114,24 @@ size_t GenerationService::backends_created() const {
   return backends_.size();
 }
 
+Result<std::shared_ptr<InteractiveRuntime>> GenerationService::OpenSession(
+    const GeneratedInterface& iface, const CostConstants& constants,
+    const Database* db, BackendKind kind, InteractiveRuntime::Options opts) {
+  IFGEN_ASSIGN_OR_RETURN(std::shared_ptr<ExecutionBackend> backend,
+                         BackendFor(db, kind));
+  IFGEN_ASSIGN_OR_RETURN(std::unique_ptr<InteractiveRuntime> runtime,
+                         InteractiveRuntime::Create(iface, constants,
+                                                    std::move(backend), opts));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sessions_opened_;
+  return std::shared_ptr<InteractiveRuntime>(std::move(runtime));
+}
+
+size_t GenerationService::sessions_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_opened_;
+}
+
 GenerationService::GenerationService() : GenerationService(Options()) {}
 
 GenerationService::GenerationService(Options opts)

@@ -12,6 +12,7 @@
 
 #include "core/interface_generator.h"
 #include "engine/backend.h"
+#include "runtime/interactive.h"
 #include "runtime/thread_pool.h"
 
 namespace ifgen {
@@ -71,6 +72,17 @@ class GenerationService {
                                                        BackendKind kind);
   size_t backends_created() const;
 
+  /// Opens a per-user interactive runtime over a generated interface: the
+  /// serving-side session object. Each runtime owns its own widget state,
+  /// result maintenance, and change feed, but executes on the *shared*
+  /// (db, kind) backend from BackendFor, so all sessions over one store
+  /// share compiled plans. `db` must outlive the returned runtime.
+  Result<std::shared_ptr<InteractiveRuntime>> OpenSession(
+      const GeneratedInterface& iface, const CostConstants& constants,
+      const Database* db, BackendKind kind,
+      InteractiveRuntime::Options opts = {});
+  size_t sessions_opened() const;
+
   size_t jobs_submitted() const;
   size_t jobs_executed() const;
   size_t cache_hits() const;
@@ -92,6 +104,7 @@ class GenerationService {
   size_t jobs_submitted_ = 0;
   size_t jobs_executed_ = 0;
   size_t cache_hits_ = 0;
+  size_t sessions_opened_ = 0;
 
   /// (database, kind) -> shared backend instance.
   std::map<std::pair<const Database*, BackendKind>,

@@ -10,6 +10,7 @@
 #include "runtime/service.h"
 #include "sql/parser.h"
 #include "sql/unparser.h"
+#include "util/rng.h"
 #include "workload/loader.h"
 
 namespace ifgen {
@@ -283,6 +284,174 @@ TEST(ColumnarAggregate, ArithmeticOverAggregates) {
       db, {"select sum(b) / count(b) from t", "select s, max(a) - min(a) from t group by s"},
       {BackendKind::kReference, BackendKind::kColumnar});
   EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: ParameterizeQuery / BindParams round-trip on fuzzed ASTs.
+//
+// The property is P(B(P(q))) == P(q): parameterizing, binding the extracted
+// literals back, and re-parameterizing must reproduce the identical shape key
+// and the identical parameter values (exact type class and content) — for
+// arbitrary predicate trees over literals including negatives, empty strings,
+// embedded quotes, and exponent-form doubles. This pins the traversal-order
+// agreement between ParameterizeExpr and BindExpr and the literal-spelling
+// round-trip (LiteralText -> ParseNumericLiteral).
+
+namespace property {
+
+Ast RandomLiteral(Rng* rng) {
+  switch (rng->UniformIndex(10)) {
+    case 0:
+      return Str("");  // empty string
+    case 1:
+      return Str("it's");  // embedded single quote (unparser re-escapes)
+    case 2:
+      return Str("a\"b \\ c%_");  // double quote, backslash, LIKE metachars
+    case 3:
+      return Str("123");  // digit-only string must STAY a string
+    case 4:
+      return Num(int64_t{-5});
+    case 5:
+      return Num("-2.75");
+    case 6:
+      return Num("0");
+    case 7:
+      return Num("1e-9");  // exponent form parses as double
+    case 8:
+      return Num(int64_t{9223372036854775807LL});  // int64 max survives
+    default:
+      return rng->Bernoulli(0.5)
+                 ? Num(rng->UniformInt(-1000000, 1000000))
+                 : Num(std::to_string(rng->UniformDouble(-1000.0, 1000.0)));
+  }
+}
+
+Ast RandomPredicate(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.5)) {
+    static const char* kCmps[] = {"=", "<>", "<", "<=", ">", ">=", "like"};
+    switch (rng->UniformIndex(4)) {
+      case 0:
+        return Ast(Symbol::kBiExpr, kCmps[rng->UniformIndex(7)],
+                   {Col("a"), RandomLiteral(rng)});
+      case 1:
+        return Ast(Symbol::kBetween,
+                   {Col("b"), RandomLiteral(rng), RandomLiteral(rng)});
+      case 2: {
+        std::vector<Ast> items;
+        size_t n = 1 + rng->UniformIndex(3);
+        for (size_t i = 0; i < n; ++i) items.push_back(RandomLiteral(rng));
+        return Ast(Symbol::kIn, {Col("s"), Ast(Symbol::kList, std::move(items))});
+      }
+      default:
+        // Literal-vs-literal comparisons also occur transiently under rule
+        // rewrites; both sides parameterize.
+        return Ast(Symbol::kBiExpr, ">", {RandomLiteral(rng), RandomLiteral(rng)});
+    }
+  }
+  switch (rng->UniformIndex(3)) {
+    case 0:
+      return Ast(Symbol::kAnd, {RandomPredicate(rng, depth - 1),
+                                RandomPredicate(rng, depth - 1)});
+    case 1:
+      return Ast(Symbol::kOr, {RandomPredicate(rng, depth - 1),
+                               RandomPredicate(rng, depth - 1)});
+    default:
+      return Ast(Symbol::kNot, {RandomPredicate(rng, depth - 1)});
+  }
+}
+
+Ast RandomQuery(Rng* rng) {
+  std::vector<Ast> clauses;
+  clauses.push_back(Ast(Symbol::kProject, {Col("a"), Col("b")}));
+  if (rng->Bernoulli(0.3)) {
+    clauses.push_back(
+        Ast(Symbol::kTop, std::to_string(rng->UniformInt(0, 50))));
+  }
+  clauses.push_back(Ast(Symbol::kFrom, {Ast(Symbol::kTable, "t")}));
+  clauses.push_back(Ast(Symbol::kWhere, {RandomPredicate(rng, 3)}));
+  if (rng->Bernoulli(0.3)) {
+    clauses.push_back(
+        Ast(Symbol::kOrderBy, {Ast(Symbol::kOrderKey, "desc", {Col("a")})}));
+  }
+  if (rng->Bernoulli(0.3)) {
+    clauses.push_back(
+        Ast(Symbol::kLimit, std::to_string(rng->UniformInt(0, 50))));
+  }
+  return Ast(Symbol::kSelect, std::move(clauses));
+}
+
+bool ValuesIdentical(const Value& x, const Value& y) {
+  if (x.is_null() || y.is_null()) return x.is_null() && y.is_null();
+  if (x.is_int() != y.is_int() || x.is_double() != y.is_double() ||
+      x.is_string() != y.is_string()) {
+    return false;
+  }
+  if (x.is_int()) return x.AsInt() == y.AsInt();
+  if (x.is_double()) return x.AsDouble() == y.AsDouble();
+  return x.AsString() == y.AsString();
+}
+
+}  // namespace property
+
+TEST(ParameterizeProperty, RoundTripOnFuzzedAsts) {
+  Rng rng(0xF022);
+  for (int iter = 0; iter < 500; ++iter) {
+    Ast q = property::RandomQuery(&rng);
+    auto pq = ParameterizeQuery(q);
+    ASSERT_TRUE(pq.ok()) << iter << ": " << pq.status().ToString() << "\n"
+                         << q.ToSExpr();
+    auto bound = BindParams(pq->shape, pq->params);
+    ASSERT_TRUE(bound.ok()) << iter << ": " << bound.status().ToString();
+    auto pq2 = ParameterizeQuery(*bound);
+    ASSERT_TRUE(pq2.ok()) << iter << ": " << pq2.status().ToString();
+    EXPECT_EQ(pq2->key, pq->key) << iter;
+    ASSERT_EQ(pq2->params.size(), pq->params.size()) << iter;
+    for (size_t i = 0; i < pq->params.size(); ++i) {
+      EXPECT_TRUE(property::ValuesIdentical(pq->params[i], pq2->params[i]))
+          << iter << " param " << i << ": " << pq->params[i].ToString() << " vs "
+          << pq2->params[i].ToString();
+    }
+    // The shape itself is a fixed point: parameterizing strips every
+    // literal, so the bound query's shape is structurally the original's.
+    EXPECT_EQ(pq2->shape, pq->shape) << iter;
+  }
+}
+
+TEST(ParameterizeProperty, MalformedBindsRejectedCleanly) {
+  Ast q = *ParseQuery("select top 3 a from t where a > 5 and s = 'x' limit 7");
+  auto pq = ParameterizeQuery(q);
+  ASSERT_TRUE(pq.ok());
+  ASSERT_EQ(pq->params.size(), 4u);
+
+  // NULL parameter: no literal spelling — must error, not crash.
+  std::vector<Value> with_null = pq->params;
+  with_null[0] = Value();
+  EXPECT_FALSE(BindParams(pq->shape, with_null).ok());
+
+  // Wrong arity in both directions.
+  std::vector<Value> short_params(pq->params.begin(), pq->params.end() - 1);
+  EXPECT_FALSE(BindParams(pq->shape, short_params).ok());
+  EXPECT_FALSE(BindParams(pq->shape, {}).ok());
+
+  // Non-integer TOP/LIMIT binding.
+  std::vector<Value> bad_limit = pq->params;
+  for (size_t i = 0; i < bad_limit.size(); ++i) {
+    if (bad_limit[i].is_int() && bad_limit[i].AsInt() == 3) {
+      bad_limit[i] = Value(std::string("three"));
+    }
+  }
+  EXPECT_FALSE(BindParams(pq->shape, bad_limit).ok());
+
+  // Executing a shape through a backend with NULL params must also error
+  // cleanly (the prepared plan re-validates bindings).
+  Database db = TinyDb();
+  for (BackendKind kind : AvailableBackends()) {
+    auto backend = CreateBackend(kind, &db);
+    ASSERT_TRUE(backend.ok());
+    auto plan = (*backend)->Prepare(*ParseQuery("select a from t where a > 1"));
+    ASSERT_TRUE(plan.ok()) << BackendKindName(kind);
+    EXPECT_FALSE((*plan)->Execute({}).ok()) << BackendKindName(kind);
+  }
 }
 
 // ---------------------------------------------------------------------------
