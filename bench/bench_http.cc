@@ -1,0 +1,217 @@
+// HTTP front-end latency: request overhead and session-step latency over
+// real sockets against the in-process embedded server.
+//
+// Starts an ApiService + ApiHttpFrontend on an ephemeral port, then times
+// four endpoint families end-to-end (connect + request + parse, one
+// connection per request, mirroring the server's Connection: close model):
+//   - healthz      — transport floor (routing + serialization only)
+//   - stats        — counter aggregation + DTO encoding
+//   - events       — POST widget event -> StepResponse with diff batch (the
+//                    interactive hot path; compare against bench_interactive's
+//                    in-process per-step numbers for the wire overhead)
+//   - feed         — change-feed drain (empty and non-empty polls mixed)
+//
+// JSON rows (one line each, `"bench":"http"`) are documented in
+// bench/README.md and validated by scripts/check_bench_json.py.
+// IFGEN_BENCH_SMOKE=1 shrinks request counts for CI.
+#include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "api/api_service.h"
+#include "bench/bench_util.h"
+#include "http/api_http.h"
+#include "http/http_client.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+using namespace ifgen;  // NOLINT
+
+namespace {
+
+constexpr const char* kHost = "127.0.0.1";
+
+void CollectChoices(const JsonValue& node,
+                    std::vector<std::tuple<int64_t, int64_t, std::string>>* out) {
+  const JsonValue* choice = node.Find("choice");
+  const JsonValue* widget = node.Find("widget");
+  if (choice != nullptr && widget != nullptr) {
+    const JsonValue* options = node.Find("options");
+    out->emplace_back(choice->AsInt(),
+                      options != nullptr ? static_cast<int64_t>(options->size()) : 0,
+                      widget->AsString());
+  }
+  const JsonValue* children = node.Find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const JsonValue& c : children->items()) CollectChoices(c, out);
+  }
+}
+
+struct EndpointStat {
+  size_t requests = 0;
+  size_t errors = 0;
+  double total_us = 0.0;
+  double us_per_request() const {
+    return requests == 0 ? 0.0 : total_us / static_cast<double>(requests);
+  }
+};
+
+void EmitRow(const std::string& workload, const std::string& endpoint,
+             const EndpointStat& s) {
+  std::printf(
+      "{\"bench\":\"http\",\"workload\":\"%s\",\"endpoint\":\"%s\","
+      "\"requests\":%zu,\"errors\":%zu,\"us_per_request\":%s}\n",
+      workload.c_str(), endpoint.c_str(), s.requests, s.errors,
+      JsonDouble(s.us_per_request()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::SmokeMode();
+  const size_t kRequests = smoke ? 40 : 400;
+  const size_t kSteps = smoke ? 60 : 600;
+
+  bench::PrintHeader("HTTP front-end: request + session-step latency");
+
+  api::ApiService::Options opts;
+  opts.workload_rows = smoke ? 300 : 2000;
+  opts.service.num_threads = 2;
+  auto svc = api::ApiService::Create(opts);
+  if (!svc.ok()) {
+    std::fprintf(stderr, "service: %s\n", svc.status().ToString().c_str());
+    return 1;
+  }
+  http::ApiHttpFrontend frontend(svc->get());
+  http::ApiHttpFrontend::Options fopts;
+  fopts.http.num_threads = 4;
+  if (Status st = frontend.Start(fopts); !st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const int port = frontend.port();
+  std::printf("embedded server on %s:%d\n", kHost, port);
+
+  const std::string workload = "flights";
+
+  // Generation job (iteration-capped; the search itself is bench_ablation's
+  // subject — here it only has to finish).
+  Stopwatch gen_watch;
+  auto accepted = http::Post(
+      kHost, port, "/v1/generate",
+      R"({"workload":"flights","options":{"time_budget_ms":0,"max_iterations":20,"seed":5,"screen_width":90,"screen_height":32}})");
+  if (!accepted.ok() || accepted->status != 202) {
+    std::fprintf(stderr, "generate failed (%d)\n",
+                 accepted.ok() ? accepted->status : -1);
+    return 1;
+  }
+  auto job = ParseJson(accepted->body);
+  const std::string job_id = job->Find("job_id")->AsString();
+  auto done = http::Get(kHost, port, "/v1/jobs/" + job_id + "?wait_ms=60000");
+  if (!done.ok() || done->status != 200) {
+    std::fprintf(stderr, "job wait failed\n");
+    return 1;
+  }
+  std::printf("generate -> done over HTTP in %.1f ms\n",
+              static_cast<double>(gen_watch.ElapsedMillis()));
+
+  // Session.
+  auto session_resp = http::Post(kHost, port, "/v1/sessions",
+                                 "{\"job_id\":\"" + job_id + "\"}");
+  if (!session_resp.ok() || session_resp->status != 200) {
+    std::fprintf(stderr, "session open failed\n");
+    return 1;
+  }
+  auto session = ParseJson(session_resp->body);
+  const std::string sid = session->Find("session_id")->AsString();
+  std::vector<std::tuple<int64_t, int64_t, std::string>> choices;
+  CollectChoices(*session->Find("widgets"), &choices);
+  if (choices.empty()) {
+    std::fprintf(stderr, "no interactive widgets\n");
+    return 1;
+  }
+
+  // --- endpoint: healthz / stats ---------------------------------------
+  for (const char* endpoint : {"healthz", "stats"}) {
+    EndpointStat stat;
+    for (size_t i = 0; i < kRequests; ++i) {
+      Stopwatch w;
+      auto resp = http::Get(kHost, port, std::string("/v1/") + endpoint);
+      stat.total_us += static_cast<double>(w.ElapsedMicros());
+      ++stat.requests;
+      if (!resp.ok() || resp->status != 200) ++stat.errors;
+    }
+    std::printf("%-8s %7.1f us/request (%zu requests, %zu errors)\n", endpoint,
+                stat.us_per_request(), stat.requests, stat.errors);
+    EmitRow(workload, endpoint, stat);
+  }
+
+  // --- endpoint: events (the interactive hot path) ----------------------
+  {
+    EndpointStat stat;
+    size_t idx = 0;
+    for (size_t i = 0; i < kSteps; ++i) {
+      const auto& [choice_id, option_count, kind] = choices[idx];
+      idx = (idx + 1) % choices.size();
+      std::string body;
+      if (kind == "Checkbox" || kind == "Toggle") {
+        body = "{\"kind\":\"set_opt\",\"choice_id\":" + std::to_string(choice_id) +
+               ",\"present\":" + (i % 2 == 0 ? "false" : "true") + "}";
+      } else if (option_count > 0) {
+        body = "{\"kind\":\"set_any\",\"choice_id\":" + std::to_string(choice_id) +
+               ",\"option_index\":" +
+               std::to_string(static_cast<int64_t>(i) % option_count) + "}";
+      } else {
+        continue;
+      }
+      Stopwatch w;
+      auto resp =
+          http::Post(kHost, port, "/v1/sessions/" + sid + "/events", body);
+      stat.total_us += static_cast<double>(w.ElapsedMicros());
+      ++stat.requests;
+      // Rejected states (hidden alternatives) are fine; transport errors
+      // are not.
+      if (!resp.ok() || (resp->status != 200 && resp->status != 400)) {
+        ++stat.errors;
+      }
+    }
+    std::printf("events   %7.1f us/request (%zu requests, %zu errors)\n",
+                stat.us_per_request(), stat.requests, stat.errors);
+    EmitRow(workload, "events", stat);
+  }
+
+  // --- endpoint: feed ----------------------------------------------------
+  {
+    EndpointStat stat;
+    size_t idx = 0;
+    for (size_t i = 0; i < kRequests; ++i) {
+      // Interleave an event every few polls so the feed alternates between
+      // empty drains and row diffs.
+      if (i % 4 == 0) {
+        const auto& [choice_id, option_count, kind] = choices[idx];
+        idx = (idx + 1) % choices.size();
+        if (option_count > 0 && kind != "Checkbox" && kind != "Toggle") {
+          (void)http::Post(
+              kHost, port, "/v1/sessions/" + sid + "/events",
+              "{\"kind\":\"set_any\",\"choice_id\":" + std::to_string(choice_id) +
+                  ",\"option_index\":" +
+                  std::to_string(static_cast<int64_t>(i) % option_count) + "}");
+        }
+      }
+      Stopwatch w;
+      auto resp = http::Get(kHost, port, "/v1/sessions/" + sid + "/feed");
+      stat.total_us += static_cast<double>(w.ElapsedMicros());
+      ++stat.requests;
+      if (!resp.ok() || resp->status != 200) ++stat.errors;
+    }
+    std::printf("feed     %7.1f us/request (%zu requests, %zu errors)\n",
+                stat.us_per_request(), stat.requests, stat.errors);
+    EmitRow(workload, "feed", stat);
+  }
+
+  (void)http::Delete(kHost, port, "/v1/sessions/" + sid);
+  frontend.Stop();
+  std::printf("clean shutdown\n");
+  return 0;
+}

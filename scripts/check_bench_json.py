@@ -85,6 +85,13 @@ SCHEMAS = {
         "warm_ms": NUM,
         "cache_hits": int,
     },
+    "http": {
+        "workload": str,
+        "endpoint": str,
+        "requests": int,
+        "errors": int,
+        "us_per_request": NUM,
+    },
 }
 
 

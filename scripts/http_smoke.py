@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the HTTP serving front-end (CI http-smoke job).
+
+Starts ./serve_http on an ephemeral-ish port, then drives the whole v1
+flow with the Python stdlib only:
+
+    healthz -> catalog -> POST /v1/generate (flights) -> poll job ->
+    POST /v1/sessions -> widget events until a non-empty diff batch ->
+    GET feed (long-poll) -> DELETE session -> SIGTERM -> clean exit.
+
+Asserts a non-empty row-diff batch and a clean shutdown (exit code 0).
+
+Usage: http_smoke.py [PATH_TO_SERVE_HTTP] (default ./build/serve_http)
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+PORT = 18642
+BASE = f"http://127.0.0.1:{PORT}"
+
+
+def call(method, path, body=None, timeout=30):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(BASE + path, data=data, method=method)
+    if data:
+        req.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read().decode())
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def collect_choices(node, out):
+    if "choice" in node and "widget" in node:
+        out.append((node["choice"], len(node.get("options", [])), node["widget"]))
+    for child in node.get("children", []):
+        collect_choices(child, out)
+
+
+def main():
+    binary = sys.argv[1] if len(sys.argv) > 1 else "./build/serve_http"
+    server = subprocess.Popen(
+        [binary, "--port", str(PORT), "--rows", "500"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        # Wait for the server to come up.
+        for _ in range(100):
+            try:
+                if call("GET", "/v1/healthz", timeout=2)["status"] == "ok":
+                    break
+            except (urllib.error.URLError, ConnectionError, OSError):
+                time.sleep(0.1)
+        else:
+            fail("server never answered /v1/healthz")
+        print("healthz ok")
+
+        catalog = call("GET", "/v1/catalog")
+        names = [w["name"] for w in catalog["workloads"]]
+        print(f"catalog: workloads={names} backends={catalog['backends']}")
+        if "flights" not in names:
+            fail("flights workload missing from catalog")
+
+        accepted = call("POST", "/v1/generate", {
+            "workload": "flights",
+            "options": {"time_budget_ms": 0, "max_iterations": 20, "seed": 7,
+                        "screen_width": 90, "screen_height": 32},
+        })
+        job_id = accepted["job_id"]
+        print(f"submitted {job_id} ({accepted['state']})")
+
+        job = call("GET", f"/v1/jobs/{job_id}?wait_ms=60000", timeout=90)
+        if job["state"] != "done":
+            fail(f"job state {job['state']}: {job.get('error')}")
+        print(f"job done in {job['run_ms']} ms, "
+              f"{job['result']['stats']['iterations']} iterations")
+
+        session = call("POST", "/v1/sessions", {"job_id": job_id})
+        sid = session["session_id"]
+        print(f"session {sid}: {len(session['table']['rows'])} initial rows")
+
+        choices = []
+        collect_choices(session["widgets"], choices)
+        if not choices:
+            fail("no interactive widgets in the generated interface")
+
+        # Drive events until one produces a non-empty row-diff batch.
+        saw_changes = False
+        for choice_id, option_count, kind in choices:
+            if kind in ("Checkbox", "Toggle"):
+                events = [{"kind": "set_opt", "choice_id": choice_id,
+                           "present": False}]
+            elif option_count > 1:
+                events = [{"kind": "set_any", "choice_id": choice_id,
+                           "option_index": i} for i in range(option_count)]
+            else:
+                continue
+            for event in events:
+                try:
+                    step = call("POST", f"/v1/sessions/{sid}/events", event)
+                except urllib.error.HTTPError:
+                    continue  # hidden alternative; fine
+                batch = call("GET", f"/v1/sessions/{sid}/feed?timeout_ms=2000")
+                if batch["changes"]:
+                    print(f"event {event['kind']}@{choice_id} -> "
+                          f"{step['report']['transition']}, "
+                          f"{len(batch['changes'])} row change(s), "
+                          f"v{batch['from_version']}->v{batch['to_version']}")
+                    saw_changes = True
+                    break
+            if saw_changes:
+                break
+        if not saw_changes:
+            fail("no widget event produced a non-empty diff batch")
+
+        stats = call("GET", "/v1/stats")
+        print(f"stats: jobs={stats['jobs']} sessions={stats['sessions']}")
+        call("DELETE", f"/v1/sessions/{sid}")
+        print("session closed")
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            rc = server.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            fail("server did not shut down on SIGTERM")
+        out = server.stdout.read()
+        print("--- server log ---")
+        print(out)
+        if rc != 0:
+            fail(f"server exited with {rc}")
+    print("http smoke OK")
+
+
+if __name__ == "__main__":
+    main()

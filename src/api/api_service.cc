@@ -1,0 +1,449 @@
+#include "api/api_service.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "core/json_export.h"
+#include "sql/parser.h"
+
+namespace ifgen {
+namespace api {
+
+namespace {
+
+void FoldCounters(const InteractiveRuntime::Counters& from,
+                  InteractiveRuntime::Counters* into) {
+  into->steps += from.steps;
+  into->noops += from.noops;
+  into->cache_hits += from.cache_hits;
+  into->delta_execs += from.delta_execs;
+  into->retruncates += from.retruncates;
+  into->full_execs += from.full_execs;
+  into->fallbacks += from.fallbacks;
+}
+
+}  // namespace
+
+ApiService::ApiService(Options opts) : opts_(opts), service_(opts.service) {}
+
+Result<std::unique_ptr<ApiService>> ApiService::Create(Options opts) {
+  std::unique_ptr<ApiService> svc(new ApiService(opts));
+  IFGEN_RETURN_NOT_OK(svc->LoadWorkloads());
+  return svc;
+}
+
+Status ApiService::LoadWorkloads() {
+  for (const std::string& name : WorkloadNames()) {
+    auto bundle = LoadWorkload(name, opts_.workload_rows);
+    if (!bundle.ok()) return bundle.status();
+    workloads_[name] =
+        std::make_unique<WorkloadBundle>(std::move(bundle).MoveValueUnsafe());
+  }
+  if (workloads_.empty()) return Status::Internal("no workloads registered");
+  return Status::OK();
+}
+
+Result<GenerationService::JobId> ApiService::ParseJobId(
+    const std::string& job_id) const {
+  if (job_id.size() < 3 || job_id.compare(0, 2, "j-") != 0) {
+    return Status::Invalid("malformed job id '" + job_id + "' (expected j-<n>)");
+  }
+  uint64_t id = 0;
+  for (size_t i = 2; i < job_id.size(); ++i) {
+    char c = job_id[i];
+    if (c < '0' || c > '9') {
+      return Status::Invalid("malformed job id '" + job_id + "' (expected j-<n>)");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    // Overflow guard: a wrapped id would alias a *different* job.
+    if (id > (UINT64_MAX - digit) / 10) {
+      return Status::Invalid("malformed job id '" + job_id + "' (out of range)");
+    }
+    id = id * 10 + digit;
+  }
+  return id;
+}
+
+Result<const WorkloadBundle*> ApiService::FindWorkload(
+    const std::string& name) const {
+  auto it = workloads_.find(name);
+  if (it == workloads_.end()) {
+    return Status::NotFound("unknown workload '" + name + "'");
+  }
+  return const_cast<const WorkloadBundle*>(it->second.get());
+}
+
+// ---------------------------------------------------------------------------
+// Jobs.
+
+Result<GenerateAccepted> ApiService::SubmitGenerate(const GenerateRequest& req) {
+  IFGEN_ASSIGN_OR_RETURN(GeneratorOptions options, req.options.ToGeneratorOptions());
+  if (!BackendAvailable(options.backend)) {
+    return Status::Invalid("backend '" + req.options.backend +
+                           "' is not compiled into this build");
+  }
+  if (req.workload.empty() && req.sqls.empty()) {
+    return Status::Invalid("GenerateRequest: either 'workload' or 'sqls' required");
+  }
+  const WorkloadBundle* bundle = nullptr;
+  if (!req.workload.empty()) {
+    IFGEN_ASSIGN_OR_RETURN(bundle, FindWorkload(req.workload));
+  }
+  JobSpec spec;
+  spec.sqls = req.sqls.empty() ? bundle->log : req.sqls;
+  spec.options = options;
+  // mu_ is held across submit + meta insert: a cache-hit job is kDone the
+  // moment SubmitJob returns, and every meta reader (BuildJobStatus,
+  // OpenSession) locks mu_ — so no reader can observe the job without its
+  // meta. Lock order mu_ -> service mutex, consistent with the eviction
+  // scan below; the service never calls back into ApiService.
+  GenerationService::JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IFGEN_ASSIGN_OR_RETURN(id, service_.SubmitJob(std::move(spec)));
+    job_meta_[id] = JobMeta{req.workload, options};
+    // Keep meta bounded alongside the service's finished-job history, but
+    // never drop a still-pending job's meta (admission may be unbounded):
+    // evict oldest-first among terminal/evicted jobs only.
+    const size_t cap = opts_.service.job_history_capacity +
+                       std::max<size_t>(1, service_.jobs_pending());
+    auto it = job_meta_.begin();
+    while (job_meta_.size() > cap && it != job_meta_.end()) {
+      auto info = service_.GetJob(it->first);
+      if (!info.ok() || info->terminal()) {
+        it = job_meta_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobInfo info, service_.GetJob(id));
+  GenerateAccepted accepted;
+  accepted.job_id = "j-" + std::to_string(id);
+  accepted.state = std::string(JobStateName(info.state));
+  return accepted;
+}
+
+GenerateResponse ApiService::BuildGenerateResponse(GenerationService::JobId id,
+                                                   const GeneratedInterface& iface,
+                                                   const JobMeta& meta) const {
+  GenerateResponse g;
+  g.job_id = "j-" + std::to_string(id);
+  g.workload = meta.workload;
+  g.algorithm = iface.algorithm;
+  g.backend = std::string(BackendKindName(meta.options.backend));
+  g.coverage = iface.coverage;
+  g.cost = CostToJsonValue(iface.cost);
+  g.difftree = DiffTreeToJsonValue(iface.difftree);
+  g.widgets = WidgetTreeToJsonValue(iface.widgets);
+  g.stats = SearchStatsDto::FromStats(iface.stats);
+  return g;
+}
+
+JobStatusResponse ApiService::BuildJobStatus(const GenerationService::JobInfo& info) {
+  JobStatusResponse resp;
+  resp.job_id = "j-" + std::to_string(info.id);
+  resp.state = std::string(JobStateName(info.state));
+  resp.cache_hit = info.cache_hit;
+  resp.queued_ms = info.queued_ms;
+  resp.run_ms = info.run_ms;
+  if (info.state == JobState::kDone && info.result != nullptr) {
+    JobMeta meta;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = job_meta_.find(info.id);
+      if (it != job_meta_.end()) meta = it->second;
+    }
+    resp.result = BuildGenerateResponse(info.id, *info.result, meta);
+  } else if (!info.error.ok()) {
+    resp.error = ErrorBody::FromStatus(info.error);
+  }
+  return resp;
+}
+
+Result<JobStatusResponse> ApiService::GetJob(const std::string& job_id,
+                                             int64_t wait_ms) {
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobId id, ParseJobId(job_id));
+  GenerationService::JobInfo info;
+  if (wait_ms > 0) {
+    IFGEN_ASSIGN_OR_RETURN(info, service_.WaitJob(id, wait_ms));
+  } else {
+    IFGEN_ASSIGN_OR_RETURN(info, service_.GetJob(id));
+  }
+  return BuildJobStatus(info);
+}
+
+Result<JobStatusResponse> ApiService::CancelJob(const std::string& job_id) {
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobId id, ParseJobId(job_id));
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobInfo info, service_.CancelJob(id));
+  return BuildJobStatus(info);
+}
+
+// ---------------------------------------------------------------------------
+// Sessions.
+
+void ApiService::SweepSessionsLocked() {
+  if (opts_.session_ttl_ms <= 0) return;
+  const auto now = Clock::now();
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const int64_t idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                now - it->second.last_touch)
+                                .count();
+    if (idle_ms > opts_.session_ttl_ms) {
+      FoldCounters(it->second.runtime->counters(), &retired_counters_);
+      ++sessions_expired_;
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<ApiService::SessionEntry*> ApiService::TouchSessionLocked(
+    const std::string& session_id) {
+  SweepSessionsLocked();
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session '" + session_id +
+                            "' (expired or never opened)");
+  }
+  it->second.last_touch = Clock::now();
+  return &it->second;
+}
+
+Result<SessionOpenResponse> ApiService::OpenSession(const SessionOpenRequest& req) {
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobId id, ParseJobId(req.job_id));
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobInfo info, service_.GetJob(id));
+  if (info.state != JobState::kDone || info.result == nullptr) {
+    return Status::Invalid("job " + req.job_id + " is not done (state: " +
+                           std::string(JobStateName(info.state)) +
+                           "); sessions require a finished job");
+  }
+  JobMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = job_meta_.find(id);
+    if (it != job_meta_.end()) meta = it->second;
+  }
+  const std::string workload_name =
+      !req.workload.empty() ? req.workload : meta.workload;
+  if (workload_name.empty()) {
+    return Status::Invalid(
+        "no workload: the job was submitted with raw sqls; pass 'workload' in "
+        "SessionOpenRequest to pick the store to execute against");
+  }
+  IFGEN_ASSIGN_OR_RETURN(const WorkloadBundle* bundle, FindWorkload(workload_name));
+  BackendKind kind = meta.options.backend;
+  if (!req.backend.empty()) {
+    // Reuse the options validator for the name -> kind mapping.
+    ApiOptions probe;
+    probe.backend = req.backend;
+    IFGEN_ASSIGN_OR_RETURN(GeneratorOptions parsed, probe.ToGeneratorOptions());
+    kind = parsed.backend;
+  }
+  if (!BackendAvailable(kind)) {
+    return Status::Invalid("backend '" + std::string(BackendKindName(kind)) +
+                           "' is not compiled into this build");
+  }
+  IFGEN_ASSIGN_OR_RETURN(
+      std::shared_ptr<InteractiveRuntime> runtime,
+      service_.OpenSession(*info.result, meta.options.constants, &bundle->db, kind,
+                           opts_.runtime));
+
+  SessionOpenResponse resp;
+  Table snapshot;
+  SessionEntry entry;
+  entry.runtime = runtime;
+  entry.feed_sub = runtime->Subscribe(&snapshot);
+  entry.event_sub = runtime->Subscribe();
+  entry.workload = workload_name;
+  entry.last_touch = Clock::now();
+
+  IFGEN_ASSIGN_OR_RETURN(std::string sql, runtime->CurrentSql());
+  resp.sql = std::move(sql);
+  resp.version = static_cast<int64_t>(runtime->version());
+  resp.table = TableDto::FromTable(snapshot);
+  resp.widgets = WidgetTreeToJsonValue(info.result->widgets);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  SweepSessionsLocked();
+  // Capacity eviction: drop the least-recently-touched session.
+  while (sessions_.size() >= std::max<size_t>(1, opts_.max_sessions)) {
+    auto lru = std::min_element(sessions_.begin(), sessions_.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a.second.last_touch < b.second.last_touch;
+                                });
+    FoldCounters(lru->second.runtime->counters(), &retired_counters_);
+    ++sessions_expired_;
+    sessions_.erase(lru);
+  }
+  resp.session_id = "s-" + std::to_string(next_session_++);
+  sessions_[resp.session_id] = std::move(entry);
+  return resp;
+}
+
+Result<StepResponse> ApiService::ApplyEvent(const std::string& session_id,
+                                            const WidgetEventRequest& event) {
+  std::shared_ptr<InteractiveRuntime> runtime;
+  InteractiveRuntime::SubscriberId event_sub = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IFGEN_ASSIGN_OR_RETURN(SessionEntry * entry, TouchSessionLocked(session_id));
+    runtime = entry->runtime;
+    event_sub = entry->event_sub;
+  }
+
+  // Bounds-check before narrowing: a wire int64 outside int range must be
+  // rejected, not wrapped onto a different (valid) widget id.
+  constexpr int64_t kMaxId = std::numeric_limits<int>::max();
+  if (event.kind != "load_query" &&
+      (event.choice_id < 0 || event.choice_id > kMaxId)) {
+    return Status::OutOfRange("choice_id " + std::to_string(event.choice_id) +
+                              " outside [0, " + std::to_string(kMaxId) + "]");
+  }
+  if (event.kind == "set_any" &&
+      (event.option_index < 0 || event.option_index > kMaxId)) {
+    return Status::OutOfRange("option_index " + std::to_string(event.option_index) +
+                              " outside [0, " + std::to_string(kMaxId) + "]");
+  }
+
+  Result<InteractiveRuntime::StepReport> report = Status::OK();
+  const int choice = static_cast<int>(event.choice_id);
+  if (event.kind == "set_any") {
+    report = runtime->SetAnyChoice(choice, static_cast<int>(event.option_index));
+  } else if (event.kind == "set_opt") {
+    report = runtime->SetOptPresent(choice, event.present);
+  } else if (event.kind == "set_multi") {
+    report = runtime->SetMultiCount(choice, static_cast<size_t>(event.count));
+  } else if (event.kind == "load_query") {
+    IFGEN_ASSIGN_OR_RETURN(Ast query, ParseQuery(event.sql));
+    report = runtime->LoadQuery(query);
+  } else {
+    return Status::Invalid("unknown event kind '" + event.kind + "'");
+  }
+  if (!report.ok()) return report.status();
+
+  IFGEN_ASSIGN_OR_RETURN(InteractiveRuntime::ChangeBatch batch,
+                         runtime->Poll(event_sub));
+  IFGEN_ASSIGN_OR_RETURN(std::string sql, runtime->CurrentSql());
+
+  StepResponse resp;
+  resp.session_id = session_id;
+  resp.sql = std::move(sql);
+  resp.version = static_cast<int64_t>(batch.to_version);
+  resp.report = StepReportDto::FromReport(*report);
+  resp.batch = ChangeBatchDto::FromBatch(batch);
+  return resp;
+}
+
+Result<ChangeBatchDto> ApiService::PollSession(const std::string& session_id) {
+  std::shared_ptr<InteractiveRuntime> runtime;
+  InteractiveRuntime::SubscriberId feed_sub = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IFGEN_ASSIGN_OR_RETURN(SessionEntry * entry, TouchSessionLocked(session_id));
+    runtime = entry->runtime;
+    feed_sub = entry->feed_sub;
+  }
+  IFGEN_ASSIGN_OR_RETURN(InteractiveRuntime::ChangeBatch batch,
+                         runtime->Poll(feed_sub));
+  return ChangeBatchDto::FromBatch(batch);
+}
+
+Result<TableDto> ApiService::SessionTable(const std::string& session_id) {
+  std::shared_ptr<InteractiveRuntime> runtime;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IFGEN_ASSIGN_OR_RETURN(SessionEntry * entry, TouchSessionLocked(session_id));
+    runtime = entry->runtime;
+  }
+  IFGEN_ASSIGN_OR_RETURN(Table table, runtime->CurrentResult());
+  return TableDto::FromTable(table);
+}
+
+Status ApiService::CloseSession(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session '" + session_id + "'");
+  }
+  FoldCounters(it->second.runtime->counters(), &retired_counters_);
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+size_t ApiService::sessions_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+CatalogResponse ApiService::Catalog() const {
+  CatalogResponse resp;
+  for (const auto& [name, bundle] : workloads_) {
+    WorkloadInfo info;
+    info.name = name;
+    info.queries = static_cast<int64_t>(bundle->log.size());
+    for (const TableSchema& schema : bundle->db.catalog().tables()) {
+      TableInfo t;
+      t.name = schema.name;
+      t.columns = static_cast<int64_t>(schema.columns.size());
+      auto table = bundle->db.GetTable(schema.name);
+      t.rows = table.ok() ? static_cast<int64_t>((*table)->num_rows()) : 0;
+      info.tables.push_back(std::move(t));
+    }
+    resp.workloads.push_back(std::move(info));
+  }
+  for (BackendKind kind : AvailableBackends()) {
+    resp.backends.push_back(std::string(BackendKindName(kind)));
+  }
+  return resp;
+}
+
+StatsResponse ApiService::Stats() const {
+  StatsResponse s;
+  s.jobs_submitted = static_cast<int64_t>(service_.jobs_submitted());
+  s.jobs_executed = static_cast<int64_t>(service_.jobs_executed());
+  s.jobs_pending = static_cast<int64_t>(service_.jobs_pending());
+  s.job_cache_hits = static_cast<int64_t>(service_.cache_hits());
+  s.sessions_opened = static_cast<int64_t>(service_.sessions_opened());
+
+  InteractiveRuntime::Counters agg;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.sessions_active = static_cast<int64_t>(sessions_.size());
+    s.sessions_expired = static_cast<int64_t>(sessions_expired_);
+    agg = retired_counters_;
+    for (const auto& [id, entry] : sessions_) {
+      FoldCounters(entry.runtime->counters(), &agg);
+    }
+  }
+  s.steps = static_cast<int64_t>(agg.steps);
+  s.noops = static_cast<int64_t>(agg.noops);
+  s.result_cache_hits = static_cast<int64_t>(agg.cache_hits);
+  s.delta_execs = static_cast<int64_t>(agg.delta_execs);
+  s.retruncates = static_cast<int64_t>(agg.retruncates);
+  s.full_execs = static_cast<int64_t>(agg.full_execs);
+  s.fallbacks = static_cast<int64_t>(agg.fallbacks);
+
+  // Backend pointer -> workload name, for readable stats rows.
+  std::map<const Database*, std::string> names;
+  for (const auto& [name, bundle] : workloads_) names[&bundle->db] = name;
+  for (const GenerationService::BackendStatEntry& e : service_.backend_stats()) {
+    BackendStatsDto dto;
+    auto it = names.find(e.db);
+    dto.workload = it != names.end() ? it->second : "?";
+    dto.backend = std::string(BackendKindName(e.kind));
+    dto.prepares = static_cast<int64_t>(e.stats.prepares);
+    dto.plan_cache_hits = static_cast<int64_t>(e.stats.plan_cache_hits);
+    dto.executions = static_cast<int64_t>(e.stats.executions);
+    s.backends.push_back(std::move(dto));
+  }
+  return s;
+}
+
+}  // namespace api
+}  // namespace ifgen

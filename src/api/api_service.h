@@ -1,0 +1,133 @@
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/dto.h"
+#include "runtime/service.h"
+#include "workload/loader.h"
+
+namespace ifgen {
+namespace api {
+
+/// \brief The transport-agnostic v1 service façade: every public operation
+/// takes and returns v1 DTOs (api/dto.h) and reports failures as Status —
+/// transports (src/http, an in-process embedding, tests) only translate.
+///
+/// Wraps a GenerationService with:
+///  - async job handles: SubmitGenerate admits a tracked job (bounded
+///    pending queue → ResourceExhausted → HTTP 429), GetJob observes
+///    state/timings/result, CancelJob cancels the queued phase;
+///  - a concurrency-safe session registry: OpenSession binds a finished
+///    job's interface to a per-user InteractiveRuntime over the named
+///    workload's store, with TTL + capacity eviction; ApplyEvent drives
+///    widgets; PollSession drains the session's feed subscriber;
+///  - catalog/introspection: the registered workloads and compiled-in
+///    backends, plus service/backend/runtime counters.
+class ApiService {
+ public:
+  struct Options {
+    /// Serving defaults differ from GenerationService's: a bounded pending
+    /// queue (→ 429 under overload) instead of unbounded admission.
+    static GenerationService::Options DefaultServiceOptions() {
+      GenerationService::Options o;
+      o.num_threads = 2;
+      o.max_pending_jobs = 64;
+      return o;
+    }
+
+    GenerationService::Options service = DefaultServiceOptions();
+    /// Rows per workload table; 0 = each workload's default size.
+    size_t workload_rows = 0;
+    /// Open sessions beyond this evict the least-recently-used one.
+    size_t max_sessions = 256;
+    /// Sessions idle longer than this are evicted (lazily, on any session
+    /// access); <= 0 disables TTL eviction.
+    int64_t session_ttl_ms = 10 * 60 * 1000;
+    InteractiveRuntime::Options runtime;
+  };
+
+  /// Loads every registered workload (flights, sdss, synthetic) and wires
+  /// the generation service. Fails only when no workload loads.
+  static Result<std::unique_ptr<ApiService>> Create(Options opts);
+  static Result<std::unique_ptr<ApiService>> Create() { return Create(Options()); }
+
+  // ---- jobs -------------------------------------------------------------
+  Result<GenerateAccepted> SubmitGenerate(const GenerateRequest& req);
+  /// `wait_ms` > 0 blocks until the job is terminal or the deadline.
+  Result<JobStatusResponse> GetJob(const std::string& job_id, int64_t wait_ms = 0);
+  Result<JobStatusResponse> CancelJob(const std::string& job_id);
+
+  // ---- sessions ---------------------------------------------------------
+  Result<SessionOpenResponse> OpenSession(const SessionOpenRequest& req);
+  Result<StepResponse> ApplyEvent(const std::string& session_id,
+                                  const WidgetEventRequest& event);
+  /// Drains the session's feed subscriber (distinct from the per-event
+  /// batches in StepResponse, so a feed consumer sees every step exactly
+  /// once regardless of event traffic).
+  Result<ChangeBatchDto> PollSession(const std::string& session_id);
+  Status CloseSession(const std::string& session_id);
+  /// Current result snapshot (the feed consumer's resync path).
+  Result<TableDto> SessionTable(const std::string& session_id);
+
+  // ---- introspection ----------------------------------------------------
+  CatalogResponse Catalog() const;
+  StatsResponse Stats() const;
+
+  size_t sessions_active() const;
+  GenerationService& generation_service() { return service_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Sticky per-job context the wire protocol needs beyond the
+  /// GenerationService record: which workload/backend the job was admitted
+  /// against (sessions default to them).
+  struct JobMeta {
+    std::string workload;
+    GeneratorOptions options;
+  };
+
+  struct SessionEntry {
+    std::shared_ptr<InteractiveRuntime> runtime;
+    InteractiveRuntime::SubscriberId feed_sub = 0;
+    InteractiveRuntime::SubscriberId event_sub = 0;
+    std::string workload;
+    Clock::time_point last_touch;
+  };
+
+  explicit ApiService(Options opts);
+  Status LoadWorkloads();
+
+  Result<GenerationService::JobId> ParseJobId(const std::string& job_id) const;
+  Result<const WorkloadBundle*> FindWorkload(const std::string& name) const;
+  JobStatusResponse BuildJobStatus(const GenerationService::JobInfo& info);
+  GenerateResponse BuildGenerateResponse(GenerationService::JobId id,
+                                         const GeneratedInterface& iface,
+                                         const JobMeta& meta) const;
+  /// Finds + touches a session and sweeps expired ones. Requires mu_ held.
+  Result<SessionEntry*> TouchSessionLocked(const std::string& session_id);
+  void SweepSessionsLocked();
+
+  Options opts_;
+  GenerationService service_;
+  /// name -> bundle; unique_ptr for address stability (backends and
+  /// sessions hold Database pointers into the bundle).
+  std::map<std::string, std::unique_ptr<WorkloadBundle>> workloads_;
+
+  mutable std::mutex mu_;
+  std::map<GenerationService::JobId, JobMeta> job_meta_;
+  std::map<std::string, SessionEntry> sessions_;
+  uint64_t next_session_ = 1;
+  size_t sessions_expired_ = 0;
+  /// Counters of sessions that were evicted/closed, folded into Stats so
+  /// the runtime aggregate does not shrink when sessions end.
+  InteractiveRuntime::Counters retired_counters_;
+};
+
+}  // namespace api
+}  // namespace ifgen

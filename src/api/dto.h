@@ -1,0 +1,419 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "engine/table.h"
+#include "runtime/interactive.h"
+#include "search/search_common.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace ifgen {
+namespace api {
+
+/// \brief The versioned (v1) transport-agnostic API surface: typed DTOs
+/// with an exact JSON codec.
+///
+/// Contract, enforced by tests/api_test.cc:
+///  - `T::FromJson(x.ToJson()) == x` for every DTO `x` (numeric kinds
+///    included — table cells survive a wire hop bit-identically).
+///  - Decoding is strict: unknown fields, wrong-kind fields, and malformed
+///    documents are structured errors (InvalidArgument / ParseError /
+///    OutOfRange), never crashes — `ErrorBody` carries the stable
+///    `StatusCodeName` string for every failure that crosses a transport.
+///  - DTOs are flat and versioned as a set: breaking changes mean a /v2.
+///
+/// The HTTP front-end (src/http) is a thin adapter over these types; any
+/// other transport (gRPC, a message queue, in-process embedding) reuses
+/// them unchanged.
+
+// ---------------------------------------------------------------------------
+// Codec helper.
+
+/// \brief Strict field-by-field reader over a JSON object: wrong-kind and
+/// out-of-range fields accumulate a (first) error, and Finish() rejects any
+/// field no Get consumed — the unknown-field guard that keeps v1 requests
+/// forward-incompatible by design instead of silently ignored.
+class ObjectReader {
+ public:
+  /// `what` names the DTO for error messages ("GenerateRequest").
+  ObjectReader(const JsonValue& value, std::string what);
+
+  void String(const char* key, std::string* out, bool required = false);
+  /// kInt only (doubles do not silently truncate); `lo`/`hi` inclusive.
+  void Int(const char* key, int64_t* out, bool required = false,
+           int64_t lo = INT64_MIN, int64_t hi = INT64_MAX);
+  void Double(const char* key, double* out, bool required = false);
+  void Bool(const char* key, bool* out, bool required = false);
+  void StringArray(const char* key, std::vector<std::string>* out,
+                   bool required = false);
+  /// Any-kind member access (nested DTOs); null when absent.
+  const JsonValue* Child(const char* key, bool required = false);
+
+  /// First accumulated error, or InvalidArgument naming every field that no
+  /// accessor consumed.
+  Status Finish();
+
+ private:
+  const JsonValue* Get(const char* key);
+  void Fail(Status s);
+
+  const JsonValue& value_;
+  std::string what_;
+  Status status_;
+  std::vector<bool> consumed_;
+};
+
+/// Exact scalar mapping of an engine Value: null/int/double/string. Bool
+/// and nested kinds are rejected (the engine has no such cell types).
+JsonValue ValueToJson(const Value& v);
+Result<Value> ValueFromJson(const JsonValue& j);
+
+// ---------------------------------------------------------------------------
+// Error model.
+
+/// \brief The one wire shape every failed call returns, on every transport.
+struct ErrorBody {
+  std::string code;  ///< stable StatusCodeName string ("InvalidArgument")
+  std::string message;
+
+  static ErrorBody FromStatus(const Status& s);
+  /// Inverse mapping; an unrecognized code becomes kInternal.
+  Status ToStatus() const;
+
+  JsonValue ToJson() const;
+  static Result<ErrorBody> FromJson(const JsonValue& v);
+  bool operator==(const ErrorBody& o) const {
+    return code == o.code && message == o.message;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Generation.
+
+/// \brief Flat, versioned generator configuration with defaults — the wire
+/// face of GeneratorOptions (plus the paper-relevant search/parallel/
+/// backend knobs), kept deliberately flat so clients never mirror internal
+/// struct nesting.
+struct ApiOptions {
+  std::string algorithm = "mcts";
+  std::string backend = "columnar";
+  std::string parallel_mode = "root";
+  int64_t time_budget_ms = 2000;
+  int64_t max_iterations = 0;
+  int64_t seed = 42;
+  int64_t screen_width = 100;
+  int64_t screen_height = 40;
+  int64_t num_threads = 1;
+  int64_t k_assignments = 8;
+  bool use_priors = true;
+  bool progressive_widening = true;
+  bool delta_cost_eval = true;
+
+  /// Validates names and ranges (unknown algorithm/backend/mode →
+  /// InvalidArgument; non-positive screen, zero budget AND zero iterations,
+  /// absurd thread counts → OutOfRange) and maps onto the internal options.
+  Result<GeneratorOptions> ToGeneratorOptions() const;
+  static ApiOptions FromGeneratorOptions(const GeneratorOptions& o);
+
+  JsonValue ToJson() const;
+  static Result<ApiOptions> FromJson(const JsonValue& v);
+  bool operator==(const ApiOptions& o) const;
+};
+
+/// \brief POST /v1/generate: a query log (or a named workload whose log is
+/// used when `sqls` is empty) plus options.
+struct GenerateRequest {
+  std::string workload;  ///< attaches sessions to this store; may be ""
+  std::vector<std::string> sqls;
+  ApiOptions options;
+
+  JsonValue ToJson() const;
+  static Result<GenerateRequest> FromJson(const JsonValue& v);
+  bool operator==(const GenerateRequest& o) const {
+    return workload == o.workload && sqls == o.sqls && options == o.options;
+  }
+};
+
+/// \brief 202 body of POST /v1/generate: the async job handle.
+struct GenerateAccepted {
+  std::string job_id;
+  std::string state;  ///< JobStateName at admission ("queued" or "done")
+
+  JsonValue ToJson() const;
+  static Result<GenerateAccepted> FromJson(const JsonValue& v);
+  bool operator==(const GenerateAccepted& o) const {
+    return job_id == o.job_id && state == o.state;
+  }
+};
+
+/// \brief One (time, iteration, cost) sample of the best-so-far curve —
+/// the anytime view of a finished search.
+struct TracePoint {
+  int64_t ms = 0;
+  int64_t iteration = 0;
+  double cost = 0.0;
+
+  JsonValue ToJson() const;
+  static Result<TracePoint> FromJson(const JsonValue& v);
+  bool operator==(const TracePoint& o) const {
+    return ms == o.ms && iteration == o.iteration && cost == o.cost;
+  }
+};
+
+/// \brief Search instrumentation exposed per job.
+struct SearchStatsDto {
+  int64_t iterations = 0;
+  int64_t states_expanded = 0;
+  int64_t rollouts = 0;
+  int64_t elapsed_ms = 0;
+  int64_t trees = 1;
+  std::vector<TracePoint> trace;
+
+  static SearchStatsDto FromStats(const SearchStats& s);
+  JsonValue ToJson() const;
+  static Result<SearchStatsDto> FromJson(const JsonValue& v);
+  bool operator==(const SearchStatsDto& o) const;
+};
+
+/// \brief The finished-job payload: the interface spec (difftree + laid-out
+/// widget tree as the core/json_export trees), its cost breakdown, and the
+/// search stats.
+struct GenerateResponse {
+  std::string job_id;
+  std::string workload;
+  std::string algorithm;
+  std::string backend;  ///< backend sessions over this job execute on
+  double coverage = 0.0;
+  JsonValue cost = JsonValue::Object();      ///< CostToJsonValue shape
+  JsonValue difftree = JsonValue::Object();  ///< DiffTreeToJsonValue shape
+  JsonValue widgets = JsonValue::Object();   ///< WidgetTreeToJsonValue shape
+  SearchStatsDto stats;
+
+  JsonValue ToJson() const;
+  static Result<GenerateResponse> FromJson(const JsonValue& v);
+  bool operator==(const GenerateResponse& o) const;
+};
+
+/// \brief GET /v1/jobs/{id}: job state, phase timings, and (terminal only)
+/// the result or error.
+struct JobStatusResponse {
+  std::string job_id;
+  std::string state;  ///< JobStateName
+  bool cache_hit = false;
+  int64_t queued_ms = 0;
+  int64_t run_ms = 0;
+  std::optional<GenerateResponse> result;  ///< state == "done"
+  std::optional<ErrorBody> error;          ///< state == "failed"/"cancelled"
+
+  JsonValue ToJson() const;
+  static Result<JobStatusResponse> FromJson(const JsonValue& v);
+  bool operator==(const JobStatusResponse& o) const;
+};
+
+// ---------------------------------------------------------------------------
+// Sessions.
+
+/// \brief POST /v1/sessions: opens an interactive runtime over a finished
+/// job. `workload`/`backend` default to the job's own.
+struct SessionOpenRequest {
+  std::string job_id;
+  std::string workload;  ///< override; "" = the job's workload
+  std::string backend;   ///< override; "" = the job's backend
+
+  JsonValue ToJson() const;
+  static Result<SessionOpenRequest> FromJson(const JsonValue& v);
+  bool operator==(const SessionOpenRequest& o) const {
+    return job_id == o.job_id && workload == o.workload && backend == o.backend;
+  }
+};
+
+/// \brief A result table on the wire: column names plus rows of exact
+/// engine scalars.
+struct TableDto {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  static TableDto FromTable(const Table& t);
+  JsonValue ToJson() const;
+  static Result<TableDto> FromJson(const JsonValue& v);
+  bool operator==(const TableDto& o) const {
+    return columns == o.columns && rows == o.rows;
+  }
+};
+
+struct SessionOpenResponse {
+  std::string session_id;
+  std::string sql;      ///< current query of the fresh session
+  int64_t version = 0;  ///< feed version the `table` snapshot corresponds to
+  TableDto table;
+  JsonValue widgets = JsonValue::Object();
+
+  JsonValue ToJson() const;
+  static Result<SessionOpenResponse> FromJson(const JsonValue& v);
+  bool operator==(const SessionOpenResponse& o) const;
+};
+
+/// \brief POST /v1/sessions/{id}/events: one widget manipulation. `kind`
+/// selects the fields that apply; fields outside the kind's set are
+/// rejected (not ignored) so a malformed client fails loudly.
+///
+///   {"kind":"set_any","choice_id":3,"option_index":1}
+///   {"kind":"set_opt","choice_id":4,"present":false}
+///   {"kind":"set_multi","choice_id":2,"count":2}
+///   {"kind":"load_query","sql":"SELECT ..."}
+struct WidgetEventRequest {
+  std::string kind;
+  int64_t choice_id = -1;
+  int64_t option_index = -1;
+  int64_t count = 0;
+  bool present = false;
+  std::string sql;
+
+  JsonValue ToJson() const;
+  static Result<WidgetEventRequest> FromJson(const JsonValue& v);
+  bool operator==(const WidgetEventRequest& o) const;
+};
+
+/// \brief Wire form of InteractiveRuntime::StepReport.
+struct StepReportDto {
+  std::string transition;  ///< TransitionClassName
+  bool incremental = false;
+  bool from_cache = false;
+  int64_t widgets_changed = 0;
+  double interaction_cost = 0.0;
+  double navigation_cost = 0.0;
+  int64_t rows = 0;
+  int64_t rows_added = 0;
+  int64_t rows_removed = 0;
+  int64_t rows_updated = 0;
+
+  static StepReportDto FromReport(const InteractiveRuntime::StepReport& r);
+  JsonValue ToJson() const;
+  static Result<StepReportDto> FromJson(const JsonValue& v);
+  bool operator==(const StepReportDto& o) const;
+};
+
+/// \brief Wire form of InteractiveRuntime::RowChange ("add"/"remove"/
+/// "update"; `old_row` is present for updates only).
+struct RowChangeDto {
+  std::string kind;
+  std::vector<Value> row;
+  std::vector<Value> old_row;
+
+  static RowChangeDto FromChange(const InteractiveRuntime::RowChange& c);
+  JsonValue ToJson() const;
+  static Result<RowChangeDto> FromJson(const JsonValue& v);
+  bool operator==(const RowChangeDto& o) const {
+    return kind == o.kind && row == o.row && old_row == o.old_row;
+  }
+};
+
+/// \brief Wire form of InteractiveRuntime::ChangeBatch: the row diffs from
+/// `from_version` to `to_version`. Applying them to the client's table at
+/// `from_version` reproduces the result at `to_version` as a multiset —
+/// the feed contract documented in docs/interactive.md.
+struct ChangeBatchDto {
+  int64_t from_version = 0;
+  int64_t to_version = 0;
+  StepReportDto last_step;
+  std::vector<RowChangeDto> changes;
+
+  static ChangeBatchDto FromBatch(const InteractiveRuntime::ChangeBatch& b);
+  JsonValue ToJson() const;
+  static Result<ChangeBatchDto> FromJson(const JsonValue& v);
+  bool operator==(const ChangeBatchDto& o) const;
+};
+
+/// \brief Response to a widget event: the step's report plus this event
+/// subscriber's diff batch since its previous event response.
+struct StepResponse {
+  std::string session_id;
+  std::string sql;
+  int64_t version = 0;
+  StepReportDto report;
+  ChangeBatchDto batch;
+
+  JsonValue ToJson() const;
+  static Result<StepResponse> FromJson(const JsonValue& v);
+  bool operator==(const StepResponse& o) const;
+};
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+struct TableInfo {
+  std::string name;
+  int64_t rows = 0;
+  int64_t columns = 0;
+
+  JsonValue ToJson() const;
+  static Result<TableInfo> FromJson(const JsonValue& v);
+  bool operator==(const TableInfo& o) const {
+    return name == o.name && rows == o.rows && columns == o.columns;
+  }
+};
+
+struct WorkloadInfo {
+  std::string name;
+  int64_t queries = 0;  ///< size of the workload's example log
+  std::vector<TableInfo> tables;
+
+  JsonValue ToJson() const;
+  static Result<WorkloadInfo> FromJson(const JsonValue& v);
+  bool operator==(const WorkloadInfo& o) const;
+};
+
+/// \brief GET /v1/catalog: what this server can generate against.
+struct CatalogResponse {
+  std::vector<WorkloadInfo> workloads;
+  std::vector<std::string> backends;  ///< compiled-in BackendKindNames
+
+  JsonValue ToJson() const;
+  static Result<CatalogResponse> FromJson(const JsonValue& v);
+  bool operator==(const CatalogResponse& o) const {
+    return workloads == o.workloads && backends == o.backends;
+  }
+};
+
+struct BackendStatsDto {
+  std::string workload;
+  std::string backend;
+  int64_t prepares = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t executions = 0;
+
+  JsonValue ToJson() const;
+  static Result<BackendStatsDto> FromJson(const JsonValue& v);
+  bool operator==(const BackendStatsDto& o) const;
+};
+
+/// \brief GET /v1/stats: service + backend + aggregated runtime counters.
+struct StatsResponse {
+  int64_t jobs_submitted = 0;
+  int64_t jobs_executed = 0;
+  int64_t jobs_pending = 0;
+  int64_t job_cache_hits = 0;
+  int64_t sessions_opened = 0;
+  int64_t sessions_active = 0;
+  int64_t sessions_expired = 0;  ///< TTL/capacity evictions
+  /// InteractiveRuntime counters summed over the currently open sessions.
+  int64_t steps = 0;
+  int64_t noops = 0;
+  int64_t result_cache_hits = 0;
+  int64_t delta_execs = 0;
+  int64_t retruncates = 0;
+  int64_t full_execs = 0;
+  int64_t fallbacks = 0;
+  std::vector<BackendStatsDto> backends;
+
+  JsonValue ToJson() const;
+  static Result<StatsResponse> FromJson(const JsonValue& v);
+  bool operator==(const StatsResponse& o) const;
+};
+
+}  // namespace api
+}  // namespace ifgen

@@ -2,141 +2,99 @@
 
 #include <cmath>
 
-#include "util/string_util.h"
-
 namespace ifgen {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (c < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
+namespace {
+
+/// Matches the historical emitter: non-finite costs render as JSON null.
+JsonValue Num(double v) {
+  if (!std::isfinite(v)) return JsonValue::MakeNull();
+  return JsonValue::Double(v);
+}
+
+JsonValue DiffTreeRec(const DiffTree& n) {
+  JsonValue out = JsonValue::Object();
+  out.Set("kind", JsonValue::Str(std::string(DKindName(n.kind))));
+  if (n.kind == DKind::kAll) {
+    out.Set("sym", JsonValue::Str(std::string(SymbolName(n.sym))));
+    if (!n.value.empty()) out.Set("value", JsonValue::Str(n.value));
+  }
+  if (!n.children.empty()) {
+    JsonValue children = JsonValue::Array();
+    for (const DiffTree& c : n.children) children.Append(DiffTreeRec(c));
+    out.Set("children", std::move(children));
   }
   return out;
 }
 
-namespace {
-
-std::string Num(double v) {
-  if (!std::isfinite(v)) return "null";
-  return StrFormat("%.6g", v);
-}
-
-void DiffTreeRec(const DiffTree& n, std::string* out) {
-  *out += "{\"kind\":\"";
-  *out += DKindName(n.kind);
-  *out += "\"";
-  if (n.kind == DKind::kAll) {
-    *out += ",\"sym\":\"";
-    *out += SymbolName(n.sym);
-    *out += "\"";
-    if (!n.value.empty()) {
-      *out += ",\"value\":\"" + JsonEscape(n.value) + "\"";
-    }
-  }
-  if (!n.children.empty()) {
-    *out += ",\"children\":[";
-    for (size_t i = 0; i < n.children.size(); ++i) {
-      if (i > 0) *out += ",";
-      DiffTreeRec(n.children[i], out);
-    }
-    *out += "]";
-  }
-  *out += "}";
-}
-
-void WidgetRec(const WidgetNode& n, std::string* out) {
-  *out += "{\"widget\":\"";
-  *out += WidgetKindName(n.kind);
-  *out += "\"";
-  if (!n.label.empty()) {
-    *out += ",\"label\":\"" + JsonEscape(n.label) + "\"";
-  }
-  if (n.choice_id >= 0) {
-    *out += StrFormat(",\"choice\":%d", n.choice_id);
-  }
-  if (n.choice_id2 >= 0) {
-    *out += StrFormat(",\"choice2\":%d", n.choice_id2);
-  }
+JsonValue WidgetRec(const WidgetNode& n) {
+  JsonValue out = JsonValue::Object();
+  out.Set("widget", JsonValue::Str(std::string(WidgetKindName(n.kind))));
+  if (!n.label.empty()) out.Set("label", JsonValue::Str(n.label));
+  if (n.choice_id >= 0) out.Set("choice", JsonValue::Int(n.choice_id));
+  if (n.choice_id2 >= 0) out.Set("choice2", JsonValue::Int(n.choice_id2));
   if (!IsLayoutWidget(n.kind) && !n.domain.labels.empty()) {
-    *out += ",\"options\":[";
-    for (size_t i = 0; i < n.domain.labels.size(); ++i) {
-      if (i > 0) *out += ",";
-      *out += "\"" + JsonEscape(n.domain.labels[i]) + "\"";
+    JsonValue options = JsonValue::Array();
+    for (const std::string& label : n.domain.labels) {
+      options.Append(JsonValue::Str(label));
     }
-    *out += "]";
+    out.Set("options", std::move(options));
     if (n.domain.all_numeric) {
-      *out += ",\"numeric\":{\"lo\":" + Num(n.domain.num_lo) +
-              ",\"hi\":" + Num(n.domain.num_hi) + "}";
+      JsonValue numeric = JsonValue::Object();
+      numeric.Set("lo", Num(n.domain.num_lo));
+      numeric.Set("hi", Num(n.domain.num_hi));
+      out.Set("numeric", std::move(numeric));
     }
   }
-  *out += StrFormat(",\"box\":{\"x\":%d,\"y\":%d,\"w\":%d,\"h\":%d}", n.x, n.y,
-                    n.width, n.height);
+  JsonValue box = JsonValue::Object();
+  box.Set("x", JsonValue::Int(n.x));
+  box.Set("y", JsonValue::Int(n.y));
+  box.Set("w", JsonValue::Int(n.width));
+  box.Set("h", JsonValue::Int(n.height));
+  out.Set("box", std::move(box));
   if (!n.children.empty()) {
-    *out += ",\"children\":[";
-    for (size_t i = 0; i < n.children.size(); ++i) {
-      if (i > 0) *out += ",";
-      WidgetRec(n.children[i], out);
-    }
-    *out += "]";
+    JsonValue children = JsonValue::Array();
+    for (const WidgetNode& c : n.children) children.Append(WidgetRec(c));
+    out.Set("children", std::move(children));
   }
-  *out += "}";
+  return out;
 }
 
 }  // namespace
 
+JsonValue DiffTreeToJsonValue(const DiffTree& tree) { return DiffTreeRec(tree); }
+
 std::string DiffTreeToJson(const DiffTree& tree) {
-  std::string out;
-  DiffTreeRec(tree, &out);
-  return out;
+  return WriteJson(DiffTreeToJsonValue(tree));
+}
+
+JsonValue WidgetTreeToJsonValue(const WidgetTree& tree) {
+  return WidgetRec(tree.root);
 }
 
 std::string WidgetTreeToJson(const WidgetTree& tree) {
-  std::string out;
-  WidgetRec(tree.root, &out);
+  return WriteJson(WidgetTreeToJsonValue(tree));
+}
+
+JsonValue CostToJsonValue(const CostBreakdown& cost) {
+  JsonValue out = JsonValue::Object();
+  out.Set("valid", JsonValue::Bool(cost.valid));
+  if (!cost.valid) out.Set("reason", JsonValue::Str(cost.invalid_reason));
+  out.Set("m", Num(cost.m_total));
+  out.Set("u", Num(cost.u_total));
+  out.Set("total", Num(cost.total()));
+  JsonValue layout = JsonValue::Object();
+  layout.Set("w", JsonValue::Int(cost.layout_width));
+  layout.Set("h", JsonValue::Int(cost.layout_height));
+  out.Set("layout", std::move(layout));
+  JsonValue transitions = JsonValue::Array();
+  for (double t : cost.per_transition) transitions.Append(Num(t));
+  out.Set("transitions", std::move(transitions));
   return out;
 }
 
 std::string CostToJson(const CostBreakdown& cost) {
-  std::string out = "{\"valid\":";
-  out += cost.valid ? "true" : "false";
-  if (!cost.valid) {
-    out += ",\"reason\":\"" + JsonEscape(cost.invalid_reason) + "\"";
-  }
-  out += ",\"m\":" + Num(cost.m_total);
-  out += ",\"u\":" + Num(cost.u_total);
-  out += ",\"total\":" + Num(cost.total());
-  out += StrFormat(",\"layout\":{\"w\":%d,\"h\":%d}", cost.layout_width,
-                   cost.layout_height);
-  out += ",\"transitions\":[";
-  for (size_t i = 0; i < cost.per_transition.size(); ++i) {
-    if (i > 0) out += ",";
-    out += Num(cost.per_transition[i]);
-  }
-  out += "]}";
-  return out;
+  return WriteJson(CostToJsonValue(cost));
 }
 
 }  // namespace ifgen

@@ -5,25 +5,27 @@
 #include "cost/cost_model.h"
 #include "difftree/difftree.h"
 #include "interface/widget_tree.h"
+#include "util/json.h"
 
 namespace ifgen {
 
 /// \brief JSON serialization of generated interfaces, so external tooling
-/// (a real web dashboard, a notebook, a test harness) can consume them.
-/// Hand-rolled emitter — the library has no third-party dependencies.
+/// (the HTTP API, a web dashboard, a notebook, a test harness) can consume
+/// them. Built on the util/json value model — the same trees the v1 API
+/// codec (src/api/dto.h) embeds into GenerateResponse payloads; the
+/// string-returning forms are compact-serialization conveniences.
 
 /// Difftree structure: {"kind":"ALL","sym":"Select","value":"","children":[..]}.
+JsonValue DiffTreeToJsonValue(const DiffTree& tree);
 std::string DiffTreeToJson(const DiffTree& tree);
 
 /// Widget tree with domains, sizes and positions:
-/// {"widget":"Radio","label":"from","choice":4,"options":[..],"x":..}.
+/// {"widget":"Radio","label":"from","choice":4,"options":[..],"box":{..}}.
+JsonValue WidgetTreeToJsonValue(const WidgetTree& tree);
 std::string WidgetTreeToJson(const WidgetTree& tree);
 
 /// Cost breakdown {"valid":true,"m":..,"u":..,"total":..,"transitions":[..]}.
+JsonValue CostToJsonValue(const CostBreakdown& cost);
 std::string CostToJson(const CostBreakdown& cost);
-
-/// Escapes a string for embedding in JSON (quotes, control chars, UTF-8
-/// bytes pass through).
-std::string JsonEscape(const std::string& s);
 
 }  // namespace ifgen

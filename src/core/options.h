@@ -73,8 +73,9 @@ struct GeneratorOptions {
   CostConstants constants;
   /// Execution backend the generated interface's queries run against
   /// (InterfaceSession::ExecuteCurrent, GenerationService::BackendFor).
-  /// Does not affect the generated interface itself, so it is excluded from
-  /// the service's result-cache key.
+  /// Does not affect the generated widgets, but it is part of the served
+  /// contract (API requests select it per job, and sessions execute on it),
+  /// so it participates in the service's result-cache key.
   BackendKind backend = BackendKind::kColumnar;
   /// Delta-cost evaluation ablation flag (EvalOptions::delta_eval).
   bool delta_cost_eval = true;

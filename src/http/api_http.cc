@@ -1,0 +1,252 @@
+#include "http/api_http.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace ifgen {
+namespace http {
+
+namespace {
+
+using api::ErrorBody;
+
+HttpResponse JsonResponse(int status, const JsonValue& v) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = WriteJson(v);
+  return resp;
+}
+
+HttpResponse ErrorResponse(const Status& s) {
+  return JsonResponse(ApiHttpFrontend::HttpStatusFor(s.code()),
+                      ErrorBody::FromStatus(s).ToJson());
+}
+
+/// Decodes a request body through ParseJson + the DTO codec; any failure
+/// becomes a structured 400/ParseError body.
+template <typename T>
+Result<T> DecodeBody(const HttpRequest& req) {
+  IFGEN_ASSIGN_OR_RETURN(JsonValue v, ParseJson(req.body));
+  return T::FromJson(v);
+}
+
+/// Splits "/v1/sessions/s-1/events" into segments.
+std::vector<std::string> PathSegments(const std::string& path) {
+  std::vector<std::string> out;
+  for (const std::string& seg : Split(path, '/')) {
+    if (!seg.empty()) out.push_back(seg);
+  }
+  return out;
+}
+
+bool WantsSse(const HttpRequest& req) {
+  if (req.QueryParam("sse") == "1") return true;
+  auto it = req.headers.find("accept");
+  return it != req.headers.end() &&
+         it->second.find("text/event-stream") != std::string::npos;
+}
+
+}  // namespace
+
+int ApiHttpFrontend::HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kCancelled:
+      return 409;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+Status ApiHttpFrontend::Start(Options opts) {
+  opts_ = std::move(opts);
+  return server_.Start(opts_.http,
+                       [this](const HttpRequest& req) { return Route(req); });
+}
+
+HttpResponse ApiHttpFrontend::Feed(const HttpRequest& req,
+                                   const std::string& session_id) {
+  if (WantsSse(req)) {
+    HttpResponse resp;
+    resp.content_type = "text/event-stream";
+    resp.stream = [this, session_id](HttpStream* stream) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(opts_.sse_max_duration_ms);
+      if (!stream->Write(": connected\n\n")) return;
+      while (stream->alive() && std::chrono::steady_clock::now() < deadline) {
+        auto batch = service_->PollSession(session_id);
+        if (!batch.ok()) {
+          // Session gone (closed/expired): surface the error as a terminal
+          // event so EventSource clients can stop reconnecting.
+          stream->Write("event: error\ndata: " +
+                        WriteJson(ErrorBody::FromStatus(batch.status()).ToJson()) +
+                        "\n\n");
+          return;
+        }
+        if (batch->to_version > batch->from_version) {
+          if (!stream->Write("data: " + WriteJson(batch->ToJson()) + "\n\n")) {
+            return;
+          }
+        } else {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(opts_.sse_poll_interval_ms));
+        }
+      }
+    };
+    return resp;
+  }
+
+  // Long poll: return immediately with whatever is pending when
+  // timeout_ms is absent/0, otherwise wait for the first new version.
+  const int64_t timeout_ms =
+      std::min<int64_t>(std::max<int64_t>(0, req.QueryInt("timeout_ms", 0)),
+                        opts_.max_poll_ms);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    auto batch = service_->PollSession(session_id);
+    if (!batch.ok()) return ErrorResponse(batch.status());
+    if (batch->to_version > batch->from_version ||
+        std::chrono::steady_clock::now() >= deadline || server_.stopping()) {
+      return JsonResponse(200, batch->ToJson());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<int64_t>(opts_.sse_poll_interval_ms, timeout_ms)));
+  }
+}
+
+HttpResponse ApiHttpFrontend::Route(const HttpRequest& req) {
+  const std::vector<std::string> seg = PathSegments(req.path);
+
+  // GET / — the static client, when configured.
+  if (seg.empty()) {
+    if (req.method != "GET") {
+      ErrorBody e{"InvalidArgument", "method not allowed on /"};
+      return JsonResponse(405, e.ToJson());
+    }
+    HttpResponse resp;
+    if (!opts_.client_html_path.empty()) {
+      if (FILE* f = std::fopen(opts_.client_html_path.c_str(), "rb")) {
+        char chunk[8192];
+        size_t n = 0;
+        while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+          resp.body.append(chunk, n);
+        }
+        std::fclose(f);
+        resp.content_type = "text/html; charset=utf-8";
+        return resp;
+      }
+    }
+    resp.content_type = "text/html; charset=utf-8";
+    resp.body =
+        "<!doctype html><title>ifgen</title><p>ifgen API server. "
+        "See <code>/v1/healthz</code>, <code>/v1/catalog</code>; API docs in "
+        "docs/api.md.</p>";
+    return resp;
+  }
+
+  if (seg[0] != "v1") {
+    return ErrorResponse(Status::NotFound("unknown path '" + req.path +
+                                          "' (API lives under /v1)"));
+  }
+
+  // /v1/... dispatch. Every arm returns a DTO or an ErrorBody; Status codes
+  // map via HttpStatusFor.
+  if (seg.size() == 2 && seg[1] == "healthz" && req.method == "GET") {
+    JsonValue v = JsonValue::Object();
+    v.Set("status", JsonValue::Str("ok"));
+    return JsonResponse(200, v);
+  }
+  if (seg.size() == 2 && seg[1] == "catalog" && req.method == "GET") {
+    return JsonResponse(200, service_->Catalog().ToJson());
+  }
+  if (seg.size() == 2 && seg[1] == "stats" && req.method == "GET") {
+    return JsonResponse(200, service_->Stats().ToJson());
+  }
+
+  if (seg.size() == 2 && seg[1] == "generate" && req.method == "POST") {
+    auto parsed = DecodeBody<api::GenerateRequest>(req);
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    auto accepted = service_->SubmitGenerate(*parsed);
+    if (!accepted.ok()) return ErrorResponse(accepted.status());
+    return JsonResponse(202, accepted->ToJson());
+  }
+
+  if (seg.size() >= 3 && seg[1] == "jobs") {
+    const std::string& job_id = seg[2];
+    if (seg.size() == 3 && req.method == "GET") {
+      // Clamp like the feed path: an unbounded client-supplied wait would
+      // pin an HTTP worker (and overflow chrono at extreme values).
+      const int64_t wait_ms =
+          std::min<int64_t>(std::max<int64_t>(0, req.QueryInt("wait_ms", 0)),
+                            opts_.max_poll_ms);
+      auto status = service_->GetJob(job_id, wait_ms);
+      if (!status.ok()) return ErrorResponse(status.status());
+      return JsonResponse(200, status->ToJson());
+    }
+    if (seg.size() == 4 && seg[3] == "cancel" && req.method == "POST") {
+      auto status = service_->CancelJob(job_id);
+      if (!status.ok()) return ErrorResponse(status.status());
+      return JsonResponse(200, status->ToJson());
+    }
+  }
+
+  if (seg.size() >= 2 && seg[1] == "sessions") {
+    if (seg.size() == 2 && req.method == "POST") {
+      auto parsed = DecodeBody<api::SessionOpenRequest>(req);
+      if (!parsed.ok()) return ErrorResponse(parsed.status());
+      auto opened = service_->OpenSession(*parsed);
+      if (!opened.ok()) return ErrorResponse(opened.status());
+      return JsonResponse(200, opened->ToJson());
+    }
+    if (seg.size() >= 3) {
+      const std::string& session_id = seg[2];
+      if (seg.size() == 3 && req.method == "DELETE") {
+        Status st = service_->CloseSession(session_id);
+        if (!st.ok()) return ErrorResponse(st);
+        JsonValue v = JsonValue::Object();
+        v.Set("closed", JsonValue::Bool(true));
+        return JsonResponse(200, v);
+      }
+      if (seg.size() == 4 && seg[3] == "events" && req.method == "POST") {
+        auto parsed = DecodeBody<api::WidgetEventRequest>(req);
+        if (!parsed.ok()) return ErrorResponse(parsed.status());
+        auto step = service_->ApplyEvent(session_id, *parsed);
+        if (!step.ok()) return ErrorResponse(step.status());
+        return JsonResponse(200, step->ToJson());
+      }
+      if (seg.size() == 4 && seg[3] == "feed" && req.method == "GET") {
+        return Feed(req, session_id);
+      }
+      if (seg.size() == 4 && seg[3] == "table" && req.method == "GET") {
+        auto table = service_->SessionTable(session_id);
+        if (!table.ok()) return ErrorResponse(table.status());
+        return JsonResponse(200, table->ToJson());
+      }
+    }
+  }
+
+  return ErrorResponse(Status::NotFound("no route for " + req.method + " " +
+                                        req.path));
+}
+
+}  // namespace http
+}  // namespace ifgen

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/api_service.h"
+#include "http/http_server.h"
+
+namespace ifgen {
+namespace http {
+
+/// \brief Mounts the v1 ApiService on the embedded HTTP server — the thin
+/// transport adapter: routing, JSON (de)serialization via the DTO codec,
+/// Status -> HTTP status mapping, and the change-feed's long-poll/SSE
+/// surface. No business logic lives here.
+///
+/// Endpoints (see docs/api.md for the full contract):
+///   GET    /v1/healthz
+///   GET    /v1/catalog
+///   GET    /v1/stats
+///   POST   /v1/generate                   -> 202 GenerateAccepted (429 when full)
+///   GET    /v1/jobs/{id}?wait_ms=N        -> JobStatusResponse
+///   POST   /v1/jobs/{id}/cancel           -> JobStatusResponse
+///   POST   /v1/sessions                   -> SessionOpenResponse
+///   POST   /v1/sessions/{id}/events       -> StepResponse
+///   GET    /v1/sessions/{id}/feed         -> long-poll ChangeBatch, or SSE
+///          (?sse=1 or Accept: text/event-stream) streaming one batch per event
+///   GET    /v1/sessions/{id}/table        -> TableDto (feed resync)
+///   DELETE /v1/sessions/{id}
+///   GET    /                              -> static client page (when configured)
+class ApiHttpFrontend {
+ public:
+  struct Options {
+    /// SSE and long-poll feed requests each pin one worker for up to their
+    /// deadline, so the pool must be sized to the expected number of
+    /// concurrent streaming clients plus regular traffic — hence a larger
+    /// default than HttpServer's.
+    static HttpServer::Options DefaultHttpOptions() {
+      HttpServer::Options o;
+      o.num_threads = 16;
+      return o;
+    }
+
+    HttpServer::Options http = DefaultHttpOptions();
+    /// Long-poll cap: ?timeout_ms is clamped to this.
+    int64_t max_poll_ms = 30000;
+    /// SSE sessions re-poll the feed at this cadence...
+    int64_t sse_poll_interval_ms = 15;
+    /// ...and end the stream (client reconnects) after this long.
+    int64_t sse_max_duration_ms = 30000;
+    /// Optional path to a static HTML client served at "/".
+    std::string client_html_path;
+  };
+
+  /// `service` is not owned and must outlive the frontend.
+  explicit ApiHttpFrontend(api::ApiService* service) : service_(service) {}
+  ~ApiHttpFrontend() { Stop(); }
+
+  Status Start(Options opts);
+  int port() const { return server_.port(); }
+  void Stop() { server_.Stop(); }
+
+  /// Status -> HTTP status code (the transport half of the error model).
+  static int HttpStatusFor(StatusCode code);
+
+ private:
+  HttpResponse Route(const HttpRequest& req);
+  HttpResponse Feed(const HttpRequest& req, const std::string& session_id);
+
+  api::ApiService* service_;
+  Options opts_;
+  HttpServer server_;
+};
+
+}  // namespace http
+}  // namespace ifgen

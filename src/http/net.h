@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string_view>
+
+namespace ifgen {
+namespace http {
+namespace internal {
+
+/// \brief Sends all of `data` on a connected socket, retrying on EINTR and
+/// suppressing SIGPIPE (MSG_NOSIGNAL) so a dead peer surfaces as a false
+/// return. Shared by the server and the client — one send loop, one set of
+/// bugs.
+bool SendAll(int fd, std::string_view data);
+
+}  // namespace internal
+}  // namespace http
+}  // namespace ifgen

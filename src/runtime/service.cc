@@ -62,13 +62,38 @@ uint64_t OptionsFingerprint(const GeneratorOptions& o) {
                                  sizeof o.constants),
                 h);
 
+  // The backend never changes the generated widgets, but it IS part of the
+  // served contract once requests select it (sessions execute on it), so
+  // requests differing only in backend must not alias one cache entry.
+  h = HashU64(h, static_cast<uint64_t>(o.backend));
   h = HashU64(h, o.k_assignments);
   h = HashU64(h, o.parse_limit);
   h = HashF64(h, o.enumeration_cap);
   return h;
 }
 
+int64_t MsBetween(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count();
+}
+
 }  // namespace
+
+std::string_view JobStateName(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
 
 uint64_t GenerationService::JobKey(const JobSpec& spec) {
   std::vector<std::string> canonical;
@@ -114,6 +139,17 @@ size_t GenerationService::backends_created() const {
   return backends_.size();
 }
 
+std::vector<GenerationService::BackendStatEntry> GenerationService::backend_stats()
+    const {
+  std::vector<BackendStatEntry> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(backends_.size());
+  for (const auto& [key, backend] : backends_) {
+    out.push_back({key.first, key.second, backend->stats()});
+  }
+  return out;
+}
+
 Result<std::shared_ptr<InteractiveRuntime>> GenerationService::OpenSession(
     const GeneratedInterface& iface, const CostConstants& constants,
     const Database* db, BackendKind kind, InteractiveRuntime::Options opts) {
@@ -136,6 +172,8 @@ GenerationService::GenerationService() : GenerationService(Options()) {}
 
 GenerationService::GenerationService(Options opts)
     : cache_capacity_(opts.cache_capacity),
+      max_pending_jobs_(opts.max_pending_jobs),
+      job_history_capacity_(std::max<size_t>(1, opts.job_history_capacity)),
       pool_(std::max<size_t>(1, opts.num_threads)) {}
 
 GenerationService::~GenerationService() = default;
@@ -166,30 +204,189 @@ void GenerationService::CacheStore(uint64_t key,
   }
 }
 
-GenerationService::JobFuture GenerationService::Submit(JobSpec spec) {
+// ---------------------------------------------------------------------------
+// Tracked job protocol.
+
+GenerationService::JobInfo GenerationService::SnapshotLocked(
+    JobId id, const JobRecord& rec) const {
+  JobInfo info;
+  info.id = id;
+  info.state = rec.state;
+  info.cache_hit = rec.cache_hit;
+  const auto now = Clock::now();
+  const auto queue_end = rec.state == JobState::kQueued ? now : rec.started;
+  info.queued_ms = MsBetween(rec.submitted, queue_end);
+  if (rec.state == JobState::kRunning) {
+    info.run_ms = MsBetween(rec.started, now);
+  } else if (rec.state == JobState::kDone || rec.state == JobState::kFailed) {
+    info.run_ms = rec.cache_hit ? 0 : MsBetween(rec.started, rec.finished);
+  }
+  info.result = rec.result;
+  info.error = rec.error;
+  return info;
+}
+
+std::function<void(Result<GeneratedInterface>)> GenerationService::FinishLocked(
+    JobId id, JobRecord* rec, JobState state,
+    std::shared_ptr<const GeneratedInterface> result, Status error) {
+  rec->state = state;
+  rec->result = std::move(result);
+  rec->error = std::move(error);
+  rec->finished = Clock::now();
+  if (rec->started == Clock::time_point()) rec->started = rec->finished;
+  finished_order_.push_back(id);
+  while (finished_order_.size() > job_history_capacity_) {
+    jobs_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+  auto cb = std::move(rec->on_done);
+  rec->on_done = nullptr;
+  jobs_cv_.notify_all();
+  return cb;
+}
+
+Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
+    JobSpec spec, std::function<void(Result<GeneratedInterface>)> on_done) {
+  const uint64_t key = JobKey(spec);
+  JobId id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++jobs_submitted_;
+    if (max_pending_jobs_ != 0 && jobs_pending_ >= max_pending_jobs_) {
+      return Status::ResourceExhausted(
+          "generation queue full: " + std::to_string(jobs_pending_) +
+          " jobs pending (limit " + std::to_string(max_pending_jobs_) + ")");
+    }
+    id = next_job_id_++;
+    JobRecord& rec = jobs_[id];
+    rec.submitted = Clock::now();
+    rec.on_done = std::move(on_done);
+    ++jobs_pending_;
   }
-  const uint64_t key = JobKey(spec);
+
   if (auto cached = CacheLookup(key)) {
-    std::promise<Result<GeneratedInterface>> ready;
-    ready.set_value(*cached);  // copy out of the shared cache entry
-    return ready.get_future();
+    std::function<void(Result<GeneratedInterface>)> cb;
+    bool finished_here = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = jobs_.find(id);
+      // Re-check under the lock: CancelJob may have raced in between (job
+      // ids are sequential, so a concurrent cancel of this id is possible)
+      // and already finished the record + adjusted jobs_pending_.
+      if (it != jobs_.end() && it->second.state == JobState::kQueued) {
+        it->second.cache_hit = true;
+        --jobs_pending_;
+        cb = FinishLocked(id, &it->second, JobState::kDone, cached, Status::OK());
+        finished_here = true;
+      }
+    }
+    if (finished_here && cb) cb(*cached);  // copy out of the shared cache entry
+    return id;
   }
-  auto promise = std::make_shared<std::promise<Result<GeneratedInterface>>>();
-  JobFuture future = promise->get_future();
-  pool_.Submit([this, key, promise, spec = std::move(spec)]() mutable {
+
+  pool_.Submit([this, id, key, spec = std::move(spec)]() mutable {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second.state != JobState::kQueued) {
+        return;  // cancelled while queued (or evicted)
+      }
+      it->second.state = JobState::kRunning;
+      it->second.started = Clock::now();
+    }
     Result<GeneratedInterface> result = GenerateInterface(spec.sqls, spec.options);
+    std::shared_ptr<const GeneratedInterface> shared;
+    if (result.ok()) {
+      shared = std::make_shared<const GeneratedInterface>(*result);
+      CacheStore(key, shared);
+    }
+    std::function<void(Result<GeneratedInterface>)> cb;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++jobs_executed_;
+      --jobs_pending_;
+      auto it = jobs_.find(id);
+      if (it != jobs_.end()) {
+        cb = FinishLocked(id, &it->second,
+                          result.ok() ? JobState::kDone : JobState::kFailed,
+                          shared, result.ok() ? Status::OK() : result.status());
+      }
     }
-    if (result.ok()) {
-      CacheStore(key, std::make_shared<const GeneratedInterface>(*result));
-    }
-    promise->set_value(std::move(result));
+    if (cb) cb(std::move(result));
   });
+  return id;
+}
+
+Result<GenerationService::JobId> GenerationService::SubmitJob(JobSpec spec) {
+  return SubmitJobWithCallback(std::move(spec), nullptr);
+}
+
+Result<GenerationService::JobInfo> GenerationService::GetJob(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown job id " + std::to_string(id));
+  }
+  return SnapshotLocked(id, it->second);
+}
+
+Result<GenerationService::JobInfo> GenerationService::WaitJob(JobId id,
+                                                              int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown job id " + std::to_string(id));
+  }
+  auto terminal = [&] {
+    auto jt = jobs_.find(id);
+    // Evicted mid-wait counts as terminal; the re-lookup below reports it.
+    return jt == jobs_.end() || SnapshotLocked(id, jt->second).terminal();
+  };
+  if (timeout_ms < 0) {
+    jobs_cv_.wait(lock, terminal);
+  } else {
+    jobs_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), terminal);
+  }
+  it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("job id " + std::to_string(id) +
+                            " evicted from history");
+  }
+  return SnapshotLocked(id, it->second);
+}
+
+Result<GenerationService::JobInfo> GenerationService::CancelJob(JobId id) {
+  std::function<void(Result<GeneratedInterface>)> cb;
+  JobInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("unknown job id " + std::to_string(id));
+    }
+    if (it->second.state == JobState::kQueued) {
+      --jobs_pending_;
+      cb = FinishLocked(id, &it->second, JobState::kCancelled, nullptr,
+                        Status::Cancelled("job cancelled while queued"));
+    }
+    info = SnapshotLocked(id, it->second);
+  }
+  if (cb) cb(Status::Cancelled("job cancelled while queued"));
+  return info;
+}
+
+size_t GenerationService::jobs_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_pending_;
+}
+
+GenerationService::JobFuture GenerationService::Submit(JobSpec spec) {
+  auto promise = std::make_shared<std::promise<Result<GeneratedInterface>>>();
+  JobFuture future = promise->get_future();
+  Result<JobId> id = SubmitJobWithCallback(
+      std::move(spec),
+      [promise](Result<GeneratedInterface> r) { promise->set_value(std::move(r)); });
+  if (!id.ok()) promise->set_value(id.status());
   return future;
 }
 

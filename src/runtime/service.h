@@ -1,5 +1,9 @@
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -23,6 +27,18 @@ struct JobSpec {
   GeneratorOptions options;
 };
 
+/// \brief Lifecycle of a tracked generation job (see
+/// GenerationService::SubmitJob). Terminal states: kDone/kFailed/kCancelled.
+enum class JobState : uint8_t {
+  kQueued = 0,  ///< admitted, waiting for a worker
+  kRunning,     ///< a worker is generating
+  kDone,        ///< result available
+  kFailed,      ///< generation returned an error
+  kCancelled,   ///< cancelled while still queued
+};
+
+std::string_view JobStateName(JobState s);
+
 /// \brief A concurrent interface-generation service: many query logs in,
 /// many interfaces out (the serving posture of PI2, which wraps this
 /// algorithm into an end-to-end interface service).
@@ -33,6 +49,12 @@ struct JobSpec {
 /// Each job's search can itself be parallel (JobSpec.options.parallel);
 /// that nests cleanly because TaskGroup::Wait helps run pool tasks instead
 /// of blocking a worker.
+///
+/// The primary submission path is the tracked job protocol — SubmitJob
+/// returns a JobId whose state, timing, and result are observable through
+/// GetJob/WaitJob and whose queued phase is cancellable — which is what the
+/// v1 API layer (src/api) serves. Submit/SubmitBatch are thin future
+/// adapters over the same path for in-process batch callers.
 class GenerationService {
  public:
   struct Options {
@@ -40,16 +62,67 @@ class GenerationService {
     size_t num_threads = 4;
     /// Completed results kept in the LRU cache; 0 disables caching.
     size_t cache_capacity = 64;
+    /// Upper bound on admitted-but-unfinished jobs (queued + running);
+    /// SubmitJob answers ResourceExhausted beyond it (the API layer maps
+    /// that to HTTP 429). 0 = unbounded.
+    size_t max_pending_jobs = 0;
+    /// Terminal job records retained for GetJob; the oldest finished record
+    /// is evicted beyond this (a later GetJob answers NotFound).
+    size_t job_history_capacity = 256;
   };
 
   GenerationService();  ///< default Options
   explicit GenerationService(Options opts);
   ~GenerationService();
 
+  using JobId = uint64_t;
   using JobFuture = std::future<Result<GeneratedInterface>>;
 
+  /// \brief Observable snapshot of one job: state, phase timings, and — in
+  /// a terminal state — the result or error. `result->stats.trace` carries
+  /// the search's best-so-far curve, i.e. the anytime view of the run.
+  struct JobInfo {
+    JobId id = 0;
+    JobState state = JobState::kQueued;
+    bool cache_hit = false;  ///< answered from the result cache
+    int64_t queued_ms = 0;   ///< time spent waiting for a worker (so far)
+    int64_t run_ms = 0;      ///< execution time (so far, when running)
+    std::shared_ptr<const GeneratedInterface> result;  ///< kDone only
+    Status error;  ///< kFailed/kCancelled only
+
+    bool terminal() const {
+      return state == JobState::kDone || state == JobState::kFailed ||
+             state == JobState::kCancelled;
+    }
+  };
+
+  /// Admits one job and returns its id immediately (kDone at once on a
+  /// cache hit); ResourceExhausted when `max_pending_jobs` jobs are already
+  /// in flight.
+  Result<JobId> SubmitJob(JobSpec spec);
+
+  /// Snapshot of a job's current state; NotFound for ids never issued or
+  /// evicted from the finished-job history.
+  Result<JobInfo> GetJob(JobId id) const;
+
+  /// Blocks until the job is terminal or `timeout_ms` elapses (negative =
+  /// no timeout) and returns the latest snapshot — callers must check
+  /// `terminal()` when they passed a timeout.
+  Result<JobInfo> WaitJob(JobId id, int64_t timeout_ms = -1);
+
+  /// Cancels a job that is still queued (its state becomes kCancelled and
+  /// its error Cancelled) and returns the post-cancel snapshot. A job that
+  /// is already running or terminal is NOT interrupted — generation has no
+  /// preemption points — and its current snapshot is returned unchanged.
+  Result<JobInfo> CancelJob(JobId id);
+
+  /// Jobs admitted but not yet terminal (queued + running).
+  size_t jobs_pending() const;
+
   /// Submits one job; the future resolves when the interface is generated
-  /// (immediately on a cache hit).
+  /// (immediately on a cache hit). Future adapter over SubmitJob: the job
+  /// is tracked like any other, and admission-control rejections resolve
+  /// the future with the ResourceExhausted status.
   JobFuture Submit(JobSpec spec);
 
   /// Submits a batch; futures are in input order. Jobs execute concurrently
@@ -60,8 +133,11 @@ class GenerationService {
   /// unparsed, the list sorted) combined with a hash of every
   /// result-affecting option. Unparsable logs fall back to the raw strings
   /// (still deterministic; such jobs fail identically anyway).
-  /// GeneratorOptions::backend is deliberately excluded: the execution
-  /// backend never changes the generated interface.
+  /// GeneratorOptions::backend IS part of the key: the backend never
+  /// changes the generated widgets, but with backend selection exposed
+  /// per-request at the API boundary, two requests differing only in
+  /// backend must not alias one cached result — the response reports the
+  /// backend sessions will execute on.
   static uint64_t JobKey(const JobSpec& spec);
 
   /// Returns the execution backend for (db, kind), constructing it on first
@@ -71,6 +147,16 @@ class GenerationService {
   Result<std::shared_ptr<ExecutionBackend>> BackendFor(const Database* db,
                                                        BackendKind kind);
   size_t backends_created() const;
+
+  /// \brief Stats snapshot of one shared backend (see backend_stats).
+  struct BackendStatEntry {
+    const Database* db = nullptr;
+    BackendKind kind = BackendKind::kReference;
+    BackendStats stats;
+  };
+  /// Per-backend counters for every (db, kind) BackendFor has constructed —
+  /// the observability feed of GET /v1/stats.
+  std::vector<BackendStatEntry> backend_stats() const;
 
   /// Opens a per-user interactive runtime over a generated interface: the
   /// serving-side session object. Each runtime owns its own widget state,
@@ -89,18 +175,49 @@ class GenerationService {
   size_t num_threads() const { return pool_.num_threads(); }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Tracked state of one job. Lives in jobs_ under mu_; the completion
+  /// callback (the Submit future adapter) is invoked outside the lock.
+  struct JobRecord {
+    JobState state = JobState::kQueued;
+    bool cache_hit = false;
+    Clock::time_point submitted;
+    Clock::time_point started;
+    Clock::time_point finished;
+    std::shared_ptr<const GeneratedInterface> result;
+    Status error;
+    std::function<void(Result<GeneratedInterface>)> on_done;
+  };
+
+  Result<JobId> SubmitJobWithCallback(
+      JobSpec spec, std::function<void(Result<GeneratedInterface>)> on_done);
+  JobInfo SnapshotLocked(JobId id, const JobRecord& rec) const;
+  /// Marks `id` terminal, records history for eviction, and returns the
+  /// callback to invoke (outside the lock). Requires mu_ held.
+  std::function<void(Result<GeneratedInterface>)> FinishLocked(
+      JobId id, JobRecord* rec, JobState state,
+      std::shared_ptr<const GeneratedInterface> result, Status error);
+
   std::shared_ptr<const GeneratedInterface> CacheLookup(uint64_t key);
   void CacheStore(uint64_t key, std::shared_ptr<const GeneratedInterface> value);
 
   size_t cache_capacity_;
+  size_t max_pending_jobs_;
+  size_t job_history_capacity_;
 
   mutable std::mutex mu_;
+  std::condition_variable jobs_cv_;  ///< signalled on every terminal transition
   /// LRU: most recent at the front; the map points into the list.
   std::list<std::pair<uint64_t, std::shared_ptr<const GeneratedInterface>>> lru_;
   std::unordered_map<
       uint64_t,
       std::list<std::pair<uint64_t, std::shared_ptr<const GeneratedInterface>>>::iterator>
       index_;
+  std::map<JobId, JobRecord> jobs_;
+  std::deque<JobId> finished_order_;  ///< terminal jobs, oldest first
+  JobId next_job_id_ = 1;
+  size_t jobs_pending_ = 0;
   size_t jobs_submitted_ = 0;
   size_t jobs_executed_ = 0;
   size_t cache_hits_ = 0;

@@ -1,0 +1,498 @@
+#include "util/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace ifgen {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.b_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.i_ = i;
+  return v;
+}
+
+JsonValue JsonValue::Double(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kDouble;
+  v.d_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.s_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const Member& m : obj_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  for (Member& m : obj_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) { arr_.push_back(std::move(value)); }
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return b_ == other.b_;
+    case Kind::kInt:
+      return i_ == other.i_;
+    case Kind::kDouble:
+      return d_ == other.d_;
+    case Kind::kString:
+      return s_ == other.s_;
+    case Kind::kArray:
+      return arr_ == other.arr_;
+    case Kind::kObject:
+      return obj_ == other.obj_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Writing.
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;  // 17 always round-trips
+  }
+  // Decorate bare integers so the parser keeps the double kind.
+  if (std::strpbrk(buf, ".eE") == nullptr) {
+    std::strncat(buf, ".0", sizeof buf - std::strlen(buf) - 1);
+  }
+  return buf;
+}
+
+namespace {
+
+void WriteRec(const JsonValue& v, std::string* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kInt:
+      *out += StrFormat("%lld", static_cast<long long>(v.AsInt()));
+      return;
+    case JsonValue::Kind::kDouble:
+      *out += JsonDouble(v.AsDouble());
+      return;
+    case JsonValue::Kind::kString:
+      *out += '"';
+      *out += JsonEscape(v.AsString());
+      *out += '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) *out += ',';
+        first = false;
+        WriteRec(item, out);
+      }
+      *out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const JsonValue::Member& m : v.members()) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += JsonEscape(m.first);
+        *out += "\":";
+        WriteRec(m.second, out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteRec(value, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    IFGEN_RETURN_NOT_OK(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::ParseError(StrFormat("JSON: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) return Err(StrFormat("expected '%c'", c));
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        IFGEN_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue::MakeNull(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view lit, JsonValue value, JsonValue* out) {
+    if (text_.substr(pos_, lit.size()) != lit) return Err("invalid literal");
+    pos_ += lit.size();
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) {
+      *out = std::move(obj);
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      IFGEN_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      IFGEN_RETURN_NOT_OK(Expect(':'));
+      JsonValue value;
+      IFGEN_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      // Duplicate keys are malformed input at the API boundary, not
+      // last-wins: silently dropping a binding would mask client bugs.
+      if (obj.Find(key) != nullptr) {
+        return Err(StrFormat("duplicate object key \"%s\"", key.c_str()));
+      }
+      obj.members().emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      IFGEN_RETURN_NOT_OK(Expect('}'));
+      break;
+    }
+    *out = std::move(obj);
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) {
+      *out = std::move(arr);
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      IFGEN_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      arr.Append(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      IFGEN_RETURN_NOT_OK(Expect(']'));
+      break;
+    }
+    *out = std::move(arr);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Err("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      unsigned char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Err("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Err("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          IFGEN_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Err("unpaired surrogate");
+            }
+            pos_ += 2;
+            uint32_t lo = 0;
+            IFGEN_RETURN_NOT_OK(ParseHex4(&lo));
+            if (lo < 0xDC00 || lo > 0xDFFF) return Err("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Err("unpaired surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Err("invalid escape character");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Err("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Err("invalid number");
+    }
+    // Leading zeros are invalid JSON ("01"); a lone zero is fine.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() && text_[pos_ + 1] >= '0' &&
+        text_[pos_ + 1] <= '9') {
+      return Err("leading zero in number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Err("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Err("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long ll = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue::Int(ll);
+        return Status::OK();
+      }
+      // Out of int64 range: fall through to double (JSON allows it).
+    }
+    errno = 0;
+    double d = std::strtod(token.c_str(), nullptr);
+    if (errno == ERANGE && (d == HUGE_VAL || d == -HUGE_VAL)) {
+      return Err("number out of range");
+    }
+    *out = JsonValue::Double(d);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace ifgen

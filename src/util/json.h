@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ifgen {
+
+/// \brief A dynamically-typed JSON document: the value model under the
+/// versioned API codec (src/api) and the interface exporters
+/// (core/json_export).
+///
+/// Integers and doubles are distinct kinds — the API round-trip contract is
+/// `ParseJson(WriteJson(v)) == v` including numeric *type*, so table cells
+/// survive a wire hop bit-identically. The writer renders doubles with
+/// round-trip precision and always marks them with a '.', 'e' or non-finite
+/// spelling; the parser classifies undecorated integer literals that fit
+/// int64 as kInt and everything else as kDouble. Object members preserve
+/// insertion order (serialization is deterministic); lookups are linear,
+/// which is fine at API-message sizes.
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  ///< null
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t i);
+  static JsonValue Double(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one for the kind is a programming
+  /// error (the codec layer checks kinds before reading).
+  bool AsBool() const { return b_; }
+  int64_t AsInt() const { return i_; }
+  /// kInt widens to double (JSON callers writing `3` for a double field).
+  double AsDouble() const { return is_int() ? static_cast<double>(i_) : d_; }
+  const std::string& AsString() const { return s_; }
+
+  const std::vector<JsonValue>& items() const { return arr_; }
+  std::vector<JsonValue>& items() { return arr_; }
+  const std::vector<Member>& members() const { return obj_; }
+  std::vector<Member>& members() { return obj_; }
+  size_t size() const { return is_array() ? arr_.size() : obj_.size(); }
+
+  /// Object lookup; null when absent (or when not an object).
+  const JsonValue* Find(std::string_view key) const;
+  /// Appends (or replaces) an object member.
+  void Set(std::string key, JsonValue value);
+  /// Appends an array element.
+  void Append(JsonValue value);
+
+  /// Deep structural equality. Numbers compare kind-sensitively (Int(3) !=
+  /// Double(3.0)) to keep `ParseJson(WriteJson(v)) == v` an exact identity.
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool b_ = false;
+  int64_t i_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  std::vector<JsonValue> arr_;
+  std::vector<Member> obj_;
+};
+
+/// Parses strict JSON (RFC 8259: no comments, no trailing commas; \uXXXX
+/// escapes incl. surrogate pairs decode to UTF-8). Errors are ParseError
+/// statuses with a byte offset. Nesting is capped (guards the recursive
+/// parser against stack exhaustion on adversarial input).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Compact serialization. Non-finite doubles render as `null` (JSON has no
+/// inf/nan) — the one case WriteJson does not round-trip.
+std::string WriteJson(const JsonValue& value);
+
+/// Escapes a string for embedding in JSON (quotes, control chars; UTF-8
+/// bytes pass through).
+std::string JsonEscape(const std::string& s);
+
+/// Renders a double with the smallest precision that round-trips exactly,
+/// always decorated ('.' or 'e') so parsers keep it a double; non-finite
+/// values render as "null". Exposed for the bench JSON emitters.
+std::string JsonDouble(double v);
+
+}  // namespace ifgen

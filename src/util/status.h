@@ -20,9 +20,16 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  kCancelled,
 };
 
-/// \brief Returns the canonical lowercase name of a status code.
+/// \brief Returns the canonical name of a status code ("InvalidArgument").
+///
+/// These strings are a stable machine-readable contract: the v1 API error
+/// model (api::ErrorBody.code) exposes them on the wire, and
+/// tests/util_test.cc pins every enum value and name so a silent rename or
+/// renumbering cannot slip past the API boundary. Append new codes at the
+/// end; never reorder.
 const char* StatusCodeName(StatusCode code);
 
 /// \brief Outcome of a fallible operation that returns no value.
@@ -57,6 +64,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -226,6 +226,156 @@ TEST(GenerationService, DestructionWithInFlightJobsIsSafe) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 }
 
+TEST(GenerationService, JobKeySeparatesBackends) {
+  // The backend is user-selectable per API request; two requests differing
+  // only in backend must not alias one cached result (the response reports
+  // the backend sessions will execute on).
+  JobSpec a = SmallJob(1);
+  a.options.backend = BackendKind::kColumnar;
+  JobSpec b = SmallJob(1);
+  b.options.backend = BackendKind::kReference;
+  EXPECT_NE(GenerationService::JobKey(a), GenerationService::JobKey(b));
+}
+
+// ----------------------------------------------------- tracked job protocol
+
+TEST(GenerationService, TrackedJobRunsToDone) {
+  GenerationService::Options opts;
+  opts.num_threads = 2;
+  GenerationService service(opts);
+  auto id = service.SubmitJob(SmallJob(11));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto info = service.WaitJob(*id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, JobState::kDone);
+  EXPECT_TRUE(info->terminal());
+  ASSERT_NE(info->result, nullptr);
+  EXPECT_GT(info->result->widgets.CountInteractive(), 0u);
+  EXPECT_FALSE(info->cache_hit);
+  EXPECT_EQ(service.jobs_pending(), 0u);
+
+  // Identical resubmission: immediate kDone via the cache.
+  auto id2 = service.SubmitJob(SmallJob(11));
+  ASSERT_TRUE(id2.ok());
+  auto info2 = service.GetJob(*id2);
+  ASSERT_TRUE(info2.ok());
+  EXPECT_EQ(info2->state, JobState::kDone);
+  EXPECT_TRUE(info2->cache_hit);
+  EXPECT_EQ(info2->run_ms, 0);
+}
+
+TEST(GenerationService, FailedJobReportsError) {
+  GenerationService::Options opts;
+  opts.num_threads = 1;
+  GenerationService service(opts);
+  JobSpec bad = SmallJob(1);
+  bad.sqls = {"this is not sql at all ((("};
+  auto id = service.SubmitJob(std::move(bad));
+  ASSERT_TRUE(id.ok());
+  auto info = service.WaitJob(*id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, JobState::kFailed);
+  EXPECT_FALSE(info->error.ok());
+  EXPECT_EQ(info->result, nullptr);
+}
+
+TEST(GenerationService, UnknownJobIdIsNotFound) {
+  GenerationService service(GenerationService::Options{});
+  auto info = service.GetJob(12345);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GenerationService, BoundedQueueRejectsWithResourceExhausted) {
+  // One worker blocked on a long-ish job + queue bound 1: the next
+  // submission must be rejected, not enqueued.
+  GenerationService::Options opts;
+  opts.num_threads = 1;
+  opts.max_pending_jobs = 1;
+  opts.cache_capacity = 0;  // no cross-talk via the result cache
+  GenerationService service(opts);
+  auto first = service.SubmitJob(SmallJob(21));
+  ASSERT_TRUE(first.ok());
+  Result<GenerationService::JobId> second = service.SubmitJob(SmallJob(22));
+  Result<GenerationService::JobId> third = service.SubmitJob(SmallJob(23));
+  // At least one of the two extra submissions must have been rejected (the
+  // first job may or may not have finished in between).
+  const bool rejected = !second.ok() || !third.ok();
+  EXPECT_TRUE(rejected);
+  if (!second.ok()) {
+    EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  }
+  if (!third.ok()) {
+    EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  }
+  ASSERT_TRUE(service.WaitJob(*first).ok());
+}
+
+TEST(GenerationService, CancelQueuedJob) {
+  // Saturate the single worker so a second job stays queued long enough to
+  // cancel. Cancellation of running/terminal jobs is a documented no-op.
+  GenerationService::Options opts;
+  opts.num_threads = 1;
+  opts.cache_capacity = 0;
+  GenerationService service(opts);
+  std::vector<GenerationService::JobId> ids;
+  for (uint64_t s = 0; s < 6; ++s) {
+    auto id = service.SubmitJob(SmallJob(30 + s));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // Cancel from the back: the last job is most likely still queued.
+  auto cancelled = service.CancelJob(ids.back());
+  ASSERT_TRUE(cancelled.ok());
+  for (GenerationService::JobId id : ids) {
+    auto info = service.WaitJob(id);
+    ASSERT_TRUE(info.ok());
+    EXPECT_TRUE(info->terminal());
+    if (info->state == JobState::kCancelled) {
+      EXPECT_EQ(info->error.code(), StatusCode::kCancelled);
+      EXPECT_EQ(info->result, nullptr);
+    }
+  }
+  EXPECT_EQ(service.jobs_pending(), 0u);
+}
+
+TEST(GenerationService, SubmitFutureAdapterMatchesTrackedPath) {
+  // Submit is a future adapter over SubmitJob: both paths observe the same
+  // tracked job machinery (submitted counter includes both).
+  GenerationService::Options opts;
+  opts.num_threads = 2;
+  GenerationService service(opts);
+  auto via_future = service.Submit(SmallJob(41)).get();
+  ASSERT_TRUE(via_future.ok());
+  auto id = service.SubmitJob(SmallJob(41));
+  ASSERT_TRUE(id.ok());
+  auto via_job = service.WaitJob(*id);
+  ASSERT_TRUE(via_job.ok());
+  ASSERT_EQ(via_job->state, JobState::kDone);
+  EXPECT_TRUE(via_job->cache_hit);  // same spec: cache answers the second
+  EXPECT_DOUBLE_EQ(via_future->cost.total(), via_job->result->cost.total());
+  EXPECT_EQ(service.jobs_submitted(), 2u);
+}
+
+TEST(GenerationService, JobHistoryEvictsOldestFinished) {
+  GenerationService::Options opts;
+  opts.num_threads = 1;
+  opts.job_history_capacity = 2;
+  GenerationService service(opts);
+  std::vector<GenerationService::JobId> ids;
+  for (uint64_t s = 0; s < 4; ++s) {
+    auto id = service.SubmitJob(SmallJob(50 + s));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+    ASSERT_TRUE(service.WaitJob(*id).ok());
+  }
+  // Only the 2 most recent survive.
+  EXPECT_EQ(service.GetJob(ids[0]).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.GetJob(ids[1]).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(service.GetJob(ids[2]).ok());
+  EXPECT_TRUE(service.GetJob(ids[3]).ok());
+}
+
 TEST(GenerationService, CacheEvictsLeastRecentlyUsed) {
   GenerationService::Options opts;
   opts.num_threads = 1;

@@ -30,6 +30,46 @@ TEST(Status, FactoryCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(Status, CodeNamesAndValuesArePinned) {
+  // StatusCodeName strings are the machine-readable error codes of the v1
+  // API (api::ErrorBody.code): both the numeric value and the spelling of
+  // every enumerator are frozen. Renumbering or renaming a code is a wire
+  // contract break — append new codes instead.
+  struct Pin {
+    StatusCode code;
+    uint8_t value;
+    const char* name;
+  };
+  const Pin pins[] = {
+      {StatusCode::kOk, 0, "OK"},
+      {StatusCode::kInvalidArgument, 1, "InvalidArgument"},
+      {StatusCode::kParseError, 2, "ParseError"},
+      {StatusCode::kNotFound, 3, "NotFound"},
+      {StatusCode::kOutOfRange, 4, "OutOfRange"},
+      {StatusCode::kResourceExhausted, 5, "ResourceExhausted"},
+      {StatusCode::kUnimplemented, 6, "Unimplemented"},
+      {StatusCode::kInternal, 7, "Internal"},
+      {StatusCode::kCancelled, 8, "Cancelled"},
+  };
+  // If a code was added, extend `pins` — this count is part of the pin.
+  constexpr uint8_t kNumCodes = 9;
+  EXPECT_EQ(sizeof pins / sizeof pins[0], kNumCodes);
+  for (const Pin& pin : pins) {
+    EXPECT_EQ(static_cast<uint8_t>(pin.code), pin.value) << pin.name;
+    EXPECT_STREQ(StatusCodeName(pin.code), pin.name);
+  }
+  // Names are distinct (a copy-paste duplicate would silently merge two
+  // error categories at the API boundary).
+  for (const Pin& a : pins) {
+    for (const Pin& b : pins) {
+      if (a.value != b.value) {
+        EXPECT_STRNE(StatusCodeName(a.code), StatusCodeName(b.code));
+      }
+    }
+  }
 }
 
 TEST(Result, HoldsValue) {
