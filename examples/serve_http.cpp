@@ -10,7 +10,9 @@
 // Flags: --port N (default 8080; 0 = ephemeral), --host A.B.C.D,
 // --rows N (rows per workload table; 0 = defaults), --threads N (HTTP
 // workers), --max-pending N (job-queue bound -> HTTP 429),
-// --session-ttl-ms N, --client PATH (static HTML served at /).
+// --session-ttl-ms N, --client PATH (static HTML served at /),
+// --cors ORIGIN (enable cross-origin access for that origin, e.g. "*"
+// when opening examples/web/client.html from file://; off by default).
 // SIGINT/SIGTERM shut down cleanly.
 #include <csignal>
 #include <cstdio>
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   fopts.http.host = FlagStr(argc, argv, "--host", "127.0.0.1");
   fopts.http.port = static_cast<int>(FlagInt(argc, argv, "--port", 8080));
   fopts.http.num_threads = static_cast<size_t>(FlagInt(argc, argv, "--threads", 8));
+  fopts.http.cors_allow_origin = FlagStr(argc, argv, "--cors", "");
   fopts.client_html_path =
       FlagStr(argc, argv, "--client", "examples/web/client.html");
   if (Status st = frontend.Start(fopts); !st.ok()) {

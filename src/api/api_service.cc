@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/json_export.h"
+#include "core/session.h"
 #include "sql/parser.h"
 
 namespace ifgen {
@@ -104,11 +105,25 @@ Result<GenerateAccepted> ApiService::SubmitGenerate(const GenerateRequest& req) 
     IFGEN_ASSIGN_OR_RETURN(id, service_.SubmitJob(std::move(spec)));
     job_meta_[id] = JobMeta{req.workload, options};
     // Keep meta bounded alongside the service's finished-job history, but
-    // never drop a still-pending job's meta (admission may be unbounded):
-    // evict oldest-first among terminal/evicted jobs only.
+    // never drop a still-pending job's meta (admission may be unbounded).
+    // Mirror the service's own (finished-order) eviction: drop meta exactly
+    // for jobs the service no longer knows — evicting lowest-id terminal
+    // jobs instead would desync the two (a slow early job can outlive many
+    // later ones in the service history, and losing its meta while it is
+    // still queryable blanks workload/backend in its JobStatusResponse).
     const size_t cap = opts_.service.job_history_capacity +
                        std::max<size_t>(1, service_.jobs_pending());
     auto it = job_meta_.begin();
+    while (job_meta_.size() > cap && it != job_meta_.end()) {
+      if (!service_.GetJob(it->first).ok()) {
+        it = job_meta_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Fallback bound (pending count can shrink between submissions): shed
+    // oldest terminal metas so job_meta_ cannot outgrow cap indefinitely.
+    it = job_meta_.begin();
     while (job_meta_.size() > cap && it != job_meta_.end()) {
       auto info = service_.GetJob(it->first);
       if (!info.ok() || info->terminal()) {
@@ -186,6 +201,13 @@ Result<JobStatusResponse> ApiService::CancelJob(const std::string& job_id) {
 void ApiService::SweepSessionsLocked() {
   if (opts_.session_ttl_ms <= 0) return;
   const auto now = Clock::now();
+  // Runs on every session access (including 15 ms SSE re-polls), so bound
+  // the O(sessions) scan: at most one sweep per ttl/10. Expiry is already
+  // lazy, so a session lingering up to 1.1*ttl changes nothing observable.
+  const auto interval =
+      std::chrono::milliseconds(std::max<int64_t>(1, opts_.session_ttl_ms / 10));
+  if (now - last_sweep_ < interval) return;
+  last_sweep_ = now;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     const int64_t idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                                 now - it->second.last_touch)
@@ -287,11 +309,13 @@ Result<StepResponse> ApiService::ApplyEvent(const std::string& session_id,
                                             const WidgetEventRequest& event) {
   std::shared_ptr<InteractiveRuntime> runtime;
   InteractiveRuntime::SubscriberId event_sub = 0;
+  std::shared_ptr<std::mutex> step_mu;
   {
     std::lock_guard<std::mutex> lock(mu_);
     IFGEN_ASSIGN_OR_RETURN(SessionEntry * entry, TouchSessionLocked(session_id));
     runtime = entry->runtime;
     event_sub = entry->event_sub;
+    step_mu = entry->step_mu;
   }
 
   // Bounds-check before narrowing: a wire int64 outside int range must be
@@ -307,7 +331,21 @@ Result<StepResponse> ApiService::ApplyEvent(const std::string& session_id,
     return Status::OutOfRange("option_index " + std::to_string(event.option_index) +
                               " outside [0, " + std::to_string(kMaxId) + "]");
   }
+  // `count` sizes an allocation downstream, so it gets the tighter domain
+  // cap (not just the int range): InterfaceSession::SetMultiCount enforces
+  // the same bound as defense in depth.
+  constexpr int64_t kMaxCount =
+      static_cast<int64_t>(InterfaceSession::kMaxMultiCount);
+  if (event.kind == "set_multi" &&
+      (event.count < 0 || event.count > kMaxCount)) {
+    return Status::OutOfRange("count " + std::to_string(event.count) +
+                              " outside [0, " + std::to_string(kMaxCount) + "]");
+  }
 
+  // Step + drain must be atomic per session: without the lock a concurrent
+  // event's drain lands between this step and its Poll, so one response
+  // carries both steps' diffs and the other an empty batch.
+  std::lock_guard<std::mutex> step_lock(*step_mu);
   Result<InteractiveRuntime::StepReport> report = Status::OK();
   const int choice = static_cast<int>(event.choice_id);
   if (event.kind == "set_any") {

@@ -98,6 +98,11 @@ class ApiService {
     InteractiveRuntime::SubscriberId event_sub = 0;
     std::string workload;
     Clock::time_point last_touch;
+    /// Serializes step + event-subscriber drain per session (held outside
+    /// mu_): the runtime alone would serialize the steps but not the
+    /// drains, letting one StepResponse swallow another step's diffs.
+    /// shared_ptr so ApplyEvent can hold it across eviction.
+    std::shared_ptr<std::mutex> step_mu = std::make_shared<std::mutex>();
   };
 
   explicit ApiService(Options opts);
@@ -124,6 +129,8 @@ class ApiService {
   std::map<std::string, SessionEntry> sessions_;
   uint64_t next_session_ = 1;
   size_t sessions_expired_ = 0;
+  /// Last TTL sweep; bounds SweepSessionsLocked to one scan per ttl/10.
+  Clock::time_point last_sweep_{};
   /// Counters of sessions that were evicted/closed, folded into Stats so
   /// the runtime aggregate does not shrink when sessions end.
   InteractiveRuntime::Counters retired_counters_;

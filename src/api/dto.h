@@ -269,6 +269,9 @@ struct WidgetEventRequest {
   std::string kind;
   int64_t choice_id = -1;
   int64_t option_index = -1;
+  /// Capped at InterfaceSession::kMaxMultiCount by ApplyEvent — it sizes
+  /// the repeated-clause allocation, so it gets a domain bound, not just
+  /// the int range the ids get.
   int64_t count = 0;
   bool present = false;
   std::string sql;

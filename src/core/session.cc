@@ -108,6 +108,10 @@ Status InterfaceSession::SetMultiCount(int choice_id, size_t count) {
   }
   const DiffTree* node = index_->node(static_cast<size_t>(choice_id));
   if (node->kind != DKind::kMulti) return Status::Invalid("choice is not a MULTI");
+  if (count > kMaxMultiCount) {
+    return Status::OutOfRange("multi count " + std::to_string(count) +
+                              " exceeds maximum " + std::to_string(kMaxMultiCount));
+  }
   Derivation* active = FindActive(&current_, node);
   if (active == nullptr) {
     return Status::Invalid("widget is not active in the current query");

@@ -47,6 +47,13 @@ class InterfaceSession {
   Status SetOptPresent(int choice_id, bool present);
   Status SetMultiCount(int choice_id, size_t count);
 
+  /// Upper bound on a MULTI widget's repeat count. A MULTI's count is the
+  /// number of repeated clause children (predicates, aggregate terms, ...),
+  /// single digits in any real interface; SetMultiCount rejects anything
+  /// larger before the count-sized allocation so an untrusted count (e.g.
+  /// from the wire) cannot drive an unbounded allocation.
+  static constexpr size_t kMaxMultiCount = 1024;
+
   /// The query currently expressed by the widgets.
   Result<Ast> CurrentQuery() const;
   Result<std::string> CurrentSql() const;

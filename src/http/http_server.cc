@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -36,6 +37,24 @@ namespace {
 
 using internal::SendAll;
 
+/// Terminal early-error send for requests rejected before their bytes were
+/// fully read (oversized headers/bodies): a plain close() with unread input
+/// makes the kernel send RST, which discards the response before the client
+/// reads it. Half-close the write side instead and drain (bounded by the
+/// socket's recv timeout and a byte cap) until the client finishes sending,
+/// so the status line actually arrives.
+void SendErrorAndDrain(int fd, std::string_view response) {
+  SendAll(fd, response);
+  ::shutdown(fd, SHUT_WR);
+  char sink[4096];
+  size_t drained = 0;
+  while (drained < (64u << 20)) {
+    ssize_t n = ::recv(fd, sink, sizeof sink, 0);
+    if (n <= 0) break;  // EOF, reset, or SO_RCVTIMEO expiry
+    drained += static_cast<size_t>(n);
+  }
+}
+
 const char* ReasonPhrase(int status) {
   switch (status) {
     case 200:
@@ -54,6 +73,8 @@ const char* ReasonPhrase(int status) {
       return "Payload Too Large";
     case 429:
       return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
     case 500:
       return "Internal Server Error";
     case 501:
@@ -184,12 +205,20 @@ void HttpServer::AcceptLoop() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load()) return;
-      continue;  // transient (EINTR/ECONNABORTED)
+      if (errno == EINTR || errno == ECONNABORTED) continue;  // transient
+      // Persistent failure (EMFILE/ENFILE under fd exhaustion): back off
+      // instead of spinning the accept thread at 100% CPU.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
     }
     timeval tv{};
     tv.tv_sec = opts_.recv_timeout_ms / 1000;
     tv.tv_usec = static_cast<suseconds_t>((opts_.recv_timeout_ms % 1000) * 1000);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    timeval stv{};
+    stv.tv_sec = opts_.send_timeout_ms / 1000;
+    stv.tv_usec = static_cast<suseconds_t>((opts_.send_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &stv, sizeof stv);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     {
@@ -229,7 +258,13 @@ void HttpServer::HandleConnection(int fd) {
     const size_t scan_from = buf.size() < 3 ? 0 : buf.size() - 3;
     buf.append(chunk, static_cast<size_t>(n));
     header_end = buf.find("\r\n\r\n", scan_from);
-    if (buf.size() > opts_.max_body_bytes + 16384) return;  // oversized headers
+    if (buf.size() > opts_.max_body_bytes + 16384) {
+      // Tell the client why instead of silently dropping the connection.
+      SendErrorAndDrain(fd,
+                        "HTTP/1.1 431 Request Header Fields Too Large\r\n"
+                        "Connection: close\r\n\r\n");
+      return;
+    }
   }
 
   HttpRequest req;
@@ -286,7 +321,10 @@ void HttpServer::HandleConnection(int fd) {
     content_length = static_cast<size_t>(v);
   }
   if (content_length > opts_.max_body_bytes) {
-    SendAll(fd, "HTTP/1.1 413 Payload Too Large\r\nConnection: close\r\n\r\n");
+    // The announced body is mostly still in flight — drain it or the close
+    // RSTs the 413 away before the client reads it.
+    SendErrorAndDrain(fd,
+                      "HTTP/1.1 413 Payload Too Large\r\nConnection: close\r\n\r\n");
     return;
   }
   req.body = buf.substr(header_end + 4);
@@ -296,6 +334,19 @@ void HttpServer::HandleConnection(int fd) {
     req.body.append(chunk, static_cast<size_t>(n));
   }
   req.body.resize(content_length);
+
+  // CORS preflight (only when cross-origin access is configured; otherwise
+  // OPTIONS falls through to the handler like any other method).
+  if (!opts_.cors_allow_origin.empty() && req.method == "OPTIONS") {
+    SendAll(fd,
+            "HTTP/1.1 204 No Content\r\n"
+            "Access-Control-Allow-Origin: " + opts_.cors_allow_origin + "\r\n"
+            "Access-Control-Allow-Methods: GET, POST, DELETE, OPTIONS\r\n"
+            "Access-Control-Allow-Headers: Content-Type\r\n"
+            "Access-Control-Max-Age: 600\r\n"
+            "Connection: close\r\n\r\n");
+    return;
+  }
 
   HttpResponse resp;
   try {
@@ -315,7 +366,9 @@ void HttpServer::HandleConnection(int fd) {
                                ReasonPhrase(resp.status));
   head += "Content-Type: " + resp.content_type + "\r\n";
   head += "Connection: close\r\n";
-  head += "Access-Control-Allow-Origin: *\r\n";  // static client convenience
+  if (!opts_.cors_allow_origin.empty()) {
+    head += "Access-Control-Allow-Origin: " + opts_.cors_allow_origin + "\r\n";
+  }
   for (const auto& [k, v] : resp.headers) head += k + ": " + v + "\r\n";
   if (resp.stream) {
     head += "Cache-Control: no-store\r\n\r\n";

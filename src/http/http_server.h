@@ -73,6 +73,17 @@ class HttpServer {
     size_t max_body_bytes = 8u << 20;
     /// Per-socket receive timeout (slowloris guard).
     int64_t recv_timeout_ms = 10000;
+    /// Per-socket send timeout (stalled-reader guard): bounds any single
+    /// send() so a client that stops reading cannot pin a worker forever —
+    /// without it a full socket buffer blocks SendAll indefinitely (an SSE
+    /// consumer that sleeps mid-stream would leak the worker and hang
+    /// Stop()). A timed-out send marks the connection dead.
+    int64_t send_timeout_ms = 10000;
+    /// Value for `Access-Control-Allow-Origin`, e.g. "*" or an origin URL.
+    /// Empty (the default) emits no CORS headers at all: browsers then
+    /// refuse cross-origin reads, so a random web page cannot drive a
+    /// localhost-bound server. Enabling it also answers OPTIONS preflights.
+    std::string cors_allow_origin;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;

@@ -11,6 +11,7 @@
 #include "api/api_service.h"
 #include "api/dto.h"
 #include "core/interface_generator.h"
+#include "core/session.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "workload/loader.h"
@@ -681,6 +682,51 @@ TEST(ApiService, SessionTtlEvictsIdleSessions) {
   EXPECT_EQ(stats.sessions_expired, 1);
 }
 
+TEST(ApiService, EventBoundsRejectedBeforeTouchingSession) {
+  // Wire-sized int64 fields must be range-checked before they narrow to the
+  // session's int/size_t signatures — in particular `count` sizes an
+  // allocation (children.assign), so a huge value must answer OutOfRange,
+  // never allocate.
+  auto svc = ApiService::Create(SmallServiceOptions());
+  ASSERT_TRUE(svc.ok());
+  GenerateRequest req;
+  req.workload = "synthetic";
+  req.options = FastGenOptions();
+  auto accepted = (*svc)->SubmitGenerate(req);
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_EQ(AwaitJob(svc->get(), accepted->job_id).state, "done");
+  SessionOpenRequest open;
+  open.job_id = accepted->job_id;
+  auto session = (*svc)->OpenSession(open);
+  ASSERT_TRUE(session.ok());
+
+  auto expect_out_of_range = [&](const WidgetEventRequest& e) {
+    auto step = (*svc)->ApplyEvent(session->session_id, e);
+    ASSERT_FALSE(step.ok());
+    EXPECT_EQ(step.status().code(), StatusCode::kOutOfRange)
+        << e.kind << ": " << step.status().ToString();
+  };
+
+  WidgetEventRequest e;
+  e.kind = "set_multi";
+  e.choice_id = 0;
+  e.count = 1'000'000'000'000'000;  // would assign() this many Derivations
+  expect_out_of_range(e);
+  e.count = static_cast<int64_t>(InterfaceSession::kMaxMultiCount) + 1;
+  expect_out_of_range(e);
+  e.count = -1;
+  expect_out_of_range(e);
+
+  e = WidgetEventRequest();
+  e.kind = "set_any";
+  e.choice_id = int64_t{1} << 40;  // would wrap via static_cast<int>
+  e.option_index = 0;
+  expect_out_of_range(e);
+  e.choice_id = 0;
+  e.option_index = int64_t{1} << 40;
+  expect_out_of_range(e);
+}
+
 TEST(ApiService, CatalogAndStats) {
   auto svc = ApiService::Create(SmallServiceOptions());
   ASSERT_TRUE(svc.ok());
@@ -785,6 +831,70 @@ TEST(ApiService, ConcurrentSessionsAndPollers) {
   for (int i = 0; i < kSessions; ++i) threads[2 * i + 1].join();
   for (const std::string& id : ids) EXPECT_TRUE((*svc)->CloseSession(id).ok());
   EXPECT_EQ((*svc)->sessions_active(), 0u);
+}
+
+TEST(ApiService, ConcurrentEventsOnOneSessionGetAtomicBatches) {
+  // Step + event-subscriber drain are atomic per session: each successful
+  // StepResponse.batch must cover exactly its own step's version range, so
+  // the ranges collected across threads tile [initial, final] without
+  // overlap (a racy drain yields one batch spanning two steps and another
+  // empty one).
+  auto svc = ApiService::Create(SmallServiceOptions());
+  ASSERT_TRUE(svc.ok());
+  GenerateRequest req;
+  req.workload = "synthetic";
+  req.options = FastGenOptions();
+  auto accepted = (*svc)->SubmitGenerate(req);
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_EQ(AwaitJob(svc->get(), accepted->job_id).state, "done");
+  SessionOpenRequest open;
+  open.job_id = accepted->job_id;
+  auto session = (*svc)->OpenSession(open);
+  ASSERT_TRUE(session.ok());
+  std::vector<std::tuple<int64_t, int64_t, std::string>> choices;
+  CollectChoices(session->widgets, &choices);
+  ASSERT_FALSE(choices.empty());
+
+  constexpr int kThreads = 4;
+  std::mutex ranges_mu;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(200 + t);
+      for (int step = 0; step < 25; ++step) {
+        const auto& [choice_id, option_count, kind] =
+            choices[rng.UniformIndex(choices.size())];
+        WidgetEventRequest e;
+        if (kind == "Checkbox" || kind == "Toggle") {
+          e.kind = "set_opt";
+          e.choice_id = choice_id;
+          e.present = rng.Bernoulli(0.5);
+        } else if (option_count > 0) {
+          e.kind = "set_any";
+          e.choice_id = choice_id;
+          e.option_index = rng.UniformInt(0, option_count - 1);
+        } else {
+          continue;
+        }
+        auto resp = (*svc)->ApplyEvent(session->session_id, e);
+        if (!resp.ok()) continue;
+        std::lock_guard<std::mutex> lock(ranges_mu);
+        ranges.emplace_back(resp->batch.from_version, resp->batch.to_version);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_GT(ranges.size(), 10u);
+  std::sort(ranges.begin(), ranges.end());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_LT(ranges[i].first, ranges[i].second)
+        << "step " << i << " drained an empty batch";
+    if (i > 0) {
+      EXPECT_EQ(ranges[i].first, ranges[i - 1].second)
+          << "batch " << i << " overlaps or skips its neighbor";
+    }
+  }
 }
 
 }  // namespace

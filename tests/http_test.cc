@@ -131,6 +131,67 @@ TEST_F(HttpTest, HealthzCatalogAndErrorModel) {
   ASSERT_NE(stats.Find("jobs"), nullptr);
 }
 
+TEST_F(HttpTest, CorsIsOffByDefault) {
+  StartServer();
+  auto resp = http::Get(kHost, port_, "/v1/healthz");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  // No opt-in -> no CORS headers: browsers must not let cross-origin pages
+  // drive a localhost-bound server.
+  EXPECT_EQ(resp->headers.count("access-control-allow-origin"), 0u);
+}
+
+TEST(HttpServer, CorsOptInEmitsHeaderAndAnswersPreflight) {
+  http::HttpServer server;
+  http::HttpServer::Options opts;
+  opts.port = 0;
+  opts.num_threads = 1;
+  opts.cors_allow_origin = "*";
+  ASSERT_TRUE(server
+                  .Start(opts,
+                         [](const http::HttpRequest&) {
+                           http::HttpResponse r;
+                           r.body = "{}";
+                           return r;
+                         })
+                  .ok());
+  auto resp = http::Get(kHost, server.port(), "/x");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  ASSERT_EQ(resp->headers.count("access-control-allow-origin"), 1u);
+  EXPECT_EQ(resp->headers["access-control-allow-origin"], "*");
+
+  auto preflight = http::Fetch(kHost, server.port(), "OPTIONS", "/x");
+  ASSERT_TRUE(preflight.ok());
+  EXPECT_EQ(preflight->status, 204);
+  EXPECT_EQ(preflight->headers["access-control-allow-origin"], "*");
+  EXPECT_EQ(preflight->headers.count("access-control-allow-methods"), 1u);
+}
+
+TEST(HttpServer, OversizedHeaderBlockAnswers431) {
+  http::HttpServer server;
+  http::HttpServer::Options opts;
+  opts.port = 0;
+  opts.num_threads = 1;
+  opts.max_body_bytes = 16;  // header cap is max_body_bytes + 16 KiB
+  ASSERT_TRUE(server
+                  .Start(opts,
+                         [](const http::HttpRequest&) {
+                           http::HttpResponse r;
+                           r.body = "{}";
+                           return r;
+                         })
+                  .ok());
+  // Much larger than the cap: most of it is still in flight when the server
+  // rejects, so the 431 only reaches the client if the server drains before
+  // closing (a bare close would RST the response away).
+  std::string huge_target = "/" + std::string(200000, 'a');
+  auto resp = http::Get(kHost, server.port(), huge_target);
+  // The server must answer with a status, not silently reset the connection.
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 431);
+}
+
 TEST_F(HttpTest, BackpressureReturns429) {
   ApiService::Options opts;
   opts.workload_rows = 300;
