@@ -20,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "core/interface_generator.h"
 #include "difftree/builder.h"
+#include "obs/metrics.h"
 #include "search/mcts.h"
 #include "sql/parser.h"
 #include "util/timer.h"
@@ -147,6 +148,61 @@ void SweepDeltaCost() {
   }
 }
 
+void SweepObsOverhead() {
+  bench::PrintHeader(
+      "Metrics-registry overhead: identical iteration-capped searches with "
+      "the obs registry enabled vs disabled (guard: <= 2% overhead)");
+  const size_t iters = bench::SmokeMode() ? 10 : 150;
+  const int reps = bench::SmokeMode() ? 2 : 5;
+  const std::vector<Workload> workloads = AblationWorkloads();
+
+  // One timed pass: every ablation workload at a fixed iteration budget.
+  auto run_pass = [&](bool metrics_on) {
+    obs::SetMetricsEnabled(metrics_on);
+    Stopwatch watch;
+    for (const Workload& w : workloads) {
+      SearchOptions sopts;
+      sopts.time_budget_ms = 0;
+      sopts.max_iterations = iters;
+      sopts.seed = 3;
+      EvalOptions eopts;
+      eopts.screen = {100, 40};
+      StateEvaluator eval(eopts, w.queries);
+      (void)RunMcts(w, sopts, &eval);
+    }
+    return watch.ElapsedMillis();
+  };
+
+  // Warm up once (allocator + page-cache state), then interleave the arms
+  // rep-by-rep and take best-of-N per arm: back-to-back pairs see the same
+  // machine conditions, so clock drift cannot masquerade as instrumentation
+  // cost the way sequential whole-arm runs would.
+  (void)run_pass(true);
+  int64_t enabled_ms = -1, disabled_ms = -1;
+  for (int rep = 0; rep < reps; ++rep) {
+    const int64_t on = run_pass(true);
+    const int64_t off = run_pass(false);
+    if (enabled_ms < 0 || on < enabled_ms) enabled_ms = on;
+    if (disabled_ms < 0 || off < disabled_ms) disabled_ms = off;
+  }
+  obs::SetMetricsEnabled(true);  // leave the process in the default state
+
+  const double overhead_pct =
+      disabled_ms > 0
+          ? 100.0 * static_cast<double>(enabled_ms - disabled_ms) /
+                static_cast<double>(disabled_ms)
+          : 0.0;
+  std::printf("  enabled=%lld ms  disabled=%lld ms  overhead=%.2f%%  %s\n",
+              static_cast<long long>(enabled_ms),
+              static_cast<long long>(disabled_ms), overhead_pct,
+              overhead_pct <= 2.0 ? "(within guard)" : "(EXCEEDS 2% GUARD)");
+  std::printf("{\"bench\":\"ablation\",\"group\":\"obs_overhead\","
+              "\"iterations\":%zu,\"reps\":%d,\"enabled_ms\":%lld,"
+              "\"disabled_ms\":%lld,\"overhead_pct\":%.4f}\n",
+              iters, reps, static_cast<long long>(enabled_ms),
+              static_cast<long long>(disabled_ms), overhead_pct);
+}
+
 }  // namespace
 
 int main() {
@@ -212,6 +268,7 @@ int main() {
 
   SweepPriors();
   SweepDeltaCost();
+  SweepObsOverhead();
 
   return 0;
 }

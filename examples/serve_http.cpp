@@ -12,7 +12,10 @@
 // workers), --max-pending N (job-queue bound -> HTTP 429),
 // --session-ttl-ms N, --client PATH (static HTML served at /),
 // --cors ORIGIN (enable cross-origin access for that origin, e.g. "*"
-// when opening examples/web/client.html from file://; off by default).
+// when opening examples/web/client.html from file://; off by default),
+// --log-level LEVEL (debug|info|warning|error|fatal; overrides the
+// IFGEN_LOG_LEVEL env var), --trace (record spans into the global ring,
+// exported at /v1/trace and per job at /v1/jobs/{id}/trace).
 // SIGINT/SIGTERM shut down cleanly.
 #include <csignal>
 #include <cstdio>
@@ -21,6 +24,8 @@
 
 #include "api/api_service.h"
 #include "http/api_http.h"
+#include "obs/trace.h"
+#include "util/logging.h"
 
 using namespace ifgen;  // NOLINT
 
@@ -44,9 +49,29 @@ const char* FlagStr(int argc, char** argv, const char* name, const char* dflt) {
   return dflt;
 }
 
+bool FlagBool(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  InitLogLevelFromEnv();
+  if (const char* level = FlagStr(argc, argv, "--log-level", nullptr)) {
+    LogLevel parsed;
+    if (!ParseLogLevel(level, &parsed)) {
+      std::fprintf(stderr,
+                   "bad --log-level '%s' (want debug|info|warning|error|fatal)\n",
+                   level);
+      return 1;
+    }
+    SetLogLevel(parsed);
+  }
+  if (FlagBool(argc, argv, "--trace")) obs::SetTracingEnabled(true);
+
   api::ApiService::Options opts;
   opts.workload_rows = static_cast<size_t>(FlagInt(argc, argv, "--rows", 0));
   opts.service.max_pending_jobs =

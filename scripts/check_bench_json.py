@@ -47,6 +47,13 @@ SCHEMAS = {
         "states_expanded": int,
         "ms": NUM,
     },
+    ("ablation", "obs_overhead"): {
+        "iterations": int,
+        "reps": int,
+        "enabled_ms": NUM,
+        "disabled_ms": NUM,
+        "overhead_pct": NUM,
+    },
     ("ablation", "delta"): {
         "workload": str,
         "delta": bool,

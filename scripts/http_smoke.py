@@ -6,9 +6,12 @@ flow with the Python stdlib only:
 
     healthz -> catalog -> POST /v1/generate (flights) -> poll job ->
     POST /v1/sessions -> widget events until a non-empty diff batch ->
-    GET feed (long-poll) -> DELETE session -> SIGTERM -> clean exit.
+    GET feed (long-poll) -> scrape /v1/metrics + /v1/jobs/{id}/trace ->
+    DELETE session -> SIGTERM -> clean exit.
 
-Asserts a non-empty row-diff batch and a clean shutdown (exit code 0).
+Asserts a non-empty row-diff batch, a well-formed Prometheus exposition
+with nonzero core metrics, a non-empty per-job Chrome trace (the server
+runs with --trace), and a clean shutdown (exit code 0).
 
 Usage: http_smoke.py [PATH_TO_SERVE_HTTP] (default ./build/serve_http)
 """
@@ -34,9 +37,57 @@ def call(method, path, body=None, timeout=30):
         return json.loads(resp.read().decode())
 
 
+def call_raw(method, path, timeout=30):
+    """Like call(), but returns the raw response body as text."""
+    req = urllib.request.Request(BASE + path, method=method)
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.read().decode()
+
+
 def fail(msg):
     print(f"FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_metrics_exposition(text):
+    """Structural check of the Prometheus text format: every sample line is
+    `name{labels} value` with a numeric value, and every series is preceded
+    by # HELP/# TYPE headers for its family."""
+    typed = set()
+    samples = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                fail(f"metrics line {lineno}: bad TYPE header: {line!r}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            fail(f"metrics line {lineno}: unknown comment: {line!r}")
+        name_part, _, value_part = line.rpartition(" ")
+        name = name_part.split("{", 1)[0]
+        if not name_part or not name:
+            fail(f"metrics line {lineno}: malformed sample: {line!r}")
+        if value_part not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value_part)
+            except ValueError:
+                fail(f"metrics line {lineno}: non-numeric value: {line!r}")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+        if family not in typed:
+            fail(f"metrics line {lineno}: sample without TYPE header: {line!r}")
+        try:
+            samples[family] = max(samples.get(family, 0.0), float(value_part))
+        except ValueError:
+            pass
+    return samples
 
 
 def collect_choices(node, out):
@@ -49,7 +100,8 @@ def collect_choices(node, out):
 def main():
     binary = sys.argv[1] if len(sys.argv) > 1 else "./build/serve_http"
     server = subprocess.Popen(
-        [binary, "--port", str(PORT), "--rows", "500"],
+        [binary, "--port", str(PORT), "--rows", "500", "--trace",
+         "--log-level", "info"],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     try:
         # Wait for the server to come up.
@@ -123,6 +175,34 @@ def main():
 
         stats = call("GET", "/v1/stats")
         print(f"stats: jobs={stats['jobs']} sessions={stats['sessions']}")
+
+        # One scrape must cover search, cost, engine, runtime, and http.
+        metrics = call_raw("GET", "/v1/metrics")
+        samples = check_metrics_exposition(metrics)
+        for name in ("ifgen_jobs_submitted_total",
+                     "ifgen_search_iterations_total",
+                     "ifgen_eval_evaluations_total",
+                     "ifgen_backend_prepares_total",
+                     "ifgen_runtime_steps_total",
+                     "ifgen_http_responses_total",
+                     "ifgen_http_request_duration_us"):
+            if samples.get(name, 0.0) <= 0.0:
+                fail(f"/v1/metrics: expected nonzero samples for {name}")
+        print(f"metrics: {len(samples)} families, core metrics nonzero")
+
+        trace = json.loads(call_raw("GET", f"/v1/jobs/{job_id}/trace"))
+        if not trace.get("traceEvents"):
+            fail("per-job trace has no traceEvents")
+        span_names = {e["name"] for e in trace["traceEvents"]}
+        if "service.job" not in span_names:
+            fail(f"per-job trace missing the service.job span: {span_names}")
+        print(f"job trace: {len(trace['traceEvents'])} span(s), "
+              f"{len(span_names)} distinct names")
+
+        global_trace = json.loads(call_raw("GET", "/v1/trace"))
+        if not global_trace.get("traceEvents"):
+            fail("global trace ring is empty despite --trace")
+
         call("DELETE", f"/v1/sessions/{sid}")
         print("session closed")
     finally:

@@ -6,6 +6,7 @@
 
 #include "core/json_export.h"
 #include "core/session.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 
 namespace ifgen {
@@ -22,6 +23,18 @@ void FoldCounters(const InteractiveRuntime::Counters& from,
   into->retruncates += from.retruncates;
   into->full_execs += from.full_execs;
   into->fallbacks += from.fallbacks;
+}
+
+obs::Counter& SessionsExpiredMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_sessions_expired_total",
+      "Sessions evicted by TTL or the capacity bound");
+  return *c;
+}
+obs::Gauge& SessionsActiveMetric() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default().GetGauge(
+      "ifgen_sessions_active", "Open interactive sessions");
+  return *g;
 }
 
 }  // namespace
@@ -195,6 +208,17 @@ Result<JobStatusResponse> ApiService::CancelJob(const std::string& job_id) {
   return BuildJobStatus(info);
 }
 
+Result<std::string> ApiService::JobTrace(const std::string& job_id) const {
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobId id, ParseJobId(job_id));
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobInfo info, service_.GetJob(id));
+  if (info.trace == nullptr) {
+    return Status::NotFound("no trace captured for job " + job_id +
+                            " (enable tracing before submitting, e.g. serve_http "
+                            "--trace, and note cache hits skip execution)");
+  }
+  return info.trace->ToChromeTraceJson();
+}
+
 // ---------------------------------------------------------------------------
 // Sessions.
 
@@ -215,11 +239,13 @@ void ApiService::SweepSessionsLocked() {
     if (idle_ms > opts_.session_ttl_ms) {
       FoldCounters(it->second.runtime->counters(), &retired_counters_);
       ++sessions_expired_;
+      SessionsExpiredMetric().Inc();
       it = sessions_.erase(it);
     } else {
       ++it;
     }
   }
+  SessionsActiveMetric().Set(static_cast<double>(sessions_.size()));
 }
 
 Result<ApiService::SessionEntry*> ApiService::TouchSessionLocked(
@@ -298,10 +324,12 @@ Result<SessionOpenResponse> ApiService::OpenSession(const SessionOpenRequest& re
                                 });
     FoldCounters(lru->second.runtime->counters(), &retired_counters_);
     ++sessions_expired_;
+    SessionsExpiredMetric().Inc();
     sessions_.erase(lru);
   }
   resp.session_id = "s-" + std::to_string(next_session_++);
   sessions_[resp.session_id] = std::move(entry);
+  SessionsActiveMetric().Set(static_cast<double>(sessions_.size()));
   return resp;
 }
 
@@ -408,6 +436,7 @@ Status ApiService::CloseSession(const std::string& session_id) {
   }
   FoldCounters(it->second.runtime->counters(), &retired_counters_);
   sessions_.erase(it);
+  SessionsActiveMetric().Set(static_cast<double>(sessions_.size()));
   return Status::OK();
 }
 
@@ -443,11 +472,14 @@ CatalogResponse ApiService::Catalog() const {
 
 StatsResponse ApiService::Stats() const {
   StatsResponse s;
-  s.jobs_submitted = static_cast<int64_t>(service_.jobs_submitted());
-  s.jobs_executed = static_cast<int64_t>(service_.jobs_executed());
-  s.jobs_pending = static_cast<int64_t>(service_.jobs_pending());
-  s.job_cache_hits = static_cast<int64_t>(service_.cache_hits());
-  s.sessions_opened = static_cast<int64_t>(service_.sessions_opened());
+  // One locked snapshot instead of five separately-locked reads: the job
+  // numbers in a single /v1/stats response are mutually consistent.
+  const GenerationService::CountersSnapshot svc = service_.counters_snapshot();
+  s.jobs_submitted = static_cast<int64_t>(svc.jobs_submitted);
+  s.jobs_executed = static_cast<int64_t>(svc.jobs_executed);
+  s.jobs_pending = static_cast<int64_t>(svc.jobs_pending);
+  s.job_cache_hits = static_cast<int64_t>(svc.cache_hits);
+  s.sessions_opened = static_cast<int64_t>(svc.sessions_opened);
 
   InteractiveRuntime::Counters agg;
   {

@@ -61,6 +61,9 @@ class ApiService {
   /// `wait_ms` > 0 blocks until the job is terminal or the deadline.
   Result<JobStatusResponse> GetJob(const std::string& job_id, int64_t wait_ms = 0);
   Result<JobStatusResponse> CancelJob(const std::string& job_id);
+  /// The job's captured span trace as Chrome trace-event JSON (Perfetto);
+  /// NotFound when the job is unknown or ran with tracing disabled.
+  Result<std::string> JobTrace(const std::string& job_id) const;
 
   // ---- sessions ---------------------------------------------------------
   Result<SessionOpenResponse> OpenSession(const SessionOpenRequest& req);

@@ -2,9 +2,35 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
 #include "widgets/appropriateness.h"
 
 namespace ifgen {
+
+namespace {
+obs::Counter& SubtreeHitsMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_delta_subtree_hits_total", "DeltaCostCache choice-term cache hits");
+  return *c;
+}
+obs::Counter& SubtreeRecomputesMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_delta_subtree_recomputes_total",
+      "DeltaCostCache choice-term recomputations");
+  return *c;
+}
+obs::Counter& PlanHitsMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_delta_plan_hits_total", "DeltaCostCache transition-plan cache hits");
+  return *c;
+}
+obs::Counter& PlanRecomputesMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_delta_plan_recomputes_total",
+      "DeltaCostCache transition-plan recomputations");
+  return *c;
+}
+}  // namespace
 
 ChoiceWidgetTerms ComputeChoiceWidgetTerms(const DiffTree& choice_node,
                                            const CostConstants& constants,
@@ -35,6 +61,7 @@ std::shared_ptr<const ChoiceWidgetTerms> DeltaCostCache::GetChoiceTerms(
     const SizeModel& size_model) {
   if (!enabled_) {
     subtree_recomputes_.fetch_add(1, std::memory_order_relaxed);
+    SubtreeRecomputesMetric().Inc();
     return std::make_shared<const ChoiceWidgetTerms>(
         ComputeChoiceWidgetTerms(choice_node, constants, size_model));
   }
@@ -43,9 +70,11 @@ std::shared_ptr<const ChoiceWidgetTerms> DeltaCostCache::GetChoiceTerms(
   uint64_t key = choice_node.Hash();
   if (auto cached = terms_.Lookup(key)) {
     subtree_hits_.fetch_add(1, std::memory_order_relaxed);
+    SubtreeHitsMetric().Inc();
     return *cached;
   }
   subtree_recomputes_.fetch_add(1, std::memory_order_relaxed);
+  SubtreeRecomputesMetric().Inc();
   auto t = std::make_shared<const ChoiceWidgetTerms>(
       ComputeChoiceWidgetTerms(choice_node, constants, size_model));
   terms_.Insert(key, t);
@@ -57,10 +86,12 @@ std::shared_ptr<const TransitionPlan> DeltaCostCache::LookupPlan(
   if (enabled_) {
     if (auto cached = plans_.Lookup(tree_hash)) {
       plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      PlanHitsMetric().Inc();
       return *cached;
     }
   }
   plan_recomputes_.fetch_add(1, std::memory_order_relaxed);
+  PlanRecomputesMetric().Inc();
   return nullptr;
 }
 

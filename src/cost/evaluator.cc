@@ -2,12 +2,26 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ifgen {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Registry handles resolved once; the hot path is a sharded relaxed add.
+obs::Counter& EvaluationsMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_eval_evaluations_total", "Widget-assignment cost evaluations");
+  return *c;
+}
+obs::Counter& EvalCacheHitsMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_eval_cache_hits_total", "Sampled-cost cache hits in StateEvaluator");
+  return *c;
+}
 }
 
 StateEvaluator::StateEvaluator(const EvalOptions& opts, const std::vector<Ast>& queries)
@@ -35,6 +49,7 @@ double StateEvaluator::EvaluateAssignment(const WidgetAssigner& assigner,
   WidgetTree wt = std::move(built).MoveValueUnsafe();
   CostBreakdown cost = model_.EvaluateWithPlan(plan, &wt);
   evaluations_.fetch_add(1, std::memory_order_relaxed);
+  EvaluationsMetric().Inc();
   double total = cost.total();
   if (best != nullptr && total < best->cost.total()) {
     best->assignment = a;
@@ -45,11 +60,13 @@ double StateEvaluator::EvaluateAssignment(const WidgetAssigner& assigner,
 }
 
 double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
+  obs::TraceSpan span("eval.sample_cost", "cost");
   uint64_t key = 0;
   if (opts_.cache_enabled) {
     key = tree.CanonicalHash();
     if (auto cached = cost_cache_.Lookup(key)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      EvalCacheHitsMetric().Inc();
       return *cached;
     }
   }
@@ -78,6 +95,7 @@ double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
 }
 
 Result<ScoredWidgetTree> StateEvaluator::FindBest(const DiffTree& tree, Rng* rng) {
+  obs::TraceSpan span("eval.find_best", "cost");
   WidgetAssigner assigner(tree, opts_.constants, &delta_);
   if (!assigner.viable()) {
     return Status::Invalid("state has a choice node with no valid widget");

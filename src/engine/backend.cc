@@ -6,6 +6,8 @@
 #include "engine/columnar/columnar_backend.h"
 #include "engine/exec_util.h"
 #include "engine/executor.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 #include "sql/parser.h"
 #include "sql/unparser.h"
 #include "util/string_util.h"
@@ -165,11 +167,37 @@ Result<PreparedQuery*> ExecutionBackend::Prepare(const Ast& query,
   return plan;
 }
 
+const ExecutionBackend::ObsHandles& ExecutionBackend::ObsMetrics() const {
+  std::call_once(obs_once_, [this] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    const obs::LabelSet labels = {{"backend", std::string(BackendKindName(kind()))}};
+    obs_.prepares = reg.GetCounter("ifgen_backend_prepares_total",
+                                   "Parameterized shapes compiled into plans", labels);
+    obs_.plan_cache_hits =
+        reg.GetCounter("ifgen_backend_plan_cache_hits_total",
+                       "PrepareShape calls served from the plan cache", labels);
+    obs_.executions = reg.GetCounter("ifgen_backend_executions_total",
+                                     "Prepared-plan executions via Execute", labels);
+    // 1us..~8.4s in x2 steps.
+    obs::HistogramOptions opts;
+    opts.first_bound = 1.0;
+    opts.growth = 2.0;
+    opts.num_buckets = 24;
+    obs_.execute_us = reg.GetHistogram("ifgen_backend_execute_duration_us",
+                                       "Latency of Execute calls (microseconds)",
+                                       opts, labels);
+  });
+  return obs_;
+}
+
 Result<PreparedQuery*> ExecutionBackend::PrepareShape(const ParameterizedQuery& pq) {
   if (std::shared_ptr<PreparedQuery> hit = plans_.Lookup(pq.key)) {
+    ObsMetrics().plan_cache_hits->Inc();
     return hit.get();
   }
+  obs::TraceSpan span("engine.prepare", "engine");
   IFGEN_ASSIGN_OR_RETURN(std::unique_ptr<PreparedQuery> plan, Compile(pq));
+  ObsMetrics().prepares->Inc();
   std::shared_ptr<PreparedQuery> resident =
       plans_.Insert(pq.key, std::shared_ptr<PreparedQuery>(std::move(plan)));
   return resident.get();
@@ -179,7 +207,13 @@ Result<Table> ExecutionBackend::Execute(const Ast& query) {
   std::vector<Value> params;
   IFGEN_ASSIGN_OR_RETURN(PreparedQuery * plan, Prepare(query, &params));
   executions_.fetch_add(1, std::memory_order_relaxed);
-  return plan->Execute(params);
+  const ObsHandles& obs = ObsMetrics();
+  obs.executions->Inc();
+  obs::TraceSpan span("engine.execute", "engine");
+  Stopwatch watch;
+  Result<Table> result = plan->Execute(params);
+  obs.execute_us->Observe(static_cast<double>(watch.ElapsedMicros()));
+  return result;
 }
 
 Result<Table> ExecutionBackend::ExecuteSql(std::string_view sql) {

@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "engine/plan_cache.h"
+#include "obs/metrics.h"
 #include "engine/table.h"
 #include "sql/ast.h"
 #include "util/status.h"
@@ -121,9 +123,21 @@ class ExecutionBackend {
       const ParameterizedQuery& pq) = 0;
 
  private:
+  /// Registry handles labeled `{backend=<kind name>}`, resolved on first use
+  /// (`kind()` is virtual, so this cannot run in the constructor).
+  struct ObsHandles {
+    obs::Counter* prepares = nullptr;
+    obs::Counter* plan_cache_hits = nullptr;
+    obs::Counter* executions = nullptr;
+    obs::Histogram* execute_us = nullptr;
+  };
+  const ObsHandles& ObsMetrics() const;
+
   const Database* db_;
   SqlKeyedCache<PreparedQuery> plans_;
   std::atomic<size_t> executions_{0};
+  mutable std::once_flag obs_once_;
+  mutable ObsHandles obs_;
 };
 
 /// Constructs a backend of the given kind over `db` (not owned; must

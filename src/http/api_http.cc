@@ -1,13 +1,19 @@
 #include "http/api_http.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/json.h"
+#include "util/logging.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace ifgen {
 namespace http {
@@ -15,6 +21,46 @@ namespace http {
 namespace {
 
 using api::ErrorBody;
+
+obs::Gauge& HttpInFlightMetric() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default().GetGauge(
+      "ifgen_http_requests_in_flight", "HTTP requests currently being handled");
+  return *g;
+}
+obs::HistogramFamily& HttpDurationFamily() {
+  // 64us..~8.6s in x2 steps; streaming responses are measured to handler
+  // return (the stream body runs on after the handler hands back a functor).
+  static obs::HistogramFamily* f = [] {
+    obs::HistogramOptions opts;
+    opts.first_bound = 64.0;
+    opts.growth = 2.0;
+    opts.num_buckets = 18;
+    return obs::MetricsRegistry::Default().GetHistogramFamily(
+        "ifgen_http_request_duration_us",
+        "HTTP request handling latency by normalized route (microseconds)", opts);
+  }();
+  return *f;
+}
+obs::CounterFamily& HttpResponsesFamily() {
+  static obs::CounterFamily* f = obs::MetricsRegistry::Default().GetCounterFamily(
+      "ifgen_http_responses_total",
+      "HTTP responses by normalized route, method, and status code");
+  return *f;
+}
+
+/// Collapses a request path onto its route pattern so ids don't explode the
+/// label space: /v1/jobs/j-17 -> "/v1/jobs/{id}".
+std::string RouteLabel(const std::vector<std::string>& seg) {
+  if (seg.empty()) return "/";
+  if (seg[0] != "v1") return "other";
+  if (seg.size() == 2) return "/v1/" + seg[1];
+  if (seg.size() >= 3 && (seg[1] == "jobs" || seg[1] == "sessions")) {
+    std::string label = "/v1/" + seg[1] + "/{id}";
+    if (seg.size() == 4) label += "/" + seg[3];
+    if (seg.size() <= 4) return label;
+  }
+  return "other";
+}
 
 HttpResponse JsonResponse(int status, const JsonValue& v) {
   HttpResponse resp;
@@ -134,6 +180,30 @@ HttpResponse ApiHttpFrontend::Feed(const HttpRequest& req,
 }
 
 HttpResponse ApiHttpFrontend::Route(const HttpRequest& req) {
+  obs::TraceSpan span("http.request", "http");
+  // RAII so the gauge also drops when a handler throws (the server maps the
+  // exception to a 500 response).
+  struct InFlightGuard {
+    InFlightGuard() { HttpInFlightMetric().Add(1.0); }
+    ~InFlightGuard() { HttpInFlightMetric().Sub(1.0); }
+  } in_flight;
+  Stopwatch watch;
+  HttpResponse resp = RouteInner(req);
+  if (obs::MetricsEnabled()) {
+    const std::string route = RouteLabel(PathSegments(req.path));
+    HttpDurationFamily()
+        .WithLabels({{"route", route}})
+        ->Observe(static_cast<double>(watch.ElapsedMicros()));
+    HttpResponsesFamily()
+        .WithLabels({{"code", std::to_string(resp.status)},
+                     {"method", req.method},
+                     {"route", route}})
+        ->Inc();
+  }
+  return resp;
+}
+
+HttpResponse ApiHttpFrontend::RouteInner(const HttpRequest& req) {
   const std::vector<std::string> seg = PathSegments(req.path);
 
   // GET / — the static client, when configured.
@@ -154,6 +224,9 @@ HttpResponse ApiHttpFrontend::Route(const HttpRequest& req) {
         resp.content_type = "text/html; charset=utf-8";
         return resp;
       }
+      IFGEN_LOG_C(Warning, "http")
+          << "cannot open client_html_path '" << opts_.client_html_path
+          << "': " << std::strerror(errno) << "; serving built-in page";
     }
     resp.content_type = "text/html; charset=utf-8";
     resp.body =
@@ -181,6 +254,20 @@ HttpResponse ApiHttpFrontend::Route(const HttpRequest& req) {
   if (seg.size() == 2 && seg[1] == "stats" && req.method == "GET") {
     return JsonResponse(200, service_->Stats().ToJson());
   }
+  if (seg.size() == 2 && seg[1] == "metrics" && req.method == "GET") {
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = obs::MetricsRegistry::Default().PrometheusText();
+    return resp;
+  }
+  if (seg.size() == 2 && seg[1] == "trace" && req.method == "GET") {
+    // The process-global span ring (most recent ~16k spans while tracing is
+    // enabled) as Chrome trace-event JSON.
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = obs::TraceRecorder::Global().ToChromeTraceJson();
+    return resp;
+  }
 
   if (seg.size() == 2 && seg[1] == "generate" && req.method == "POST") {
     auto parsed = DecodeBody<api::GenerateRequest>(req);
@@ -206,6 +293,14 @@ HttpResponse ApiHttpFrontend::Route(const HttpRequest& req) {
       auto status = service_->CancelJob(job_id);
       if (!status.ok()) return ErrorResponse(status.status());
       return JsonResponse(200, status->ToJson());
+    }
+    if (seg.size() == 4 && seg[3] == "trace" && req.method == "GET") {
+      auto trace = service_->JobTrace(job_id);
+      if (!trace.ok()) return ErrorResponse(trace.status());
+      HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = std::move(*trace);
+      return resp;
     }
   }
 

@@ -18,9 +18,12 @@ namespace http {
 ///   GET    /v1/healthz
 ///   GET    /v1/catalog
 ///   GET    /v1/stats
+///   GET    /v1/metrics                    -> Prometheus text exposition
+///   GET    /v1/trace                      -> global span ring, Chrome trace JSON
 ///   POST   /v1/generate                   -> 202 GenerateAccepted (429 when full)
 ///   GET    /v1/jobs/{id}?wait_ms=N        -> JobStatusResponse
 ///   POST   /v1/jobs/{id}/cancel           -> JobStatusResponse
+///   GET    /v1/jobs/{id}/trace            -> per-job spans, Chrome trace JSON
 ///   POST   /v1/sessions                   -> SessionOpenResponse
 ///   POST   /v1/sessions/{id}/events       -> StepResponse
 ///   GET    /v1/sessions/{id}/feed         -> long-poll ChangeBatch, or SSE
@@ -64,7 +67,10 @@ class ApiHttpFrontend {
   static int HttpStatusFor(StatusCode code);
 
  private:
+  /// Instrumentation wrapper: in-flight gauge, per-route latency histogram,
+  /// and status-code counters around RouteInner (the actual dispatch).
   HttpResponse Route(const HttpRequest& req);
+  HttpResponse RouteInner(const HttpRequest& req);
   HttpResponse Feed(const HttpRequest& req, const std::string& session_id);
 
   api::ApiService* service_;

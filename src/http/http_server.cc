@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "http/net.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace ifgen {
@@ -172,6 +173,7 @@ Status HttpServer::Start(Options opts, Handler handler) {
 
   started_ = true;
   stopping_.store(false);
+  IFGEN_LOG_C(Info, "http") << "listening on " << opts_.host << ":" << port_;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   const size_t n = std::max<size_t>(1, opts_.num_threads);
   workers_.reserve(n);
@@ -208,6 +210,8 @@ void HttpServer::AcceptLoop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;  // transient
       // Persistent failure (EMFILE/ENFILE under fd exhaustion): back off
       // instead of spinning the accept thread at 100% CPU.
+      IFGEN_LOG_C(Warning, "http")
+          << "accept() failed: " << std::strerror(errno) << "; backing off";
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
@@ -260,6 +264,9 @@ void HttpServer::HandleConnection(int fd) {
     header_end = buf.find("\r\n\r\n", scan_from);
     if (buf.size() > opts_.max_body_bytes + 16384) {
       // Tell the client why instead of silently dropping the connection.
+      IFGEN_LOG_C(Warning, "http")
+          << "rejecting request: header block exceeds "
+          << (opts_.max_body_bytes + 16384) << " bytes (431)";
       SendErrorAndDrain(fd,
                         "HTTP/1.1 431 Request Header Fields Too Large\r\n"
                         "Connection: close\r\n\r\n");
@@ -276,6 +283,7 @@ void HttpServer::HandleConnection(int fd) {
     size_t sp1 = request_line.find(' ');
     size_t sp2 = request_line.rfind(' ');
     if (sp1 == std::string_view::npos || sp2 <= sp1) {
+      IFGEN_LOG_C(Warning, "http") << "rejecting malformed request line (400)";
       SendAll(fd, "HTTP/1.1 400 Bad Request\r\nConnection: close\r\n\r\n");
       return;
     }
@@ -315,12 +323,17 @@ void HttpServer::HandleConnection(int fd) {
     char* end = nullptr;
     long long v = std::strtoll(it->second.c_str(), &end, 10);
     if (errno != 0 || end == it->second.c_str() || *end != '\0' || v < 0) {
+      IFGEN_LOG_C(Warning, "http")
+          << "rejecting unparsable Content-Length '" << it->second << "' (400)";
       SendAll(fd, "HTTP/1.1 400 Bad Request\r\nConnection: close\r\n\r\n");
       return;
     }
     content_length = static_cast<size_t>(v);
   }
   if (content_length > opts_.max_body_bytes) {
+    IFGEN_LOG_C(Warning, "http")
+        << "rejecting " << content_length << "-byte body for " << req.method
+        << " " << req.path << " (413, limit " << opts_.max_body_bytes << ")";
     // The announced body is mostly still in flight — drain it or the close
     // RSTs the 413 away before the client reads it.
     SendErrorAndDrain(fd,
@@ -352,11 +365,15 @@ void HttpServer::HandleConnection(int fd) {
   try {
     resp = handler_(req);
   } catch (const std::exception& e) {
+    IFGEN_LOG_C(Error, "http") << "handler threw for " << req.method << " "
+                               << req.path << ": " << e.what();
     resp.status = 500;
     resp.body = std::string("{\"code\":\"Internal\",\"message\":\"unhandled "
                             "exception in handler\"}");
     resp.stream = nullptr;
   } catch (...) {
+    IFGEN_LOG_C(Error, "http") << "handler threw a non-std exception for "
+                               << req.method << " " << req.path;
     resp.status = 500;
     resp.body = "{\"code\":\"Internal\",\"message\":\"unhandled exception\"}";
     resp.stream = nullptr;

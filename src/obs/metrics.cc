@@ -1,0 +1,358 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ifgen {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+uint64_t DoubleToBits(double d) {
+  uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+double BitsToDouble(uint64_t b) {
+  double d;
+  std::memcpy(&d, &b, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+bool MetricsEnabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t Counter::SlotIndex() {
+  // One slot per thread, assigned round-robin on first use: threads never
+  // share a slot until more than kShards threads exist, and the choice is
+  // branch-free after the first call.
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+void Gauge::Set(double v) {
+  if (!MetricsEnabled()) return;
+  bits_.store(DoubleToBits(v), std::memory_order_relaxed);
+}
+
+void Gauge::Add(double d) {
+  if (!MetricsEnabled()) return;
+  uint64_t old_bits = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(old_bits, DoubleToBits(BitsToDouble(old_bits) + d),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::Value() const { return BitsToDouble(bits_.load(std::memory_order_relaxed)); }
+
+Histogram::Histogram(const HistogramOptions& opts) {
+  IFGEN_CHECK(opts.num_buckets > 0);
+  IFGEN_CHECK(opts.first_bound > 0.0);
+  IFGEN_CHECK(opts.growth > 1.0);
+  bounds_.reserve(opts.num_buckets);
+  double b = opts.first_bound;
+  for (size_t i = 0; i < opts.num_buckets; ++i) {
+    bounds_.push_back(b);
+    b *= opts.growth;
+  }
+  buckets_.reset(new std::atomic<uint64_t>[bounds_.size() + 1]());
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  // Index of the first bound >= value; values above every bound land in the
+  // trailing +Inf bucket.
+  size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      old_bits, DoubleToBits(BitsToDouble(old_bits) + value),
+      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i < s.counts.size(); ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.counts[i];
+  }
+  s.sum = BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+  return s;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double prev_cum = static_cast<double>(cum);
+    cum += counts[i];
+    if (static_cast<double>(cum) >= target) {
+      // The +Inf bucket has no finite upper edge; clamp to the largest bound.
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double frac =
+          std::max(0.0, target - prev_cum) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::min(1.0, frac);
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked on purpose: instrumentation may run during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+CounterFamily* MetricsRegistry::GetCounterFamily(std::string_view name,
+                                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Entry e;
+    e.kind = Kind::kCounter;
+    e.counter.reset(new CounterFamily(std::string(name), std::string(help), {}));
+    it = families_.emplace(std::string(name), std::move(e)).first;
+  }
+  IFGEN_CHECK(it->second.kind == Kind::kCounter)
+      << "metric " << std::string(name) << " already registered with another type";
+  return it->second.counter.get();
+}
+
+GaugeFamily* MetricsRegistry::GetGaugeFamily(std::string_view name,
+                                             std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Entry e;
+    e.kind = Kind::kGauge;
+    e.gauge.reset(new GaugeFamily(std::string(name), std::string(help), {}));
+    it = families_.emplace(std::string(name), std::move(e)).first;
+  }
+  IFGEN_CHECK(it->second.kind == Kind::kGauge)
+      << "metric " << std::string(name) << " already registered with another type";
+  return it->second.gauge.get();
+}
+
+HistogramFamily* MetricsRegistry::GetHistogramFamily(std::string_view name,
+                                                     std::string_view help,
+                                                     const HistogramOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Entry e;
+    e.kind = Kind::kHistogram;
+    e.histogram.reset(new HistogramFamily(std::string(name), std::string(help), opts));
+    it = families_.emplace(std::string(name), std::move(e)).first;
+  }
+  IFGEN_CHECK(it->second.kind == Kind::kHistogram)
+      << "metric " << std::string(name) << " already registered with another type";
+  return it->second.histogram.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, std::string_view help,
+                                     const LabelSet& labels) {
+  return GetCounterFamily(name, help)->WithLabels(labels);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 const LabelSet& labels) {
+  return GetGaugeFamily(name, help)->WithLabels(labels);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, std::string_view help,
+                                         const HistogramOptions& opts,
+                                         const LabelSet& labels) {
+  return GetHistogramFamily(name, help, opts)->WithLabels(labels);
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name,
+                                       const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::kCounter) return 0;
+  const CounterFamily& fam = *it->second.counter;
+  std::lock_guard<std::mutex> cell_lock(fam.mu_);
+  auto cell = fam.cells_.find(labels);
+  return cell == fam.cells_.end() ? 0 : cell->second->Value();
+}
+
+uint64_t MetricsRegistry::CounterTotal(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::kCounter) return 0;
+  const CounterFamily& fam = *it->second.counter;
+  std::lock_guard<std::mutex> cell_lock(fam.mu_);
+  uint64_t total = 0;
+  for (const auto& cell : fam.cells_) total += cell.second->Value();
+  return total;
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name, const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::kGauge) return 0.0;
+  const GaugeFamily& fam = *it->second.gauge;
+  std::lock_guard<std::mutex> cell_lock(fam.mu_);
+  auto cell = fam.cells_.find(labels);
+  return cell == fam.cells_.end() ? 0.0 : cell->second->Value();
+}
+
+Histogram::Snapshot MetricsRegistry::HistogramSnapshot(std::string_view name,
+                                                       const LabelSet& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::kHistogram) return {};
+  const HistogramFamily& fam = *it->second.histogram;
+  std::lock_guard<std::mutex> cell_lock(fam.mu_);
+  auto cell = fam.cells_.find(labels);
+  return cell == fam.cells_.end() ? Histogram::Snapshot{} : cell->second->GetSnapshot();
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string EscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Renders `{k1="v1",k2="v2"}`; `extra` (the histogram `le` label) goes last.
+std::string RenderLabels(const LabelSet& labels, const Label* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += l.first + "=\"" + EscapeLabelValue(l.second) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ",";
+    out += extra->first + "=\"" + EscapeLabelValue(extra->second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  return buf;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : families_) {
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        const CounterFamily& fam = *entry.counter;
+        std::lock_guard<std::mutex> cell_lock(fam.mu_);
+        out << "# HELP " << name << " " << EscapeHelp(fam.help()) << "\n";
+        out << "# TYPE " << name << " counter\n";
+        for (const auto& [labels, cell] : fam.cells_) {
+          out << name << RenderLabels(labels) << " " << cell->Value() << "\n";
+        }
+        break;
+      }
+      case Kind::kGauge: {
+        const GaugeFamily& fam = *entry.gauge;
+        std::lock_guard<std::mutex> cell_lock(fam.mu_);
+        out << "# HELP " << name << " " << EscapeHelp(fam.help()) << "\n";
+        out << "# TYPE " << name << " gauge\n";
+        for (const auto& [labels, cell] : fam.cells_) {
+          out << name << RenderLabels(labels) << " " << FormatMetricValue(cell->Value())
+              << "\n";
+        }
+        break;
+      }
+      case Kind::kHistogram: {
+        const HistogramFamily& fam = *entry.histogram;
+        std::lock_guard<std::mutex> cell_lock(fam.mu_);
+        out << "# HELP " << name << " " << EscapeHelp(fam.help()) << "\n";
+        out << "# TYPE " << name << " histogram\n";
+        for (const auto& [labels, cell] : fam.cells_) {
+          const Histogram::Snapshot snap = cell->GetSnapshot();
+          uint64_t cum = 0;
+          for (size_t i = 0; i < snap.bounds.size(); ++i) {
+            cum += snap.counts[i];
+            Label le{"le", FormatMetricValue(snap.bounds[i])};
+            out << name << "_bucket" << RenderLabels(labels, &le) << " " << cum << "\n";
+          }
+          Label le_inf{"le", "+Inf"};
+          out << name << "_bucket" << RenderLabels(labels, &le_inf) << " " << snap.count
+              << "\n";
+          out << name << "_sum" << RenderLabels(labels) << " "
+              << FormatMetricValue(snap.sum) << "\n";
+          out << name << "_count" << RenderLabels(labels) << " " << snap.count << "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace ifgen

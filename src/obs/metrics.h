@@ -1,0 +1,247 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+/// \file
+/// \brief Process-wide metrics registry: labeled counter/gauge/histogram
+/// families with sharded-atomic hot paths and a Prometheus text exposition.
+///
+/// Design notes:
+///  - Handle acquisition (`GetCounter` / `WithLabels`) is the cold path and
+///    takes a mutex; instrumentation sites cache the returned pointer (it is
+///    stable for the registry's lifetime) so the hot path is lock-free.
+///  - `Counter::Inc` spreads contention across cache-line-padded atomic
+///    slots indexed by a per-thread hash — the same striping idea as
+///    `ShardedMap` in runtime/tt.h, applied to a single value.
+///  - Histograms use log-spaced (exponential) bucket bounds, so one family
+///    covers microseconds through seconds; quantiles (p50/p95/p99) are
+///    estimated by linear interpolation inside the owning bucket.
+///  - `SetMetricsEnabled(false)` turns every mutation into a single relaxed
+///    atomic load + branch, which is what the bench overhead guard measures.
+
+namespace ifgen {
+namespace obs {
+
+/// Process-wide switch. When false, Counter/Gauge/Histogram mutations are
+/// dropped (one relaxed load + branch). Reads still work.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// One `key="value"` metric label. Families keep cells keyed by the ordered
+/// label list, so call sites must pass labels in a consistent order.
+using Label = std::pair<std::string, std::string>;
+using LabelSet = std::vector<Label>;
+
+/// \brief Monotonic counter with cache-line-padded sharded slots.
+///
+/// `Inc`/`Add` touch one slot chosen by a per-thread hash; `Value` sums all
+/// slots. Readers may observe a value mid-update across shards, which is fine
+/// for monotonic counters (the read is always <= some linearization point).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    slots_[SlotIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Add(uint64_t n) { Inc(n); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t SlotIndex();
+  std::array<Slot, kShards> slots_;
+};
+
+/// \brief Point-in-time value (doubles; Set/Add/Sub).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v);
+  void Add(double d);
+  void Sub(double d) { Add(-d); }
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit-cast double
+};
+
+/// Bucket layout for a log-spaced histogram: upper bounds are
+/// `first_bound * growth^i` for i in [0, num_buckets), plus an implicit
+/// +Inf overflow bucket.
+struct HistogramOptions {
+  double first_bound = 1.0;
+  double growth = 2.0;
+  size_t num_buckets = 24;
+};
+
+/// \brief Log-bucketed histogram with lock-free observation.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& opts);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  /// Consistent-enough copy of the histogram state for quantile math and
+  /// exposition (counts are read with relaxed loads).
+  struct Snapshot {
+    std::vector<double> bounds;    ///< upper bounds, excluding +Inf
+    std::vector<uint64_t> counts;  ///< per-bucket counts; last is the +Inf bucket
+    uint64_t count = 0;            ///< total observations
+    double sum = 0.0;              ///< sum of observed values
+
+    /// Quantile estimate (q in [0,1]) by linear interpolation within the
+    /// bucket holding the target rank. Returns 0 when empty; observations in
+    /// the +Inf bucket clamp to the largest finite bound.
+    double Quantile(double q) const;
+  };
+  Snapshot GetSnapshot() const;
+
+  double QuantileP50() const { return GetSnapshot().Quantile(0.50); }
+  double QuantileP95() const { return GetSnapshot().Quantile(0.95); }
+  double QuantileP99() const { return GetSnapshot().Quantile(0.99); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> sum_bits_{0};                 // bit-cast double sum
+};
+
+class MetricsRegistry;
+
+/// \brief A named metric plus its per-label-set cells.
+///
+/// `WithLabels` returns a stable pointer; the no-label cell is `Default()`.
+template <typename T>
+class MetricFamily {
+ public:
+  MetricFamily(std::string name, std::string help, HistogramOptions opts)
+      : name_(std::move(name)), help_(std::move(help)), opts_(opts) {}
+
+  T* WithLabels(const LabelSet& labels);
+  T* Default() { return WithLabels({}); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  friend class MetricsRegistry;
+  T* MakeCell();
+
+  std::string name_;
+  std::string help_;
+  HistogramOptions opts_;
+  mutable std::mutex mu_;
+  // Ordered so exposition output is deterministic.
+  std::map<LabelSet, std::unique_ptr<T>> cells_;
+};
+
+using CounterFamily = MetricFamily<Counter>;
+using GaugeFamily = MetricFamily<Gauge>;
+using HistogramFamily = MetricFamily<Histogram>;
+
+/// \brief Owns metric families; renders Prometheus text exposition 0.0.4.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-global registry (leaked singleton: safe to touch from any
+  /// static-destruction-order context).
+  static MetricsRegistry& Default();
+
+  /// Get-or-create. `help` is recorded on first creation; a name can only be
+  /// registered as one metric type (a mismatch aborts — it is a coding bug).
+  CounterFamily* GetCounterFamily(std::string_view name, std::string_view help);
+  GaugeFamily* GetGaugeFamily(std::string_view name, std::string_view help);
+  HistogramFamily* GetHistogramFamily(std::string_view name, std::string_view help,
+                                      const HistogramOptions& opts = {});
+
+  /// Convenience: family + cell in one call.
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      const LabelSet& labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  const LabelSet& labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          const HistogramOptions& opts = {}, const LabelSet& labels = {});
+
+  /// Point reads for tests and snapshot-style aggregation. Missing metrics
+  /// read as zero.
+  uint64_t CounterValue(std::string_view name, const LabelSet& labels = {}) const;
+  uint64_t CounterTotal(std::string_view name) const;  ///< summed across label sets
+  double GaugeValue(std::string_view name, const LabelSet& labels = {}) const;
+  Histogram::Snapshot HistogramSnapshot(std::string_view name,
+                                        const LabelSet& labels = {}) const;
+
+  /// Prometheus text exposition format 0.0.4: families sorted by name, cells
+  /// by label set, `# HELP`/`# TYPE` headers, escaped label values,
+  /// histogram `_bucket{le=...}`/`_sum`/`_count` series.
+  std::string PrometheusText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<CounterFamily> counter;
+    std::unique_ptr<GaugeFamily> gauge;
+    std::unique_ptr<HistogramFamily> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> families_;
+};
+
+/// Escapes a Prometheus label value (`\` -> `\\`, `"` -> `\"`, newline -> `\n`).
+std::string EscapeLabelValue(std::string_view value);
+
+/// Formats a sample value: integral doubles print without a decimal point.
+std::string FormatMetricValue(double value);
+
+template <typename T>
+T* MetricFamily<T>::MakeCell() {
+  if constexpr (std::is_same_v<T, Histogram>) {
+    return new Histogram(opts_);
+  } else {
+    return new T();
+  }
+}
+
+template <typename T>
+T* MetricFamily<T>::WithLabels(const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find(labels);
+  if (it == cells_.end()) {
+    it = cells_.emplace(labels, std::unique_ptr<T>(MakeCell())).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace obs
+}  // namespace ifgen

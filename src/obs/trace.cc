@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace ifgen {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+thread_local TraceRecorder* t_sink = nullptr;
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// JSON-escapes a span name/category. Names are expected to be plain literals;
+// this keeps the export valid even if one slips through with specials.
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+bool TracingEnabled() { return g_tracing_enabled.load(std::memory_order_relaxed); }
+void SetTracingEnabled(bool enabled) {
+  if (enabled) TraceEpoch();  // pin the epoch before the first span
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t TraceNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) return ring_;
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, e.name);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(&out, e.cat);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(e.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked on purpose: spans may fire during static destruction.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+ScopedTraceSink::ScopedTraceSink(TraceRecorder* sink) : prev_(t_sink) {
+  t_sink = sink;
+}
+
+ScopedTraceSink::~ScopedTraceSink() { t_sink = prev_; }
+
+void RecordSpan(const char* name, const char* cat, int64_t ts_us, int64_t dur_us) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = TraceThreadId();
+  if (t_sink != nullptr) t_sink->Record(e);
+  TraceRecorder::Global().Record(e);
+}
+
+}  // namespace obs
+}  // namespace ifgen

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file
+/// \brief Lightweight scoped-span tracing with bounded memory.
+///
+/// A `TraceSpan` measures one scope and, on destruction, records a
+/// `TraceEvent` into (a) the process-global ring-buffer recorder and (b) an
+/// optional thread-local sink installed with `ScopedTraceSink` — which is how
+/// per-job traces are captured without tagging every span with a job id.
+///
+/// When tracing is disabled (the default), constructing a span costs one
+/// relaxed atomic load and performs zero allocations. Recorders are fixed-
+/// capacity rings: old events are overwritten, memory never grows.
+///
+/// Traces export as Chrome trace-event JSON (`ToChromeTraceJson`), loadable
+/// in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+
+namespace ifgen {
+namespace obs {
+
+/// Process-wide tracing switch (off by default).
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// One completed span. `name` and `cat` must be string literals (or otherwise
+/// outlive the recorder) — spans never copy them.
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  int64_t ts_us = 0;   ///< start, microseconds since the process trace epoch
+  int64_t dur_us = 0;  ///< duration in microseconds
+  uint32_t tid = 0;    ///< small per-thread id (stable within the process)
+};
+
+/// Microseconds since the process-wide trace epoch (steady clock).
+int64_t TraceNowUs();
+
+/// Small dense id for the calling thread (used as Chrome trace `tid`).
+uint32_t TraceThreadId();
+
+/// \brief Fixed-capacity ring buffer of trace events.
+///
+/// Thread-safe; `Record` takes a short mutex (spans are rare relative to the
+/// work they measure, and only when tracing is enabled).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Record(const TraceEvent& event);
+
+  /// Events in insertion order (oldest surviving first).
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Number of events overwritten by ring wraparound since the last Clear.
+  uint64_t dropped() const;
+  void Clear();
+
+  /// Chrome trace-event JSON: `{"traceEvents":[...]}` with complete ("X")
+  /// events. Valid input for Perfetto / chrome://tracing.
+  std::string ToChromeTraceJson() const;
+
+  /// Process-global recorder fed by every span while tracing is enabled.
+  static TraceRecorder& Global();
+
+  static constexpr size_t kDefaultCapacity = 16384;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;        ///< ring write index
+  uint64_t recorded_ = 0;  ///< total Record calls since Clear
+};
+
+/// Installs `sink` as the calling thread's extra span destination for the
+/// scope's lifetime (stacked: the previous sink is restored on destruction).
+/// Used by the job runner to capture a per-job trace.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceRecorder* sink);
+  ~ScopedTraceSink();
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+/// Records a completed span into the thread-local sink (if any) and the
+/// global recorder. Exposed for events measured without a TraceSpan scope.
+void RecordSpan(const char* name, const char* cat, int64_t ts_us, int64_t dur_us);
+
+/// \brief RAII span: measures from construction to destruction.
+///
+/// `name`/`cat` must be string literals. Disabled tracing short-circuits the
+/// constructor after one relaxed atomic load — no clock read, no allocation.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat) {
+    if (!TracingEnabled()) return;
+    name_ = name;
+    cat_ = cat;
+    start_us_ = TraceNowUs();
+  }
+  ~TraceSpan() {
+    if (name_ == nullptr) return;
+    const int64_t end = TraceNowUs();
+    RecordSpan(name_, cat_, start_us_, end - start_us_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< null = span is disarmed (tracing was off)
+  const char* cat_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ifgen

@@ -5,12 +5,39 @@
 
 #include "cost/cost_model.h"
 #include "engine/exec_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 #include "widgets/appropriateness.h"
 
 namespace ifgen {
 
 namespace {
+
+/// Per-transition-class step counters + maintenance-path counters mirrored
+/// onto the registry (the per-instance `Counters` struct stays authoritative
+/// for session-scoped views).
+obs::CounterFamily& StepsMetricFamily() {
+  static obs::CounterFamily* f = obs::MetricsRegistry::Default().GetCounterFamily(
+      "ifgen_runtime_steps_total",
+      "Interactive runtime steps by transition class");
+  return *f;
+}
+obs::Counter& RuntimePathMetric(const char* path) {
+  static obs::CounterFamily* f = obs::MetricsRegistry::Default().GetCounterFamily(
+      "ifgen_runtime_path_total",
+      "Interactive runtime result-maintenance outcomes by path "
+      "(noop, result_cache_hit, retruncate, delta_exec, full_exec, fallback)");
+  return *f->WithLabels({{"path", path}});
+}
+obs::Histogram& StepLatencyMetric() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+      "ifgen_runtime_step_duration_us",
+      "Latency of interactive runtime steps (microseconds)",
+      obs::HistogramOptions{1.0, 2.0, 24});
+  return *h;
+}
 
 /// Type-tagged, length-prefixed cell encoding: distinct Values never
 /// collide ("1" the int vs "1" the string vs 1.0 the double).
@@ -241,6 +268,15 @@ void InteractiveRuntime::PriceWidgetChange(int choice_id, double* interaction_co
 
 Result<InteractiveRuntime::StepReport> InteractiveRuntime::StepLocked(
     size_t widgets_changed, double interaction_cost, double navigation_cost) {
+  obs::TraceSpan span("runtime.step", "runtime");
+  Stopwatch step_watch;
+  // Create()'s priming execution (version_ 0) resets the per-instance
+  // counters afterward; keep the registry in lockstep by not counting it
+  // either — both views track *interactions*.
+  const bool priming = version_ == 0;
+  auto bump_path = [priming](const char* path) {
+    if (!priming) RuntimePathMetric(path).Inc();
+  };
   StepReport report;
   report.widgets_changed = widgets_changed;
   report.interaction_cost = interaction_cost;
@@ -264,6 +300,7 @@ Result<InteractiveRuntime::StepReport> InteractiveRuntime::StepLocked(
       out = prev_result_;
       report.incremental = true;
       ++counters_.noops;
+      bump_path("noop");
     }
     if (out == nullptr) {
       out = MemoLookup(memo_key);
@@ -271,6 +308,7 @@ Result<InteractiveRuntime::StepReport> InteractiveRuntime::StepLocked(
         report.incremental = true;
         report.from_cache = true;
         ++counters_.cache_hits;
+        bump_path("result_cache_hit");
       }
     }
     if (out == nullptr && cls == TransitionClass::kLimitOnly &&
@@ -282,6 +320,7 @@ Result<InteractiveRuntime::StepReport> InteractiveRuntime::StepLocked(
         out = MakeCachedShared(prev_result_->full, *limit, prev_result_->selection);
         report.incremental = true;
         ++counters_.retruncates;
+        bump_path("retruncate");
       }
     }
     if (out == nullptr &&
@@ -298,6 +337,7 @@ Result<InteractiveRuntime::StepReport> InteractiveRuntime::StepLocked(
           out = MakeCached(std::move(dr));
           report.incremental = true;
           ++counters_.delta_execs;
+          bump_path("delta_exec");
         }
       }
     }
@@ -305,10 +345,13 @@ Result<InteractiveRuntime::StepReport> InteractiveRuntime::StepLocked(
       IFGEN_ASSIGN_OR_RETURN(out, ExecuteFull(pq));
       ++counters_.full_execs;
       ++counters_.fallbacks;
+      bump_path("full_exec");
+      bump_path("fallback");
     }
   } else {
     IFGEN_ASSIGN_OR_RETURN(out, ExecuteFull(pq));
     ++counters_.full_execs;
+    bump_path("full_exec");
   }
 
   // Row-level delta against the previous served result (also feeds the
@@ -344,6 +387,12 @@ Result<InteractiveRuntime::StepReport> InteractiveRuntime::StepLocked(
   prev_result_ = std::move(out);
   ++version_;
   ++counters_.steps;
+  if (!priming) {
+    StepsMetricFamily()
+        .WithLabels({{"transition", std::string(TransitionClassName(cls))}})
+        ->Inc();
+    StepLatencyMetric().Observe(static_cast<double>(step_watch.ElapsedMicros()));
+  }
   last_report_ = report;
   return report;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "sql/parser.h"
 #include "sql/unparser.h"
 #include "util/hash.h"
@@ -10,6 +11,52 @@
 namespace ifgen {
 
 namespace {
+
+/// Registry handles for the job/session protocol (resolved once).
+struct ServiceMetrics {
+  obs::Counter* jobs_submitted;
+  obs::Counter* jobs_rejected;
+  obs::Counter* jobs_executed;
+  obs::Counter* jobs_cache_hits;
+  obs::Counter* jobs_evicted;
+  obs::Counter* sessions_opened;
+  obs::Gauge* jobs_pending;
+  obs::Histogram* queued_us;
+  obs::Histogram* run_us;
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      ServiceMetrics s;
+      s.jobs_submitted =
+          reg.GetCounter("ifgen_jobs_submitted_total", "Generation jobs submitted");
+      s.jobs_rejected = reg.GetCounter("ifgen_jobs_admission_rejected_total",
+                                       "Jobs rejected by admission control");
+      s.jobs_executed = reg.GetCounter("ifgen_jobs_executed_total",
+                                       "Generation jobs executed by a worker");
+      s.jobs_cache_hits = reg.GetCounter("ifgen_jobs_cache_hits_total",
+                                         "Jobs answered from the result cache");
+      s.jobs_evicted = reg.GetCounter("ifgen_jobs_history_evicted_total",
+                                      "Terminal job records evicted from history");
+      s.sessions_opened = reg.GetCounter("ifgen_sessions_opened_total",
+                                         "Interactive sessions opened");
+      s.jobs_pending =
+          reg.GetGauge("ifgen_jobs_pending", "Jobs admitted but not yet terminal");
+      // 64us..~8.6s in x2 steps: generation runs for milliseconds to seconds.
+      obs::HistogramOptions opts;
+      opts.first_bound = 64.0;
+      opts.growth = 2.0;
+      opts.num_buckets = 18;
+      s.queued_us = reg.GetHistogram("ifgen_job_queued_duration_us",
+                                     "Time jobs spent waiting for a worker "
+                                     "(microseconds)",
+                                     opts);
+      s.run_us = reg.GetHistogram("ifgen_job_run_duration_us",
+                                  "Job execution time (microseconds)", opts);
+      return s;
+    }();
+    return m;
+  }
+};
 
 uint64_t HashU64(uint64_t h, uint64_t v) { return HashCombine(h, v); }
 
@@ -160,6 +207,7 @@ Result<std::shared_ptr<InteractiveRuntime>> GenerationService::OpenSession(
                                                     std::move(backend), opts));
   std::lock_guard<std::mutex> lock(mu_);
   ++sessions_opened_;
+  ServiceMetrics::Get().sessions_opened->Inc();
   return std::shared_ptr<InteractiveRuntime>(std::move(runtime));
 }
 
@@ -184,6 +232,7 @@ std::shared_ptr<const GeneratedInterface> GenerationService::CacheLookup(uint64_
   if (it == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
   ++cache_hits_;
+  ServiceMetrics::Get().jobs_cache_hits->Inc();
   return it->second->second;
 }
 
@@ -223,6 +272,7 @@ GenerationService::JobInfo GenerationService::SnapshotLocked(
   }
   info.result = rec.result;
   info.error = rec.error;
+  info.trace = rec.trace;
   return info;
 }
 
@@ -238,6 +288,7 @@ std::function<void(Result<GeneratedInterface>)> GenerationService::FinishLocked(
   while (finished_order_.size() > job_history_capacity_) {
     jobs_.erase(finished_order_.front());
     finished_order_.pop_front();
+    ServiceMetrics::Get().jobs_evicted->Inc();
   }
   auto cb = std::move(rec->on_done);
   rec->on_done = nullptr;
@@ -252,7 +303,9 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++jobs_submitted_;
+    ServiceMetrics::Get().jobs_submitted->Inc();
     if (max_pending_jobs_ != 0 && jobs_pending_ >= max_pending_jobs_) {
+      ServiceMetrics::Get().jobs_rejected->Inc();
       return Status::ResourceExhausted(
           "generation queue full: " + std::to_string(jobs_pending_) +
           " jobs pending (limit " + std::to_string(max_pending_jobs_) + ")");
@@ -262,6 +315,7 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
     rec.submitted = Clock::now();
     rec.on_done = std::move(on_done);
     ++jobs_pending_;
+    ServiceMetrics::Get().jobs_pending->Set(static_cast<double>(jobs_pending_));
   }
 
   if (auto cached = CacheLookup(key)) {
@@ -276,6 +330,7 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
       if (it != jobs_.end() && it->second.state == JobState::kQueued) {
         it->second.cache_hit = true;
         --jobs_pending_;
+        ServiceMetrics::Get().jobs_pending->Set(static_cast<double>(jobs_pending_));
         cb = FinishLocked(id, &it->second, JobState::kDone, cached, Status::OK());
         finished_here = true;
       }
@@ -293,8 +348,24 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
       }
       it->second.state = JobState::kRunning;
       it->second.started = Clock::now();
+      ServiceMetrics::Get().queued_us->Observe(static_cast<double>(
+          MsBetween(it->second.submitted, it->second.started) * 1000));
     }
-    Result<GeneratedInterface> result = GenerateInterface(spec.sqls, spec.options);
+    // With tracing on, every span the generation emits on this thread is
+    // also captured into a job-private recorder, served later through
+    // JobInfo::trace (GET /v1/jobs/{id}/trace).
+    std::shared_ptr<obs::TraceRecorder> job_trace;
+    if (obs::TracingEnabled()) {
+      job_trace = std::make_shared<obs::TraceRecorder>();
+    }
+    const Clock::time_point run_start = Clock::now();
+    Result<GeneratedInterface> result = [&] {
+      obs::ScopedTraceSink sink(job_trace.get());
+      obs::TraceSpan span("service.job", "service");
+      return GenerateInterface(spec.sqls, spec.options);
+    }();
+    ServiceMetrics::Get().run_us->Observe(
+        static_cast<double>(MsBetween(run_start, Clock::now()) * 1000));
     std::shared_ptr<const GeneratedInterface> shared;
     if (result.ok()) {
       shared = std::make_shared<const GeneratedInterface>(*result);
@@ -305,8 +376,11 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
       std::lock_guard<std::mutex> lock(mu_);
       ++jobs_executed_;
       --jobs_pending_;
+      ServiceMetrics::Get().jobs_executed->Inc();
+      ServiceMetrics::Get().jobs_pending->Set(static_cast<double>(jobs_pending_));
       auto it = jobs_.find(id);
       if (it != jobs_.end()) {
+        it->second.trace = job_trace;
         cb = FinishLocked(id, &it->second,
                           result.ok() ? JobState::kDone : JobState::kFailed,
                           shared, result.ok() ? Status::OK() : result.status());
@@ -366,6 +440,7 @@ Result<GenerationService::JobInfo> GenerationService::CancelJob(JobId id) {
     }
     if (it->second.state == JobState::kQueued) {
       --jobs_pending_;
+      ServiceMetrics::Get().jobs_pending->Set(static_cast<double>(jobs_pending_));
       cb = FinishLocked(id, &it->second, JobState::kCancelled, nullptr,
                         Status::Cancelled("job cancelled while queued"));
     }
@@ -413,6 +488,17 @@ size_t GenerationService::jobs_executed() const {
 size_t GenerationService::cache_hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_hits_;
+}
+
+GenerationService::CountersSnapshot GenerationService::counters_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CountersSnapshot s;
+  s.jobs_submitted = jobs_submitted_;
+  s.jobs_executed = jobs_executed_;
+  s.jobs_pending = jobs_pending_;
+  s.cache_hits = cache_hits_;
+  s.sessions_opened = sessions_opened_;
+  return s;
 }
 
 }  // namespace ifgen

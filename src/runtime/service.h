@@ -16,6 +16,7 @@
 
 #include "core/interface_generator.h"
 #include "engine/backend.h"
+#include "obs/trace.h"
 #include "runtime/interactive.h"
 #include "runtime/thread_pool.h"
 
@@ -89,6 +90,9 @@ class GenerationService {
     int64_t run_ms = 0;      ///< execution time (so far, when running)
     std::shared_ptr<const GeneratedInterface> result;  ///< kDone only
     Status error;  ///< kFailed/kCancelled only
+    /// Per-job span capture, present when tracing (obs::SetTracingEnabled)
+    /// was on while the job executed. Export with ToChromeTraceJson().
+    std::shared_ptr<const obs::TraceRecorder> trace;
 
     bool terminal() const {
       return state == JobState::kDone || state == JobState::kFailed ||
@@ -174,6 +178,19 @@ class GenerationService {
   size_t cache_hits() const;
   size_t num_threads() const { return pool_.num_threads(); }
 
+  /// \brief One-lock snapshot of every service-level counter — the feed of
+  /// GET /v1/stats. The same event sites also bump the obs registry
+  /// (ifgen_jobs_*, ifgen_sessions_opened_total), so the two views cannot
+  /// drift apart.
+  struct CountersSnapshot {
+    size_t jobs_submitted = 0;
+    size_t jobs_executed = 0;
+    size_t jobs_pending = 0;
+    size_t cache_hits = 0;
+    size_t sessions_opened = 0;
+  };
+  CountersSnapshot counters_snapshot() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -187,6 +204,7 @@ class GenerationService {
     Clock::time_point finished;
     std::shared_ptr<const GeneratedInterface> result;
     Status error;
+    std::shared_ptr<const obs::TraceRecorder> trace;
     std::function<void(Result<GeneratedInterface>)> on_done;
   };
 

@@ -9,7 +9,25 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ifgen {
+
+namespace tt_internal {
+// Function-local statics in inline functions are shared across TUs, so every
+// table in the process feeds the same registry counters.
+inline obs::Counter& TranspositionHitsMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_tt_transposition_hits_total",
+      "TranspositionTable visits that found the state already present");
+  return *c;
+}
+inline obs::Counter& TtCostHitsMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_tt_cost_hits_total", "TranspositionTable cached-cost lookups that hit");
+  return *c;
+}
+}  // namespace tt_internal
 
 /// \brief A sharded, striped-lock hash map keyed by pre-mixed 64-bit hashes
 /// — the concurrency machinery shared by the transposition table and the
@@ -125,7 +143,10 @@ class TranspositionTable {
   /// visit), false when it was already present (a transposition).
   bool Visit(uint64_t key) {
     bool inserted = map_.Mutate(key, [](Entry&, bool ins) { return ins; });
-    if (!inserted) hits_.fetch_add(1, std::memory_order_relaxed);
+    if (!inserted) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      tt_internal::TranspositionHitsMetric().Inc();
+    }
     return inserted;
   }
 
@@ -134,6 +155,7 @@ class TranspositionTable {
     std::optional<Entry> e = map_.Lookup(key);
     if (!e.has_value() || !e->has_cost) return std::nullopt;
     cost_hits_.fetch_add(1, std::memory_order_relaxed);
+    tt_internal::TtCostHitsMetric().Inc();
     return e->cost;
   }
 

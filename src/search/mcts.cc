@@ -4,12 +4,43 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/priors.h"
 #include "util/logging.h"
 
 namespace ifgen {
 
 namespace {
+
+/// Search metrics are bumped in batch at the end of each tree run (the
+/// iteration loop is the hottest code in the system; per-iteration counter
+/// traffic would be measurable). Spans still mark the phases per iteration —
+/// they cost one relaxed load each when tracing is off.
+struct SearchMetrics {
+  obs::Counter* trees;
+  obs::Counter* iterations;
+  obs::Counter* states_expanded;
+  obs::Counter* rollouts;
+  obs::Counter* rollout_steps;
+  static const SearchMetrics& Get() {
+    static const SearchMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      SearchMetrics s;
+      s.trees = reg.GetCounter("ifgen_search_trees_total", "MCTS tree runs");
+      s.iterations =
+          reg.GetCounter("ifgen_search_iterations_total", "MCTS iterations");
+      s.states_expanded = reg.GetCounter("ifgen_search_states_expanded_total",
+                                         "Difftree states materialized by expansion");
+      s.rollouts = reg.GetCounter("ifgen_search_rollouts_total",
+                                  "Random rollout walks simulated");
+      s.rollout_steps = reg.GetCounter("ifgen_search_rollout_steps_total",
+                                       "Rule applications taken inside rollouts");
+      return s;
+    }();
+    return m;
+  }
+};
 
 struct Node {
   DiffTree state;
@@ -129,11 +160,19 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
   // root_actions); pushing them into the shared table too would put a lock
   // per ancestor per iteration on the hottest loop for data nothing reads.
   auto backprop = [&](Node* from, double r) {
+    obs::TraceSpan span("mcts.backprop", "search");
     for (Node* n = from; n != nullptr; n = n->parent) {
       ++n->visits;
       n->total_reward += r;
     }
   };
+
+  // Registry deltas for this tree run, bumped in batch after the loop.
+  const size_t base_iterations = stats.iterations;
+  const size_t base_expanded = stats.states_expanded;
+  const size_t base_rollouts = stats.rollouts;
+  const size_t base_rollout_steps = stats.rollout_steps;
+  obs::TraceSpan tree_span("mcts.tree", "search");
 
   auto root = std::make_unique<Node>();
   root->state = initial;
@@ -148,25 +187,29 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
     // 1. Selection: descend by UCT (PUCT with priors) while the widening
     // schedule offers no unexpanded action at the node.
     Node* node = root.get();
-    while (true) {
-      ensure_apps(node);
-      if (node->next_untried < UnlockedApps(opts, *node) || node->children.empty()) {
-        break;
-      }
-      Node* picked = nullptr;
-      double best_score = -1.0;
-      for (const auto& ch : node->children) {
-        if (ch->dead) continue;
-        double u = p.priors != nullptr
-                       ? Puct(opts, *ch, std::max<size_t>(1, node->visits))
-                       : Uct(opts, *ch, std::max<size_t>(1, node->visits));
-        if (u > best_score) {
-          best_score = u;
-          picked = ch.get();
+    {
+      obs::TraceSpan span("mcts.select", "search");
+      while (true) {
+        ensure_apps(node);
+        if (node->next_untried < UnlockedApps(opts, *node) ||
+            node->children.empty()) {
+          break;
         }
+        Node* picked = nullptr;
+        double best_score = -1.0;
+        for (const auto& ch : node->children) {
+          if (ch->dead) continue;
+          double u = p.priors != nullptr
+                         ? Puct(opts, *ch, std::max<size_t>(1, node->visits))
+                         : Uct(opts, *ch, std::max<size_t>(1, node->visits));
+          if (u > best_score) {
+            best_score = u;
+            picked = ch.get();
+          }
+        }
+        if (picked == nullptr) break;  // all children dead
+        node = picked;
       }
-      if (picked == nullptr) break;  // all children dead
-      node = picked;
     }
 
     // 2. Expansion (bounded per iteration, by the widening schedule, and by
@@ -174,6 +217,7 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
     // unlocks the most promising neighbors first.
     std::vector<Node*> fresh;
     if (payload_nodes < opts.max_search_tree_payload) {
+      obs::TraceSpan span("mcts.expand", "search");
       size_t unlocked = UnlockedApps(opts, *node);
       size_t available = unlocked > node->next_untried ? unlocked - node->next_untried : 0;
       size_t expansions =
@@ -230,6 +274,7 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
 
     // 3.-5. Simulation from each fresh child + backpropagation. The child's
     // own (cached) evaluation also feeds the global best tracker.
+    obs::TraceSpan sim_span("mcts.simulate", "search");
     if (p.leaf_pool != nullptr && p.leaf_pool->num_threads() > 0) {
       // Leaf parallelism: fan the fresh children's evaluations and rollouts
       // out to the pool. RNG streams split per (iteration, task) — the Fork
@@ -293,6 +338,15 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
         if (deadline.Expired()) break;
       }
     }
+  }
+
+  if (obs::MetricsEnabled()) {
+    const SearchMetrics& m = SearchMetrics::Get();
+    m.trees->Inc();
+    m.iterations->Add(stats.iterations - base_iterations);
+    m.states_expanded->Add(stats.states_expanded - base_expanded);
+    m.rollouts->Add(stats.rollouts - base_rollouts);
+    m.rollout_steps->Add(stats.rollout_steps - base_rollout_steps);
   }
 
   if (p.root_actions != nullptr) {

@@ -27,16 +27,52 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "fatal") {
+    *out = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("IFGEN_LOG_LEVEL");
+  if (env == nullptr) return;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) {
+    SetLogLevel(level);
+  } else {
+    IFGEN_LOG(Warning) << "ignoring IFGEN_LOG_LEVEL='" << env
+                       << "' (want debug|info|warning|error|fatal)";
+  }
+}
+
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
+LogMessage::LogMessage(LogLevel level, const char* file, int line,
+                       const char* component)
     : level_(level), enabled_(static_cast<int>(level) >= g_log_level.load()) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LevelName(level);
+    if (component != nullptr) stream_ << " " << component;
+    stream_ << " " << base << ":" << line << "] ";
   }
 }
 

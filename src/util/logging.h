@@ -4,6 +4,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ifgen {
 
@@ -14,12 +15,23 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFa
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Parses "debug"/"info"/"warning"|"warn"/"error"/"fatal" (case-insensitive).
+/// Returns false (and leaves `out` untouched) on anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+/// Applies the IFGEN_LOG_LEVEL environment variable, when set to a name
+/// ParseLogLevel accepts. Call once at process start (examples/ binaries do);
+/// an explicit --log-level flag should override by calling SetLogLevel after.
+void InitLogLevelFromEnv();
+
 namespace internal {
 
-/// Stream-style log sink that emits on destruction.
+/// Stream-style log sink that emits on destruction. `component` (optional)
+/// tags the subsystem: "[WARN http ...]".
 class LogMessage {
  public:
-  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(LogLevel level, const char* file, int line,
+             const char* component = nullptr);
   ~LogMessage();
 
   template <typename T>
@@ -60,6 +72,11 @@ class CheckFailStream {
 
 #define IFGEN_LOG(level)                                                      \
   ::ifgen::internal::LogMessage(::ifgen::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Component-tagged variant: IFGEN_LOG_C(Warning, "http") << "...";
+#define IFGEN_LOG_C(level, component)                                         \
+  ::ifgen::internal::LogMessage(::ifgen::LogLevel::k##level, __FILE__,        \
+                                __LINE__, component)
 
 /// Aborts with a message when `cond` is false. Active in all build types:
 /// these guard internal invariants whose violation would corrupt search state.

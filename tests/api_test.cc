@@ -12,6 +12,8 @@
 #include "api/dto.h"
 #include "core/interface_generator.h"
 #include "core/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "workload/loader.h"
@@ -766,6 +768,106 @@ TEST(ApiService, CatalogAndStats) {
   // may stay 0 — plan compilations always register.
   EXPECT_GT(stats.backends[0].prepares, 0);
   ExpectRoundTrip(stats);
+}
+
+TEST(ApiService, StatsMatchesRegistryDeltas) {
+  // /v1/stats and /v1/metrics are two views of the same events: every
+  // StatsResponse counter must equal the delta of its registry metric across
+  // the test body (deltas, because the process-global registry accumulates
+  // across tests while each service instance starts at zero).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const uint64_t base_submitted = reg.CounterTotal("ifgen_jobs_submitted_total");
+  const uint64_t base_executed = reg.CounterTotal("ifgen_jobs_executed_total");
+  const uint64_t base_cache_hits = reg.CounterTotal("ifgen_jobs_cache_hits_total");
+  const uint64_t base_sessions = reg.CounterTotal("ifgen_sessions_opened_total");
+  const uint64_t base_expired = reg.CounterTotal("ifgen_sessions_expired_total");
+  const uint64_t base_steps = reg.CounterTotal("ifgen_runtime_steps_total");
+  auto path_total = [&reg](const char* path) {
+    return reg.CounterValue("ifgen_runtime_path_total", {{"path", path}});
+  };
+  const uint64_t base_noop = path_total("noop");
+  const uint64_t base_full = path_total("full_exec");
+
+  auto svc = ApiService::Create(SmallServiceOptions());
+  ASSERT_TRUE(svc.ok());
+  GenerateRequest req;
+  req.workload = "flights";
+  req.options = FastGenOptions();
+  auto accepted = (*svc)->SubmitGenerate(req);
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_EQ(AwaitJob(svc->get(), accepted->job_id).state, "done");
+  SessionOpenRequest open;
+  open.job_id = accepted->job_id;
+  auto session = (*svc)->OpenSession(open);
+  ASSERT_TRUE(session.ok());
+
+  std::vector<std::tuple<int64_t, int64_t, std::string>> choices;
+  CollectChoices(session->widgets, &choices);
+  ASSERT_FALSE(choices.empty());
+  for (const auto& [choice_id, option_count, kind] : choices) {
+    if (kind == "Checkbox" || kind == "Toggle") {
+      WidgetEventRequest e;
+      e.kind = "set_opt";
+      e.choice_id = choice_id;
+      e.present = true;
+      (void)(*svc)->ApplyEvent(session->session_id, e);
+    }
+  }
+
+  const api::StatsResponse stats = (*svc)->Stats();
+  EXPECT_EQ(static_cast<uint64_t>(stats.jobs_submitted),
+            reg.CounterTotal("ifgen_jobs_submitted_total") - base_submitted);
+  EXPECT_EQ(static_cast<uint64_t>(stats.jobs_executed),
+            reg.CounterTotal("ifgen_jobs_executed_total") - base_executed);
+  EXPECT_EQ(static_cast<uint64_t>(stats.job_cache_hits),
+            reg.CounterTotal("ifgen_jobs_cache_hits_total") - base_cache_hits);
+  EXPECT_EQ(static_cast<uint64_t>(stats.sessions_opened),
+            reg.CounterTotal("ifgen_sessions_opened_total") - base_sessions);
+  EXPECT_EQ(static_cast<uint64_t>(stats.sessions_expired),
+            reg.CounterTotal("ifgen_sessions_expired_total") - base_expired);
+  // Runtime counters: the single session stays open, so the service's sum
+  // over open sessions equals the process-wide delta.
+  EXPECT_EQ(static_cast<uint64_t>(stats.steps),
+            reg.CounterTotal("ifgen_runtime_steps_total") - base_steps);
+  EXPECT_EQ(static_cast<uint64_t>(stats.noops), path_total("noop") - base_noop);
+  EXPECT_EQ(static_cast<uint64_t>(stats.full_execs),
+            path_total("full_exec") - base_full);
+  EXPECT_EQ(static_cast<double>(stats.jobs_pending),
+            reg.GaugeValue("ifgen_jobs_pending"));
+}
+
+TEST(ApiService, JobTraceExportsChromeJson) {
+  struct TracingGuard {
+    bool prev = obs::TracingEnabled();
+    ~TracingGuard() { obs::SetTracingEnabled(prev); }
+  } guard;
+  obs::SetTracingEnabled(true);
+
+  auto svc = ApiService::Create(SmallServiceOptions());
+  ASSERT_TRUE(svc.ok());
+  GenerateRequest req;
+  req.workload = "flights";
+  req.options = FastGenOptions();
+  auto accepted = (*svc)->SubmitGenerate(req);
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_EQ(AwaitJob(svc->get(), accepted->job_id).state, "done");
+
+  auto trace = (*svc)->JobTrace(accepted->job_id);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_NE(trace->find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace->find("\"service.job\""), std::string::npos);
+
+  EXPECT_EQ((*svc)->JobTrace("j-99999").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*svc)->JobTrace("bogus").status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Jobs executed while tracing is off have no capture to export.
+  obs::SetTracingEnabled(false);
+  auto accepted2 = (*svc)->SubmitGenerate(req);
+  ASSERT_TRUE(accepted2.ok());
+  ASSERT_EQ(AwaitJob(svc->get(), accepted2->job_id).state, "done");
+  auto no_trace = (*svc)->JobTrace(accepted2->job_id);
+  EXPECT_EQ(no_trace.status().code(), StatusCode::kNotFound);
 }
 
 TEST(ApiService, ConcurrentSessionsAndPollers) {
