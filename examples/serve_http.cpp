@@ -10,7 +10,9 @@
 // Flags: --port N (default 8080; 0 = ephemeral), --host A.B.C.D,
 // --rows N (rows per workload table; 0 = defaults), --threads N (HTTP
 // workers), --max-pending N (job-queue bound -> HTTP 429),
-// --session-ttl-ms N, --client PATH (static HTML served at /),
+// --session-ttl-ms N, --sse-max-ms N (cap on one SSE stream's lifetime
+// before the client reconnects; covers both session feeds and job
+// /stream progress), --client PATH (static HTML served at /),
 // --cors ORIGIN (enable cross-origin access for that origin, e.g. "*"
 // when opening examples/web/client.html from file://; off by default),
 // --log-level LEVEL (debug|info|warning|error|fatal; overrides the
@@ -96,6 +98,7 @@ int main(int argc, char** argv) {
   fopts.http.port = static_cast<int>(FlagInt(argc, argv, "--port", 8080));
   fopts.http.num_threads = static_cast<size_t>(FlagInt(argc, argv, "--threads", 8));
   fopts.http.cors_allow_origin = FlagStr(argc, argv, "--cors", "");
+  fopts.sse_max_duration_ms = FlagInt(argc, argv, "--sse-max-ms", 30000);
   fopts.client_html_path =
       FlagStr(argc, argv, "--client", "examples/web/client.html");
   if (Status st = frontend.Start(fopts); !st.ok()) {

@@ -86,6 +86,18 @@ SCHEMAS = {
         "tt_hits": int,
         "ms_to_best": NUM,
     },
+    "anytime": {
+        "workload": str,
+        "searcher": str,
+        "deadline_ms": int,
+        # -1 when the run published no improvement before the deadline.
+        "time_to_first_result_ms": int,
+        "cost_at_deadline": NUM,
+        "iterations": int,
+        "stop_reason": str,
+        "baseline_iterations": int,
+        "baseline_cost": NUM,
+    },
     "parallel_service": {
         "jobs": int,
         "cold_ms": NUM,

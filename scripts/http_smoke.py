@@ -90,6 +90,60 @@ def check_metrics_exposition(text):
     return samples
 
 
+def validate_progress_frame(frame, where):
+    """Checks a JobProgressResponse-shaped dict against the wire contract
+    (docs/api.md): required scalar fields, and when a partial is present,
+    the GenerateResponse shape it embeds."""
+    for field, kind in (("job_id", str), ("state", str), ("version", int),
+                        ("final", bool)):
+        if field not in frame:
+            fail(f"{where}: progress frame missing '{field}': {frame}")
+        if not isinstance(frame[field], kind):
+            fail(f"{where}: progress frame field '{field}' is not {kind}")
+    if "partial" in frame:
+        partial = frame["partial"]
+        for field in ("job_id", "workload", "algorithm", "backend", "cost",
+                      "difftree", "stats"):
+            if field not in partial:
+                fail(f"{where}: progress partial missing '{field}'")
+        if "total" not in partial["cost"]:
+            fail(f"{where}: progress partial cost has no 'total'")
+
+
+def stream_job_frames(job_id, max_frames=200, timeout=60):
+    """Drives GET /v1/jobs/{id}/stream with a raw streaming read (urllib
+    does not buffer SSE usefully) and yields decoded `data:` frames until
+    the final frame or the stream ends."""
+    import http.client
+    conn = http.client.HTTPConnection("127.0.0.1", PORT, timeout=timeout)
+    try:
+        conn.request("GET", f"/v1/jobs/{job_id}/stream",
+                     headers={"Accept": "text/event-stream"})
+        resp = conn.getresponse()
+        if resp.status != 200:
+            fail(f"/stream answered HTTP {resp.status}")
+        buf = b""
+        frames = []
+        while len(frames) < max_frames:
+            chunk = resp.read1(4096)
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n\n" in buf:
+                raw, buf = buf.split(b"\n\n", 1)
+                data_lines = [line[5:].strip() for line in raw.split(b"\n")
+                              if line.startswith(b"data:")]
+                if not data_lines:
+                    continue  # comment/heartbeat
+                frame = json.loads(b"\n".join(data_lines).decode())
+                frames.append(frame)
+                if frame.get("final"):
+                    return frames
+        return frames
+    finally:
+        conn.close()
+
+
 def collect_choices(node, out):
     if "choice" in node and "widget" in node:
         out.append((node["choice"], len(node.get("options", [])), node["widget"]))
@@ -134,6 +188,49 @@ def main():
             fail(f"job state {job['state']}: {job.get('error')}")
         print(f"job done in {job['run_ms']} ms, "
               f"{job['result']['stats']['iterations']} iterations")
+
+        # Streaming flow: a second job with a larger budget, watched live
+        # over GET /v1/jobs/{id}/stream while it runs.
+        accepted2 = call("POST", "/v1/generate", {
+            "workload": "flights",
+            "options": {"time_budget_ms": 0, "max_iterations": 60, "seed": 11},
+        })
+        stream_job = accepted2["job_id"]
+        frames = stream_job_frames(stream_job)
+        if not frames:
+            fail("/stream yielded no frames")
+        versions = []
+        improving = 0
+        last_cost = None
+        for i, frame in enumerate(frames):
+            validate_progress_frame(frame, f"frame[{i}]")
+            if versions and frame["version"] < versions[-1]:
+                fail(f"/stream versions went backwards: {versions} "
+                     f"then {frame['version']}")
+            versions.append(frame["version"])
+            if not frame.get("final") and "partial" in frame:
+                cost = frame["partial"]["cost"]["total"]
+                if last_cost is not None and cost >= last_cost:
+                    fail(f"/stream partial cost did not improve: "
+                         f"{last_cost} -> {cost}")
+                last_cost = cost
+                improving += 1
+        final = frames[-1]
+        if not final.get("final"):
+            fail("/stream ended without a final frame")
+        if final["state"] != "done" or "partial" not in final:
+            fail(f"final stream frame malformed: {final}")
+        if improving < 1:
+            fail("stream delivered no mid-run improvement frame")
+        print(f"stream {stream_job}: {len(frames)} frame(s), "
+              f"{improving} improving partial(s), final v{final['version']}")
+
+        # The long-poll progress endpoint agrees with the stream's end state.
+        progress = call("GET", f"/v1/jobs/{stream_job}/progress?version=0")
+        validate_progress_frame(progress, "progress")
+        if not progress["final"] or progress["version"] < final["version"]:
+            fail(f"/progress disagrees with the finished stream: {progress}")
+        print(f"progress: v{progress['version']} final={progress['final']}")
 
         session = call("POST", "/v1/sessions", {"job_id": job_id})
         sid = session["session_id"]

@@ -176,7 +176,11 @@ JobStatusResponse ApiService::BuildJobStatus(const GenerationService::JobInfo& i
   resp.cache_hit = info.cache_hit;
   resp.queued_ms = info.queued_ms;
   resp.run_ms = info.run_ms;
-  if (info.state == JobState::kDone && info.result != nullptr) {
+  // kDone carries the full result; kCancelled may carry the best-so-far
+  // partial of a mid-run abort. The error (Cancelled/Failed) is reported
+  // alongside the partial, not instead of it.
+  if (info.result != nullptr &&
+      (info.state == JobState::kDone || info.state == JobState::kCancelled)) {
     JobMeta meta;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -184,7 +188,8 @@ JobStatusResponse ApiService::BuildJobStatus(const GenerationService::JobInfo& i
       if (it != job_meta_.end()) meta = it->second;
     }
     resp.result = BuildGenerateResponse(info.id, *info.result, meta);
-  } else if (!info.error.ok()) {
+  }
+  if (!info.error.ok()) {
     resp.error = ErrorBody::FromStatus(info.error);
   }
   return resp;
@@ -206,6 +211,52 @@ Result<JobStatusResponse> ApiService::CancelJob(const std::string& job_id) {
   IFGEN_ASSIGN_OR_RETURN(GenerationService::JobId id, ParseJobId(job_id));
   IFGEN_ASSIGN_OR_RETURN(GenerationService::JobInfo info, service_.CancelJob(id));
   return BuildJobStatus(info);
+}
+
+Result<JobProgressResponse> ApiService::GetJobProgress(const std::string& job_id,
+                                                       int64_t last_seen_version,
+                                                       int64_t wait_ms) {
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobId id, ParseJobId(job_id));
+  const uint64_t last_seen =
+      last_seen_version > 0 ? static_cast<uint64_t>(last_seen_version) : 0;
+  IFGEN_ASSIGN_OR_RETURN(GenerationService::JobProgress p,
+                         service_.GetJobProgress(id, last_seen, wait_ms));
+  JobProgressResponse resp;
+  resp.job_id = "j-" + std::to_string(id);
+  resp.state = std::string(JobStateName(p.state));
+  resp.version = static_cast<int64_t>(p.version);
+  resp.final_frame = p.terminal;
+  JobMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = job_meta_.find(id);
+    if (it != job_meta_.end()) meta = it->second;
+  }
+  if (p.terminal) {
+    // Terminal frame: embed the finished (or cancelled-partial) result so a
+    // stream consumer never needs a follow-up GetJob.
+    auto info = service_.GetJob(id);
+    if (info.ok() && info->result != nullptr) {
+      resp.partial = BuildGenerateResponse(id, *info->result, meta);
+    }
+  } else if (p.version > 0 && p.best_tree != nullptr) {
+    // Mid-run frame: the best-so-far difftree without the widget phase —
+    // layout and the full cost decomposition only exist once search ends,
+    // so the cost object carries just the scalar being minimized.
+    GenerateResponse g;
+    g.job_id = resp.job_id;
+    g.workload = meta.workload;
+    g.algorithm = std::string(AlgorithmName(meta.options.algorithm));
+    g.backend = std::string(BackendKindName(meta.options.backend));
+    JsonValue cost = JsonValue::Object();
+    cost.Set("total", JsonValue::Double(p.best_cost));
+    g.cost = std::move(cost);
+    g.difftree = DiffTreeToJsonValue(*p.best_tree);
+    g.stats.iterations = static_cast<int64_t>(p.iteration);
+    g.stats.elapsed_ms = p.ms;
+    resp.partial = std::move(g);
+  }
+  return resp;
 }
 
 Result<std::string> ApiService::JobTrace(const std::string& job_id) const {

@@ -61,6 +61,14 @@ class ApiService {
   /// `wait_ms` > 0 blocks until the job is terminal or the deadline.
   Result<JobStatusResponse> GetJob(const std::string& job_id, int64_t wait_ms = 0);
   Result<JobStatusResponse> CancelJob(const std::string& job_id);
+  /// Versioned best-so-far snapshot of a running job's search. With
+  /// `wait_ms` > 0, long-polls (condvar) until the progress version exceeds
+  /// `last_seen_version`, the job turns terminal, or the timeout. The
+  /// terminal frame (`final` = true) embeds the job's full result when one
+  /// exists; mid-run frames carry the best-so-far partial (no widgets).
+  Result<JobProgressResponse> GetJobProgress(const std::string& job_id,
+                                             int64_t last_seen_version,
+                                             int64_t wait_ms = 0);
   /// The job's captured span trace as Chrome trace-event JSON (Perfetto);
   /// NotFound when the job is unknown or ran with tracing disabled.
   Result<std::string> JobTrace(const std::string& job_id) const;

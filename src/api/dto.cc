@@ -302,9 +302,21 @@ Result<GeneratorOptions> ApiOptions::ToGeneratorOptions() const {
   if (max_iterations < 0) {
     return Status::OutOfRange("max_iterations must be >= 0");
   }
-  if (time_budget_ms == 0 && max_iterations == 0) {
+  if (deadline_ms < 0 || deadline_ms > 10 * 60 * 1000) {
+    return Status::OutOfRange("deadline_ms must be in [0, 600000], got " +
+                              std::to_string(deadline_ms));
+  }
+  if (target_cost < 0.0) {
+    return Status::OutOfRange("target_cost must be >= 0");
+  }
+  if (plateau_fraction < 0.0 || plateau_fraction > 1.0) {
+    return Status::OutOfRange("plateau_fraction must be in [0, 1], got " +
+                              std::to_string(plateau_fraction));
+  }
+  if (time_budget_ms == 0 && max_iterations == 0 && deadline_ms == 0) {
     return Status::OutOfRange(
-        "unbounded search: time_budget_ms == 0 requires max_iterations > 0");
+        "unbounded search: time_budget_ms == 0 requires max_iterations > 0 "
+        "or deadline_ms > 0");
   }
   if (seed < 0) return Status::OutOfRange("seed must be >= 0");
   if (num_threads < 1 || num_threads > 64) {
@@ -322,6 +334,9 @@ Result<GeneratorOptions> ApiOptions::ToGeneratorOptions() const {
   o.search.seed = static_cast<uint64_t>(seed);
   o.search.priors.use_priors = use_priors;
   o.search.priors.progressive_widening = progressive_widening;
+  o.search.time_control.deadline_ms = deadline_ms;
+  o.search.time_control.target_cost = target_cost;
+  o.search.time_control.plateau_fraction = plateau_fraction;
   o.parallel.num_threads = static_cast<size_t>(num_threads);
   o.delta_cost_eval = delta_cost_eval;
   o.k_assignments = static_cast<size_t>(k_assignments);
@@ -343,6 +358,9 @@ ApiOptions ApiOptions::FromGeneratorOptions(const GeneratorOptions& o) {
   a.use_priors = o.search.priors.use_priors;
   a.progressive_widening = o.search.priors.progressive_widening;
   a.delta_cost_eval = o.delta_cost_eval;
+  a.deadline_ms = o.search.time_control.deadline_ms;
+  a.target_cost = o.search.time_control.target_cost;
+  a.plateau_fraction = o.search.time_control.plateau_fraction;
   return a;
 }
 
@@ -361,6 +379,9 @@ JsonValue ApiOptions::ToJson() const {
   v.Set("use_priors", JsonValue::Bool(use_priors));
   v.Set("progressive_widening", JsonValue::Bool(progressive_widening));
   v.Set("delta_cost_eval", JsonValue::Bool(delta_cost_eval));
+  v.Set("deadline_ms", JsonValue::Int(deadline_ms));
+  v.Set("target_cost", JsonValue::Double(target_cost));
+  v.Set("plateau_fraction", JsonValue::Double(plateau_fraction));
   return v;
 }
 
@@ -380,6 +401,9 @@ Result<ApiOptions> ApiOptions::FromJson(const JsonValue& v) {
   r.Bool("use_priors", &a.use_priors);
   r.Bool("progressive_widening", &a.progressive_widening);
   r.Bool("delta_cost_eval", &a.delta_cost_eval);
+  r.Int("deadline_ms", &a.deadline_ms);
+  r.Double("target_cost", &a.target_cost);
+  r.Double("plateau_fraction", &a.plateau_fraction);
   IFGEN_RETURN_NOT_OK(r.Finish());
   return a;
 }
@@ -392,7 +416,8 @@ bool ApiOptions::operator==(const ApiOptions& o) const {
          num_threads == o.num_threads && k_assignments == o.k_assignments &&
          use_priors == o.use_priors &&
          progressive_widening == o.progressive_widening &&
-         delta_cost_eval == o.delta_cost_eval;
+         delta_cost_eval == o.delta_cost_eval && deadline_ms == o.deadline_ms &&
+         target_cost == o.target_cost && plateau_fraction == o.plateau_fraction;
 }
 
 // ---------------------------------------------------------------------------
@@ -463,6 +488,7 @@ SearchStatsDto SearchStatsDto::FromStats(const SearchStats& s) {
   d.rollouts = static_cast<int64_t>(s.rollouts);
   d.elapsed_ms = s.elapsed_ms;
   d.trees = static_cast<int64_t>(s.trees);
+  d.stop_reason = std::string(StopReasonName(s.stop_reason));
   d.trace.reserve(s.trace.size());
   for (const BestTrace& t : s.trace) {
     d.trace.push_back({t.ms, static_cast<int64_t>(t.iteration), t.cost});
@@ -477,6 +503,7 @@ JsonValue SearchStatsDto::ToJson() const {
   v.Set("rollouts", JsonValue::Int(rollouts));
   v.Set("elapsed_ms", JsonValue::Int(elapsed_ms));
   v.Set("trees", JsonValue::Int(trees));
+  v.Set("stop_reason", JsonValue::Str(stop_reason));
   v.Set("trace", ArrayToJson(trace));
   return v;
 }
@@ -489,6 +516,7 @@ Result<SearchStatsDto> SearchStatsDto::FromJson(const JsonValue& v) {
   r.Int("rollouts", &d.rollouts);
   r.Int("elapsed_ms", &d.elapsed_ms);
   r.Int("trees", &d.trees);
+  r.String("stop_reason", &d.stop_reason);
   const JsonValue* trace = r.Child("trace");
   IFGEN_RETURN_NOT_OK(r.Finish());
   IFGEN_RETURN_NOT_OK(ArrayFromJson(trace, "SearchStats.trace", &d.trace));
@@ -498,7 +526,7 @@ Result<SearchStatsDto> SearchStatsDto::FromJson(const JsonValue& v) {
 bool SearchStatsDto::operator==(const SearchStatsDto& o) const {
   return iterations == o.iterations && states_expanded == o.states_expanded &&
          rollouts == o.rollouts && elapsed_ms == o.elapsed_ms && trees == o.trees &&
-         trace == o.trace;
+         stop_reason == o.stop_reason && trace == o.trace;
 }
 
 // ---------------------------------------------------------------------------
@@ -584,6 +612,37 @@ bool JobStatusResponse::operator==(const JobStatusResponse& o) const {
   return job_id == o.job_id && state == o.state && cache_hit == o.cache_hit &&
          queued_ms == o.queued_ms && run_ms == o.run_ms && result == o.result &&
          error == o.error;
+}
+
+JsonValue JobProgressResponse::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("job_id", JsonValue::Str(job_id));
+  v.Set("state", JsonValue::Str(state));
+  v.Set("version", JsonValue::Int(version));
+  v.Set("final", JsonValue::Bool(final_frame));
+  if (partial.has_value()) v.Set("partial", partial->ToJson());
+  return v;
+}
+
+Result<JobProgressResponse> JobProgressResponse::FromJson(const JsonValue& v) {
+  JobProgressResponse p;
+  ObjectReader r(v, "JobProgressResponse");
+  r.String("job_id", &p.job_id, /*required=*/true);
+  r.String("state", &p.state, /*required=*/true);
+  r.Int("version", &p.version);
+  r.Bool("final", &p.final_frame);
+  const JsonValue* partial = r.Child("partial");
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  if (partial != nullptr) {
+    IFGEN_ASSIGN_OR_RETURN(GenerateResponse g, GenerateResponse::FromJson(*partial));
+    p.partial = std::move(g);
+  }
+  return p;
+}
+
+bool JobProgressResponse::operator==(const JobProgressResponse& o) const {
+  return job_id == o.job_id && state == o.state && version == o.version &&
+         final_frame == o.final_frame && partial == o.partial;
 }
 
 // ---------------------------------------------------------------------------

@@ -112,6 +112,13 @@ struct ApiOptions {
   bool use_priors = true;
   bool progressive_widening = true;
   bool delta_cost_eval = true;
+  /// Anytime time control (search/timeman.h). deadline_ms: wall-clock
+  /// deadline for the whole call, 0 = off; target_cost: stop once the best
+  /// cost reaches it, 0 = off; plateau_fraction: stop when the best cost
+  /// has not improved for this fraction of the elapsed time, 0 = off.
+  int64_t deadline_ms = 0;
+  double target_cost = 0.0;
+  double plateau_fraction = 0.0;
 
   /// Validates names and ranges (unknown algorithm/backend/mode →
   /// InvalidArgument; non-positive screen, zero budget AND zero iterations,
@@ -171,6 +178,7 @@ struct SearchStatsDto {
   int64_t rollouts = 0;
   int64_t elapsed_ms = 0;
   int64_t trees = 1;
+  std::string stop_reason = "none";  ///< StopReasonName of why the loop ended
   std::vector<TracePoint> trace;
 
   static SearchStatsDto FromStats(const SearchStats& s);
@@ -206,12 +214,34 @@ struct JobStatusResponse {
   bool cache_hit = false;
   int64_t queued_ms = 0;
   int64_t run_ms = 0;
-  std::optional<GenerateResponse> result;  ///< state == "done"
-  std::optional<ErrorBody> error;          ///< state == "failed"/"cancelled"
+  /// "done": the full result. "cancelled": the best-so-far partial result
+  /// when the job was aborted mid-run (absent on queued-phase cancels).
+  std::optional<GenerateResponse> result;
+  std::optional<ErrorBody> error;  ///< state == "failed"/"cancelled"
 
   JsonValue ToJson() const;
   static Result<JobStatusResponse> FromJson(const JsonValue& v);
   bool operator==(const JobStatusResponse& o) const;
+};
+
+/// \brief GET /v1/jobs/{id}/progress (long-poll) and each SSE frame of
+/// GET /v1/jobs/{id}/stream: the versioned best-so-far snapshot of a job.
+///
+/// `version` counts published improvements (0 = none yet) and is strictly
+/// increasing across frames of one job. `partial` is GenerateResponse-shaped:
+/// mid-run frames carry the best difftree, its cost-so-far, and minimal
+/// stats (widgets stay empty — they are materialized in the final phase);
+/// the `final` frame embeds the job's full terminal result when one exists.
+struct JobProgressResponse {
+  std::string job_id;
+  std::string state;  ///< JobStateName
+  int64_t version = 0;
+  bool final_frame = false;  ///< wire name "final": terminal, stream complete
+  std::optional<GenerateResponse> partial;
+
+  JsonValue ToJson() const;
+  static Result<JobProgressResponse> FromJson(const JsonValue& v);
+  bool operator==(const JobProgressResponse& o) const;
 };
 
 // ---------------------------------------------------------------------------

@@ -179,6 +179,44 @@ HttpResponse ApiHttpFrontend::Feed(const HttpRequest& req,
   }
 }
 
+HttpResponse ApiHttpFrontend::JobStream(const HttpRequest& req,
+                                        const std::string& job_id) {
+  // Resume support: EventSource reconnects carry the last seen version in
+  // ?version= so a dropped stream replays nothing the client already has.
+  const int64_t start_version = std::max<int64_t>(0, req.QueryInt("version", 0));
+  HttpResponse resp;
+  resp.content_type = "text/event-stream";
+  resp.stream = [this, job_id, start_version](HttpStream* stream) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(opts_.sse_max_duration_ms);
+    if (!stream->Write(": connected\n\n")) return;
+    int64_t last_seen = start_version;
+    while (stream->alive() && std::chrono::steady_clock::now() < deadline) {
+      // The wait blocks on the job's progress condvar (no busy-poll); kept
+      // short so a dead client socket is noticed within a wait interval.
+      auto progress = service_->GetJobProgress(job_id, last_seen,
+                                               opts_.sse_progress_wait_ms);
+      if (!progress.ok()) {
+        // Unknown/evicted job: terminal event so EventSource clients can
+        // stop reconnecting.
+        stream->Write(
+            "event: error\ndata: " +
+            WriteJson(ErrorBody::FromStatus(progress.status()).ToJson()) +
+            "\n\n");
+        return;
+      }
+      if (progress->version > last_seen || progress->final_frame) {
+        last_seen = progress->version;
+        if (!stream->Write("data: " + WriteJson(progress->ToJson()) + "\n\n")) {
+          return;
+        }
+        if (progress->final_frame) return;
+      }
+    }
+  };
+  return resp;
+}
+
 HttpResponse ApiHttpFrontend::Route(const HttpRequest& req) {
   obs::TraceSpan span("http.request", "http");
   // RAII so the gauge also drops when a handler throws (the server maps the
@@ -293,6 +331,20 @@ HttpResponse ApiHttpFrontend::RouteInner(const HttpRequest& req) {
       auto status = service_->CancelJob(job_id);
       if (!status.ok()) return ErrorResponse(status.status());
       return JsonResponse(200, status->ToJson());
+    }
+    if (seg.size() == 4 && seg[3] == "progress" && req.method == "GET") {
+      // Versioned best-so-far snapshot; ?version= is the last seen version
+      // and ?wait_ms= long-polls until it is exceeded (clamped like GetJob).
+      const int64_t wait_ms =
+          std::min<int64_t>(std::max<int64_t>(0, req.QueryInt("wait_ms", 0)),
+                            opts_.max_poll_ms);
+      const int64_t version = std::max<int64_t>(0, req.QueryInt("version", 0));
+      auto progress = service_->GetJobProgress(job_id, version, wait_ms);
+      if (!progress.ok()) return ErrorResponse(progress.status());
+      return JsonResponse(200, progress->ToJson());
+    }
+    if (seg.size() == 4 && seg[3] == "stream" && req.method == "GET") {
+      return JobStream(req, job_id);
     }
     if (seg.size() == 4 && seg[3] == "trace" && req.method == "GET") {
       auto trace = service_->JobTrace(job_id);

@@ -23,6 +23,10 @@ namespace http {
 ///   POST   /v1/generate                   -> 202 GenerateAccepted (429 when full)
 ///   GET    /v1/jobs/{id}?wait_ms=N        -> JobStatusResponse
 ///   POST   /v1/jobs/{id}/cancel           -> JobStatusResponse
+///   GET    /v1/jobs/{id}/progress         -> JobProgressResponse; ?version=
+///          is the last seen version, ?wait_ms=N long-polls past it
+///   GET    /v1/jobs/{id}/stream           -> SSE JobProgressResponse frames
+///          (one per best-so-far improvement; final frame embeds the result)
 ///   GET    /v1/jobs/{id}/trace            -> per-job spans, Chrome trace JSON
 ///   POST   /v1/sessions                   -> SessionOpenResponse
 ///   POST   /v1/sessions/{id}/events       -> StepResponse
@@ -51,6 +55,9 @@ class ApiHttpFrontend {
     int64_t sse_poll_interval_ms = 15;
     /// ...and end the stream (client reconnects) after this long.
     int64_t sse_max_duration_ms = 30000;
+    /// Per-iteration condvar wait of a job /stream SSE loop: long enough to
+    /// avoid busy-polling, short enough to notice a dead client socket.
+    int64_t sse_progress_wait_ms = 500;
     /// Optional path to a static HTML client served at "/".
     std::string client_html_path;
   };
@@ -72,6 +79,8 @@ class ApiHttpFrontend {
   HttpResponse Route(const HttpRequest& req);
   HttpResponse RouteInner(const HttpRequest& req);
   HttpResponse Feed(const HttpRequest& req, const std::string& session_id);
+  /// SSE stream of a job's JobProgressResponse frames (GET /v1/jobs/{id}/stream).
+  HttpResponse JobStream(const HttpRequest& req, const std::string& job_id);
 
   api::ApiService* service_;
   Options opts_;

@@ -11,6 +11,7 @@
 
 #include "http/net.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace ifgen {
 namespace http {
@@ -18,6 +19,23 @@ namespace http {
 namespace {
 
 using internal::SendAll;
+
+/// Re-arms the socket receive timeout to whatever remains of a total
+/// deadline. SO_RCVTIMEO alone bounds each recv(), not the call: a peer
+/// trickling one byte (or one heartbeat frame) per timeout window resets
+/// the clock forever. Returns false when the total budget is spent.
+bool ArmRecvDeadline(int fd, int64_t timeout_ms, const Stopwatch& watch) {
+  if (timeout_ms <= 0) return true;  // no deadline: block indefinitely
+  const int64_t remaining = timeout_ms - watch.ElapsedMillis();
+  if (remaining <= 0) return false;
+  timeval tv{};
+  tv.tv_sec = remaining / 1000;
+  // Round up so a sub-millisecond remainder doesn't arm a zero (= infinite)
+  // timeout.
+  tv.tv_usec = static_cast<suseconds_t>((remaining % 1000) * 1000 + 999);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  return true;
+}
 
 Result<int> ConnectTo(const std::string& host, int port, int64_t timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -149,7 +167,9 @@ Status SseClient::Connect(const std::string& host, int port,
     Close();
     return Status::Internal("send failed");
   }
-  // Consume the response head.
+  // Consume the response head, bounded by the *total* timeout (not per-read,
+  // so a server dribbling header bytes cannot stall Connect indefinitely).
+  Stopwatch watch;
   while (true) {
     size_t end = buf_.find("\r\n\r\n");
     if (end != std::string::npos) {
@@ -163,6 +183,11 @@ Status SseClient::Connect(const std::string& host, int port,
       buf_.erase(0, end + 4);
       return Status::OK();
     }
+    if (!ArmRecvDeadline(fd_, timeout_ms, watch)) {
+      Close();
+      return Status::ResourceExhausted("SSE connect timeout after " +
+                                       std::to_string(timeout_ms) + "ms");
+    }
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n <= 0) {
@@ -175,10 +200,10 @@ Status SseClient::Connect(const std::string& host, int port,
 
 Result<std::string> SseClient::NextEvent(int64_t timeout_ms) {
   if (fd_ < 0) return Status::Invalid("SseClient not connected");
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  // Total deadline across however many recv() calls this event takes: a
+  // stalled (or byte-trickling) stream must not block the caller past
+  // timeout_ms.
+  Stopwatch watch;
   while (true) {
     // A complete frame ends with a blank line.
     size_t frame_end = buf_.find("\n\n");
@@ -194,6 +219,10 @@ Result<std::string> SseClient::NextEvent(int64_t timeout_ms) {
       }
       if (data.empty()) continue;  // comment/heartbeat frame
       return data;
+    }
+    if (!ArmRecvDeadline(fd_, timeout_ms, watch)) {
+      return Status::ResourceExhausted("SSE read timeout after " +
+                                       std::to_string(timeout_ms) + "ms");
     }
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);

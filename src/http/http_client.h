@@ -44,11 +44,15 @@ class SseClient {
   SseClient(const SseClient&) = delete;
   SseClient& operator=(const SseClient&) = delete;
 
+  /// `timeout_ms` bounds the connect plus the whole response-head read (a
+  /// total deadline, not per-recv); <= 0 waits indefinitely.
   Status Connect(const std::string& host, int port, const std::string& target,
                  int64_t timeout_ms = 10000);
 
   /// Next event's data payload; NotFound when the stream ended cleanly,
-  /// ResourceExhausted on read timeout.
+  /// ResourceExhausted on timeout. `timeout_ms` is a total deadline for the
+  /// call — a stream trickling partial bytes still times out; <= 0 waits
+  /// indefinitely.
   Result<std::string> NextEvent(int64_t timeout_ms = 10000);
 
   void Close();

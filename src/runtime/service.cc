@@ -94,6 +94,17 @@ uint64_t OptionsFingerprint(const GeneratorOptions& o) {
   h = HashU64(h, s.exhaustive_max_depth);
   h = HashU64(h, s.exhaustive_max_states);
 
+  // Anytime time control changes where the search stops, hence the result.
+  // (The stop/progress pointers are runtime wiring and deliberately NOT
+  // hashed: attaching a sink never changes the output.)
+  const TimeControlOptions& t = s.time_control;
+  h = HashU64(h, static_cast<uint64_t>(t.deadline_ms));
+  h = HashF64(h, t.target_cost);
+  h = HashF64(h, t.plateau_fraction);
+  h = HashU64(h, static_cast<uint64_t>(t.plateau_min_ms));
+  h = HashU64(h, t.check_interval);
+  h = HashF64(h, t.final_phase_fraction);
+
   const ParallelOptions& p = o.parallel;
   h = HashU64(h, p.num_threads);
   h = HashU64(h, static_cast<uint64_t>(p.mode));
@@ -267,7 +278,8 @@ GenerationService::JobInfo GenerationService::SnapshotLocked(
   info.queued_ms = MsBetween(rec.submitted, queue_end);
   if (rec.state == JobState::kRunning) {
     info.run_ms = MsBetween(rec.started, now);
-  } else if (rec.state == JobState::kDone || rec.state == JobState::kFailed) {
+  } else if (rec.state != JobState::kQueued) {
+    // Terminal. Queued-phase cancels have started == finished, i.e. 0.
     info.run_ms = rec.cache_hit ? 0 : MsBetween(rec.started, rec.finished);
   }
   info.result = rec.result;
@@ -284,6 +296,8 @@ std::function<void(Result<GeneratedInterface>)> GenerationService::FinishLocked(
   rec->error = std::move(error);
   rec->finished = Clock::now();
   if (rec->started == Clock::time_point()) rec->started = rec->finished;
+  // Terminal => the progress stream is complete; wake its long-pollers.
+  if (rec->progress != nullptr) rec->progress->Close();
   finished_order_.push_back(id);
   while (finished_order_.size() > job_history_capacity_) {
     jobs_.erase(finished_order_.front());
@@ -314,6 +328,8 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
     JobRecord& rec = jobs_[id];
     rec.submitted = Clock::now();
     rec.on_done = std::move(on_done);
+    rec.progress = std::make_shared<ProgressSink>();
+    rec.stop = std::make_shared<StopHandle>();
     ++jobs_pending_;
     ServiceMetrics::Get().jobs_pending->Set(static_cast<double>(jobs_pending_));
   }
@@ -340,6 +356,8 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
   }
 
   pool_.Submit([this, id, key, spec = std::move(spec)]() mutable {
+    std::shared_ptr<ProgressSink> progress;
+    std::shared_ptr<StopHandle> stop;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = jobs_.find(id);
@@ -348,9 +366,16 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
       }
       it->second.state = JobState::kRunning;
       it->second.started = Clock::now();
+      progress = it->second.progress;
+      stop = it->second.stop;
       ServiceMetrics::Get().queued_us->Observe(static_cast<double>(
           MsBetween(it->second.submitted, it->second.started) * 1000));
     }
+    // Live wiring: best-so-far improvements stream into the job's sink, and
+    // CancelJob can now abort the running search through the stop handle.
+    // Wired AFTER JobKey was computed, so cache keys stay value-only.
+    spec.options.search.progress = progress;
+    spec.options.search.stop = stop;
     // With tracing on, every span the generation emits on this thread is
     // also captured into a job-private recorder, served later through
     // JobInfo::trace (GET /v1/jobs/{id}/trace).
@@ -366,10 +391,14 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
     }();
     ServiceMetrics::Get().run_us->Observe(
         static_cast<double>(MsBetween(run_start, Clock::now()) * 1000));
+    // An abort via CancelJob leaves the stop handle latched with kCancelled;
+    // the generation still returned its best-so-far partial interface, which
+    // the cancelled record keeps — but must never enter the result cache.
+    const bool cancelled = stop->reason() == StopReason::kCancelled;
     std::shared_ptr<const GeneratedInterface> shared;
     if (result.ok()) {
       shared = std::make_shared<const GeneratedInterface>(*result);
-      CacheStore(key, shared);
+      if (!cancelled) CacheStore(key, shared);
     }
     std::function<void(Result<GeneratedInterface>)> cb;
     {
@@ -381,12 +410,20 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
       auto it = jobs_.find(id);
       if (it != jobs_.end()) {
         it->second.trace = job_trace;
-        cb = FinishLocked(id, &it->second,
-                          result.ok() ? JobState::kDone : JobState::kFailed,
-                          shared, result.ok() ? Status::OK() : result.status());
+        JobState final_state = result.ok() ? JobState::kDone : JobState::kFailed;
+        Status final_error = result.ok() ? Status::OK() : result.status();
+        if (cancelled) {
+          final_state = JobState::kCancelled;
+          final_error = Status::Cancelled("job cancelled while running");
+        }
+        cb = FinishLocked(id, &it->second, final_state, shared, final_error);
       }
     }
-    if (cb) cb(std::move(result));
+    if (cb) {
+      cb(cancelled ? Result<GeneratedInterface>(
+                         Status::Cancelled("job cancelled while running"))
+                   : std::move(result));
+    }
   });
   return id;
 }
@@ -443,11 +480,57 @@ Result<GenerationService::JobInfo> GenerationService::CancelJob(JobId id) {
       ServiceMetrics::Get().jobs_pending->Set(static_cast<double>(jobs_pending_));
       cb = FinishLocked(id, &it->second, JobState::kCancelled, nullptr,
                         Status::Cancelled("job cancelled while queued"));
+    } else if (it->second.state == JobState::kRunning) {
+      // Flag the running search; its hot loop observes the relaxed-atomic
+      // stop within one check interval and the worker then finishes the job
+      // as kCancelled with the best-so-far partial result. The snapshot
+      // returned here may still say kRunning — WaitJob sees the transition.
+      if (it->second.stop != nullptr) {
+        it->second.stop->RequestStop(StopReason::kCancelled);
+      }
     }
     info = SnapshotLocked(id, it->second);
   }
   if (cb) cb(Status::Cancelled("job cancelled while queued"));
   return info;
+}
+
+Result<GenerationService::JobProgress> GenerationService::GetJobProgress(
+    JobId id, uint64_t last_seen_version, int64_t wait_ms) {
+  std::shared_ptr<ProgressSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("unknown job id " + std::to_string(id));
+    }
+    sink = it->second.progress;
+  }
+  // Wait on the sink's own condvar outside mu_ (FinishLocked closes the
+  // sink before notifying, so a terminal transition wakes this too).
+  if (sink != nullptr && wait_ms > 0) {
+    sink->WaitVersionAbove(last_seen_version, wait_ms);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("job id " + std::to_string(id) +
+                            " evicted from history");
+  }
+  JobProgress p;
+  p.id = id;
+  p.state = it->second.state;
+  p.terminal = p.state == JobState::kDone || p.state == JobState::kFailed ||
+               p.state == JobState::kCancelled;
+  if (sink != nullptr) {
+    const ProgressSink::Event latest = sink->Latest();
+    p.version = latest.version;
+    p.best_cost = latest.cost;
+    p.iteration = latest.iteration;
+    p.ms = latest.ms;
+    p.best_tree = latest.tree;
+  }
+  return p;
 }
 
 size_t GenerationService::jobs_pending() const {

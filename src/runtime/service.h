@@ -19,6 +19,8 @@
 #include "obs/trace.h"
 #include "runtime/interactive.h"
 #include "runtime/thread_pool.h"
+#include "search/progress.h"
+#include "search/timeman.h"
 
 namespace ifgen {
 
@@ -35,7 +37,7 @@ enum class JobState : uint8_t {
   kRunning,     ///< a worker is generating
   kDone,        ///< result available
   kFailed,      ///< generation returned an error
-  kCancelled,   ///< cancelled while still queued
+  kCancelled,   ///< cancelled while queued or aborted while running
 };
 
 std::string_view JobStateName(JobState s);
@@ -88,7 +90,10 @@ class GenerationService {
     bool cache_hit = false;  ///< answered from the result cache
     int64_t queued_ms = 0;   ///< time spent waiting for a worker (so far)
     int64_t run_ms = 0;      ///< execution time (so far, when running)
-    std::shared_ptr<const GeneratedInterface> result;  ///< kDone only
+    /// kDone: the full result. kCancelled: the best-so-far partial result
+    /// when the job was aborted mid-run after at least one improvement was
+    /// published (null when cancelled while still queued).
+    std::shared_ptr<const GeneratedInterface> result;
     Status error;  ///< kFailed/kCancelled only
     /// Per-job span capture, present when tracing (obs::SetTracingEnabled)
     /// was on while the job executed. Export with ToChromeTraceJson().
@@ -114,11 +119,33 @@ class GenerationService {
   /// `terminal()` when they passed a timeout.
   Result<JobInfo> WaitJob(JobId id, int64_t timeout_ms = -1);
 
-  /// Cancels a job that is still queued (its state becomes kCancelled and
-  /// its error Cancelled) and returns the post-cancel snapshot. A job that
-  /// is already running or terminal is NOT interrupted — generation has no
-  /// preemption points — and its current snapshot is returned unchanged.
+  /// Cancels a job. Still queued: the state becomes kCancelled (error
+  /// Cancelled) immediately. Running: the job's StopHandle is flagged and
+  /// the search aborts within one check interval; the job then lands in
+  /// kCancelled carrying the best-so-far partial result (the returned
+  /// snapshot may still say kRunning — WaitJob observes the transition).
+  /// Terminal jobs are returned unchanged.
   Result<JobInfo> CancelJob(JobId id);
+
+  /// \brief Versioned best-so-far snapshot of a job's search progress (see
+  /// search/progress.h); the live anytime view GetJob cannot give until the
+  /// job is terminal.
+  struct JobProgress {
+    JobId id = 0;
+    JobState state = JobState::kQueued;
+    bool terminal = false;
+    uint64_t version = 0;    ///< publish count; 0 = no improvement yet
+    double best_cost = 0.0;  ///< latest published best cost
+    size_t iteration = 0;    ///< search iteration that found it
+    int64_t ms = 0;          ///< search-relative elapsed ms of that event
+    std::shared_ptr<const DiffTree> best_tree;  ///< null until version >= 1
+  };
+
+  /// Snapshot of a job's progress; with `wait_ms > 0`, blocks (condvar, like
+  /// WaitJob) until the version exceeds `last_seen_version`, the job turns
+  /// terminal, or the timeout elapses. NotFound for unknown/evicted ids.
+  Result<JobProgress> GetJobProgress(JobId id, uint64_t last_seen_version = 0,
+                                     int64_t wait_ms = 0);
 
   /// Jobs admitted but not yet terminal (queued + running).
   size_t jobs_pending() const;
@@ -206,6 +233,11 @@ class GenerationService {
     Status error;
     std::shared_ptr<const obs::TraceRecorder> trace;
     std::function<void(Result<GeneratedInterface>)> on_done;
+    /// Created at admission for every tracked job (and closed on every
+    /// terminal transition), so GetJobProgress always has a sink to watch.
+    std::shared_ptr<ProgressSink> progress;
+    /// Cancel/time-control stop flag, wired into the job's search options.
+    std::shared_ptr<StopHandle> stop;
   };
 
   Result<JobId> SubmitJobWithCallback(

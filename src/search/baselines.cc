@@ -9,15 +9,18 @@ namespace ifgen {
 Result<SearchResult> RandomSearcher::Run(const DiffTree& initial) {
   Rng rng(opts_.seed);
   Stopwatch watch;
-  Deadline deadline(opts_.time_budget_ms);
+  RunControl rc(opts_);
+  Deadline& deadline = rc.deadline();
   SearchStats stats;
   BestTracker best;
+  best.sink = opts_.progress.get();
   stats.initial_cost = evaluator_->SampleCost(initial, &rng);
   best.Offer(initial, stats.initial_cost, watch, 0, &stats);
 
-  while (!deadline.Expired()) {
+  while (!deadline.Expired() && !rc.Stopped()) {
     if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
     ++stats.iterations;
+    rc.Tick(watch, best.cost);
     // Same rollout machinery as MCTS (including intermediate-state
     // evaluation) so the comparison isolates the tree policy.
     DiffTree rollout_best;
@@ -29,28 +32,32 @@ Result<SearchResult> RandomSearcher::Run(const DiffTree& initial) {
   r.best_cost = best.cost;
   r.stats = std::move(stats);
   r.stats.elapsed_ms = watch.ElapsedMillis();
+  r.stats.stop_reason = rc.Resolve(r.stats.iterations);
   return r;
 }
 
 Result<SearchResult> GreedySearcher::Run(const DiffTree& initial) {
   Rng rng(opts_.seed);
   Stopwatch watch;
-  Deadline deadline(opts_.time_budget_ms);
+  RunControl rc(opts_);
+  Deadline& deadline = rc.deadline();
   SearchStats stats;
   BestTracker best;
+  best.sink = opts_.progress.get();
   stats.initial_cost = evaluator_->SampleCost(initial, &rng);
   best.Offer(initial, stats.initial_cost, watch, 0, &stats);
 
-  while (!deadline.Expired()) {
+  while (!deadline.Expired() && !rc.Stopped()) {
     if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
     // One hill-climbing run; restarts differ through the shared rng (the
     // evaluator's sampled assignments vary run to run).
     DiffTree current = initial;
     double current_cost = evaluator_->SampleCost(current, &rng);
     bool improved = true;
-    while (improved && !deadline.Expired()) {
+    while (improved && !deadline.Expired() && !rc.Stopped()) {
       if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
       ++stats.iterations;
+      rc.Tick(watch, best.cost);
       improved = false;
       std::vector<RuleApplication> apps = rules_->EnumerateApplications(current);
       stats.RecordFanout(apps.size());
@@ -80,15 +87,18 @@ Result<SearchResult> GreedySearcher::Run(const DiffTree& initial) {
   r.best_cost = best.cost;
   r.stats = std::move(stats);
   r.stats.elapsed_ms = watch.ElapsedMillis();
+  r.stats.stop_reason = rc.Resolve(r.stats.iterations);
   return r;
 }
 
 Result<SearchResult> BeamSearcher::Run(const DiffTree& initial) {
   Rng rng(opts_.seed);
   Stopwatch watch;
-  Deadline deadline(opts_.time_budget_ms);
+  RunControl rc(opts_);
+  Deadline& deadline = rc.deadline();
   SearchStats stats;
   BestTracker best;
+  best.sink = opts_.progress.get();
   stats.initial_cost = evaluator_->SampleCost(initial, &rng);
   best.Offer(initial, stats.initial_cost, watch, 0, &stats);
 
@@ -100,9 +110,10 @@ Result<SearchResult> BeamSearcher::Run(const DiffTree& initial) {
   beam.push_back({initial, stats.initial_cost});
   std::unordered_set<uint64_t> seen{initial.CanonicalHash()};
 
-  while (!deadline.Expired() && !beam.empty()) {
+  while (!deadline.Expired() && !rc.Stopped() && !beam.empty()) {
     if (opts_.max_iterations > 0 && stats.iterations >= opts_.max_iterations) break;
     ++stats.iterations;
+    rc.Tick(watch, best.cost);
     std::vector<Scored> next_level;
     for (const Scored& s : beam) {
       std::vector<RuleApplication> apps = rules_->EnumerateApplications(s.tree);
@@ -133,15 +144,18 @@ Result<SearchResult> BeamSearcher::Run(const DiffTree& initial) {
   r.best_cost = best.cost;
   r.stats = std::move(stats);
   r.stats.elapsed_ms = watch.ElapsedMillis();
+  r.stats.stop_reason = rc.Resolve(r.stats.iterations);
   return r;
 }
 
 Result<SearchResult> ExhaustiveSearcher::Run(const DiffTree& initial) {
   Rng rng(opts_.seed);
   Stopwatch watch;
-  Deadline deadline(opts_.time_budget_ms);
+  RunControl rc(opts_);
+  Deadline& deadline = rc.deadline();
   SearchStats stats;
   BestTracker best;
+  best.sink = opts_.progress.get();
   stats.initial_cost = evaluator_->SampleCost(initial, &rng);
   best.Offer(initial, stats.initial_cost, watch, 0, &stats);
 
@@ -156,13 +170,15 @@ Result<SearchResult> ExhaustiveSearcher::Run(const DiffTree& initial) {
   complete_ = true;
 
   while (!queue.empty()) {
-    if (deadline.Expired() || visited_states_ >= opts_.exhaustive_max_states) {
+    if (deadline.Expired() || rc.Stopped() ||
+        visited_states_ >= opts_.exhaustive_max_states) {
       complete_ = false;
       break;
     }
     Item item = std::move(queue.front());
     queue.pop_front();
     ++stats.iterations;
+    rc.Tick(watch, best.cost);
     if (item.depth >= opts_.exhaustive_max_depth) {
       complete_ = false;  // frontier truncated by the depth bound
       continue;
@@ -190,6 +206,7 @@ Result<SearchResult> ExhaustiveSearcher::Run(const DiffTree& initial) {
   r.best_cost = best.cost;
   r.stats = std::move(stats);
   r.stats.elapsed_ms = watch.ElapsedMillis();
+  r.stats.stop_reason = rc.Resolve(r.stats.iterations);
   return r;
 }
 

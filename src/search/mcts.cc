@@ -180,9 +180,23 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
   ensure_apps(root.get());
   p.tt->Visit(root->canonical);
 
+  // Anytime control: the stop flag is polled every iteration (relaxed
+  // atomic, negligible next to a rollout); the shared TimeManager is fed
+  // every check_interval iterations. With both null this loop is exactly
+  // the classic deadline/iteration-cap loop, draw for draw.
+  const uint32_t check_interval =
+      std::max<uint32_t>(1, opts.time_control.check_interval);
+  uint32_t since_check = 0;
+
   while (!deadline.Expired()) {
+    if (p.stop != nullptr && p.stop->stop_requested()) break;
     if (opts.max_iterations > 0 && stats.iterations >= opts.max_iterations) break;
     ++stats.iterations;
+    if (p.timeman != nullptr && ++since_check >= check_interval) {
+      p.timeman->Update(since_check, watch.ElapsedMillis(), p.best->CostSnapshot());
+      since_check = 0;
+      if (p.stop != nullptr && p.stop->stop_requested()) break;
+    }
 
     // 1. Selection: descend by UCT (PUCT with priors) while the widening
     // schedule offers no unexpanded action at the node.
@@ -363,9 +377,11 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
 Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   Rng rng(opts_.seed);
   Stopwatch watch;
-  Deadline deadline(opts_.time_budget_ms);
+  RunControl rc(opts_);
+  Deadline& deadline = rc.deadline();
   SearchStats stats;
   SharedBestTracker best;
+  best.sink = opts_.progress.get();
   // A single-shard table is exactly the old per-searcher unordered_set plus
   // an in-run cost memo.
   TranspositionTable tt(1);
@@ -386,6 +402,8 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   params.best = &best;
   params.stats = &stats;
   params.priors = priors.get();
+  params.stop = rc.stop();
+  params.timeman = rc.timeman();
   RunMctsTree(initial, params);
 
   SearchResult result;
@@ -393,6 +411,7 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   result.best_cost = best.cost;
   result.stats = std::move(stats);
   result.stats.elapsed_ms = watch.ElapsedMillis();
+  result.stats.stop_reason = rc.Resolve(result.stats.iterations);
   return result;
 }
 

@@ -20,6 +20,9 @@ struct SharedBestTracker {
   std::mutex mu;
   DiffTree tree;
   double cost = std::numeric_limits<double>::infinity();
+  /// Optional live publisher: every global improvement streams out as a
+  /// versioned ProgressSink event the moment it is accepted.
+  ProgressSink* sink = nullptr;
 
   bool Offer(const DiffTree& t, double c, const Stopwatch& watch, size_t iteration,
              SearchStats* stats) {
@@ -27,7 +30,9 @@ struct SharedBestTracker {
     if (c >= cost) return false;
     cost = c;
     tree = t;
-    stats->trace.push_back({watch.ElapsedMillis(), iteration, c});
+    const int64_t ms = watch.ElapsedMillis();
+    stats->trace.push_back({ms, iteration, c});
+    if (sink != nullptr) sink->Publish(t, c, iteration, ms);
     return true;
   }
 
@@ -69,6 +74,12 @@ struct MctsTreeParams {
   /// When non-null, receives (canonical, visits, total_reward) of every root
   /// child after the run — the raw material for root-ensemble merging.
   std::vector<RootActionStat>* root_actions = nullptr;
+  /// Anytime control (see timeman.h): `stop` is polled (relaxed) once per
+  /// iteration; `timeman` — shared across all trees of one search — is fed
+  /// every time_control.check_interval iterations. Both optional; null
+  /// leaves the classic loop untouched.
+  StopHandle* stop = nullptr;
+  TimeManager* timeman = nullptr;
 };
 
 /// Runs one MCTS tree to its deadline/iteration budget. The algorithm is

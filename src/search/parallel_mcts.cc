@@ -22,9 +22,11 @@ Result<SearchResult> ParallelMctsSearcher::Run(const DiffTree& initial) {
 Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initial) {
   const size_t trees = parallel_.num_threads;
   Stopwatch watch;
-  Deadline deadline(opts_.time_budget_ms);
+  RunControl rc(opts_);
+  Deadline& deadline = rc.deadline();
   TranspositionTable tt(parallel_.tt_shards);
   SharedBestTracker best;
+  best.sink = opts_.progress.get();
 
   // One prior model for the whole ensemble: it is immutable after
   // construction, so all trees read it concurrently, and building it once
@@ -77,6 +79,8 @@ Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initi
         params.priors = priors.get();
         params.anchor_cost = c0_raw;
         params.root_actions = &tree_actions[t];
+        params.stop = rc.stop();
+        params.timeman = rc.timeman();
         RunMctsTree(initial, params);
       });
     }
@@ -103,6 +107,7 @@ Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initi
   result.stats.trees = trees;
   result.stats.transposition_hits = tt.transposition_hits();
   result.stats.elapsed_ms = watch.ElapsedMillis();
+  result.stats.stop_reason = rc.Resolve(result.stats.iterations);
   result.root_actions.reserve(merged.size());
   for (const auto& [key, a] : merged) result.root_actions.push_back(a);
   std::sort(result.root_actions.begin(), result.root_actions.end(),
@@ -117,9 +122,11 @@ Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initi
 
 Result<SearchResult> ParallelMctsSearcher::RunLeafParallel(const DiffTree& initial) {
   Stopwatch watch;
-  Deadline deadline(opts_.time_budget_ms);
+  RunControl rc(opts_);
+  Deadline& deadline = rc.deadline();
   TranspositionTable tt(parallel_.tt_shards);
   SharedBestTracker best;
+  best.sink = opts_.progress.get();
   SearchStats stats;
   Rng rng(opts_.seed);
   ThreadPool pool(parallel_.num_threads);
@@ -142,6 +149,8 @@ Result<SearchResult> ParallelMctsSearcher::RunLeafParallel(const DiffTree& initi
   params.priors = priors.get();
   params.leaf_pool = &pool;
   params.leaf_rollouts = std::max<size_t>(1, parallel_.leaf_rollouts);
+  params.stop = rc.stop();
+  params.timeman = rc.timeman();
   RunMctsTree(initial, params);
 
   SearchResult result;
@@ -149,6 +158,7 @@ Result<SearchResult> ParallelMctsSearcher::RunLeafParallel(const DiffTree& initi
   result.best_cost = best.cost;
   result.stats = std::move(stats);
   result.stats.elapsed_ms = watch.ElapsedMillis();
+  result.stats.stop_reason = rc.Resolve(result.stats.iterations);
   return result;
 }
 

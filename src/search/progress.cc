@@ -1,0 +1,97 @@
+#include "search/progress.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace ifgen {
+
+namespace {
+
+obs::Counter& ProgressEventsMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_progress_events_total",
+      "Best-so-far improvements published by search progress sinks");
+  return *c;
+}
+
+obs::Histogram& FirstResultMetric() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+      "ifgen_progress_first_result_us",
+      "Time from progress-sink creation to the first published best-so-far "
+      "result (microseconds)",
+      obs::HistogramOptions{64.0, 2.0, 20});
+  return *h;
+}
+
+}  // namespace
+
+void ProgressSink::Publish(const DiffTree& tree, double cost, size_t iteration,
+                          int64_t ms) {
+  bool first = false;
+  int64_t first_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    first = version_ == 0;
+    if (first) first_us = birth_.ElapsedMicros();
+    Event e;
+    e.version = ++version_;
+    e.cost = cost;
+    e.iteration = iteration;
+    e.ms = ms;
+    e.tree = std::make_shared<DiffTree>(tree);
+    if (events_.size() >= kMaxHistory) events_.erase(events_.begin());
+    events_.push_back(std::move(e));
+  }
+  cv_.notify_all();
+  ProgressEventsMetric().Inc();
+  if (first) FirstResultMetric().Observe(static_cast<double>(first_us));
+}
+
+ProgressSink::Event ProgressSink::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.empty()) return Event{};
+  return events_.back();
+}
+
+std::vector<ProgressSink::Event> ProgressSink::EventsAfter(
+    uint64_t last_seen) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.version > last_seen) out.push_back(e);
+  }
+  return out;
+}
+
+uint64_t ProgressSink::WaitVersionAbove(uint64_t last_seen,
+                                        int64_t wait_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (wait_ms > 0) {
+    cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                 [&] { return version_ > last_seen || closed_; });
+  }
+  return version_;
+}
+
+uint64_t ProgressSink::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+void ProgressSink::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ProgressSink::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace ifgen

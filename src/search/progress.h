@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file
+/// \brief Thread-safe publisher of best-so-far search improvements.
+///
+/// Every time a searcher's best tracker accepts a new lowest-cost DiffTree,
+/// it publishes a versioned Event here; consumers (GenerationService job
+/// records, the HTTP long-poll/SSE endpoints, tests) read the latest
+/// snapshot or block on a condvar for the next version — the anytime curve
+/// streamed live instead of reconstructed post-hoc from SearchStats::trace.
+///
+/// Publishing consumes no RNG draws and never changes control flow in the
+/// search, so attaching a sink cannot perturb results: a run with a sink is
+/// bit-identical to a run without one.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "difftree/difftree.h"
+#include "util/timer.h"
+
+namespace ifgen {
+
+/// \brief Versioned best-so-far stream with a bounded replay buffer.
+///
+/// Versions start at 1 and increase by one per published improvement, so
+/// `version() > last_seen` is the long-poll wakeup predicate. The history
+/// keeps the most recent kMaxHistory events (drop-oldest); the latest event
+/// is always retained.
+class ProgressSink {
+ public:
+  struct Event {
+    uint64_t version = 0;   ///< 1-based publish sequence number
+    double cost = 0.0;      ///< the new best cost
+    size_t iteration = 0;   ///< search iteration that found it
+    int64_t ms = 0;         ///< search-relative elapsed milliseconds
+    std::shared_ptr<const DiffTree> tree;  ///< the new best state
+  };
+
+  static constexpr size_t kMaxHistory = 256;
+
+  ProgressSink() = default;
+  ProgressSink(const ProgressSink&) = delete;
+  ProgressSink& operator=(const ProgressSink&) = delete;
+
+  /// Records a new best-so-far (copies the tree) and wakes all waiters.
+  /// Publishing after Close() is ignored (late stragglers on shutdown).
+  void Publish(const DiffTree& tree, double cost, size_t iteration, int64_t ms);
+
+  /// Latest event, or a default Event (version 0, null tree) before the
+  /// first publish.
+  Event Latest() const;
+
+  /// Events with version > last_seen, oldest first. Events that fell out of
+  /// the bounded history are gone; the caller sees the gap as a version
+  /// jump (versions remain strictly increasing).
+  std::vector<Event> EventsAfter(uint64_t last_seen) const;
+
+  /// Blocks until version() > last_seen, the sink is closed, or wait_ms
+  /// elapses (wait_ms <= 0 returns immediately). Returns version().
+  uint64_t WaitVersionAbove(uint64_t last_seen, int64_t wait_ms) const;
+
+  uint64_t version() const;
+
+  /// Marks the stream complete (terminal job state) and wakes all waiters.
+  /// Idempotent.
+  void Close();
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<Event> events_;
+  uint64_t version_ = 0;
+  bool closed_ = false;
+  Stopwatch birth_;  ///< time-to-first-result observability anchor
+};
+
+}  // namespace ifgen

@@ -4,6 +4,34 @@
 
 namespace ifgen {
 
+RunControl::RunControl(const SearchOptions& opts)
+    : opts_(opts),
+      deadline_(EffectiveSearchBudgetMs(opts.time_budget_ms, opts.time_control)) {
+  const bool active = opts.time_control.active();
+  if (opts.stop != nullptr) {
+    stop_ = opts.stop.get();
+  } else if (active) {
+    stop_ = &local_stop_;
+  }
+  if (active) {
+    timeman_ = std::make_unique<TimeManager>(opts.time_control,
+                                             opts.max_iterations, stop_);
+    check_interval_ = std::max<uint32_t>(1, opts.time_control.check_interval);
+  }
+}
+
+void RunControl::Tick(const Stopwatch& watch, double best_cost) {
+  if (timeman_ == nullptr) return;
+  if (++since_check_ < check_interval_) return;
+  timeman_->Update(since_check_, watch.ElapsedMillis(), best_cost);
+  since_check_ = 0;
+}
+
+StopReason RunControl::Resolve(size_t iterations) const {
+  return ResolveStopReason(stop_, deadline_.Expired(), opts_.time_budget_ms,
+                           opts_.time_control, iterations, opts_.max_iterations);
+}
+
 void SearchStats::Merge(const SearchStats& other) {
   iterations += other.iterations;
   states_expanded += other.states_expanded;
@@ -11,6 +39,7 @@ void SearchStats::Merge(const SearchStats& other) {
   rollout_steps += other.rollout_steps;
   transposition_hits += other.transposition_hits;
   if (initial_cost == 0.0) initial_cost = other.initial_cost;
+  if (stop_reason == StopReason::kNone) stop_reason = other.stop_reason;
   fanout_samples += other.fanout_samples;
   fanout_sum += other.fanout_sum;
   fanout_max = std::max(fanout_max, other.fanout_max);

@@ -4,9 +4,13 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 #include "cost/evaluator.h"
 #include "difftree/difftree.h"
 #include "rules/rule.h"
+#include "search/progress.h"
+#include "search/timeman.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -101,6 +105,20 @@ struct SearchOptions {
   // Exhaustive.
   size_t exhaustive_max_depth = 6;
   size_t exhaustive_max_states = 5000;
+
+  /// Anytime/deadline control (see search/timeman.h). Value-only knobs;
+  /// part of the service's options fingerprint. Inactive by default, in
+  /// which case the searchers run the classic time_budget_ms loop and stay
+  /// bit-identical to the pre-anytime behavior.
+  TimeControlOptions time_control;
+  /// External stop flag, shared with CancelJob and the TimeManager. Null =
+  /// never stopped externally. Runtime wiring only — NOT part of any cache
+  /// key or fingerprint.
+  std::shared_ptr<StopHandle> stop;
+  /// Best-so-far publisher: every accepted improvement streams out as a
+  /// versioned event. Null = off. Publishing consumes no RNG draws and
+  /// changes no control flow, so attaching a sink never perturbs results.
+  std::shared_ptr<ProgressSink> progress;
 };
 
 /// \brief (time, cost) samples of the best-so-far curve, for anytime plots.
@@ -135,6 +153,8 @@ struct SearchStats {
   int64_t elapsed_ms = 0;
   /// Search trees contributing to this result (> 1 for root-parallel).
   size_t trees = 1;
+  /// Why the loop stopped (kNone only while still running); see timeman.h.
+  StopReason stop_reason = StopReason::kNone;
   std::vector<BestTrace> trace;
 
   // Fanout distribution (number of applicable rules per visited state).
@@ -194,6 +214,46 @@ double RolloutAndEvaluateState(const RolloutContext& ctx, const DiffTree& start,
 bool RolloutStepRandom(const RolloutContext& ctx, DiffTree* state,
                        std::vector<RuleApplication>* apps, Rng* rng);
 
+/// \brief Per-run wiring of the anytime controls, shared by every searcher:
+/// the effective deadline (plain time budget vs the deadline's search
+/// slice), a stop handle (the caller-supplied one, or a run-local one when
+/// time control is active), and an optional TimeManager latching into it.
+///
+/// With time control off and no external stop handle this degenerates to
+/// the classic `Deadline(time_budget_ms)` with a null stop pointer — the
+/// loop shape (and hence every RNG draw) is unchanged.
+class RunControl {
+ public:
+  explicit RunControl(const SearchOptions& opts);
+
+  Deadline& deadline() { return deadline_; }
+  /// Null when neither an external stop nor time control is in play — the
+  /// hot loop then skips even the relaxed atomic poll.
+  StopHandle* stop() { return stop_; }
+  TimeManager* timeman() { return timeman_.get(); }
+
+  /// True when the loop should stop now (external cancel or a latched
+  /// time-manager decision).
+  bool Stopped() const { return stop_ != nullptr && stop_->stop_requested(); }
+
+  /// Per-iteration tick for single-tree loops: consults the TimeManager
+  /// every check_interval iterations. (RunMctsTree drives the shared
+  /// TimeManager itself so root-parallel trees feed one state machine.)
+  void Tick(const Stopwatch& watch, double best_cost);
+
+  /// Final stop-reason resolution once the loop exits.
+  StopReason Resolve(size_t iterations) const;
+
+ private:
+  const SearchOptions& opts_;
+  Deadline deadline_;
+  StopHandle local_stop_;
+  StopHandle* stop_ = nullptr;
+  std::unique_ptr<TimeManager> timeman_;
+  uint32_t check_interval_ = 16;
+  uint32_t since_check_ = 0;
+};
+
 /// \brief Base class wiring a searcher to the rule engine and evaluator.
 class Searcher {
  public:
@@ -209,12 +269,15 @@ class Searcher {
   struct BestTracker {
     DiffTree tree;
     double cost = std::numeric_limits<double>::infinity();
+    ProgressSink* sink = nullptr;  ///< optional live publisher of improvements
     bool Offer(const DiffTree& t, double c, const Stopwatch& watch, size_t iteration,
                SearchStats* stats) {
       if (c >= cost) return false;
       cost = c;
       tree = t;
-      stats->trace.push_back({watch.ElapsedMillis(), iteration, c});
+      const int64_t ms = watch.ElapsedMillis();
+      stats->trace.push_back({ms, iteration, c});
+      if (sink != nullptr) sink->Publish(t, c, iteration, ms);
       return true;
     }
   };

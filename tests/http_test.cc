@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <limits>
 #include <thread>
 
 #include "api/api_service.h"
@@ -453,6 +456,225 @@ TEST_F(HttpTest, SseStreamsEventBatches) {
   ASSERT_TRUE(
       hanging.Connect(kHost, port_, "/v1/sessions/" + sid + "/feed?sse=1").ok());
   frontend_->Stop();  // must unblock the stream loop and join workers
+}
+
+// ---------------------------------------------------- job progress + stream
+
+/// Submits a flights job WITHOUT waiting for completion; `max_iterations`
+/// sizes the run so streaming tests have a mid-run window to observe.
+std::string SubmitFlightsJob(int port, int max_iterations, int seed) {
+  JsonValue body = JsonValue::Object();
+  body.Set("workload", JsonValue::Str("flights"));
+  JsonValue options = JsonValue::Object();
+  options.Set("time_budget_ms", JsonValue::Int(0));
+  options.Set("max_iterations", JsonValue::Int(max_iterations));
+  options.Set("seed", JsonValue::Int(seed));
+  body.Set("options", std::move(options));
+  auto resp = http::Post("127.0.0.1", port, "/v1/generate", WriteJson(body));
+  EXPECT_TRUE(resp.ok());
+  if (!resp.ok()) return "";
+  EXPECT_EQ(resp->status, 202) << resp->body;
+  auto parsed = ParseJson(resp->body);
+  EXPECT_TRUE(parsed.ok());
+  const JsonValue* job_id = parsed->Find("job_id");
+  EXPECT_NE(job_id, nullptr);
+  return job_id != nullptr ? job_id->AsString() : "";
+}
+
+TEST_F(HttpTest, JobProgressLongPollStrictlyIncreasingNoLostFinal) {
+  StartServer();
+  const std::string job_id = SubmitFlightsJob(port_, 40, 21);
+  ASSERT_FALSE(job_id.empty());
+
+  // Concurrent pollers: each must independently observe a strictly
+  // increasing version sequence and must not miss the terminal frame.
+  constexpr int kPollers = 3;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<int64_t>> seen(kPollers);
+  // Not vector<bool>: its bit-packing makes per-thread writes to distinct
+  // indices race on the shared word.
+  std::array<std::atomic<bool>, kPollers> got_final{};
+  for (int t = 0; t < kPollers; ++t) {
+    threads.emplace_back([&, t] {
+      int64_t last_seen = 0;
+      for (int polls = 0; polls < 600; ++polls) {
+        auto resp = http::Get(kHost, port_,
+                              "/v1/jobs/" + job_id + "/progress?version=" +
+                                  std::to_string(last_seen) + "&wait_ms=2000");
+        ASSERT_TRUE(resp.ok());
+        ASSERT_EQ(resp->status, 200) << resp->body;
+        auto parsed = ParseJson(resp->body);
+        ASSERT_TRUE(parsed.ok());
+        // Every frame must round-trip through the DTO codec.
+        auto frame = api::JobProgressResponse::FromJson(*parsed);
+        ASSERT_TRUE(frame.ok()) << resp->body;
+        if (frame->version > last_seen) {
+          seen[t].push_back(frame->version);
+          last_seen = frame->version;
+        }
+        if (frame->final_frame) {
+          got_final[t] = true;
+          EXPECT_EQ(frame->state, "done");
+          ASSERT_TRUE(frame->partial.has_value())
+              << "final frame must embed the result";
+          EXPECT_EQ(frame->partial->workload, "flights");
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kPollers; ++t) {
+    SCOPED_TRACE(t);
+    EXPECT_TRUE(got_final[t]) << "poller lost the terminal update";
+    for (size_t i = 1; i < seen[t].size(); ++i) {
+      EXPECT_GT(seen[t][i], seen[t][i - 1]) << "versions must strictly increase";
+    }
+  }
+}
+
+TEST_F(HttpTest, JobStreamSseToCompletion) {
+  StartServer();
+  const std::string job_id = SubmitFlightsJob(port_, 60, 23);
+  ASSERT_FALSE(job_id.empty());
+
+  http::SseClient sse;
+  ASSERT_TRUE(sse.Connect(kHost, port_, "/v1/jobs/" + job_id + "/stream").ok());
+
+  int64_t last_version = 0;
+  double last_cost = std::numeric_limits<double>::infinity();
+  int mid_run_frames = 0;
+  bool final_seen = false;
+  while (!final_seen) {
+    auto event = sse.NextEvent(/*timeout_ms=*/30000);
+    ASSERT_TRUE(event.ok()) << event.status().ToString();
+    auto parsed = ParseJson(*event);
+    ASSERT_TRUE(parsed.ok()) << *event;
+    auto frame = api::JobProgressResponse::FromJson(*parsed);
+    ASSERT_TRUE(frame.ok()) << *event;
+    EXPECT_GE(frame->version, last_version) << "stream went backwards";
+    if (frame->final_frame) {
+      final_seen = true;
+      EXPECT_EQ(frame->state, "done");
+      ASSERT_TRUE(frame->partial.has_value());
+      // The final embedded result is the full interface: widgets present.
+      EXPECT_TRUE(frame->partial->widgets.is_object());
+      EXPECT_GT(frame->partial->widgets.size(), 0u);
+    } else if (frame->version > last_version) {
+      ++mid_run_frames;
+      // Mid-run partials carry the best-so-far difftree and its cost, and
+      // the stream is strictly improving.
+      ASSERT_TRUE(frame->partial.has_value());
+      const JsonValue* total = frame->partial->cost.Find("total");
+      ASSERT_NE(total, nullptr);
+      EXPECT_LT(total->AsDouble(), last_cost) << "partials must improve";
+      last_cost = total->AsDouble();
+      EXPECT_GT(frame->partial->difftree.size(), 0u);
+    }
+    last_version = frame->version;
+  }
+  EXPECT_GE(mid_run_frames, 1)
+      << "stream ended without a single mid-run improvement frame";
+  sse.Close();
+}
+
+TEST_F(HttpTest, JobStreamClientDisconnectMidStreamLeavesServerHealthy) {
+  StartServer();
+  const std::string job_id = SubmitFlightsJob(port_, 60, 29);
+  ASSERT_FALSE(job_id.empty());
+
+  {
+    http::SseClient sse;
+    ASSERT_TRUE(sse.Connect(kHost, port_, "/v1/jobs/" + job_id + "/stream").ok());
+    auto event = sse.NextEvent(/*timeout_ms=*/30000);
+    ASSERT_TRUE(event.ok()) << event.status().ToString();
+    sse.Close();  // hang up mid-stream
+  }
+
+  // The job must still run to completion and the server keep serving.
+  JsonValue status =
+      Call("GET", "/v1/jobs/" + job_id + "?wait_ms=30000", "", 200);
+  ASSERT_NE(status.Find("state"), nullptr);
+  EXPECT_EQ(status.Find("state")->AsString(), "done");
+  JsonValue health = Call("GET", "/v1/healthz", "", 200);
+  EXPECT_EQ(health.Find("status")->AsString(), "ok");
+}
+
+TEST_F(HttpTest, JobStreamForUnknownJobEmitsErrorEvent) {
+  StartServer();
+  http::SseClient sse;
+  ASSERT_TRUE(sse.Connect(kHost, port_, "/v1/jobs/j-424242/stream").ok());
+  auto event = sse.NextEvent(/*timeout_ms=*/5000);
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  auto parsed = ParseJson(*event);
+  ASSERT_TRUE(parsed.ok()) << *event;
+  ASSERT_NE(parsed->Find("code"), nullptr);
+  EXPECT_EQ(parsed->Find("code")->AsString(), "NotFound");
+}
+
+TEST_F(HttpTest, CancelRunningJobOverHttpReturnsPartialResult) {
+  StartServer();
+  // Big budget: the cancel must land mid-run.
+  const std::string job_id = SubmitFlightsJob(port_, 5000, 31);
+  ASSERT_FALSE(job_id.empty());
+
+  // Wait until at least one improvement is published, then cancel.
+  JsonValue first = Call(
+      "GET", "/v1/jobs/" + job_id + "/progress?version=0&wait_ms=20000", "", 200);
+  ASSERT_NE(first.Find("version"), nullptr);
+  ASSERT_GE(first.Find("version")->AsInt(), 1);
+  Call("POST", "/v1/jobs/" + job_id + "/cancel", "", 200);
+
+  JsonValue status =
+      Call("GET", "/v1/jobs/" + job_id + "?wait_ms=30000", "", 200);
+  ASSERT_NE(status.Find("state"), nullptr);
+  EXPECT_EQ(status.Find("state")->AsString(), "cancelled");
+  // Both the Cancelled error and the best-so-far partial ride along.
+  ASSERT_NE(status.Find("error"), nullptr);
+  EXPECT_EQ(status.Find("error")->Find("code")->AsString(), "Cancelled");
+  ASSERT_NE(status.Find("result"), nullptr)
+      << "cancelled mid-run job must carry its best-so-far partial";
+  auto result = api::GenerateResponse::FromJson(*status.Find("result"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.stop_reason, "cancelled");
+}
+
+/// The SseClient timeout is a *total* deadline: a server trickling heartbeat
+/// frames forever (bytes arriving well within every per-recv window) must
+/// still time the client out.
+TEST(SseClientTimeout, TricklingStreamHonorsTotalDeadline) {
+  http::HttpServer server;
+  http::HttpServer::Options opts;
+  opts.port = 0;
+  opts.num_threads = 1;
+  ASSERT_TRUE(server
+                  .Start(opts,
+                         [](const http::HttpRequest&) {
+                           http::HttpResponse r;
+                           r.content_type = "text/event-stream";
+                           r.stream = [](http::HttpStream* stream) {
+                             // Heartbeats only — never a data frame.
+                             for (int i = 0; i < 200 && stream->alive(); ++i) {
+                               if (!stream->Write(": heartbeat\n\n")) return;
+                               std::this_thread::sleep_for(
+                                   std::chrono::milliseconds(20));
+                             }
+                           };
+                           return r;
+                         })
+                  .ok());
+  http::SseClient sse;
+  ASSERT_TRUE(sse.Connect("127.0.0.1", server.port(), "/trickle").ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto event = sse.NextEvent(/*timeout_ms=*/300);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  ASSERT_FALSE(event.ok()) << "heartbeat-only stream must not yield an event";
+  EXPECT_EQ(event.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(elapsed, 3000)
+      << "timeout must bound the whole call, not each recv";
+  server.Stop();
 }
 
 TEST_F(HttpTest, ConcurrentSessionsAndPollersOverHttp) {
