@@ -1,0 +1,183 @@
+// The sharded serving entry point: N worker processes (each a full
+// ApiService speaking the v1 RPC envelope over a local socket) behind one
+// ClusterRouter + HTTP/SSE front-end. The HTTP surface is identical to
+// serve_http — clients cannot tell a cluster from a single process (the
+// differential test in tests/cluster_test.cc pins this bit-identical) —
+// but jobs shard across processes and a dead worker only loses its own
+// jobs while new submissions reroute. See docs/cluster.md.
+//
+//   ./serve_cluster --port 8080 --workers 3 --rows 2000
+//
+// Flags: --port N (HTTP port; default 8080, 0 = ephemeral), --host A.B.C.D,
+// --workers N (worker processes; default 3), --rows N (rows per workload
+// table in each worker; 0 = defaults), --threads N (HTTP workers),
+// --worker-threads N (generation threads per worker), --max-pending N
+// (per-worker job-queue bound -> HTTP 429), --session-ttl-ms N,
+// --client PATH, --cors ORIGIN, --log-level LEVEL, --trace.
+//
+// Each worker line below is machine-readable for scripts/cluster_smoke.py:
+//   worker <index> pid <pid> port <port>
+// SIGINT/SIGTERM drain the workers (finish running jobs, refuse new ones)
+// before terminating them SIGTERM-first.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_router.h"
+#include "cluster/process.h"
+#include "http/api_http.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+using namespace ifgen;  // NOLINT
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return dflt;
+}
+
+const char* FlagStr(int argc, char** argv, const char* name, const char* dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return dflt;
+}
+
+bool FlagBool(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Workers re-exec this binary; the guard must run before anything else.
+  if (cluster::IsWorkerInvocation(argc, argv)) {
+    InitLogLevelFromEnv();
+    return cluster::RunWorkerMain(argc, argv);
+  }
+
+  InitLogLevelFromEnv();
+  if (const char* level = FlagStr(argc, argv, "--log-level", nullptr)) {
+    LogLevel parsed;
+    if (!ParseLogLevel(level, &parsed)) {
+      std::fprintf(stderr,
+                   "bad --log-level '%s' (want debug|info|warning|error|fatal)\n",
+                   level);
+      return 1;
+    }
+    SetLogLevel(parsed);
+  }
+  if (FlagBool(argc, argv, "--trace")) obs::SetTracingEnabled(true);
+
+  const int num_workers =
+      static_cast<int>(FlagInt(argc, argv, "--workers", 3));
+  if (num_workers < 1 || num_workers > 64) {
+    std::fprintf(stderr, "--workers must be in [1, 64]\n");
+    return 1;
+  }
+
+  auto self = cluster::SelfExePath();
+  if (!self.ok()) {
+    std::fprintf(stderr, "cannot resolve own binary: %s\n",
+                 self.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> worker_args = {
+      "--rows", std::to_string(FlagInt(argc, argv, "--rows", 0)),
+      "--threads", std::to_string(FlagInt(argc, argv, "--worker-threads", 2)),
+      "--max-pending", std::to_string(FlagInt(argc, argv, "--max-pending", 64)),
+      "--session-ttl-ms",
+      std::to_string(FlagInt(argc, argv, "--session-ttl-ms", 10 * 60 * 1000))};
+  if (FlagBool(argc, argv, "--trace")) worker_args.push_back("--trace");
+
+  std::printf("spawning %d worker(s)...\n", num_workers);
+  std::fflush(stdout);
+  std::vector<cluster::SpawnedWorker> spawned;
+  cluster::ClusterRouter::Options ropts;
+  for (int i = 0; i < num_workers; ++i) {
+    auto w = cluster::SpawnWorkerProcess(*self, worker_args);
+    if (!w.ok()) {
+      std::fprintf(stderr, "worker %d failed to start: %s\n", i,
+                   w.status().ToString().c_str());
+      for (const cluster::SpawnedWorker& alive : spawned) {
+        cluster::TerminateWorker(alive.pid);
+      }
+      return 1;
+    }
+    std::printf("worker %d pid %d port %d\n", i, static_cast<int>(w->pid),
+                w->port);
+    std::fflush(stdout);
+    spawned.push_back(*w);
+    ropts.workers.push_back({"127.0.0.1", w->port});
+  }
+
+  cluster::ClusterRouter router;
+  if (Status st = router.Start(std::move(ropts)); !st.ok()) {
+    std::fprintf(stderr, "router start failed: %s\n", st.ToString().c_str());
+    for (const cluster::SpawnedWorker& w : spawned) {
+      cluster::TerminateWorker(w.pid);
+    }
+    return 1;
+  }
+
+  http::ApiHttpFrontend frontend(&router);
+  http::ApiHttpFrontend::Options fopts;
+  fopts.http.host = FlagStr(argc, argv, "--host", "127.0.0.1");
+  fopts.http.port = static_cast<int>(FlagInt(argc, argv, "--port", 8080));
+  fopts.http.num_threads = static_cast<size_t>(FlagInt(argc, argv, "--threads", 8));
+  fopts.http.cors_allow_origin = FlagStr(argc, argv, "--cors", "");
+  fopts.client_html_path =
+      FlagStr(argc, argv, "--client", "examples/web/client.html");
+  if (Status st = frontend.Start(fopts); !st.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", st.ToString().c_str());
+    router.Stop();
+    for (const cluster::SpawnedWorker& w : spawned) {
+      cluster::TerminateWorker(w.pid);
+    }
+    return 1;
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::printf("listening on http://%s:%d  (%d workers; /v1/cluster for health)\n",
+              fopts.http.host.c_str(), frontend.port(), num_workers);
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  // Graceful drain: stop taking HTTP traffic, tell workers to finish what
+  // they have, then SIGTERM each (workers drain again on their own, so the
+  // wait here is belt-and-braces for short jobs).
+  std::printf("shutting down...\n");
+  std::fflush(stdout);
+  frontend.Stop();
+  router.DrainWorkers();
+  router.WaitDrained(10000);
+  router.Stop();
+  for (const cluster::SpawnedWorker& w : spawned) {
+    if (Status st = cluster::TerminateWorker(w.pid); !st.ok()) {
+      std::fprintf(stderr, "worker pid %d: %s\n", static_cast<int>(w.pid),
+                   st.ToString().c_str());
+    }
+  }
+  std::printf("all workers stopped\n");
+  return 0;
+}

@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "service init failed: %s\n", svc.status().ToString().c_str());
     return 1;
   }
-  api::CatalogResponse catalog = (*svc)->Catalog();
+  api::CatalogResponse catalog = *(*svc)->Catalog();
   for (const api::WorkloadInfo& w : catalog.workloads) {
     std::printf("  workload %-10s %lld queries, %zu table(s)\n", w.name.c_str(),
                 static_cast<long long>(w.queries), w.tables.size());
@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
   }
   std::printf("shutting down...\n");
   frontend.Stop();
-  api::StatsResponse stats = (*svc)->Stats();
+  api::StatsResponse stats = *(*svc)->Stats();
   std::printf("served %lld job(s), %lld session(s), %lld interaction step(s)\n",
               static_cast<long long>(stats.jobs_submitted),
               static_cast<long long>(stats.sessions_opened),

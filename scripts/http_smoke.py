@@ -270,8 +270,33 @@ def main():
         if not saw_changes:
             fail("no widget event produced a non-empty diff batch")
 
+        # Errors carry the retry contract on the wire: an unknown job is a
+        # structured 404 with retryable explicitly false.
+        try:
+            call("GET", "/v1/jobs/j-99999")
+            fail("unknown job id did not answer 404")
+        except urllib.error.HTTPError as e:
+            if e.code != 404:
+                fail(f"unknown job answered HTTP {e.code}, want 404")
+            body = json.loads(e.read().decode())
+            if body.get("code") != "NotFound" or body.get("retryable") is not False:
+                fail(f"unknown-job error body malformed: {body}")
+        print("error body: 404 NotFound, retryable=False")
+
         stats = call("GET", "/v1/stats")
+        for key in ("jobs", "sessions", "runtime", "backends", "cluster"):
+            if key not in stats:
+                fail(f"/v1/stats missing nested '{key}' component")
+        if stats["jobs"]["submitted"] < 2 or stats["sessions"]["opened"] < 1:
+            fail(f"stats counters implausible: {stats}")
+        if stats["cluster"]["workers"]:
+            fail("single-process /v1/stats must report no cluster workers")
         print(f"stats: jobs={stats['jobs']} sessions={stats['sessions']}")
+
+        cluster = call("GET", "/v1/cluster")
+        if cluster["mode"] != "single" or cluster["workers"]:
+            fail(f"/v1/cluster must report single-process mode: {cluster}")
+        print(f"cluster: mode={cluster['mode']}")
 
         # One scrape must cover search, cost, engine, runtime, and http.
         metrics = call_raw("GET", "/v1/metrics")

@@ -187,10 +187,10 @@ JobStatusResponse ApiService::BuildJobStatus(const GenerationService::JobInfo& i
       auto it = job_meta_.find(info.id);
       if (it != job_meta_.end()) meta = it->second;
     }
-    resp.result = BuildGenerateResponse(info.id, *info.result, meta);
+    resp.result.value = BuildGenerateResponse(info.id, *info.result, meta);
   }
   if (!info.error.ok()) {
-    resp.error = ErrorBody::FromStatus(info.error);
+    resp.result.error = ErrorBody::FromStatus(info.error);
   }
   return resp;
 }
@@ -233,11 +233,15 @@ Result<JobProgressResponse> ApiService::GetJobProgress(const std::string& job_id
     if (it != job_meta_.end()) meta = it->second;
   }
   if (p.terminal) {
-    // Terminal frame: embed the finished (or cancelled-partial) result so a
-    // stream consumer never needs a follow-up GetJob.
+    // Terminal frame: embed the finished (or cancelled-partial) result and
+    // any failure — as in GetJob — so a stream consumer never needs a
+    // follow-up GetJob to learn how the job ended.
     auto info = service_.GetJob(id);
     if (info.ok() && info->result != nullptr) {
-      resp.partial = BuildGenerateResponse(id, *info->result, meta);
+      resp.result.value = BuildGenerateResponse(id, *info->result, meta);
+    }
+    if (info.ok() && !info->error.ok()) {
+      resp.result.error = ErrorBody::FromStatus(info->error);
     }
   } else if (p.version > 0 && p.best_tree != nullptr) {
     // Mid-run frame: the best-so-far difftree without the widget phase —
@@ -254,12 +258,12 @@ Result<JobProgressResponse> ApiService::GetJobProgress(const std::string& job_id
     g.difftree = DiffTreeToJsonValue(*p.best_tree);
     g.stats.iterations = static_cast<int64_t>(p.iteration);
     g.stats.elapsed_ms = p.ms;
-    resp.partial = std::move(g);
+    resp.result.value = std::move(g);
   }
   return resp;
 }
 
-Result<std::string> ApiService::JobTrace(const std::string& job_id) const {
+Result<std::string> ApiService::JobTrace(const std::string& job_id) {
   IFGEN_ASSIGN_OR_RETURN(GenerationService::JobId id, ParseJobId(job_id));
   IFGEN_ASSIGN_OR_RETURN(GenerationService::JobInfo info, service_.GetJob(id));
   if (info.trace == nullptr) {
@@ -499,7 +503,7 @@ size_t ApiService::sessions_active() const {
 // ---------------------------------------------------------------------------
 // Introspection.
 
-CatalogResponse ApiService::Catalog() const {
+Result<CatalogResponse> ApiService::Catalog() {
   CatalogResponse resp;
   for (const auto& [name, bundle] : workloads_) {
     WorkloadInfo info;
@@ -521,7 +525,7 @@ CatalogResponse ApiService::Catalog() const {
   return resp;
 }
 
-StatsResponse ApiService::Stats() const {
+Result<StatsResponse> ApiService::Stats() {
   StatsResponse s;
   // One locked snapshot instead of five separately-locked reads: the job
   // numbers in a single /v1/stats response are mutually consistent.
@@ -564,6 +568,12 @@ StatsResponse ApiService::Stats() const {
     s.backends.push_back(std::move(dto));
   }
   return s;
+}
+
+Result<ClusterResponse> ApiService::Cluster() {
+  ClusterResponse c;
+  c.mode = "single";
+  return c;
 }
 
 }  // namespace api

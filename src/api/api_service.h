@@ -8,15 +8,16 @@
 #include <vector>
 
 #include "api/dto.h"
+#include "api/frontend.h"
 #include "runtime/service.h"
 #include "workload/loader.h"
 
 namespace ifgen {
 namespace api {
 
-/// \brief The transport-agnostic v1 service façade: every public operation
-/// takes and returns v1 DTOs (api/dto.h) and reports failures as Status —
-/// transports (src/http, an in-process embedding, tests) only translate.
+/// \brief The in-process ServiceFrontend: every public operation takes and
+/// returns v1 DTOs (api/dto.h) and reports failures as Status — transports
+/// (src/http, the cluster WorkerServer, tests) only translate.
 ///
 /// Wraps a GenerationService with:
 ///  - async job handles: SubmitGenerate admits a tracked job (bounded
@@ -28,7 +29,7 @@ namespace api {
 ///    widgets; PollSession drains the session's feed subscriber;
 ///  - catalog/introspection: the registered workloads and compiled-in
 ///    backends, plus service/backend/runtime counters.
-class ApiService {
+class ApiService : public ServiceFrontend {
  public:
   struct Options {
     /// Serving defaults differ from GenerationService's: a bounded pending
@@ -57,10 +58,11 @@ class ApiService {
   static Result<std::unique_ptr<ApiService>> Create() { return Create(Options()); }
 
   // ---- jobs -------------------------------------------------------------
-  Result<GenerateAccepted> SubmitGenerate(const GenerateRequest& req);
+  Result<GenerateAccepted> SubmitGenerate(const GenerateRequest& req) override;
   /// `wait_ms` > 0 blocks until the job is terminal or the deadline.
-  Result<JobStatusResponse> GetJob(const std::string& job_id, int64_t wait_ms = 0);
-  Result<JobStatusResponse> CancelJob(const std::string& job_id);
+  Result<JobStatusResponse> GetJob(const std::string& job_id,
+                                   int64_t wait_ms = 0) override;
+  Result<JobStatusResponse> CancelJob(const std::string& job_id) override;
   /// Versioned best-so-far snapshot of a running job's search. With
   /// `wait_ms` > 0, long-polls (condvar) until the progress version exceeds
   /// `last_seen_version`, the job turns terminal, or the timeout. The
@@ -68,26 +70,28 @@ class ApiService {
   /// exists; mid-run frames carry the best-so-far partial (no widgets).
   Result<JobProgressResponse> GetJobProgress(const std::string& job_id,
                                              int64_t last_seen_version,
-                                             int64_t wait_ms = 0);
+                                             int64_t wait_ms = 0) override;
   /// The job's captured span trace as Chrome trace-event JSON (Perfetto);
   /// NotFound when the job is unknown or ran with tracing disabled.
-  Result<std::string> JobTrace(const std::string& job_id) const;
+  Result<std::string> JobTrace(const std::string& job_id) override;
 
   // ---- sessions ---------------------------------------------------------
-  Result<SessionOpenResponse> OpenSession(const SessionOpenRequest& req);
+  Result<SessionOpenResponse> OpenSession(const SessionOpenRequest& req) override;
   Result<StepResponse> ApplyEvent(const std::string& session_id,
-                                  const WidgetEventRequest& event);
+                                  const WidgetEventRequest& event) override;
   /// Drains the session's feed subscriber (distinct from the per-event
   /// batches in StepResponse, so a feed consumer sees every step exactly
   /// once regardless of event traffic).
-  Result<ChangeBatchDto> PollSession(const std::string& session_id);
-  Status CloseSession(const std::string& session_id);
+  Result<ChangeBatchDto> PollSession(const std::string& session_id) override;
+  Status CloseSession(const std::string& session_id) override;
   /// Current result snapshot (the feed consumer's resync path).
-  Result<TableDto> SessionTable(const std::string& session_id);
+  Result<TableDto> SessionTable(const std::string& session_id) override;
 
   // ---- introspection ----------------------------------------------------
-  CatalogResponse Catalog() const;
-  StatsResponse Stats() const;
+  Result<CatalogResponse> Catalog() override;
+  Result<StatsResponse> Stats() override;
+  /// Always mode "single": this frontend IS the process doing the work.
+  Result<ClusterResponse> Cluster() override;
 
   size_t sessions_active() const;
   GenerationService& generation_service() { return service_; }

@@ -250,15 +250,21 @@ Result<ParallelMode> ParseParallelMode(const std::string& name) {
 // ---------------------------------------------------------------------------
 // ErrorBody.
 
+bool ErrorBody::RetryableCode(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kUnavailable;
+}
+
 ErrorBody ErrorBody::FromStatus(const Status& s) {
   ErrorBody e;
   e.code = StatusCodeName(s.ok() ? StatusCode::kInternal : s.code());
   e.message = s.ok() ? "error body built from OK status" : s.message();
+  e.retryable = !s.ok() && RetryableCode(s.code());
   return e;
 }
 
 Status ErrorBody::ToStatus() const {
-  for (int c = 1; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
+  for (int c = 1; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
     StatusCode sc = static_cast<StatusCode>(c);
     if (code == StatusCodeName(sc)) return Status(sc, message);
   }
@@ -269,6 +275,7 @@ JsonValue ErrorBody::ToJson() const {
   JsonValue v = JsonValue::Object();
   v.Set("code", JsonValue::Str(code));
   v.Set("message", JsonValue::Str(message));
+  v.Set("retryable", JsonValue::Bool(retryable));
   return v;
 }
 
@@ -277,6 +284,9 @@ Result<ErrorBody> ErrorBody::FromJson(const JsonValue& v) {
   ObjectReader r(v, "ErrorBody");
   r.String("code", &e.code, /*required=*/true);
   r.String("message", &e.message, /*required=*/true);
+  // Optional for decode back-compat with pre-retryable payloads (absent =
+  // not retryable); every v1 encoder emits it.
+  r.Bool("retryable", &e.retryable);
   IFGEN_RETURN_NOT_OK(r.Finish());
   return e;
 }
@@ -574,6 +584,26 @@ bool GenerateResponse::operator==(const GenerateResponse& o) const {
          stats == o.stats && difftree == o.difftree && widgets == o.widgets;
 }
 
+void JobResultDto::AppendToJson(JsonValue* obj, const char* value_field) const {
+  if (value.has_value()) obj->Set(value_field, value->ToJson());
+  if (error.has_value()) obj->Set("error", error->ToJson());
+}
+
+Result<JobResultDto> JobResultDto::FromFields(const JsonValue* value_json,
+                                              const JsonValue* error_json) {
+  JobResultDto d;
+  if (value_json != nullptr) {
+    IFGEN_ASSIGN_OR_RETURN(GenerateResponse g,
+                           GenerateResponse::FromJson(*value_json));
+    d.value = std::move(g);
+  }
+  if (error_json != nullptr) {
+    IFGEN_ASSIGN_OR_RETURN(ErrorBody e, ErrorBody::FromJson(*error_json));
+    d.error = std::move(e);
+  }
+  return d;
+}
+
 JsonValue JobStatusResponse::ToJson() const {
   JsonValue v = JsonValue::Object();
   v.Set("job_id", JsonValue::Str(job_id));
@@ -581,8 +611,7 @@ JsonValue JobStatusResponse::ToJson() const {
   v.Set("cache_hit", JsonValue::Bool(cache_hit));
   v.Set("queued_ms", JsonValue::Int(queued_ms));
   v.Set("run_ms", JsonValue::Int(run_ms));
-  if (result.has_value()) v.Set("result", result->ToJson());
-  if (error.has_value()) v.Set("error", error->ToJson());
+  result.AppendToJson(&v, "result");
   return v;
 }
 
@@ -597,21 +626,13 @@ Result<JobStatusResponse> JobStatusResponse::FromJson(const JsonValue& v) {
   const JsonValue* result = r.Child("result");
   const JsonValue* error = r.Child("error");
   IFGEN_RETURN_NOT_OK(r.Finish());
-  if (result != nullptr) {
-    IFGEN_ASSIGN_OR_RETURN(GenerateResponse g, GenerateResponse::FromJson(*result));
-    j.result = std::move(g);
-  }
-  if (error != nullptr) {
-    IFGEN_ASSIGN_OR_RETURN(ErrorBody e, ErrorBody::FromJson(*error));
-    j.error = std::move(e);
-  }
+  IFGEN_ASSIGN_OR_RETURN(j.result, JobResultDto::FromFields(result, error));
   return j;
 }
 
 bool JobStatusResponse::operator==(const JobStatusResponse& o) const {
   return job_id == o.job_id && state == o.state && cache_hit == o.cache_hit &&
-         queued_ms == o.queued_ms && run_ms == o.run_ms && result == o.result &&
-         error == o.error;
+         queued_ms == o.queued_ms && run_ms == o.run_ms && result == o.result;
 }
 
 JsonValue JobProgressResponse::ToJson() const {
@@ -620,7 +641,7 @@ JsonValue JobProgressResponse::ToJson() const {
   v.Set("state", JsonValue::Str(state));
   v.Set("version", JsonValue::Int(version));
   v.Set("final", JsonValue::Bool(final_frame));
-  if (partial.has_value()) v.Set("partial", partial->ToJson());
+  result.AppendToJson(&v, "partial");
   return v;
 }
 
@@ -632,17 +653,15 @@ Result<JobProgressResponse> JobProgressResponse::FromJson(const JsonValue& v) {
   r.Int("version", &p.version);
   r.Bool("final", &p.final_frame);
   const JsonValue* partial = r.Child("partial");
+  const JsonValue* error = r.Child("error");
   IFGEN_RETURN_NOT_OK(r.Finish());
-  if (partial != nullptr) {
-    IFGEN_ASSIGN_OR_RETURN(GenerateResponse g, GenerateResponse::FromJson(*partial));
-    p.partial = std::move(g);
-  }
+  IFGEN_ASSIGN_OR_RETURN(p.result, JobResultDto::FromFields(partial, error));
   return p;
 }
 
 bool JobProgressResponse::operator==(const JobProgressResponse& o) const {
   return job_id == o.job_id && state == o.state && version == o.version &&
-         final_frame == o.final_frame && partial == o.partial;
+         final_frame == o.final_frame && result == o.result;
 }
 
 // ---------------------------------------------------------------------------
@@ -1073,6 +1092,66 @@ bool BackendStatsDto::operator==(const BackendStatsDto& o) const {
          plan_cache_hits == o.plan_cache_hits && executions == o.executions;
 }
 
+JsonValue WorkerStatsDto::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("worker", JsonValue::Int(worker));
+  v.Set("address", JsonValue::Str(address));
+  v.Set("healthy", JsonValue::Bool(healthy));
+  v.Set("draining", JsonValue::Bool(draining));
+  v.Set("jobs_submitted", JsonValue::Int(jobs_submitted));
+  v.Set("jobs_executed", JsonValue::Int(jobs_executed));
+  v.Set("jobs_pending", JsonValue::Int(jobs_pending));
+  v.Set("sessions_active", JsonValue::Int(sessions_active));
+  v.Set("rpcs", JsonValue::Int(rpcs));
+  v.Set("rpc_failures", JsonValue::Int(rpc_failures));
+  v.Set("reconnects", JsonValue::Int(reconnects));
+  return v;
+}
+
+Result<WorkerStatsDto> WorkerStatsDto::FromJson(const JsonValue& v) {
+  WorkerStatsDto w;
+  ObjectReader r(v, "WorkerStatsDto");
+  r.Int("worker", &w.worker, /*required=*/true, 0);
+  r.String("address", &w.address, /*required=*/true);
+  r.Bool("healthy", &w.healthy);
+  r.Bool("draining", &w.draining);
+  r.Int("jobs_submitted", &w.jobs_submitted);
+  r.Int("jobs_executed", &w.jobs_executed);
+  r.Int("jobs_pending", &w.jobs_pending);
+  r.Int("sessions_active", &w.sessions_active);
+  r.Int("rpcs", &w.rpcs);
+  r.Int("rpc_failures", &w.rpc_failures);
+  r.Int("reconnects", &w.reconnects);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  return w;
+}
+
+bool WorkerStatsDto::operator==(const WorkerStatsDto& o) const {
+  return worker == o.worker && address == o.address && healthy == o.healthy &&
+         draining == o.draining && jobs_submitted == o.jobs_submitted &&
+         jobs_executed == o.jobs_executed && jobs_pending == o.jobs_pending &&
+         sessions_active == o.sessions_active && rpcs == o.rpcs &&
+         rpc_failures == o.rpc_failures && reconnects == o.reconnects;
+}
+
+JsonValue ClusterResponse::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("mode", JsonValue::Str(mode));
+  v.Set("workers", ArrayToJson(workers));
+  return v;
+}
+
+Result<ClusterResponse> ClusterResponse::FromJson(const JsonValue& v) {
+  ClusterResponse c;
+  ObjectReader r(v, "ClusterResponse");
+  r.String("mode", &c.mode, /*required=*/true);
+  const JsonValue* workers = r.Child("workers");
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  IFGEN_RETURN_NOT_OK(
+      ArrayFromJson(workers, "ClusterResponse.workers", &c.workers));
+  return c;
+}
+
 JsonValue StatsResponse::ToJson() const {
   JsonValue v = JsonValue::Object();
   JsonValue jobs = JsonValue::Object();
@@ -1096,6 +1175,9 @@ JsonValue StatsResponse::ToJson() const {
   runtime.Set("fallbacks", JsonValue::Int(fallbacks));
   v.Set("runtime", std::move(runtime));
   v.Set("backends", ArrayToJson(backends));
+  JsonValue cluster = JsonValue::Object();
+  cluster.Set("workers", ArrayToJson(cluster_workers));
+  v.Set("cluster", std::move(cluster));
   return v;
 }
 
@@ -1106,7 +1188,15 @@ Result<StatsResponse> StatsResponse::FromJson(const JsonValue& v) {
   const JsonValue* sessions = r.Child("sessions");
   const JsonValue* runtime = r.Child("runtime");
   const JsonValue* backends = r.Child("backends");
+  const JsonValue* cluster = r.Child("cluster");
   IFGEN_RETURN_NOT_OK(r.Finish());
+  if (cluster != nullptr) {
+    ObjectReader cr(*cluster, "StatsResponse.cluster");
+    const JsonValue* workers = cr.Child("workers");
+    IFGEN_RETURN_NOT_OK(cr.Finish());
+    IFGEN_RETURN_NOT_OK(ArrayFromJson(workers, "StatsResponse.cluster.workers",
+                                      &s.cluster_workers));
+  }
   if (jobs != nullptr) {
     ObjectReader jr(*jobs, "StatsResponse.jobs");
     jr.Int("submitted", &s.jobs_submitted);
@@ -1146,7 +1236,7 @@ bool StatsResponse::operator==(const StatsResponse& o) const {
          noops == o.noops && result_cache_hits == o.result_cache_hits &&
          delta_execs == o.delta_execs && retruncates == o.retruncates &&
          full_execs == o.full_execs && fallbacks == o.fallbacks &&
-         backends == o.backends;
+         backends == o.backends && cluster_workers == o.cluster_workers;
 }
 
 }  // namespace api

@@ -76,18 +76,29 @@ Result<Value> ValueFromJson(const JsonValue& j);
 // Error model.
 
 /// \brief The one wire shape every failed call returns, on every transport.
+///
+/// `retryable` is the client's backpressure signal: true exactly for
+/// transient failures — ResourceExhausted (429, bounded admission) and
+/// Unavailable (503, worker unreachable/draining) — where the same request
+/// retried after a backoff is expected to succeed. All other codes are hard
+/// failures; retrying without changing the request will fail again. The bit
+/// is derived from `code` on both encode and decode, so it survives a wire
+/// hop without becoming an independent source of truth.
 struct ErrorBody {
   std::string code;  ///< stable StatusCodeName string ("InvalidArgument")
   std::string message;
+  bool retryable = false;  ///< transient (429/503): retry after backoff
 
   static ErrorBody FromStatus(const Status& s);
   /// Inverse mapping; an unrecognized code becomes kInternal.
   Status ToStatus() const;
+  /// The retry classification FromStatus applies.
+  static bool RetryableCode(StatusCode code);
 
   JsonValue ToJson() const;
   static Result<ErrorBody> FromJson(const JsonValue& v);
   bool operator==(const ErrorBody& o) const {
-    return code == o.code && message == o.message;
+    return code == o.code && message == o.message && retryable == o.retryable;
   }
 };
 
@@ -206,18 +217,43 @@ struct GenerateResponse {
   bool operator==(const GenerateResponse& o) const;
 };
 
+/// \brief The one terminal/partial payload structure shared by job status
+/// and job progress responses: an optional GenerateResponse-shaped value
+/// plus an optional ErrorBody.
+///
+/// Both halves are independent — a cancelled job carries the error AND the
+/// best-so-far partial value when one was captured mid-run. The DTO has no
+/// top-level wire object of its own: it appends to the enclosing response
+/// under that response's legacy field names ("result"/"error" for
+/// JobStatusResponse, "partial"/"error" for JobProgressResponse), which the
+/// codec tests pin for back-compat.
+struct JobResultDto {
+  /// "done": the full result; "cancelled": best-so-far partial (absent on
+  /// queued-phase cancels). On progress frames: the best-so-far snapshot.
+  std::optional<GenerateResponse> value;
+  std::optional<ErrorBody> error;  ///< state == "failed"/"cancelled"
+
+  /// Appends `value` under `value_field` and `error` under "error" to an
+  /// enclosing response object (absent halves are omitted, not null).
+  void AppendToJson(JsonValue* obj, const char* value_field) const;
+  /// Inverse of AppendToJson over the Child pointers an ObjectReader
+  /// already consumed (null = absent).
+  static Result<JobResultDto> FromFields(const JsonValue* value_json,
+                                         const JsonValue* error_json);
+  bool operator==(const JobResultDto& o) const {
+    return value == o.value && error == o.error;
+  }
+};
+
 /// \brief GET /v1/jobs/{id}: job state, phase timings, and (terminal only)
-/// the result or error.
+/// the result or error, serialized under "result"/"error".
 struct JobStatusResponse {
   std::string job_id;
   std::string state;  ///< JobStateName
   bool cache_hit = false;
   int64_t queued_ms = 0;
   int64_t run_ms = 0;
-  /// "done": the full result. "cancelled": the best-so-far partial result
-  /// when the job was aborted mid-run (absent on queued-phase cancels).
-  std::optional<GenerateResponse> result;
-  std::optional<ErrorBody> error;  ///< state == "failed"/"cancelled"
+  JobResultDto result;  ///< terminal payload; empty while queued/running
 
   JsonValue ToJson() const;
   static Result<JobStatusResponse> FromJson(const JsonValue& v);
@@ -237,7 +273,9 @@ struct JobProgressResponse {
   std::string state;  ///< JobStateName
   int64_t version = 0;
   bool final_frame = false;  ///< wire name "final": terminal, stream complete
-  std::optional<GenerateResponse> partial;
+  /// Best-so-far snapshot, serialized under "partial"/"error"; terminal
+  /// failed/cancelled frames carry the job's error alongside any partial.
+  JobResultDto result;
 
   JsonValue ToJson() const;
   static Result<JobProgressResponse> FromJson(const JsonValue& v);
@@ -424,7 +462,42 @@ struct BackendStatsDto {
   bool operator==(const BackendStatsDto& o) const;
 };
 
-/// \brief GET /v1/stats: service + backend + aggregated runtime counters.
+/// \brief One worker's row in `/v1/cluster` and `stats.cluster.workers[]`:
+/// identity, health, and job/RPC counters as last observed by the router.
+struct WorkerStatsDto {
+  int64_t worker = 0;   ///< index in the cluster ring
+  std::string address;  ///< "host:port" of the worker's RPC listener
+  bool healthy = true;
+  bool draining = false;
+  int64_t jobs_submitted = 0;
+  int64_t jobs_executed = 0;
+  int64_t jobs_pending = 0;
+  int64_t sessions_active = 0;
+  int64_t rpcs = 0;          ///< RPCs the router sent this worker
+  int64_t rpc_failures = 0;  ///< transport-level failures (marks unhealthy)
+  int64_t reconnects = 0;    ///< successful health-probe recoveries
+
+  JsonValue ToJson() const;
+  static Result<WorkerStatsDto> FromJson(const JsonValue& v);
+  bool operator==(const WorkerStatsDto& o) const;
+};
+
+/// \brief GET /v1/cluster: serving topology. `mode` is "single" for an
+/// in-process frontend (workers empty) and "cluster" for a router.
+struct ClusterResponse {
+  std::string mode = "single";
+  std::vector<WorkerStatsDto> workers;
+
+  JsonValue ToJson() const;
+  static Result<ClusterResponse> FromJson(const JsonValue& v);
+  bool operator==(const ClusterResponse& o) const {
+    return mode == o.mode && workers == o.workers;
+  }
+};
+
+/// \brief GET /v1/stats: nested per-component objects — `jobs`, `sessions`,
+/// `runtime`, `backends[]`, and `cluster.workers[]` (empty in single-process
+/// mode).
 struct StatsResponse {
   int64_t jobs_submitted = 0;
   int64_t jobs_executed = 0;
@@ -442,6 +515,8 @@ struct StatsResponse {
   int64_t full_execs = 0;
   int64_t fallbacks = 0;
   std::vector<BackendStatsDto> backends;
+  /// Per-worker rows when served by a ClusterRouter; empty in-process.
+  std::vector<WorkerStatsDto> cluster_workers;
 
   JsonValue ToJson() const;
   static Result<StatsResponse> FromJson(const JsonValue& v);

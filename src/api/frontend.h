@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+
+#include "api/dto.h"
+#include "util/status.h"
+
+namespace ifgen {
+namespace api {
+
+/// \brief The abstract v1 service surface transports bind to: every
+/// operation takes and returns v1 DTOs (api/dto.h) and reports failures as
+/// Status, so an HTTP adapter (src/http), an RPC worker (src/cluster), or a
+/// test harness is a thin translator over whichever implementation it holds.
+///
+/// Two interchangeable implementations exist, pinned bit-identical by the
+/// multi-process differential test (tests/cluster_test.cc):
+///  - ApiService (api/api_service.h): the in-process frontend — jobs and
+///    sessions run inside the calling process;
+///  - ClusterRouter (cluster/cluster_router.h): fans the same calls out to
+///    worker processes over the v1 RPC envelope (api/rpc.h).
+///
+/// Contract notes shared by all implementations:
+///  - job ids look like "j-<n>" and session ids like "s-<n>"; callers treat
+///    them as opaque strings (the cluster router keeps its own id space and
+///    rewrites worker-local ids before they escape).
+///  - transient failures (admission bounds, unreachable workers) come back
+///    as ResourceExhausted/Unavailable — exactly the codes
+///    ErrorBody::RetryableCode marks retryable on the wire.
+class ServiceFrontend {
+ public:
+  virtual ~ServiceFrontend() = default;
+
+  // ---- jobs -------------------------------------------------------------
+  virtual Result<GenerateAccepted> SubmitGenerate(const GenerateRequest& req) = 0;
+  /// `wait_ms` > 0 blocks until the job is terminal or the deadline.
+  virtual Result<JobStatusResponse> GetJob(const std::string& job_id,
+                                           int64_t wait_ms = 0) = 0;
+  virtual Result<JobStatusResponse> CancelJob(const std::string& job_id) = 0;
+  /// Versioned best-so-far snapshot; `wait_ms` > 0 long-polls until the
+  /// version exceeds `last_seen_version`, the job turns terminal, or the
+  /// deadline.
+  virtual Result<JobProgressResponse> GetJobProgress(const std::string& job_id,
+                                                     int64_t last_seen_version,
+                                                     int64_t wait_ms = 0) = 0;
+  /// The job's captured span trace as Chrome trace-event JSON.
+  virtual Result<std::string> JobTrace(const std::string& job_id) = 0;
+
+  // ---- sessions ---------------------------------------------------------
+  virtual Result<SessionOpenResponse> OpenSession(const SessionOpenRequest& req) = 0;
+  virtual Result<StepResponse> ApplyEvent(const std::string& session_id,
+                                          const WidgetEventRequest& event) = 0;
+  virtual Result<ChangeBatchDto> PollSession(const std::string& session_id) = 0;
+  virtual Status CloseSession(const std::string& session_id) = 0;
+  /// Current result snapshot (the feed consumer's resync path).
+  virtual Result<TableDto> SessionTable(const std::string& session_id) = 0;
+
+  // ---- introspection ----------------------------------------------------
+  virtual Result<CatalogResponse> Catalog() = 0;
+  virtual Result<StatsResponse> Stats() = 0;
+  /// Serving topology: mode "single" (no workers) or "cluster" with one
+  /// WorkerStatsDto row per worker.
+  virtual Result<ClusterResponse> Cluster() = 0;
+};
+
+}  // namespace api
+}  // namespace ifgen

@@ -1,0 +1,170 @@
+#include "api/rpc.h"
+
+namespace ifgen {
+namespace api {
+
+JsonValue RpcEnvelope::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("api_version", JsonValue::Str(api_version));
+  v.Set("method", JsonValue::Str(method));
+  v.Set("request_id", JsonValue::Int(request_id));
+  v.Set("payload", payload);
+  return v;
+}
+
+Result<RpcEnvelope> RpcEnvelope::FromJson(const JsonValue& v) {
+  RpcEnvelope e;
+  ObjectReader r(v, "RpcEnvelope");
+  r.String("api_version", &e.api_version, /*required=*/true);
+  r.String("method", &e.method, /*required=*/true);
+  r.Int("request_id", &e.request_id);
+  const JsonValue* payload = r.Child("payload");
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  if (payload != nullptr) {
+    if (!payload->is_object()) {
+      return Status::Invalid("RpcEnvelope.payload must be an object");
+    }
+    e.payload = *payload;
+  }
+  return e;
+}
+
+RpcReply RpcReply::Success(int64_t request_id, JsonValue payload) {
+  RpcReply r;
+  r.request_id = request_id;
+  r.ok = true;
+  r.payload = std::move(payload);
+  return r;
+}
+
+RpcReply RpcReply::Failure(int64_t request_id, const Status& s) {
+  RpcReply r;
+  r.request_id = request_id;
+  r.ok = false;
+  r.error = ErrorBody::FromStatus(s);
+  return r;
+}
+
+JsonValue RpcReply::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("request_id", JsonValue::Int(request_id));
+  v.Set("ok", JsonValue::Bool(ok));
+  if (ok) {
+    v.Set("payload", payload);
+  } else {
+    v.Set("error", error.ToJson());
+  }
+  return v;
+}
+
+Result<RpcReply> RpcReply::FromJson(const JsonValue& v) {
+  RpcReply rep;
+  ObjectReader r(v, "RpcReply");
+  r.Int("request_id", &rep.request_id);
+  r.Bool("ok", &rep.ok, /*required=*/true);
+  const JsonValue* payload = r.Child("payload");
+  const JsonValue* error = r.Child("error");
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  if (rep.ok) {
+    if (payload == nullptr || !payload->is_object()) {
+      return Status::Invalid("ok RpcReply requires an object payload");
+    }
+    rep.payload = *payload;
+  } else {
+    if (error == nullptr) {
+      return Status::Invalid("failed RpcReply requires an error body");
+    }
+    IFGEN_ASSIGN_OR_RETURN(rep.error, ErrorBody::FromJson(*error));
+  }
+  return rep;
+}
+
+JsonValue IdRequest::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("id", JsonValue::Str(id));
+  v.Set("wait_ms", JsonValue::Int(wait_ms));
+  return v;
+}
+
+Result<IdRequest> IdRequest::FromJson(const JsonValue& v) {
+  IdRequest q;
+  ObjectReader r(v, "IdRequest");
+  r.String("id", &q.id, /*required=*/true);
+  r.Int("wait_ms", &q.wait_ms, /*required=*/false, 0);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  return q;
+}
+
+JsonValue ProgressRequest::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("job_id", JsonValue::Str(job_id));
+  v.Set("last_seen_version", JsonValue::Int(last_seen_version));
+  v.Set("wait_ms", JsonValue::Int(wait_ms));
+  return v;
+}
+
+Result<ProgressRequest> ProgressRequest::FromJson(const JsonValue& v) {
+  ProgressRequest q;
+  ObjectReader r(v, "ProgressRequest");
+  r.String("job_id", &q.job_id, /*required=*/true);
+  r.Int("last_seen_version", &q.last_seen_version, /*required=*/false, 0);
+  r.Int("wait_ms", &q.wait_ms, /*required=*/false, 0);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  return q;
+}
+
+JsonValue SessionEventRequest::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("session_id", JsonValue::Str(session_id));
+  v.Set("event", event.ToJson());
+  return v;
+}
+
+Result<SessionEventRequest> SessionEventRequest::FromJson(const JsonValue& v) {
+  SessionEventRequest q;
+  ObjectReader r(v, "SessionEventRequest");
+  r.String("session_id", &q.session_id, /*required=*/true);
+  const JsonValue* event = r.Child("event", /*required=*/true);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  IFGEN_ASSIGN_OR_RETURN(q.event, WidgetEventRequest::FromJson(*event));
+  return q;
+}
+
+JsonValue WorkerPingResponse::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("jobs_submitted", JsonValue::Int(jobs_submitted));
+  v.Set("jobs_executed", JsonValue::Int(jobs_executed));
+  v.Set("jobs_pending", JsonValue::Int(jobs_pending));
+  v.Set("sessions_active", JsonValue::Int(sessions_active));
+  v.Set("draining", JsonValue::Bool(draining));
+  return v;
+}
+
+Result<WorkerPingResponse> WorkerPingResponse::FromJson(const JsonValue& v) {
+  WorkerPingResponse p;
+  ObjectReader r(v, "WorkerPingResponse");
+  r.Int("jobs_submitted", &p.jobs_submitted);
+  r.Int("jobs_executed", &p.jobs_executed);
+  r.Int("jobs_pending", &p.jobs_pending);
+  r.Int("sessions_active", &p.sessions_active);
+  r.Bool("draining", &p.draining);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  return p;
+}
+
+JsonValue TextReply::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("text", JsonValue::Str(text));
+  return v;
+}
+
+Result<TextReply> TextReply::FromJson(const JsonValue& v) {
+  TextReply t;
+  ObjectReader r(v, "TextReply");
+  r.String("text", &t.text);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  return t;
+}
+
+}  // namespace api
+}  // namespace ifgen

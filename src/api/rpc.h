@@ -1,0 +1,150 @@
+#pragma once
+
+#include <string>
+
+#include "api/dto.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace ifgen {
+namespace api {
+
+/// \brief The versioned RPC envelope the cluster speaks: the PR-5 v1 DTOs
+/// become payloads inside a `{api_version, method, request_id, payload}`
+/// request and a `{request_id, ok, payload | error}` reply, so the exact
+/// same types serve HTTP and inter-process RPC. The wire framing (4-byte
+/// length prefix) lives in cluster/frame.h; this header is
+/// transport-agnostic.
+///
+/// Method names are dotted strings (see kMethod* below). Unknown methods
+/// answer Unimplemented; an api_version other than kRpcApiVersion answers
+/// InvalidArgument — a mixed-version cluster fails loudly, not subtly.
+
+/// The one version this codec speaks; bump together with the DTO set.
+inline constexpr const char kRpcApiVersion[] = "v1";
+
+// Method names, one per ServiceFrontend operation plus worker lifecycle.
+inline constexpr const char kMethodSubmitGenerate[] = "generate.submit";
+inline constexpr const char kMethodGetJob[] = "job.get";
+inline constexpr const char kMethodCancelJob[] = "job.cancel";
+inline constexpr const char kMethodJobProgress[] = "job.progress";
+inline constexpr const char kMethodJobTrace[] = "job.trace";
+inline constexpr const char kMethodOpenSession[] = "session.open";
+inline constexpr const char kMethodSessionEvent[] = "session.event";
+inline constexpr const char kMethodPollSession[] = "session.poll";
+inline constexpr const char kMethodCloseSession[] = "session.close";
+inline constexpr const char kMethodSessionTable[] = "session.table";
+inline constexpr const char kMethodCatalog[] = "catalog.get";
+inline constexpr const char kMethodStats[] = "stats.get";
+inline constexpr const char kMethodPing[] = "worker.ping";
+inline constexpr const char kMethodDrain[] = "worker.drain";
+
+/// \brief One request frame: which operation, against which payload.
+/// `request_id` is caller-chosen and echoed verbatim in the reply so a
+/// client can pair frames without trusting ordering.
+struct RpcEnvelope {
+  std::string api_version = kRpcApiVersion;
+  std::string method;
+  int64_t request_id = 0;
+  JsonValue payload = JsonValue::Object();
+
+  JsonValue ToJson() const;
+  static Result<RpcEnvelope> FromJson(const JsonValue& v);
+  bool operator==(const RpcEnvelope& o) const {
+    return api_version == o.api_version && method == o.method &&
+           request_id == o.request_id && payload == o.payload;
+  }
+};
+
+/// \brief One reply frame: `ok` selects which of `payload` (success DTO) or
+/// `error` (ErrorBody) is meaningful.
+struct RpcReply {
+  int64_t request_id = 0;
+  bool ok = true;
+  JsonValue payload = JsonValue::Object();
+  ErrorBody error;  ///< meaningful only when !ok
+
+  static RpcReply Success(int64_t request_id, JsonValue payload);
+  static RpcReply Failure(int64_t request_id, const Status& s);
+
+  JsonValue ToJson() const;
+  static Result<RpcReply> FromJson(const JsonValue& v);
+  bool operator==(const RpcReply& o) const {
+    return request_id == o.request_id && ok == o.ok && payload == o.payload &&
+           (ok || error == o.error);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Request payloads for methods whose HTTP shape is path/query-encoded (the
+// body-carrying methods reuse their existing DTOs directly).
+
+/// \brief Payload of job.get / job.cancel / job.trace / session.close /
+/// session.poll / session.table: just the target id (+ optional wait).
+struct IdRequest {
+  std::string id;
+  int64_t wait_ms = 0;  ///< job.get only; 0 = no blocking
+
+  JsonValue ToJson() const;
+  static Result<IdRequest> FromJson(const JsonValue& v);
+  bool operator==(const IdRequest& o) const {
+    return id == o.id && wait_ms == o.wait_ms;
+  }
+};
+
+/// \brief Payload of job.progress: the long-poll cursor.
+struct ProgressRequest {
+  std::string job_id;
+  int64_t last_seen_version = 0;
+  int64_t wait_ms = 0;
+
+  JsonValue ToJson() const;
+  static Result<ProgressRequest> FromJson(const JsonValue& v);
+  bool operator==(const ProgressRequest& o) const {
+    return job_id == o.job_id && last_seen_version == o.last_seen_version &&
+           wait_ms == o.wait_ms;
+  }
+};
+
+/// \brief Payload of session.event: target session + the widget event.
+struct SessionEventRequest {
+  std::string session_id;
+  WidgetEventRequest event;
+
+  JsonValue ToJson() const;
+  static Result<SessionEventRequest> FromJson(const JsonValue& v);
+  bool operator==(const SessionEventRequest& o) const {
+    return session_id == o.session_id && event == o.event;
+  }
+};
+
+/// \brief Reply payload of worker.ping: the worker's live job/session load,
+/// polled by the router's health loop and folded into stats.cluster.
+struct WorkerPingResponse {
+  int64_t jobs_submitted = 0;
+  int64_t jobs_executed = 0;
+  int64_t jobs_pending = 0;
+  int64_t sessions_active = 0;
+  bool draining = false;
+
+  JsonValue ToJson() const;
+  static Result<WorkerPingResponse> FromJson(const JsonValue& v);
+  bool operator==(const WorkerPingResponse& o) const {
+    return jobs_submitted == o.jobs_submitted &&
+           jobs_executed == o.jobs_executed && jobs_pending == o.jobs_pending &&
+           sessions_active == o.sessions_active && draining == o.draining;
+  }
+};
+
+/// \brief Reply payload of job.trace (a JSON document in a string) and
+/// session.close (empty fields) — the "everything else" scalar wrapper.
+struct TextReply {
+  std::string text;
+
+  JsonValue ToJson() const;
+  static Result<TextReply> FromJson(const JsonValue& v);
+  bool operator==(const TextReply& o) const { return text == o.text; }
+};
+
+}  // namespace api
+}  // namespace ifgen

@@ -1,0 +1,212 @@
+#include "cluster/process.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "cluster/worker_server.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace ifgen {
+namespace cluster {
+
+namespace {
+
+constexpr const char kWorkerFlag[] = "--ifgen-worker";
+
+volatile sig_atomic_t g_worker_stop = 0;
+
+void OnWorkerSignal(int) { g_worker_stop = 1; }
+
+/// `--name value` lookup over the worker argv tail; missing = fallback.
+std::string FlagValue(int argc, char** argv, const char* name,
+                      const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string v = FlagValue(argc, argv, name, "");
+  if (v.empty()) return fallback;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsWorkerInvocation(int argc, char** argv) {
+  return argc > 1 && std::strcmp(argv[1], kWorkerFlag) == 0;
+}
+
+int RunWorkerMain(int argc, char** argv) {
+  struct sigaction sa{};
+  sa.sa_handler = OnWorkerSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  WorkerServer::Options opts;
+  opts.host = FlagValue(argc, argv, "--host", "127.0.0.1");
+  opts.port = static_cast<int>(FlagInt(argc, argv, "--port", 0));
+  opts.service.workload_rows =
+      static_cast<size_t>(FlagInt(argc, argv, "--rows", 0));
+  opts.service.service.num_threads =
+      static_cast<size_t>(FlagInt(argc, argv, "--threads", 2));
+  opts.service.service.max_pending_jobs =
+      static_cast<size_t>(FlagInt(argc, argv, "--max-pending", 64));
+  const int64_t ttl = FlagInt(argc, argv, "--session-ttl-ms", -1);
+  if (ttl >= 0) opts.service.session_ttl_ms = ttl;
+  if (HasFlag(argc, argv, "--trace")) obs::SetTracingEnabled(true);
+
+  WorkerServer server;
+  Status st = server.Start(std::move(opts));
+  if (!st.ok()) {
+    IFGEN_LOG_C(Error, "cluster") << "worker failed to start: " << st.ToString();
+    return 1;
+  }
+
+  // Report the bound port to the parent over the handed-down pipe.
+  const int port_fd = static_cast<int>(FlagInt(argc, argv, "--port-fd", -1));
+  if (port_fd >= 0) {
+    const std::string line = std::to_string(server.port()) + "\n";
+    ssize_t n = ::write(port_fd, line.data(), line.size());
+    (void)n;
+    ::close(port_fd);
+  }
+
+  while (g_worker_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Graceful drain: refuse new submissions, let running jobs finish
+  // (bounded — a stuck job cannot wedge shutdown forever).
+  server.Drain();
+  Stopwatch watch;
+  while (server.jobs_pending() > 0 && watch.ElapsedMillis() < 30000) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  return 0;
+}
+
+Result<std::string> SelfExePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) {
+    return Status::Internal(StrFormat("readlink(/proc/self/exe) failed: %s",
+                                      std::strerror(errno)));
+  }
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+Result<SpawnedWorker> SpawnWorkerProcess(
+    const std::string& self_exe, const std::vector<std::string>& worker_args,
+    int64_t startup_timeout_ms) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::Internal("pipe() failed");
+  }
+  std::vector<std::string> args;
+  args.push_back(self_exe);
+  args.push_back(kWorkerFlag);
+  args.push_back("--port-fd");
+  args.push_back(std::to_string(pipe_fds[1]));
+  args.insert(args.end(), worker_args.begin(), worker_args.end());
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return Status::Internal("fork() failed");
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe work between fork and exec.
+    ::close(pipe_fds[0]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(self_exe.c_str(), argv.data());
+    _exit(127);
+  }
+
+  // Parent: wait for "PORT\n" on the pipe; a child that dies first closes
+  // the write end and we see EOF.
+  ::close(pipe_fds[1]);
+  std::string line;
+  Stopwatch watch;
+  bool got_line = false;
+  while (!got_line) {
+    const int64_t remaining = startup_timeout_ms - watch.ElapsedMillis();
+    if (remaining <= 0) break;
+    pollfd p{};
+    p.fd = pipe_fds[0];
+    p.events = POLLIN;
+    const int rc = ::poll(&p, 1, static_cast<int>(remaining));
+    if (rc <= 0) {
+      if (rc < 0 && errno == EINTR) continue;
+      break;
+    }
+    char c;
+    const ssize_t n = ::read(pipe_fds[0], &c, 1);
+    if (n <= 0) break;  // EOF: child died before reporting
+    if (c == '\n') {
+      got_line = true;
+    } else {
+      line.push_back(c);
+    }
+  }
+  ::close(pipe_fds[0]);
+  const int port = got_line ? std::atoi(line.c_str()) : 0;
+  if (!got_line || port <= 0) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return Status::Internal("worker did not report a port within " +
+                            std::to_string(startup_timeout_ms) + "ms");
+  }
+  SpawnedWorker w;
+  w.pid = pid;
+  w.port = port;
+  return w;
+}
+
+Status TerminateWorker(pid_t pid, int64_t grace_ms) {
+  if (pid <= 0) return Status::Invalid("bad pid");
+  ::kill(pid, SIGTERM);
+  Stopwatch watch;
+  while (watch.ElapsedMillis() < grace_ms) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return Status::OK();
+    if (r < 0) return Status::OK();  // already reaped elsewhere
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return Status::Internal("worker " + std::to_string(pid) +
+                          " needed SIGKILL after " + std::to_string(grace_ms) +
+                          "ms grace");
+}
+
+}  // namespace cluster
+}  // namespace ifgen

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ifgen {
+namespace cluster {
+
+/// \brief Worker process lifecycle: a cluster parent re-executes its own
+/// binary with `--ifgen-worker` to get workers (fork immediately followed
+/// by exec — safe in multithreaded parents and under TSan, unlike a bare
+/// fork), hands each child a pipe fd on which the child reports the
+/// ephemeral port it bound, and tears workers down SIGTERM-first.
+///
+/// Any binary that wants to double as a worker (serve_cluster, the cluster
+/// test) calls IsWorkerInvocation/RunWorkerMain at the very top of main().
+
+/// True when this process was launched as a worker (`argv[1] ==
+/// "--ifgen-worker"`); main() should immediately return RunWorkerMain.
+bool IsWorkerInvocation(int argc, char** argv);
+
+/// The worker process entry point: parses the worker flags, serves RPC
+/// until SIGTERM, then drains (waits for pending jobs, bounded) and exits.
+/// Flags: --port-fd N (required: where to report the bound port),
+/// --host H, --port P, --rows N, --max-pending N, --threads N,
+/// --session-ttl-ms N.
+int RunWorkerMain(int argc, char** argv);
+
+/// /proc/self/exe — the binary to re-execute as a worker.
+Result<std::string> SelfExePath();
+
+struct SpawnedWorker {
+  pid_t pid = -1;
+  int port = 0;
+};
+
+/// fork+execs `self_exe --ifgen-worker --port-fd <pipe> <worker_args...>`
+/// and waits (bounded) for the child to report its RPC port. On timeout or
+/// early child death the child is killed and reaped.
+Result<SpawnedWorker> SpawnWorkerProcess(const std::string& self_exe,
+                                         const std::vector<std::string>& worker_args,
+                                         int64_t startup_timeout_ms = 30000);
+
+/// SIGTERM, wait up to `grace_ms` for a clean exit, then SIGKILL. Always
+/// reaps the child.
+Status TerminateWorker(pid_t pid, int64_t grace_ms = 10000);
+
+}  // namespace cluster
+}  // namespace ifgen

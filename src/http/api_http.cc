@@ -112,6 +112,8 @@ int ApiHttpFrontend::HttpStatusFor(StatusCode code) {
       return 404;
     case StatusCode::kResourceExhausted:
       return 429;
+    case StatusCode::kUnavailable:
+      return 503;
     case StatusCode::kUnimplemented:
       return 501;
     case StatusCode::kCancelled:
@@ -287,10 +289,19 @@ HttpResponse ApiHttpFrontend::RouteInner(const HttpRequest& req) {
     return JsonResponse(200, v);
   }
   if (seg.size() == 2 && seg[1] == "catalog" && req.method == "GET") {
-    return JsonResponse(200, service_->Catalog().ToJson());
+    auto catalog = service_->Catalog();
+    if (!catalog.ok()) return ErrorResponse(catalog.status());
+    return JsonResponse(200, catalog->ToJson());
   }
   if (seg.size() == 2 && seg[1] == "stats" && req.method == "GET") {
-    return JsonResponse(200, service_->Stats().ToJson());
+    auto stats = service_->Stats();
+    if (!stats.ok()) return ErrorResponse(stats.status());
+    return JsonResponse(200, stats->ToJson());
+  }
+  if (seg.size() == 2 && seg[1] == "cluster" && req.method == "GET") {
+    auto cluster = service_->Cluster();
+    if (!cluster.ok()) return ErrorResponse(cluster.status());
+    return JsonResponse(200, cluster->ToJson());
   }
   if (seg.size() == 2 && seg[1] == "metrics" && req.method == "GET") {
     HttpResponse resp;

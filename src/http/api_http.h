@@ -3,21 +3,24 @@
 #include <memory>
 #include <string>
 
-#include "api/api_service.h"
+#include "api/frontend.h"
 #include "http/http_server.h"
 
 namespace ifgen {
 namespace http {
 
-/// \brief Mounts the v1 ApiService on the embedded HTTP server — the thin
+/// \brief Mounts a v1 ServiceFrontend on the embedded HTTP server — the thin
 /// transport adapter: routing, JSON (de)serialization via the DTO codec,
 /// Status -> HTTP status mapping, and the change-feed's long-poll/SSE
-/// surface. No business logic lives here.
+/// surface. No business logic lives here. The frontend is either the
+/// in-process ApiService or a ClusterRouter fanning out to worker
+/// processes; the adapter cannot tell the difference.
 ///
 /// Endpoints (see docs/api.md for the full contract):
 ///   GET    /v1/healthz
 ///   GET    /v1/catalog
 ///   GET    /v1/stats
+///   GET    /v1/cluster                     -> ClusterResponse (topology + health)
 ///   GET    /v1/metrics                    -> Prometheus text exposition
 ///   GET    /v1/trace                      -> global span ring, Chrome trace JSON
 ///   POST   /v1/generate                   -> 202 GenerateAccepted (429 when full)
@@ -63,7 +66,7 @@ class ApiHttpFrontend {
   };
 
   /// `service` is not owned and must outlive the frontend.
-  explicit ApiHttpFrontend(api::ApiService* service) : service_(service) {}
+  explicit ApiHttpFrontend(api::ServiceFrontend* service) : service_(service) {}
   ~ApiHttpFrontend() { Stop(); }
 
   Status Start(Options opts);
@@ -82,7 +85,7 @@ class ApiHttpFrontend {
   /// SSE stream of a job's JobProgressResponse frames (GET /v1/jobs/{id}/stream).
   HttpResponse JobStream(const HttpRequest& req, const std::string& job_id);
 
-  api::ApiService* service_;
+  api::ServiceFrontend* service_;
   Options opts_;
   HttpServer server_;
 };

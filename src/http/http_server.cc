@@ -80,6 +80,8 @@ const char* ReasonPhrase(int status) {
       return "Internal Server Error";
     case 501:
       return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Status";
   }
@@ -161,7 +163,7 @@ Status HttpServer::Start(Options opts, Handler handler) {
     return Status::Internal(StrFormat("bind(%s:%d) failed: %s", opts_.host.c_str(),
                                       opts_.port, std::strerror(errno)));
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, std::max(1, opts_.listen_backlog)) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::Internal("listen() failed");
@@ -196,15 +198,18 @@ void HttpServer::Stop() {
   }
   workers_.clear();
   std::lock_guard<std::mutex> lock(mu_);
-  for (int fd : pending_) ::close(fd);
+  for (const PendingConn& c : pending_) ::close(c.fd);
   pending_.clear();
+  client_conns_.clear();
   listen_fd_ = -1;
   started_ = false;
 }
 
 void HttpServer::AcceptLoop() {
   while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
     if (fd < 0) {
       if (stopping_.load()) return;
       if (errno == EINTR || errno == ECONNABORTED) continue;  // transient
@@ -225,9 +230,44 @@ void HttpServer::AcceptLoop() {
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &stv, sizeof stv);
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    // Admission: a full accept queue answers 503, a client over its
+    // connection cap answers 429 — both retryable per the API error
+    // contract, both closed without touching the worker pool.
+    const uint32_t client_ip = ntohl(peer.sin_addr.s_addr);
+    bool queue_full = false;
+    bool client_capped = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      pending_.push_back(fd);
+      if (pending_.size() >= opts_.max_queued_connections) {
+        queue_full = true;
+      } else if (opts_.max_connections_per_client > 0 &&
+                 client_conns_[client_ip] >= opts_.max_connections_per_client) {
+        client_capped = true;
+      } else {
+        if (opts_.max_connections_per_client > 0) ++client_conns_[client_ip];
+        pending_.push_back(PendingConn{fd, client_ip});
+      }
+    }
+    if (queue_full || client_capped) {
+      const std::string body =
+          queue_full ? "{\"code\":\"Unavailable\",\"message\":\"server accept "
+                       "queue is full\",\"retryable\":true}"
+                     : "{\"code\":\"ResourceExhausted\",\"message\":\"too many "
+                       "connections from this client\",\"retryable\":true}";
+      const int status = queue_full ? 503 : 429;
+      IFGEN_LOG_C(Warning, "http")
+          << "rejecting connection (" << status << "): "
+          << (queue_full ? "accept queue full at " : "client over per-IP cap of ")
+          << (queue_full ? opts_.max_queued_connections
+                         : opts_.max_connections_per_client);
+      SendAll(fd, StrFormat("HTTP/1.1 %d %s\r\n", status, ReasonPhrase(status)) +
+                      "Content-Type: application/json\r\nRetry-After: 1\r\n"
+                      "Connection: close\r\n" +
+                      StrFormat("Content-Length: %zu\r\n\r\n", body.size()) +
+                      body);
+      ::close(fd);
+      continue;
     }
     cv_.notify_one();
   }
@@ -235,16 +275,21 @@ void HttpServer::AcceptLoop() {
 
 void HttpServer::WorkerLoop() {
   while (true) {
-    int fd = -1;
+    PendingConn conn;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_.load() || !pending_.empty(); });
       if (stopping_.load()) return;
-      fd = pending_.front();
+      conn = pending_.front();
       pending_.pop_front();
     }
-    HandleConnection(fd);
-    ::close(fd);
+    HandleConnection(conn.fd);
+    ::close(conn.fd);
+    if (opts_.max_connections_per_client > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = client_conns_.find(conn.client_ip);
+      if (it != client_conns_.end() && --it->second == 0) client_conns_.erase(it);
+    }
   }
 }
 

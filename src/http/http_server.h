@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -79,6 +80,18 @@ class HttpServer {
     /// consumer that sleeps mid-stream would leak the worker and hang
     /// Stop()). A timed-out send marks the connection dead.
     int64_t send_timeout_ms = 10000;
+    /// Kernel listen(2) backlog for not-yet-accepted connections.
+    int listen_backlog = 64;
+    /// Accepted connections waiting for a worker beyond this are answered
+    /// `503 Service Unavailable` (retryable) and closed. Bounds the fd/
+    /// memory a stalled worker pool can accumulate; previously the queue
+    /// was unbounded.
+    size_t max_queued_connections = 256;
+    /// Concurrent connections per client IP (queued + in handling) beyond
+    /// this are answered `429 Too Many Requests` (retryable) and closed.
+    /// 0 disables the cap (the default: loopback test/dev traffic shares
+    /// one IP).
+    size_t max_connections_per_client = 0;
     /// Value for `Access-Control-Allow-Origin`, e.g. "*" or an origin URL.
     /// Empty (the default) emits no CORS headers at all: browsers then
     /// refuse cross-origin reads, so a random web page cannot drive a
@@ -119,9 +132,17 @@ class HttpServer {
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 
+  struct PendingConn {
+    int fd = -1;
+    uint32_t client_ip = 0;  ///< host order; keys the per-client count
+  };
+
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+  std::deque<PendingConn> pending_;  ///< accepted fds awaiting a worker
+  /// Connections per client IP, queued or in handling (only tracked while
+  /// max_connections_per_client is set).
+  std::map<uint32_t, size_t> client_conns_;
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

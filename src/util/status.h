@@ -21,6 +21,7 @@ enum class StatusCode : uint8_t {
   kUnimplemented,
   kInternal,
   kCancelled,
+  kUnavailable,  // transient: peer/worker unreachable, safe to retry
 };
 
 /// \brief Returns the canonical name of a status code ("InvalidArgument").
@@ -67,6 +68,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

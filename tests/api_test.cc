@@ -244,7 +244,8 @@ TEST(Dto, ErrorBodyMapsStatusBothWays) {
   for (StatusCode code :
        {StatusCode::kInvalidArgument, StatusCode::kParseError, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
-        StatusCode::kUnimplemented, StatusCode::kInternal, StatusCode::kCancelled}) {
+        StatusCode::kUnimplemented, StatusCode::kInternal, StatusCode::kCancelled,
+        StatusCode::kUnavailable}) {
     Status s(code, "boom");
     ErrorBody e = ErrorBody::FromStatus(s);
     EXPECT_EQ(e.code, StatusCodeName(code));
@@ -255,6 +256,69 @@ TEST(Dto, ErrorBodyMapsStatusBothWays) {
   }
   ErrorBody unknown{"NoSuchCode", "m"};
   EXPECT_EQ(unknown.ToStatus().code(), StatusCode::kInternal);
+}
+
+// Pins the retry contract (docs/api.md): exactly ResourceExhausted and
+// Unavailable are transient; the bit is derived at encode time, always
+// emitted, and absent-on-decode means not retryable (pre-retryable wire).
+TEST(Dto, ErrorBodyRetryableIsDerivedAndPinned) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kNotFound, StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kCancelled}) {
+    EXPECT_FALSE(ErrorBody::RetryableCode(code)) << StatusCodeName(code);
+  }
+  EXPECT_TRUE(ErrorBody::RetryableCode(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(ErrorBody::RetryableCode(StatusCode::kUnavailable));
+
+  ErrorBody transient = ErrorBody::FromStatus(Status::Unavailable("down"));
+  EXPECT_TRUE(transient.retryable);
+  EXPECT_NE(WriteJson(transient.ToJson()).find("\"retryable\":true"),
+            std::string::npos);
+  ErrorBody permanent = ErrorBody::FromStatus(Status::NotFound("gone"));
+  EXPECT_FALSE(permanent.retryable);
+  EXPECT_NE(WriteJson(permanent.ToJson()).find("\"retryable\":false"),
+            std::string::npos);
+
+  auto legacy = ParseJson(R"({"code":"NotFound","message":"m"})");
+  ASSERT_TRUE(legacy.ok());
+  auto decoded = ErrorBody::FromJson(*legacy);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->retryable);
+}
+
+// Pins the JobResultDto wire contract: one shared shape, two legacy field
+// spellings — "result"/"error" on JobStatusResponse, "partial"/"error" on
+// JobProgressResponse — with absent halves omitted rather than null.
+TEST(Dto, JobResultDtoKeepsLegacyWireNames) {
+  api::JobResultDto failed;
+  failed.error = ErrorBody::FromStatus(Status::Internal("boom"));
+
+  api::JobStatusResponse status;
+  status.job_id = "j-1";
+  status.state = "failed";
+  status.result = failed;
+  JsonValue status_wire = status.ToJson();
+  EXPECT_EQ(status_wire.Find("result"), nullptr);   // absent, not null
+  EXPECT_EQ(status_wire.Find("partial"), nullptr);  // never this spelling
+  ASSERT_NE(status_wire.Find("error"), nullptr);
+  auto status_back = api::JobStatusResponse::FromJson(status_wire);
+  ASSERT_TRUE(status_back.ok());
+  EXPECT_EQ(*status_back, status);
+
+  api::JobProgressResponse progress;
+  progress.job_id = "j-1";
+  progress.state = "running";
+  progress.version = 2;
+  progress.result.value = api::GenerateResponse{};
+  progress.result.value->job_id = "j-1";
+  JsonValue progress_wire = progress.ToJson();
+  ASSERT_NE(progress_wire.Find("partial"), nullptr);
+  EXPECT_EQ(progress_wire.Find("result"), nullptr);  // never this spelling
+  EXPECT_EQ(progress_wire.Find("error"), nullptr);
+  auto progress_back = api::JobProgressResponse::FromJson(progress_wire);
+  ASSERT_TRUE(progress_back.ok());
+  EXPECT_EQ(*progress_back, progress);
 }
 
 // ----------------------------------------------------- codec error paths
@@ -386,14 +450,14 @@ TEST(ApiService, GenerateJobLifecycle) {
 
   api::JobStatusResponse done = AwaitJob(svc->get(), accepted->job_id);
   ASSERT_EQ(done.state, "done");
-  ASSERT_TRUE(done.result.has_value());
-  EXPECT_EQ(done.result->workload, "flights");
-  EXPECT_EQ(done.result->algorithm, "mcts");
-  EXPECT_EQ(done.result->backend, "columnar");
-  EXPECT_GT(done.result->stats.iterations, 0);
-  EXPECT_TRUE(done.result->widgets.is_object());
-  EXPECT_NE(done.result->widgets.Find("widget"), nullptr);
-  const JsonValue* valid = done.result->cost.Find("valid");
+  ASSERT_TRUE(done.result.value.has_value());
+  EXPECT_EQ(done.result.value->workload, "flights");
+  EXPECT_EQ(done.result.value->algorithm, "mcts");
+  EXPECT_EQ(done.result.value->backend, "columnar");
+  EXPECT_GT(done.result.value->stats.iterations, 0);
+  EXPECT_TRUE(done.result.value->widgets.is_object());
+  EXPECT_NE(done.result.value->widgets.Find("widget"), nullptr);
+  const JsonValue* valid = done.result.value->cost.Find("valid");
   ASSERT_NE(valid, nullptr);
   EXPECT_EQ(*valid, JsonValue::Bool(true));
   ExpectRoundTrip(done);  // the full job-status DTO round-trips exactly
@@ -681,7 +745,8 @@ TEST(ApiService, SessionTtlEvictsIdleSessions) {
   EXPECT_EQ(poll.status().code(), StatusCode::kNotFound);
   EXPECT_EQ((*svc)->sessions_active(), 0u);
   auto stats = (*svc)->Stats();
-  EXPECT_EQ(stats.sessions_expired, 1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->sessions_expired, 1);
 }
 
 TEST(ApiService, EventBoundsRejectedBeforeTouchingSession) {
@@ -732,7 +797,7 @@ TEST(ApiService, EventBoundsRejectedBeforeTouchingSession) {
 TEST(ApiService, CatalogAndStats) {
   auto svc = ApiService::Create(SmallServiceOptions());
   ASSERT_TRUE(svc.ok());
-  api::CatalogResponse catalog = (*svc)->Catalog();
+  api::CatalogResponse catalog = *(*svc)->Catalog();
   ASSERT_EQ(catalog.workloads.size(), 3u);
   std::vector<std::string> names;
   for (const auto& w : catalog.workloads) {
@@ -758,7 +823,7 @@ TEST(ApiService, CatalogAndStats) {
   auto session = (*svc)->OpenSession(open);
   ASSERT_TRUE(session.ok());
 
-  api::StatsResponse stats = (*svc)->Stats();
+  api::StatsResponse stats = *(*svc)->Stats();
   EXPECT_EQ(stats.jobs_submitted, 1);
   EXPECT_EQ(stats.sessions_active, 1);
   EXPECT_EQ(stats.sessions_opened, 1);
@@ -814,7 +879,7 @@ TEST(ApiService, StatsMatchesRegistryDeltas) {
     }
   }
 
-  const api::StatsResponse stats = (*svc)->Stats();
+  const api::StatsResponse stats = *(*svc)->Stats();
   EXPECT_EQ(static_cast<uint64_t>(stats.jobs_submitted),
             reg.CounterTotal("ifgen_jobs_submitted_total") - base_submitted);
   EXPECT_EQ(static_cast<uint64_t>(stats.jobs_executed),

@@ -1,0 +1,547 @@
+// Cluster layer tests: the length-prefixed frame transport, the RPC
+// envelope codec, the WorkerServer dispatch (in-process), and the
+// ClusterRouter driven against real worker processes — with the headline
+// multi-process differential battery pinning a 3-worker cluster
+// bit-identical to the in-process ApiService, and a worker-kill test
+// pinning the retryable-error + reroute contract.
+//
+// This binary doubles as the worker binary: main() checks
+// IsWorkerInvocation before InitGoogleTest, and the fixtures re-exec
+// /proc/self/exe to spawn workers (fork+exec — TSan-safe).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "api/api_service.h"
+#include "api/dto.h"
+#include "api/rpc.h"
+#include "cluster/cluster_router.h"
+#include "cluster/frame.h"
+#include "cluster/process.h"
+#include "cluster/worker_server.h"
+#include "util/json.h"
+
+namespace ifgen {
+namespace {
+
+using api::ApiOptions;
+using api::ApiService;
+using api::ErrorBody;
+using api::GenerateRequest;
+using api::RpcEnvelope;
+using api::RpcReply;
+using api::SessionOpenRequest;
+using api::WidgetEventRequest;
+using cluster::ClusterRouter;
+using cluster::ReadFrame;
+using cluster::WorkerServer;
+using cluster::WriteFrame;
+
+// ------------------------------------------------------------ frames
+
+TEST(Frame, RoundTripsOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  for (const std::string payload :
+       {std::string(""), std::string("{\"a\":1}"), std::string(1 << 20, 'x')}) {
+    // Writer on its own thread: a frame larger than the socket buffer
+    // would otherwise deadlock against the not-yet-started read.
+    std::thread writer(
+        [&] { EXPECT_TRUE(WriteFrame(fds[0], payload).ok()); });
+    auto back = ReadFrame(fds[1], /*timeout_ms=*/10000);
+    writer.join();
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, payload);
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Frame, OversizeAndEofAreDistinctFailures) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A length prefix over the cap is rejected without allocating the body.
+  const unsigned char huge[4] = {0x7f, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(fds[0], huge, 4, 0), 4);
+  auto oversize = ReadFrame(fds[1], 2000, /*max_frame_bytes=*/1024);
+  ASSERT_FALSE(oversize.ok());
+  EXPECT_EQ(oversize.status().code(), StatusCode::kInvalidArgument);
+  // Peer hangup mid-frame is the retryable transport failure.
+  const unsigned char partial[4] = {0x00, 0x00, 0x00, 0x10};
+  ASSERT_EQ(::send(fds[0], partial, 4, 0), 4);
+  ::close(fds[0]);
+  auto eof = ReadFrame(fds[1], 2000);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(ErrorBody::FromStatus(eof.status()).retryable);
+  ::close(fds[1]);
+}
+
+// ------------------------------------------------------ envelope codec
+
+TEST(RpcEnvelope, RoundTripAndValidation) {
+  RpcEnvelope env;
+  env.method = api::kMethodGetJob;
+  env.request_id = 42;
+  env.payload = JsonValue::Object();
+  env.payload.Set("id", JsonValue::Str("j-7"));
+  auto back = RpcEnvelope::FromJson(env.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->api_version, "v1");
+  EXPECT_EQ(back->method, env.method);
+  EXPECT_EQ(back->request_id, 42);
+  EXPECT_EQ(back->payload, env.payload);
+
+  // A non-object payload is rejected at the codec, not at dispatch.
+  auto v = env.ToJson();
+  v.Set("payload", JsonValue::Int(3));
+  EXPECT_FALSE(RpcEnvelope::FromJson(v).ok());
+}
+
+TEST(RpcReply, SuccessAndFailureRoundTrip) {
+  JsonValue payload = JsonValue::Object();
+  payload.Set("x", JsonValue::Int(1));
+  auto ok_back = RpcReply::FromJson(RpcReply::Success(7, payload).ToJson());
+  ASSERT_TRUE(ok_back.ok());
+  EXPECT_TRUE(ok_back->ok);
+  EXPECT_EQ(ok_back->request_id, 7);
+  EXPECT_EQ(ok_back->payload, payload);
+
+  auto fail_back = RpcReply::FromJson(
+      RpcReply::Failure(8, Status::Unavailable("worker down")).ToJson());
+  ASSERT_TRUE(fail_back.ok());
+  EXPECT_FALSE(fail_back->ok);
+  EXPECT_EQ(fail_back->request_id, 8);
+  EXPECT_TRUE(fail_back->error.retryable);
+  EXPECT_EQ(fail_back->error.ToStatus().code(), StatusCode::kUnavailable);
+}
+
+// --------------------------------------------- worker server, in-process
+
+ApiService::Options SmallServiceOptions() {
+  ApiService::Options o;
+  o.workload_rows = 300;
+  o.service.num_threads = 1;
+  return o;
+}
+
+ApiOptions FastGenOptions() {
+  ApiOptions o;
+  o.time_budget_ms = 0;  // iteration-capped: deterministic
+  o.max_iterations = 12;
+  o.seed = 5;
+  o.screen_width = 90;
+  o.screen_height = 32;
+  return o;
+}
+
+/// Raw client for one request/reply against a WorkerServer.
+Result<RpcReply> RawCall(int port, const JsonValue& frame_json) {
+  IFGEN_ASSIGN_OR_RETURN(int fd, cluster::ConnectTcp("127.0.0.1", port, 2000));
+  Status w = WriteFrame(fd, WriteJson(frame_json));
+  if (!w.ok()) {
+    ::close(fd);
+    return w;
+  }
+  auto frame = ReadFrame(fd, 10000);
+  ::close(fd);
+  IFGEN_RETURN_NOT_OK(frame.status());
+  IFGEN_ASSIGN_OR_RETURN(JsonValue parsed, ParseJson(*frame));
+  return RpcReply::FromJson(parsed);
+}
+
+TEST(WorkerServer, DispatchVersionGateAndUnknownMethod) {
+  WorkerServer server;
+  WorkerServer::Options opts;
+  opts.service = SmallServiceOptions();
+  ASSERT_TRUE(server.Start(std::move(opts)).ok());
+
+  // ping round-trips through the live socket.
+  RpcEnvelope ping;
+  ping.method = api::kMethodPing;
+  ping.request_id = 1;
+  auto reply = RawCall(server.port(), ping.ToJson());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->ok) << reply->error.message;
+  auto pong = api::WorkerPingResponse::FromJson(reply->payload);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->jobs_submitted, 0);
+  EXPECT_FALSE(pong->draining);
+
+  // Version mismatch: InvalidArgument, not retryable.
+  RpcEnvelope bad = ping;
+  bad.request_id = 2;
+  JsonValue bad_json = bad.ToJson();
+  bad_json.Set("api_version", JsonValue::Str("v2"));
+  auto mismatch = RawCall(server.port(), bad_json);
+  ASSERT_TRUE(mismatch.ok());
+  EXPECT_FALSE(mismatch->ok);
+  EXPECT_EQ(mismatch->error.ToStatus().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(mismatch->error.retryable);
+
+  // Unknown method: Unimplemented.
+  RpcEnvelope unknown;
+  unknown.method = "job.reticulate";
+  unknown.request_id = 3;
+  auto unimpl = RawCall(server.port(), unknown.ToJson());
+  ASSERT_TRUE(unimpl.ok());
+  EXPECT_FALSE(unimpl->ok);
+  EXPECT_EQ(unimpl->error.ToStatus().code(), StatusCode::kUnimplemented);
+
+  // Draining: submissions answer retryable Unavailable, reads still work.
+  server.Drain();
+  RpcEnvelope submit;
+  submit.method = api::kMethodSubmitGenerate;
+  submit.request_id = 4;
+  GenerateRequest gen;
+  gen.workload = "flights";
+  gen.options = FastGenOptions();
+  submit.payload = gen.ToJson();
+  auto refused = RawCall(server.port(), submit.ToJson());
+  ASSERT_TRUE(refused.ok());
+  EXPECT_FALSE(refused->ok);
+  EXPECT_EQ(refused->error.ToStatus().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(refused->error.retryable);
+  auto ping2 = RawCall(server.port(), ping.ToJson());
+  ASSERT_TRUE(ping2.ok());
+  EXPECT_TRUE(ping2->ok);
+  server.Stop();
+}
+
+// ------------------------------------------------- multi-process fixture
+
+/// Spawns N workers (this test binary re-exec'd) + a router over them.
+class ClusterTest : public ::testing::Test {
+ protected:
+  static constexpr int kWorkers = 3;
+
+  void StartCluster(size_t max_inflight = 64) {
+    auto self = cluster::SelfExePath();
+    ASSERT_TRUE(self.ok()) << self.status().ToString();
+    ClusterRouter::Options ropts;
+    for (int i = 0; i < kWorkers; ++i) {
+      auto w = cluster::SpawnWorkerProcess(
+          *self, {"--rows", "300", "--threads", "1", "--max-pending", "64"});
+      ASSERT_TRUE(w.ok()) << w.status().ToString();
+      spawned_.push_back(*w);
+      ropts.workers.push_back({"127.0.0.1", w->port});
+    }
+    ropts.max_inflight_per_worker = max_inflight;
+    ropts.health_interval_ms = 100;  // fast recovery detection in tests
+    ropts.reconnect_backoff_ms = 50;
+    ASSERT_TRUE(router_.Start(std::move(ropts)).ok());
+  }
+
+  void TearDown() override {
+    router_.Stop();
+    for (const cluster::SpawnedWorker& w : spawned_) {
+      if (::kill(w.pid, 0) == 0 || errno != ESRCH) {
+        cluster::TerminateWorker(w.pid, /*grace_ms=*/5000);
+      }
+    }
+  }
+
+  std::vector<cluster::SpawnedWorker> spawned_;
+  ClusterRouter router_;
+};
+
+/// Masks the wall-clock fields two identical runs legitimately disagree on;
+/// everything else must match bit-for-bit.
+void NormalizeResult(api::GenerateResponse* g) {
+  g->stats.elapsed_ms = 0;
+  for (api::TracePoint& p : g->stats.trace) p.ms = 0;
+}
+
+void NormalizeStatus(api::JobStatusResponse* s) {
+  s->queued_ms = 0;
+  s->run_ms = 0;
+  if (s->result.value.has_value()) NormalizeResult(&*s->result.value);
+}
+
+/// Collects (choice_id, option_count, kind) triples from a widgets tree.
+void CollectChoices(const JsonValue& node,
+                    std::vector<std::tuple<int64_t, int64_t, std::string>>* out) {
+  const JsonValue* choice = node.Find("choice");
+  const JsonValue* widget = node.Find("widget");
+  if (choice != nullptr && widget != nullptr) {
+    const JsonValue* options = node.Find("options");
+    out->emplace_back(choice->AsInt(),
+                      options != nullptr ? static_cast<int64_t>(options->size()) : 0,
+                      widget->AsString());
+  }
+  const JsonValue* children = node.Find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const JsonValue& c : children->items()) CollectChoices(c, out);
+  }
+}
+
+/// The headline acceptance test: the same workload battery through the
+/// in-process frontend and through a 3-worker cluster must produce
+/// bit-identical responses — ids, interfaces, costs, session tables.
+TEST_F(ClusterTest, DifferentialBatteryMatchesInProcessBitIdentical) {
+  StartCluster();
+  auto local = ApiService::Create(SmallServiceOptions());
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  api::ServiceFrontend* lhs = local->get();  // in-process
+  api::ServiceFrontend* rhs = &router_;      // 3 worker processes
+
+  struct Case {
+    const char* workload;
+    int64_t seed;
+  };
+  const Case battery[] = {
+      {"flights", 5}, {"sdss", 11}, {"synthetic", 17}, {"flights", 23}};
+
+  for (const Case& c : battery) {
+    SCOPED_TRACE(std::string(c.workload) + "/seed=" + std::to_string(c.seed));
+    GenerateRequest req;
+    req.workload = c.workload;
+    req.options = FastGenOptions();
+    req.options.seed = c.seed;
+
+    auto a = lhs->SubmitGenerate(req);
+    auto b = rhs->SubmitGenerate(req);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    // Dense router-owned id spaces: cluster ids match single-process ids.
+    EXPECT_EQ(a->job_id, b->job_id);
+
+    auto sa = lhs->GetJob(a->job_id, /*wait_ms=*/30000);
+    auto sb = rhs->GetJob(b->job_id, /*wait_ms=*/30000);
+    ASSERT_TRUE(sa.ok()) << sa.status().ToString();
+    ASSERT_TRUE(sb.ok()) << sb.status().ToString();
+    ASSERT_EQ(sa->state, "done");
+    ASSERT_EQ(sb->state, "done");
+    NormalizeStatus(&*sa);
+    NormalizeStatus(&*sb);
+    EXPECT_TRUE(*sa == *sb) << "job status diverged:\n"
+                            << WriteJson(sa->ToJson()) << "\nvs\n"
+                            << WriteJson(sb->ToJson());
+
+    // Session arm: open over the job, fire a deterministic event battery,
+    // compare every step response and the final table exactly.
+    SessionOpenRequest open;
+    open.job_id = a->job_id;
+    auto oa = lhs->OpenSession(open);
+    auto ob = rhs->OpenSession(open);
+    ASSERT_TRUE(oa.ok()) << oa.status().ToString();
+    ASSERT_TRUE(ob.ok()) << ob.status().ToString();
+    EXPECT_EQ(oa->session_id, ob->session_id);
+    api::SessionOpenResponse norm_b = *ob;
+    EXPECT_TRUE(*oa == norm_b) << "session open diverged";
+
+    std::vector<std::tuple<int64_t, int64_t, std::string>> choices;
+    CollectChoices(oa->widgets, &choices);
+    int fired = 0;
+    for (const auto& [choice_id, option_count, kind] : choices) {
+      WidgetEventRequest e;
+      if (kind == "Checkbox" || kind == "Toggle") {
+        e.kind = "set_opt";
+        e.choice_id = choice_id;
+        e.present = true;
+      } else if (option_count > 0) {
+        e.kind = "set_any";
+        e.choice_id = choice_id;
+        e.option_index = (c.seed + fired) % option_count;
+      } else {
+        continue;
+      }
+      auto ra = lhs->ApplyEvent(oa->session_id, e);
+      auto rb = rhs->ApplyEvent(ob->session_id, e);
+      ASSERT_EQ(ra.ok(), rb.ok()) << "event " << fired << " diverged in status";
+      if (ra.ok()) {
+        EXPECT_TRUE(*ra == *rb)
+            << "step " << fired << " diverged:\n"
+            << WriteJson(ra->ToJson()) << "\nvs\n" << WriteJson(rb->ToJson());
+      }
+      if (++fired >= 6) break;
+    }
+    EXPECT_GT(fired, 0) << "battery fired no events";
+
+    auto ta = lhs->SessionTable(oa->session_id);
+    auto tb = rhs->SessionTable(ob->session_id);
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE(tb.ok());
+    EXPECT_TRUE(*ta == *tb) << "final session tables diverged";
+
+    EXPECT_TRUE(lhs->CloseSession(oa->session_id).ok());
+    EXPECT_TRUE(rhs->CloseSession(ob->session_id).ok());
+  }
+
+  // The cluster identifies itself; the in-process frontend stays "single".
+  auto cluster_info = rhs->Cluster();
+  ASSERT_TRUE(cluster_info.ok());
+  EXPECT_EQ(cluster_info->mode, "cluster");
+  ASSERT_EQ(cluster_info->workers.size(), static_cast<size_t>(kWorkers));
+  auto local_info = lhs->Cluster();
+  ASSERT_TRUE(local_info.ok());
+  EXPECT_EQ(local_info->mode, "single");
+  EXPECT_TRUE(local_info->workers.empty());
+
+  // Catalogs agree (workers load the same registered workloads).
+  auto ca = lhs->Catalog();
+  auto cb = rhs->Catalog();
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_TRUE(*ca == *cb);
+
+  // Aggregated cluster stats cover the same work the local frontend did.
+  auto st = rhs->Stats();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->jobs_submitted, 4);
+  EXPECT_EQ(st->sessions_opened, 4);
+  ASSERT_EQ(st->cluster_workers.size(), static_cast<size_t>(kWorkers));
+  int64_t per_worker_submitted = 0;
+  for (const api::WorkerStatsDto& w : st->cluster_workers) {
+    EXPECT_TRUE(w.healthy);
+    per_worker_submitted += w.jobs_submitted;
+  }
+  EXPECT_EQ(per_worker_submitted, 4);
+}
+
+TEST_F(ClusterTest, JobsSpreadAcrossWorkers) {
+  StartCluster();
+  // Distinct requests hash to distinct ring points; with 24 seeds over 3
+  // workers the odds of all landing on one worker are (1/3)^23.
+  std::vector<std::string> jobs;
+  for (int64_t seed = 0; seed < 24; ++seed) {
+    GenerateRequest req;
+    req.workload = "synthetic";
+    req.options = FastGenOptions();
+    req.options.max_iterations = 2;
+    req.options.seed = seed;
+    auto acc = router_.SubmitGenerate(req);
+    ASSERT_TRUE(acc.ok()) << acc.status().ToString();
+    jobs.push_back(acc->job_id);
+  }
+  std::vector<bool> hit(kWorkers, false);
+  for (const std::string& id : jobs) {
+    auto idx = router_.WorkerIndexForJob(id);
+    ASSERT_TRUE(idx.ok());
+    hit[*idx] = true;
+  }
+  EXPECT_GT(std::count(hit.begin(), hit.end(), true), 1)
+      << "all jobs landed on one worker — the ring is not spreading";
+  // Identical requests co-locate (cache affinity): resubmitting seed 0
+  // must route to the same worker.
+  GenerateRequest req;
+  req.workload = "synthetic";
+  req.options = FastGenOptions();
+  req.options.max_iterations = 2;
+  req.options.seed = 0;
+  auto again = router_.SubmitGenerate(req);
+  ASSERT_TRUE(again.ok());
+  auto idx_first = router_.WorkerIndexForJob(jobs[0]);
+  auto idx_again = router_.WorkerIndexForJob(again->job_id);
+  ASSERT_TRUE(idx_first.ok());
+  ASSERT_TRUE(idx_again.ok());
+  EXPECT_EQ(*idx_first, *idx_again);
+}
+
+/// Acceptance: killing a worker mid-job surfaces a retryable error for that
+/// job, and subsequent submissions reroute to the surviving workers.
+TEST_F(ClusterTest, WorkerKillMidJobIsRetryableAndReroutes) {
+  StartCluster();
+  // A long iteration-capped job keeps the owning worker busy while we
+  // kill it (threads=1 serializes any queue behind it).
+  GenerateRequest slow;
+  slow.workload = "flights";
+  slow.options = FastGenOptions();
+  slow.options.max_iterations = 200000;
+  auto acc = router_.SubmitGenerate(slow);
+  ASSERT_TRUE(acc.ok()) << acc.status().ToString();
+  auto owner = router_.WorkerIndexForJob(acc->job_id);
+  ASSERT_TRUE(owner.ok());
+  ASSERT_EQ(::kill(spawned_[*owner].pid, SIGKILL), 0);
+  ::waitpid(spawned_[*owner].pid, nullptr, 0);
+
+  // Polling the dead worker's job: retryable Unavailable (its state lived
+  // in that process), surfaced as HTTP 503 + retryable on the wire.
+  auto dead = router_.GetJob(acc->job_id, /*wait_ms=*/5000);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable)
+      << dead.status().ToString();
+  EXPECT_TRUE(ErrorBody::FromStatus(dead.status()).retryable);
+
+  // New jobs reroute around the corpse and still finish.
+  for (int64_t seed = 100; seed < 106; ++seed) {
+    GenerateRequest req;
+    req.workload = "synthetic";
+    req.options = FastGenOptions();
+    req.options.seed = seed;
+    auto retry = router_.SubmitGenerate(req);
+    ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+    auto idx = router_.WorkerIndexForJob(retry->job_id);
+    ASSERT_TRUE(idx.ok());
+    EXPECT_NE(*idx, *owner) << "routed a job to the killed worker";
+    auto done = router_.GetJob(retry->job_id, /*wait_ms=*/30000);
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+    EXPECT_EQ(done->state, "done");
+  }
+
+  // The topology reports the dead worker unhealthy.
+  auto info = router_.Cluster();
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->workers[*owner].healthy);
+}
+
+TEST_F(ClusterTest, BoundedAdmissionAnswersResourceExhausted) {
+  // max_inflight_per_worker=0 makes every RPC trip the admission bound —
+  // deterministic 429 without having to race real congestion.
+  StartCluster(/*max_inflight=*/0);
+  GenerateRequest req;
+  req.workload = "flights";
+  req.options = FastGenOptions();
+  auto r = router_.SubmitGenerate(req);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_TRUE(ErrorBody::FromStatus(r.status()).retryable);
+}
+
+TEST_F(ClusterTest, DrainRefusesNewWorkKeepsReads) {
+  StartCluster();
+  GenerateRequest req;
+  req.workload = "synthetic";
+  req.options = FastGenOptions();
+  auto acc = router_.SubmitGenerate(req);
+  ASSERT_TRUE(acc.ok());
+  auto done = router_.GetJob(acc->job_id, /*wait_ms=*/30000);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->state, "done");
+
+  router_.DrainWorkers();
+  EXPECT_TRUE(router_.WaitDrained(/*timeout_ms=*/10000));
+  // Draining workers refuse new jobs (retryable — a rolling restart wants
+  // the client to come back)...
+  req.options.seed = 99;
+  auto refused = router_.SubmitGenerate(req);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(ErrorBody::FromStatus(refused.status()).retryable)
+      << refused.status().ToString();
+  // ...but finished state stays readable for the drain window.
+  auto still = router_.GetJob(acc->job_id);
+  ASSERT_TRUE(still.ok()) << still.status().ToString();
+  EXPECT_EQ(still->state, "done");
+}
+
+}  // namespace
+}  // namespace ifgen
+
+/// This binary doubles as the worker executable (the fixtures re-exec
+/// /proc/self/exe): the worker branch must run before gtest touches argv.
+int main(int argc, char** argv) {
+  if (ifgen::cluster::IsWorkerInvocation(argc, argv)) {
+    return ifgen::cluster::RunWorkerMain(argc, argv);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

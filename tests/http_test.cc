@@ -515,9 +515,9 @@ TEST_F(HttpTest, JobProgressLongPollStrictlyIncreasingNoLostFinal) {
         if (frame->final_frame) {
           got_final[t] = true;
           EXPECT_EQ(frame->state, "done");
-          ASSERT_TRUE(frame->partial.has_value())
+          ASSERT_TRUE(frame->result.value.has_value())
               << "final frame must embed the result";
-          EXPECT_EQ(frame->partial->workload, "flights");
+          EXPECT_EQ(frame->result.value->workload, "flights");
           break;
         }
       }
@@ -556,20 +556,20 @@ TEST_F(HttpTest, JobStreamSseToCompletion) {
     if (frame->final_frame) {
       final_seen = true;
       EXPECT_EQ(frame->state, "done");
-      ASSERT_TRUE(frame->partial.has_value());
+      ASSERT_TRUE(frame->result.value.has_value());
       // The final embedded result is the full interface: widgets present.
-      EXPECT_TRUE(frame->partial->widgets.is_object());
-      EXPECT_GT(frame->partial->widgets.size(), 0u);
+      EXPECT_TRUE(frame->result.value->widgets.is_object());
+      EXPECT_GT(frame->result.value->widgets.size(), 0u);
     } else if (frame->version > last_version) {
       ++mid_run_frames;
       // Mid-run partials carry the best-so-far difftree and its cost, and
       // the stream is strictly improving.
-      ASSERT_TRUE(frame->partial.has_value());
-      const JsonValue* total = frame->partial->cost.Find("total");
+      ASSERT_TRUE(frame->result.value.has_value());
+      const JsonValue* total = frame->result.value->cost.Find("total");
       ASSERT_NE(total, nullptr);
       EXPECT_LT(total->AsDouble(), last_cost) << "partials must improve";
       last_cost = total->AsDouble();
-      EXPECT_GT(frame->partial->difftree.size(), 0u);
+      EXPECT_GT(frame->result.value->difftree.size(), 0u);
     }
     last_version = frame->version;
   }

@@ -31,6 +31,7 @@ TEST(Status, FactoryCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(Status, CodeNamesAndValuesArePinned) {
@@ -53,9 +54,10 @@ TEST(Status, CodeNamesAndValuesArePinned) {
       {StatusCode::kUnimplemented, 6, "Unimplemented"},
       {StatusCode::kInternal, 7, "Internal"},
       {StatusCode::kCancelled, 8, "Cancelled"},
+      {StatusCode::kUnavailable, 9, "Unavailable"},
   };
   // If a code was added, extend `pins` — this count is part of the pin.
-  constexpr uint8_t kNumCodes = 9;
+  constexpr uint8_t kNumCodes = 10;
   EXPECT_EQ(sizeof pins / sizeof pins[0], kNumCodes);
   for (const Pin& pin : pins) {
     EXPECT_EQ(static_cast<uint8_t>(pin.code), pin.value) << pin.name;
