@@ -1,0 +1,215 @@
+// Cluster cache peering: a same-schema job storm through a 3-worker
+// cluster, with and without the peering tier (docs/cluster.md).
+//
+// The storm submits N jobs that share workload + seed but differ in
+// iteration budget: distinct result-cache keys (budgets are part of the
+// job fingerprint) over ONE shared transposition store (budgets are
+// deliberately excluded from the TT store key — they change which states
+// a search visits, not what they cost). With peering on, workers gossip
+// hot TT entries through the router, so later budgets warm-start from
+// sibling discoveries; a repeat of the storm then measures the result
+// cache (local hits plus `cache.probe` redirects).
+//
+// Emits one `"bench":"cluster_cache"` JSON row per arm (peering on/off),
+// documented in bench/README.md and validated by
+// scripts/check_bench_json.py. IFGEN_BENCH_SMOKE=1 shrinks the storm.
+//
+// This binary doubles as the worker binary: main() checks
+// IsWorkerInvocation and re-execs itself per worker (fork+exec).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dto.h"
+#include "bench/bench_util.h"
+#include "cluster/cluster_router.h"
+#include "cluster/process.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+using namespace ifgen;  // NOLINT
+
+namespace {
+
+constexpr int kWorkers = 3;
+
+api::GenerateRequest StormRequest(int64_t max_iterations, bool peering) {
+  api::GenerateRequest req;
+  req.workload = "flights";
+  req.options.time_budget_ms = 0;  // iteration-capped: deterministic
+  req.options.max_iterations = max_iterations;
+  req.options.seed = 5;
+  req.options.screen_width = 90;
+  req.options.screen_height = 32;
+  req.options.cache_peering = peering;
+  return req;
+}
+
+struct ArmResult {
+  size_t jobs = 0;
+  double cold_ms = 0.0;
+  double repeat_ms = 0.0;
+  int64_t repeat_cache_hits = 0;
+  int64_t cache_probes = 0;
+  int64_t cache_probe_hits = 0;
+  int64_t tt_peer_ingested = 0;
+  int64_t tt_peer_hits = 0;
+  int64_t tt_published = 0;
+  int64_t result_peer_hits = 0;
+  bool ok = false;
+};
+
+/// Runs the storm (cold pass + repeat pass) against a fresh 3-worker
+/// cluster with peering on or off; tears the cluster down afterwards.
+ArmResult RunArm(const std::string& self_exe,
+                 const std::vector<int64_t>& budgets, bool peering) {
+  ArmResult out;
+  out.jobs = budgets.size();
+
+  std::vector<cluster::SpawnedWorker> spawned;
+  cluster::ClusterRouter router;
+  cluster::ClusterRouter::Options ropts;
+  for (int i = 0; i < kWorkers; ++i) {
+    auto w = cluster::SpawnWorkerProcess(
+        self_exe, {"--rows", "300", "--threads", "1", "--max-pending", "64"});
+    if (!w.ok()) {
+      std::fprintf(stderr, "spawn: %s\n", w.status().ToString().c_str());
+      return out;
+    }
+    spawned.push_back(*w);
+    ropts.workers.push_back({"127.0.0.1", w->port});
+  }
+  ropts.health_interval_ms = 100;  // gossip rides the health cadence
+  ropts.reconnect_backoff_ms = 50;
+  ropts.cache_peering = peering;
+  auto shutdown = [&] {
+    router.Stop();
+    for (const cluster::SpawnedWorker& w : spawned) {
+      (void)cluster::TerminateWorker(w.pid, /*grace_ms=*/5000);
+    }
+  };
+  if (Status st = router.Start(std::move(ropts)); !st.ok()) {
+    std::fprintf(stderr, "router: %s\n", st.ToString().c_str());
+    shutdown();
+    return out;
+  }
+
+  // Pass 1 (cold): sequential so the health loop's gossip rounds run
+  // between jobs — later budgets warm-start from earlier exports.
+  auto run_pass = [&](double* total_ms, int64_t* cache_hits) -> bool {
+    Stopwatch watch;
+    for (const int64_t budget : budgets) {
+      auto acc = router.SubmitGenerate(StormRequest(budget, peering));
+      if (!acc.ok()) {
+        std::fprintf(stderr, "submit: %s\n", acc.status().ToString().c_str());
+        return false;
+      }
+      auto done = router.GetJob(acc->job_id, /*wait_ms=*/60000);
+      if (!done.ok() || done->state != "done") {
+        std::fprintf(stderr, "job %s did not finish\n", acc->job_id.c_str());
+        return false;
+      }
+      if (cache_hits != nullptr && done->cache_hit) ++(*cache_hits);
+    }
+    *total_ms = static_cast<double>(watch.ElapsedMicros()) / 1000.0;
+    return true;
+  };
+  if (!run_pass(&out.cold_ms, nullptr)) {
+    shutdown();
+    return out;
+  }
+
+  // Let a few gossip rounds land, then repeat the identical storm: every
+  // job answers from a result cache (the owner's, or a sibling's via
+  // `cache.probe` when placement shifted).
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  if (!run_pass(&out.repeat_ms, &out.repeat_cache_hits)) {
+    shutdown();
+    return out;
+  }
+
+  // One more health tick so the per-worker ping counters are fresh.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  auto stats = router.Stats();
+  if (stats.ok()) {
+    for (const api::WorkerStatsDto& w : stats->cluster_workers) {
+      out.cache_probes += w.cache_probes;
+      out.cache_probe_hits += w.cache_probe_hits;
+      out.tt_peer_ingested += w.tt_peer_ingested;
+      out.tt_peer_hits += w.tt_peer_hits;
+      out.tt_published += w.tt_published;
+      out.result_peer_hits += w.result_peer_hits;
+    }
+  }
+  out.ok = true;
+  shutdown();
+  return out;
+}
+
+void EmitRow(const ArmResult& r, bool peering) {
+  std::printf(
+      "{\"bench\":\"cluster_cache\",\"workload\":\"flights\","
+      "\"peering\":%s,\"workers\":%d,\"jobs\":%zu,"
+      "\"cold_ms\":%s,\"repeat_ms\":%s,\"repeat_cache_hits\":%lld,"
+      "\"cache_probes\":%lld,\"cache_probe_hits\":%lld,"
+      "\"tt_peer_ingested\":%lld,\"tt_peer_hits\":%lld,"
+      "\"tt_published\":%lld,\"result_peer_hits\":%lld}\n",
+      peering ? "true" : "false", kWorkers, r.jobs,
+      JsonDouble(r.cold_ms).c_str(), JsonDouble(r.repeat_ms).c_str(),
+      static_cast<long long>(r.repeat_cache_hits),
+      static_cast<long long>(r.cache_probes),
+      static_cast<long long>(r.cache_probe_hits),
+      static_cast<long long>(r.tt_peer_ingested),
+      static_cast<long long>(r.tt_peer_hits),
+      static_cast<long long>(r.tt_published),
+      static_cast<long long>(r.result_peer_hits));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (cluster::IsWorkerInvocation(argc, argv)) {
+    return cluster::RunWorkerMain(argc, argv);
+  }
+  const bool smoke = bench::SmokeMode();
+
+  bench::PrintHeader("Cluster cache peering: same-schema job storm");
+
+  auto self = cluster::SelfExePath();
+  if (!self.ok()) {
+    std::fprintf(stderr, "self exe: %s\n", self.status().ToString().c_str());
+    return 1;
+  }
+
+  // Same workload + seed, distinct budgets: one shared TT store, N distinct
+  // result-cache keys.
+  std::vector<int64_t> budgets;
+  const size_t jobs = smoke ? 4 : 10;
+  for (size_t i = 0; i < jobs; ++i) {
+    budgets.push_back(static_cast<int64_t>(smoke ? 12 + 8 * i : 20 + 12 * i));
+  }
+
+  int rc = 0;
+  for (const bool peering : {true, false}) {
+    ArmResult r = RunArm(*self, budgets, peering);
+    if (!r.ok) {
+      rc = 1;
+      continue;
+    }
+    std::printf(
+        "peering=%-5s cold %8.1f ms, repeat %8.1f ms (%lld/%zu cached), "
+        "probes %lld (%lld hits), tt ingested %lld / hits %lld / published %lld\n",
+        peering ? "on" : "off", r.cold_ms, r.repeat_ms,
+        static_cast<long long>(r.repeat_cache_hits), r.jobs,
+        static_cast<long long>(r.cache_probes),
+        static_cast<long long>(r.cache_probe_hits),
+        static_cast<long long>(r.tt_peer_ingested),
+        static_cast<long long>(r.tt_peer_hits),
+        static_cast<long long>(r.tt_published));
+    EmitRow(r, peering);
+  }
+  if (rc == 0) std::printf("clean shutdown\n");
+  return rc;
+}

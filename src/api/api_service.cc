@@ -153,6 +153,26 @@ Result<GenerateAccepted> ApiService::SubmitGenerate(const GenerateRequest& req) 
   return accepted;
 }
 
+Result<bool> ApiService::ProbeCache(const GenerateRequest& req) {
+  IFGEN_ASSIGN_OR_RETURN(GeneratorOptions options, req.options.ToGeneratorOptions());
+  if (req.workload.empty() && req.sqls.empty()) {
+    return Status::Invalid("GenerateRequest: either 'workload' or 'sqls' required");
+  }
+  // A backend or workload this worker cannot serve is simply "no hit" — the
+  // prober is looking for a cached result, not validating the request.
+  if (!BackendAvailable(options.backend)) return false;
+  const WorkloadBundle* bundle = nullptr;
+  if (!req.workload.empty()) {
+    auto found = FindWorkload(req.workload);
+    if (!found.ok()) return false;
+    bundle = *found;
+  }
+  JobSpec spec;
+  spec.sqls = req.sqls.empty() ? bundle->log : req.sqls;
+  spec.options = std::move(options);
+  return service_.CachePeek(GenerationService::JobKey(spec));
+}
+
 GenerateResponse ApiService::BuildGenerateResponse(GenerationService::JobId id,
                                                    const GeneratedInterface& iface,
                                                    const JobMeta& meta) const {
@@ -458,7 +478,8 @@ Result<StepResponse> ApiService::ApplyEvent(const std::string& session_id,
   return resp;
 }
 
-Result<ChangeBatchDto> ApiService::PollSession(const std::string& session_id) {
+Result<ChangeBatchDto> ApiService::PollSession(const std::string& session_id,
+                                               int64_t wait_ms) {
   std::shared_ptr<InteractiveRuntime> runtime;
   InteractiveRuntime::SubscriberId feed_sub = 0;
   {
@@ -469,6 +490,13 @@ Result<ChangeBatchDto> ApiService::PollSession(const std::string& session_id) {
   }
   IFGEN_ASSIGN_OR_RETURN(InteractiveRuntime::ChangeBatch batch,
                          runtime->Poll(feed_sub));
+  if (wait_ms > 0 && batch.to_version == batch.from_version) {
+    // Nothing pending: park on the runtime's version condvar (no busy
+    // polling) and re-drain whatever the wait uncovered — possibly still
+    // nothing, which is the long-poll timeout answer.
+    runtime->WaitForVersionExceeding(batch.to_version, wait_ms);
+    IFGEN_ASSIGN_OR_RETURN(batch, runtime->Poll(feed_sub));
+  }
   return ChangeBatchDto::FromBatch(batch);
 }
 

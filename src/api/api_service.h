@@ -59,6 +59,12 @@ class ApiService : public ServiceFrontend {
 
   // ---- jobs -------------------------------------------------------------
   Result<GenerateAccepted> SubmitGenerate(const GenerateRequest& req) override;
+  /// Cluster cache.probe: whether this service's result cache already holds
+  /// the completed result of an identical request. Side-effect free beyond
+  /// probe counters (no LRU bump, no cache_hits count) — see
+  /// GenerationService::CachePeek. Not part of ServiceFrontend: only the
+  /// cluster worker exposes it, and only the router calls it.
+  Result<bool> ProbeCache(const GenerateRequest& req);
   /// `wait_ms` > 0 blocks until the job is terminal or the deadline.
   Result<JobStatusResponse> GetJob(const std::string& job_id,
                                    int64_t wait_ms = 0) override;
@@ -81,8 +87,10 @@ class ApiService : public ServiceFrontend {
                                   const WidgetEventRequest& event) override;
   /// Drains the session's feed subscriber (distinct from the per-event
   /// batches in StepResponse, so a feed consumer sees every step exactly
-  /// once regardless of event traffic).
-  Result<ChangeBatchDto> PollSession(const std::string& session_id) override;
+  /// once regardless of event traffic). `wait_ms` > 0 parks on the
+  /// runtime's version condvar until a step lands or the deadline.
+  Result<ChangeBatchDto> PollSession(const std::string& session_id,
+                                     int64_t wait_ms = 0) override;
   Status CloseSession(const std::string& session_id) override;
   /// Current result snapshot (the feed consumer's resync path).
   Result<TableDto> SessionTable(const std::string& session_id) override;

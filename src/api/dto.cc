@@ -350,6 +350,7 @@ Result<GeneratorOptions> ApiOptions::ToGeneratorOptions() const {
   o.parallel.num_threads = static_cast<size_t>(num_threads);
   o.delta_cost_eval = delta_cost_eval;
   o.k_assignments = static_cast<size_t>(k_assignments);
+  o.cache_peering = cache_peering;
   return o;
 }
 
@@ -368,6 +369,7 @@ ApiOptions ApiOptions::FromGeneratorOptions(const GeneratorOptions& o) {
   a.use_priors = o.search.priors.use_priors;
   a.progressive_widening = o.search.priors.progressive_widening;
   a.delta_cost_eval = o.delta_cost_eval;
+  a.cache_peering = o.cache_peering;
   a.deadline_ms = o.search.time_control.deadline_ms;
   a.target_cost = o.search.time_control.target_cost;
   a.plateau_fraction = o.search.time_control.plateau_fraction;
@@ -389,6 +391,7 @@ JsonValue ApiOptions::ToJson() const {
   v.Set("use_priors", JsonValue::Bool(use_priors));
   v.Set("progressive_widening", JsonValue::Bool(progressive_widening));
   v.Set("delta_cost_eval", JsonValue::Bool(delta_cost_eval));
+  v.Set("cache_peering", JsonValue::Bool(cache_peering));
   v.Set("deadline_ms", JsonValue::Int(deadline_ms));
   v.Set("target_cost", JsonValue::Double(target_cost));
   v.Set("plateau_fraction", JsonValue::Double(plateau_fraction));
@@ -411,6 +414,7 @@ Result<ApiOptions> ApiOptions::FromJson(const JsonValue& v) {
   r.Bool("use_priors", &a.use_priors);
   r.Bool("progressive_widening", &a.progressive_widening);
   r.Bool("delta_cost_eval", &a.delta_cost_eval);
+  r.Bool("cache_peering", &a.cache_peering);
   r.Int("deadline_ms", &a.deadline_ms);
   r.Double("target_cost", &a.target_cost);
   r.Double("plateau_fraction", &a.plateau_fraction);
@@ -426,8 +430,9 @@ bool ApiOptions::operator==(const ApiOptions& o) const {
          num_threads == o.num_threads && k_assignments == o.k_assignments &&
          use_priors == o.use_priors &&
          progressive_widening == o.progressive_widening &&
-         delta_cost_eval == o.delta_cost_eval && deadline_ms == o.deadline_ms &&
-         target_cost == o.target_cost && plateau_fraction == o.plateau_fraction;
+         delta_cost_eval == o.delta_cost_eval && cache_peering == o.cache_peering &&
+         deadline_ms == o.deadline_ms && target_cost == o.target_cost &&
+         plateau_fraction == o.plateau_fraction;
 }
 
 // ---------------------------------------------------------------------------
@@ -1105,6 +1110,12 @@ JsonValue WorkerStatsDto::ToJson() const {
   v.Set("rpcs", JsonValue::Int(rpcs));
   v.Set("rpc_failures", JsonValue::Int(rpc_failures));
   v.Set("reconnects", JsonValue::Int(reconnects));
+  v.Set("cache_probes", JsonValue::Int(cache_probes));
+  v.Set("cache_probe_hits", JsonValue::Int(cache_probe_hits));
+  v.Set("tt_peer_ingested", JsonValue::Int(tt_peer_ingested));
+  v.Set("tt_peer_hits", JsonValue::Int(tt_peer_hits));
+  v.Set("result_peer_hits", JsonValue::Int(result_peer_hits));
+  v.Set("tt_published", JsonValue::Int(tt_published));
   return v;
 }
 
@@ -1122,6 +1133,12 @@ Result<WorkerStatsDto> WorkerStatsDto::FromJson(const JsonValue& v) {
   r.Int("rpcs", &w.rpcs);
   r.Int("rpc_failures", &w.rpc_failures);
   r.Int("reconnects", &w.reconnects);
+  r.Int("cache_probes", &w.cache_probes);
+  r.Int("cache_probe_hits", &w.cache_probe_hits);
+  r.Int("tt_peer_ingested", &w.tt_peer_ingested);
+  r.Int("tt_peer_hits", &w.tt_peer_hits);
+  r.Int("result_peer_hits", &w.result_peer_hits);
+  r.Int("tt_published", &w.tt_published);
   IFGEN_RETURN_NOT_OK(r.Finish());
   return w;
 }
@@ -1131,7 +1148,13 @@ bool WorkerStatsDto::operator==(const WorkerStatsDto& o) const {
          draining == o.draining && jobs_submitted == o.jobs_submitted &&
          jobs_executed == o.jobs_executed && jobs_pending == o.jobs_pending &&
          sessions_active == o.sessions_active && rpcs == o.rpcs &&
-         rpc_failures == o.rpc_failures && reconnects == o.reconnects;
+         rpc_failures == o.rpc_failures && reconnects == o.reconnects &&
+         cache_probes == o.cache_probes &&
+         cache_probe_hits == o.cache_probe_hits &&
+         tt_peer_ingested == o.tt_peer_ingested &&
+         tt_peer_hits == o.tt_peer_hits &&
+         result_peer_hits == o.result_peer_hits &&
+         tt_published == o.tt_published;
 }
 
 JsonValue ClusterResponse::ToJson() const {

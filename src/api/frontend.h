@@ -50,7 +50,12 @@ class ServiceFrontend {
   virtual Result<SessionOpenResponse> OpenSession(const SessionOpenRequest& req) = 0;
   virtual Result<StepResponse> ApplyEvent(const std::string& session_id,
                                           const WidgetEventRequest& event) = 0;
-  virtual Result<ChangeBatchDto> PollSession(const std::string& session_id) = 0;
+  /// Drains the session's feed. `wait_ms` > 0 blocks (condvar, no busy
+  /// polling) until the session's result version advances past the drained
+  /// position or the deadline — an empty batch after a full wait is the
+  /// long-poll timeout answer, not an error.
+  virtual Result<ChangeBatchDto> PollSession(const std::string& session_id,
+                                             int64_t wait_ms = 0) = 0;
   virtual Status CloseSession(const std::string& session_id) = 0;
   /// Current result snapshot (the feed consumer's resync path).
   virtual Result<TableDto> SessionTable(const std::string& session_id) = 0;

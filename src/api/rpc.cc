@@ -3,6 +3,43 @@
 namespace ifgen {
 namespace api {
 
+namespace {
+
+/// Full-width uint64 <-> lowercase hex (no 0x prefix). The strict Int codec
+/// is int64, and canonical hashes / store keys use all 64 bits.
+std::string U64ToHex(uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+Result<uint64_t> HexToU64(const std::string& s, const char* what) {
+  if (s.empty() || s.size() > 16) {
+    return Status::Invalid(std::string(what) + ": bad hex '" + s + "'");
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return Status::Invalid(std::string(what) + ": bad hex '" + s + "'");
+    }
+    v = (v << 4) | digit;
+  }
+  return v;
+}
+
+}  // namespace
+
 JsonValue RpcEnvelope::ToJson() const {
   JsonValue v = JsonValue::Object();
   v.Set("api_version", JsonValue::Str(api_version));
@@ -49,6 +86,7 @@ JsonValue RpcReply::ToJson() const {
   JsonValue v = JsonValue::Object();
   v.Set("request_id", JsonValue::Int(request_id));
   v.Set("ok", JsonValue::Bool(ok));
+  if (epoch != 0) v.Set("epoch", JsonValue::Int(epoch));
   if (ok) {
     v.Set("payload", payload);
   } else {
@@ -62,6 +100,7 @@ Result<RpcReply> RpcReply::FromJson(const JsonValue& v) {
   ObjectReader r(v, "RpcReply");
   r.Int("request_id", &rep.request_id);
   r.Bool("ok", &rep.ok, /*required=*/true);
+  r.Int("epoch", &rep.epoch, /*required=*/false, 0);
   const JsonValue* payload = r.Child("payload");
   const JsonValue* error = r.Child("error");
   IFGEN_RETURN_NOT_OK(r.Finish());
@@ -137,6 +176,10 @@ JsonValue WorkerPingResponse::ToJson() const {
   v.Set("jobs_pending", JsonValue::Int(jobs_pending));
   v.Set("sessions_active", JsonValue::Int(sessions_active));
   v.Set("draining", JsonValue::Bool(draining));
+  v.Set("cache_probes", JsonValue::Int(cache_probes));
+  v.Set("cache_probe_hits", JsonValue::Int(cache_probe_hits));
+  v.Set("tt_peer_ingested", JsonValue::Int(tt_peer_ingested));
+  v.Set("tt_peer_hits", JsonValue::Int(tt_peer_hits));
   return v;
 }
 
@@ -148,8 +191,125 @@ Result<WorkerPingResponse> WorkerPingResponse::FromJson(const JsonValue& v) {
   r.Int("jobs_pending", &p.jobs_pending);
   r.Int("sessions_active", &p.sessions_active);
   r.Bool("draining", &p.draining);
+  r.Int("cache_probes", &p.cache_probes, /*required=*/false, 0);
+  r.Int("cache_probe_hits", &p.cache_probe_hits, /*required=*/false, 0);
+  r.Int("tt_peer_ingested", &p.tt_peer_ingested, /*required=*/false, 0);
+  r.Int("tt_peer_hits", &p.tt_peer_hits, /*required=*/false, 0);
   IFGEN_RETURN_NOT_OK(r.Finish());
   return p;
+}
+
+JsonValue CacheProbeResponse::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("hit", JsonValue::Bool(hit));
+  return v;
+}
+
+Result<CacheProbeResponse> CacheProbeResponse::FromJson(const JsonValue& v) {
+  CacheProbeResponse p;
+  ObjectReader r(v, "CacheProbeResponse");
+  r.Bool("hit", &p.hit, /*required=*/true);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  return p;
+}
+
+JsonValue TtExportRequest::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("max_entries", JsonValue::Int(max_entries));
+  return v;
+}
+
+Result<TtExportRequest> TtExportRequest::FromJson(const JsonValue& v) {
+  TtExportRequest q;
+  ObjectReader r(v, "TtExportRequest");
+  r.Int("max_entries", &q.max_entries, /*required=*/false, 256);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  return q;
+}
+
+bool TtBatchDto::operator==(const TtBatchDto& o) const {
+  return store_key == o.store_key && entries == o.entries;
+}
+
+JsonValue TtBatchDto::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("store_key", JsonValue::Str(U64ToHex(store_key)));
+  JsonValue arr = JsonValue::Array();
+  for (const TtSeedEntry& e : entries) {
+    JsonValue ev = JsonValue::Object();
+    ev.Set("h", JsonValue::Str(U64ToHex(e.canonical)));
+    ev.Set("c", JsonValue::Double(e.cost));
+    ev.Set("v", JsonValue::Int(static_cast<int64_t>(e.visits)));
+    arr.Append(std::move(ev));
+  }
+  v.Set("entries", std::move(arr));
+  return v;
+}
+
+Result<TtBatchDto> TtBatchDto::FromJson(const JsonValue& v) {
+  TtBatchDto b;
+  std::string store_hex;
+  ObjectReader r(v, "TtBatchDto");
+  r.String("store_key", &store_hex, /*required=*/true);
+  const JsonValue* entries = r.Child("entries", /*required=*/true);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  IFGEN_ASSIGN_OR_RETURN(b.store_key, HexToU64(store_hex, "TtBatchDto.store_key"));
+  if (!entries->is_array()) {
+    return Status::Invalid("TtBatchDto.entries must be an array");
+  }
+  b.entries.reserve(entries->items().size());
+  for (const JsonValue& ev : entries->items()) {
+    TtSeedEntry e;
+    std::string hex;
+    int64_t visits = 0;
+    ObjectReader er(ev, "TtBatchDto.entry");
+    er.String("h", &hex, /*required=*/true);
+    er.Double("c", &e.cost, /*required=*/true);
+    er.Int("v", &visits, /*required=*/false, 0);
+    IFGEN_RETURN_NOT_OK(er.Finish());
+    IFGEN_ASSIGN_OR_RETURN(e.canonical, HexToU64(hex, "TtBatchDto.entry.h"));
+    e.visits = visits < 0 ? 0 : static_cast<uint64_t>(visits);
+    b.entries.push_back(e);
+  }
+  return b;
+}
+
+JsonValue TtSyncDto::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  JsonValue arr = JsonValue::Array();
+  for (const TtBatchDto& b : batches) arr.Append(b.ToJson());
+  v.Set("batches", std::move(arr));
+  return v;
+}
+
+Result<TtSyncDto> TtSyncDto::FromJson(const JsonValue& v) {
+  TtSyncDto s;
+  ObjectReader r(v, "TtSyncDto");
+  const JsonValue* batches = r.Child("batches", /*required=*/true);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  if (!batches->is_array()) {
+    return Status::Invalid("TtSyncDto.batches must be an array");
+  }
+  s.batches.reserve(batches->items().size());
+  for (const JsonValue& bv : batches->items()) {
+    IFGEN_ASSIGN_OR_RETURN(TtBatchDto b, TtBatchDto::FromJson(bv));
+    s.batches.push_back(std::move(b));
+  }
+  return s;
+}
+
+JsonValue TtSyncAck::ToJson() const {
+  JsonValue v = JsonValue::Object();
+  v.Set("ingested", JsonValue::Int(ingested));
+  return v;
+}
+
+Result<TtSyncAck> TtSyncAck::FromJson(const JsonValue& v) {
+  TtSyncAck a;
+  ObjectReader r(v, "TtSyncAck");
+  r.Int("ingested", &a.ingested, /*required=*/false, 0);
+  IFGEN_RETURN_NOT_OK(r.Finish());
+  return a;
 }
 
 JsonValue TextReply::ToJson() const {

@@ -38,6 +38,14 @@ inline constexpr const char kMethodCatalog[] = "catalog.get";
 inline constexpr const char kMethodStats[] = "stats.get";
 inline constexpr const char kMethodPing[] = "worker.ping";
 inline constexpr const char kMethodDrain[] = "worker.drain";
+// Cache peering (cluster-wide shared caches; see docs/cluster.md):
+// cache.probe asks a worker whether its result cache already holds a
+// completed identical job; cache.export pulls a worker's locally discovered
+// hot transposition entries; cache.publish pushes sibling entries into a
+// worker's peer store.
+inline constexpr const char kMethodCacheProbe[] = "cache.probe";
+inline constexpr const char kMethodCacheExport[] = "cache.export";
+inline constexpr const char kMethodCachePublish[] = "cache.publish";
 
 /// \brief One request frame: which operation, against which payload.
 /// `request_id` is caller-chosen and echoed verbatim in the reply so a
@@ -58,9 +66,16 @@ struct RpcEnvelope {
 
 /// \brief One reply frame: `ok` selects which of `payload` (success DTO) or
 /// `error` (ErrorBody) is meaningful.
+///
+/// `epoch` identifies the answering worker *incarnation* (nonzero, rolled
+/// at process start). A router that recorded the epoch a job/session was
+/// created under can detect that a later reply came from a restarted
+/// process — whose dense local id space restarts too — and refuse to serve
+/// a potentially aliased answer. 0 = unknown (pre-epoch peer).
 struct RpcReply {
   int64_t request_id = 0;
   bool ok = true;
+  int64_t epoch = 0;
   JsonValue payload = JsonValue::Object();
   ErrorBody error;  ///< meaningful only when !ok
 
@@ -70,8 +85,8 @@ struct RpcReply {
   JsonValue ToJson() const;
   static Result<RpcReply> FromJson(const JsonValue& v);
   bool operator==(const RpcReply& o) const {
-    return request_id == o.request_id && ok == o.ok && payload == o.payload &&
-           (ok || error == o.error);
+    return request_id == o.request_id && ok == o.ok && epoch == o.epoch &&
+           payload == o.payload && (ok || error == o.error);
   }
 };
 
@@ -126,14 +141,83 @@ struct WorkerPingResponse {
   int64_t jobs_pending = 0;
   int64_t sessions_active = 0;
   bool draining = false;
+  /// Cache-peering telemetry (see GenerationService::CountersSnapshot).
+  int64_t cache_probes = 0;
+  int64_t cache_probe_hits = 0;
+  int64_t tt_peer_ingested = 0;
+  int64_t tt_peer_hits = 0;
 
   JsonValue ToJson() const;
   static Result<WorkerPingResponse> FromJson(const JsonValue& v);
   bool operator==(const WorkerPingResponse& o) const {
     return jobs_submitted == o.jobs_submitted &&
            jobs_executed == o.jobs_executed && jobs_pending == o.jobs_pending &&
-           sessions_active == o.sessions_active && draining == o.draining;
+           sessions_active == o.sessions_active && draining == o.draining &&
+           cache_probes == o.cache_probes &&
+           cache_probe_hits == o.cache_probe_hits &&
+           tt_peer_ingested == o.tt_peer_ingested &&
+           tt_peer_hits == o.tt_peer_hits;
   }
+};
+
+// ---------------------------------------------------------------------------
+// Cache-peering payloads.
+
+/// \brief Reply payload of cache.probe: whether the worker's result cache
+/// holds a completed identical job (probing is side-effect free — no LRU
+/// bump, no cache_hits count).
+struct CacheProbeResponse {
+  bool hit = false;
+
+  JsonValue ToJson() const;
+  static Result<CacheProbeResponse> FromJson(const JsonValue& v);
+  bool operator==(const CacheProbeResponse& o) const { return hit == o.hit; }
+};
+
+/// \brief Request payload of cache.export: how many entries per store the
+/// caller wants at most.
+struct TtExportRequest {
+  int64_t max_entries = 256;
+
+  JsonValue ToJson() const;
+  static Result<TtExportRequest> FromJson(const JsonValue& v);
+  bool operator==(const TtExportRequest& o) const {
+    return max_entries == o.max_entries;
+  }
+};
+
+/// \brief One cost-identity store's transposition entries on the wire.
+/// `store_key` and each entry's canonical hash are full uint64s, encoded as
+/// hex strings (the strict Int codec is int64 and hashes use all 64 bits);
+/// costs are finite by construction (non-finite entries are never exported
+/// — JSON cannot encode them).
+struct TtBatchDto {
+  uint64_t store_key = 0;
+  std::vector<TtSeedEntry> entries;
+
+  JsonValue ToJson() const;
+  static Result<TtBatchDto> FromJson(const JsonValue& v);
+  bool operator==(const TtBatchDto& o) const;
+};
+
+/// \brief Reply payload of cache.export and request payload of
+/// cache.publish: a batch of stores' entries.
+struct TtSyncDto {
+  std::vector<TtBatchDto> batches;
+
+  JsonValue ToJson() const;
+  static Result<TtSyncDto> FromJson(const JsonValue& v);
+  bool operator==(const TtSyncDto& o) const { return batches == o.batches; }
+};
+
+/// \brief Reply payload of cache.publish: how many entries were new to the
+/// receiving worker (first-writer-wins merge).
+struct TtSyncAck {
+  int64_t ingested = 0;
+
+  JsonValue ToJson() const;
+  static Result<TtSyncAck> FromJson(const JsonValue& v);
+  bool operator==(const TtSyncAck& o) const { return ingested == o.ingested; }
 };
 
 /// \brief Reply payload of job.trace (a JSON document in a string) and

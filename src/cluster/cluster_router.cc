@@ -117,7 +117,7 @@ void ClusterRouter::MarkUnhealthyLocked(WorkerState* w) {
 
 Result<JsonValue> ClusterRouter::Rpc(WorkerState* w, const char* method,
                                      JsonValue payload, int64_t extra_wait_ms,
-                                     bool probe) {
+                                     bool probe, int64_t* reply_epoch) {
   int fd = -1;
   {
     std::lock_guard<std::mutex> lock(w->mu);
@@ -171,16 +171,21 @@ Result<JsonValue> ClusterRouter::Rpc(WorkerState* w, const char* method,
   auto reply = RpcReply::FromJson(*parsed);
   if (!reply.ok()) return fail(reply.status());
   if (reply->request_id != env.request_id) {
-    return fail(Status::Internal("RPC reply pairing broken: sent id " +
-                                 std::to_string(env.request_id) + ", got " +
-                                 std::to_string(reply->request_id)));
+    // A desynchronized stream (e.g. a stale frame left by a peer that timed
+    // out mid-exchange) is a transport fault, not an application answer:
+    // drop the connection and report retryable, exactly like a read failure.
+    return fail(Status::Unavailable("RPC reply pairing broken: sent id " +
+                                    std::to_string(env.request_id) + ", got " +
+                                    std::to_string(reply->request_id)));
   }
+  if (reply_epoch != nullptr) *reply_epoch = reply->epoch;
   RpcDurationFamily()
       .WithLabels({{"worker", std::to_string(w->index)}})
       ->Observe(static_cast<double>(watch.ElapsedMicros()));
   {
     std::lock_guard<std::mutex> lock(w->mu);
     --w->inflight;
+    if (reply->epoch != 0) w->epoch = reply->epoch;
     if (!w->healthy) {
       w->healthy = true;
       ++w->reconnects;
@@ -233,6 +238,55 @@ void ClusterRouter::HealthLoop() {
         w->draining = parsed->draining;
       }
     }
+    if (opts_.cache_peering) GossipTt();
+  }
+}
+
+void ClusterRouter::GossipTt() {
+  // Pull phase: each healthy worker's locally discovered hot transposition
+  // entries (workers never re-export what they ingested from peers, so a
+  // batch seen here is first-hand and gossip cannot echo).
+  struct Pulled {
+    size_t source;
+    api::TtSyncDto sync;
+  };
+  std::vector<Pulled> pulled;
+  api::TtExportRequest exp;
+  exp.max_entries = static_cast<int64_t>(opts_.tt_gossip_max_entries);
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      if (!w->healthy) continue;
+    }
+    auto r = Rpc(w.get(), api::kMethodCacheExport, exp.ToJson());
+    if (!r.ok()) continue;
+    auto sync = api::TtSyncDto::FromJson(*r);
+    if (!sync.ok() || sync->batches.empty()) continue;
+    pulled.push_back(Pulled{w->index, std::move(*sync)});
+  }
+  if (pulled.empty()) return;
+  // Push phase: every worker receives everyone ELSE's batches. Workers
+  // merge first-writer-wins per canonical hash, so re-publishing the same
+  // entry on later rounds is an idempotent no-op.
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      if (!w->healthy) continue;
+    }
+    api::TtSyncDto out;
+    int64_t entries = 0;
+    for (const Pulled& p : pulled) {
+      if (p.source == w->index) continue;
+      for (const api::TtBatchDto& b : p.sync.batches) {
+        entries += static_cast<int64_t>(b.entries.size());
+        out.batches.push_back(b);
+      }
+    }
+    if (out.batches.empty()) continue;
+    auto r = Rpc(w.get(), api::kMethodCachePublish, out.ToJson());
+    if (!r.ok()) continue;
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->tt_published += entries;
   }
 }
 
@@ -270,6 +324,68 @@ Result<ClusterRouter::Route> ClusterRouter::FindSession(
   return it->second;
 }
 
+// Epoch guards: a worker restart resets its dense "job-N"/"sess-N" id space,
+// so a route recorded against the old incarnation could silently name a NEW
+// job/session that happens to reuse the number. The reply's epoch exposes
+// that: when it differs from the epoch the route was created under, the
+// payload belongs to a stranger — discard it, forget the route, and answer
+// NotFound (never another job's result). A zero on either side means "epoch
+// unknown" (pre-epoch worker or never-heard route) and skips the check.
+
+Status ClusterRouter::CheckJobEpoch(const std::string& job_id,
+                                    const Route& route, int64_t reply_epoch) {
+  if (route.epoch == 0 || reply_epoch == 0 || route.epoch == reply_epoch) {
+    return Status::OK();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.erase(job_id);
+    auto it = std::find(job_order_.begin(), job_order_.end(), job_id);
+    if (it != job_order_.end()) job_order_.erase(it);
+  }
+  return Status::NotFound("job '" + job_id +
+                          "' was owned by a worker that restarted; its state "
+                          "is gone — resubmit");
+}
+
+Status ClusterRouter::CheckSessionEpoch(const std::string& session_id,
+                                        const Route& route,
+                                        int64_t reply_epoch) {
+  if (route.epoch == 0 || reply_epoch == 0 || route.epoch == reply_epoch) {
+    return Status::OK();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(session_id);
+  }
+  return Status::NotFound("session '" + session_id +
+                          "' was owned by a worker that restarted; its state "
+                          "is gone — reopen");
+}
+
+size_t ClusterRouter::ProbeForCachedResult(const JsonValue& req_json,
+                                           WorkerState* placement) {
+  // Placement first: when the co-located worker already holds the result,
+  // the normal submit path is the hit and no redirect is needed.
+  auto own = Rpc(placement, api::kMethodCacheProbe, req_json);
+  if (own.ok()) {
+    auto resp = api::CacheProbeResponse::FromJson(*own);
+    if (resp.ok() && resp->hit) return SIZE_MAX;
+  }
+  for (auto& w : workers_) {
+    if (w->index == placement->index) continue;
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      if (!w->healthy) continue;
+    }
+    auto r = Rpc(w.get(), api::kMethodCacheProbe, req_json);
+    if (!r.ok()) continue;  // a probe never fails the submit
+    auto resp = api::CacheProbeResponse::FromJson(*r);
+    if (resp.ok() && resp->hit) return w->index;
+  }
+  return SIZE_MAX;
+}
+
 Result<api::GenerateAccepted> ClusterRouter::SubmitGenerate(
     const api::GenerateRequest& req) {
   // Consistent hash of the canonical request JSON: identical requests land
@@ -277,10 +393,32 @@ Result<api::GenerateAccepted> ClusterRouter::SubmitGenerate(
   const JsonValue req_json = req.ToJson();
   const uint64_t key = HashBytes(WriteJson(req_json));
   Status last = Status::Unavailable("no healthy workers");
+  // Cache peering: when a sibling (not the placement worker) already holds
+  // the completed identical job, route there once — the submit becomes that
+  // worker's local result-cache hit, bit-identical to the co-located path.
+  // Probe failures or a vanished cache entry fall through to normal ring
+  // placement; peer_hint is consumed on the first attempt only.
+  size_t peer_hint = SIZE_MAX;
+  if (opts_.cache_peering) {
+    WorkerState* placement = PickWorker(key, /*skip=*/SIZE_MAX);
+    if (placement != nullptr) {
+      peer_hint = ProbeForCachedResult(req_json, placement);
+    }
+  }
   for (size_t attempt = 0; attempt < workers_.size(); ++attempt) {
-    WorkerState* w = PickWorker(key, /*skip=*/SIZE_MAX);
+    WorkerState* w = nullptr;
+    bool via_peer = false;
+    if (peer_hint != SIZE_MAX) {
+      w = workers_[peer_hint].get();
+      via_peer = true;
+      peer_hint = SIZE_MAX;
+    } else {
+      w = PickWorker(key, /*skip=*/SIZE_MAX);
+    }
     if (w == nullptr) break;
-    auto r = Rpc(w, api::kMethodSubmitGenerate, req_json);
+    int64_t reply_epoch = 0;
+    auto r = Rpc(w, api::kMethodSubmitGenerate, req_json, /*extra_wait_ms=*/0,
+                 /*probe=*/false, &reply_epoch);
     if (!r.ok()) {
       // Transport loss reroutes (the worker is now unhealthy and the next
       // pick walks past it); application errors — including 429
@@ -293,11 +431,15 @@ Result<api::GenerateAccepted> ClusterRouter::SubmitGenerate(
     }
     IFGEN_ASSIGN_OR_RETURN(api::GenerateAccepted acc,
                            api::GenerateAccepted::FromJson(*r));
+    if (via_peer) {
+      std::lock_guard<std::mutex> lock(w->mu);
+      ++w->result_peer_hits;
+    }
     std::string cluster_id;
     {
       std::lock_guard<std::mutex> lock(mu_);
       cluster_id = "j-" + std::to_string(next_job_++);
-      jobs_[cluster_id] = Route{w->index, acc.job_id};
+      jobs_[cluster_id] = Route{w->index, acc.job_id, reply_epoch};
       job_order_.push_back(cluster_id);
       if (job_order_.size() > opts_.max_job_routes) {
         jobs_.erase(job_order_.front());
@@ -316,9 +458,12 @@ Result<api::JobStatusResponse> ClusterRouter::GetJob(const std::string& job_id,
   api::IdRequest q;
   q.id = route.remote_id;
   q.wait_ms = wait_ms;
+  int64_t reply_epoch = 0;
   IFGEN_ASSIGN_OR_RETURN(JsonValue payload,
                          Rpc(workers_[route.worker].get(), api::kMethodGetJob,
-                             q.ToJson(), /*extra_wait_ms=*/wait_ms));
+                             q.ToJson(), /*extra_wait_ms=*/wait_ms,
+                             /*probe=*/false, &reply_epoch));
+  IFGEN_RETURN_NOT_OK(CheckJobEpoch(job_id, route, reply_epoch));
   IFGEN_ASSIGN_OR_RETURN(api::JobStatusResponse resp,
                          api::JobStatusResponse::FromJson(payload));
   resp.job_id = job_id;
@@ -331,9 +476,12 @@ Result<api::JobStatusResponse> ClusterRouter::CancelJob(
   IFGEN_ASSIGN_OR_RETURN(Route route, FindJob(job_id));
   api::IdRequest q;
   q.id = route.remote_id;
+  int64_t reply_epoch = 0;
   IFGEN_ASSIGN_OR_RETURN(
       JsonValue payload,
-      Rpc(workers_[route.worker].get(), api::kMethodCancelJob, q.ToJson()));
+      Rpc(workers_[route.worker].get(), api::kMethodCancelJob, q.ToJson(),
+          /*extra_wait_ms=*/0, /*probe=*/false, &reply_epoch));
+  IFGEN_RETURN_NOT_OK(CheckJobEpoch(job_id, route, reply_epoch));
   IFGEN_ASSIGN_OR_RETURN(api::JobStatusResponse resp,
                          api::JobStatusResponse::FromJson(payload));
   resp.job_id = job_id;
@@ -348,10 +496,12 @@ Result<api::JobProgressResponse> ClusterRouter::GetJobProgress(
   q.job_id = route.remote_id;
   q.last_seen_version = last_seen_version;
   q.wait_ms = wait_ms;
+  int64_t reply_epoch = 0;
   IFGEN_ASSIGN_OR_RETURN(
       JsonValue payload,
       Rpc(workers_[route.worker].get(), api::kMethodJobProgress, q.ToJson(),
-          /*extra_wait_ms=*/wait_ms));
+          /*extra_wait_ms=*/wait_ms, /*probe=*/false, &reply_epoch));
+  IFGEN_RETURN_NOT_OK(CheckJobEpoch(job_id, route, reply_epoch));
   IFGEN_ASSIGN_OR_RETURN(api::JobProgressResponse resp,
                          api::JobProgressResponse::FromJson(payload));
   resp.job_id = job_id;
@@ -363,9 +513,12 @@ Result<std::string> ClusterRouter::JobTrace(const std::string& job_id) {
   IFGEN_ASSIGN_OR_RETURN(Route route, FindJob(job_id));
   api::IdRequest q;
   q.id = route.remote_id;
+  int64_t reply_epoch = 0;
   IFGEN_ASSIGN_OR_RETURN(
       JsonValue payload,
-      Rpc(workers_[route.worker].get(), api::kMethodJobTrace, q.ToJson()));
+      Rpc(workers_[route.worker].get(), api::kMethodJobTrace, q.ToJson(),
+          /*extra_wait_ms=*/0, /*probe=*/false, &reply_epoch));
+  IFGEN_RETURN_NOT_OK(CheckJobEpoch(job_id, route, reply_epoch));
   IFGEN_ASSIGN_OR_RETURN(api::TextReply t, api::TextReply::FromJson(payload));
   return t.text;
 }
@@ -377,16 +530,19 @@ Result<api::SessionOpenResponse> ClusterRouter::OpenSession(
   IFGEN_ASSIGN_OR_RETURN(Route route, FindJob(req.job_id));
   api::SessionOpenRequest remote = req;
   remote.job_id = route.remote_id;
-  IFGEN_ASSIGN_OR_RETURN(JsonValue payload,
-                         Rpc(workers_[route.worker].get(),
-                             api::kMethodOpenSession, remote.ToJson()));
+  int64_t reply_epoch = 0;
+  IFGEN_ASSIGN_OR_RETURN(
+      JsonValue payload,
+      Rpc(workers_[route.worker].get(), api::kMethodOpenSession,
+          remote.ToJson(), /*extra_wait_ms=*/0, /*probe=*/false, &reply_epoch));
+  IFGEN_RETURN_NOT_OK(CheckJobEpoch(req.job_id, route, reply_epoch));
   IFGEN_ASSIGN_OR_RETURN(api::SessionOpenResponse resp,
                          api::SessionOpenResponse::FromJson(payload));
   std::string cluster_id;
   {
     std::lock_guard<std::mutex> lock(mu_);
     cluster_id = "s-" + std::to_string(next_session_++);
-    sessions_[cluster_id] = Route{route.worker, resp.session_id};
+    sessions_[cluster_id] = Route{route.worker, resp.session_id, reply_epoch};
   }
   resp.session_id = std::move(cluster_id);
   return resp;
@@ -398,9 +554,12 @@ Result<api::StepResponse> ClusterRouter::ApplyEvent(
   api::SessionEventRequest q;
   q.session_id = route.remote_id;
   q.event = event;
+  int64_t reply_epoch = 0;
   IFGEN_ASSIGN_OR_RETURN(
       JsonValue payload,
-      Rpc(workers_[route.worker].get(), api::kMethodSessionEvent, q.ToJson()));
+      Rpc(workers_[route.worker].get(), api::kMethodSessionEvent, q.ToJson(),
+          /*extra_wait_ms=*/0, /*probe=*/false, &reply_epoch));
+  IFGEN_RETURN_NOT_OK(CheckSessionEpoch(session_id, route, reply_epoch));
   IFGEN_ASSIGN_OR_RETURN(api::StepResponse resp,
                          api::StepResponse::FromJson(payload));
   resp.session_id = session_id;
@@ -408,13 +567,17 @@ Result<api::StepResponse> ClusterRouter::ApplyEvent(
 }
 
 Result<api::ChangeBatchDto> ClusterRouter::PollSession(
-    const std::string& session_id) {
+    const std::string& session_id, int64_t wait_ms) {
   IFGEN_ASSIGN_OR_RETURN(Route route, FindSession(session_id));
   api::IdRequest q;
   q.id = route.remote_id;
+  q.wait_ms = wait_ms;
+  int64_t reply_epoch = 0;
   IFGEN_ASSIGN_OR_RETURN(
       JsonValue payload,
-      Rpc(workers_[route.worker].get(), api::kMethodPollSession, q.ToJson()));
+      Rpc(workers_[route.worker].get(), api::kMethodPollSession, q.ToJson(),
+          /*extra_wait_ms=*/wait_ms, /*probe=*/false, &reply_epoch));
+  IFGEN_RETURN_NOT_OK(CheckSessionEpoch(session_id, route, reply_epoch));
   return api::ChangeBatchDto::FromJson(payload);
 }
 
@@ -422,9 +585,11 @@ Status ClusterRouter::CloseSession(const std::string& session_id) {
   IFGEN_ASSIGN_OR_RETURN(Route route, FindSession(session_id));
   api::IdRequest q;
   q.id = route.remote_id;
+  int64_t reply_epoch = 0;
   auto r = Rpc(workers_[route.worker].get(), api::kMethodCloseSession,
-               q.ToJson());
+               q.ToJson(), /*extra_wait_ms=*/0, /*probe=*/false, &reply_epoch);
   if (!r.ok()) return r.status();
+  IFGEN_RETURN_NOT_OK(CheckSessionEpoch(session_id, route, reply_epoch));
   std::lock_guard<std::mutex> lock(mu_);
   sessions_.erase(session_id);
   return Status::OK();
@@ -435,9 +600,12 @@ Result<api::TableDto> ClusterRouter::SessionTable(
   IFGEN_ASSIGN_OR_RETURN(Route route, FindSession(session_id));
   api::IdRequest q;
   q.id = route.remote_id;
+  int64_t reply_epoch = 0;
   IFGEN_ASSIGN_OR_RETURN(
       JsonValue payload,
-      Rpc(workers_[route.worker].get(), api::kMethodSessionTable, q.ToJson()));
+      Rpc(workers_[route.worker].get(), api::kMethodSessionTable, q.ToJson(),
+          /*extra_wait_ms=*/0, /*probe=*/false, &reply_epoch));
+  IFGEN_RETURN_NOT_OK(CheckSessionEpoch(session_id, route, reply_epoch));
   return api::TableDto::FromJson(payload);
 }
 
@@ -464,6 +632,12 @@ api::WorkerStatsDto ClusterRouter::WorkerRow(WorkerState* w) {
   row.rpcs = w->rpcs;
   row.rpc_failures = w->failures;
   row.reconnects = w->reconnects;
+  row.cache_probes = w->last_ping.cache_probes;
+  row.cache_probe_hits = w->last_ping.cache_probe_hits;
+  row.tt_peer_ingested = w->last_ping.tt_peer_ingested;
+  row.tt_peer_hits = w->last_ping.tt_peer_hits;
+  row.result_peer_hits = w->result_peer_hits;
+  row.tt_published = w->tt_published;
   return row;
 }
 

@@ -66,6 +66,16 @@ class ClusterRouter : public api::ServiceFrontend {
     /// Terminal job routes beyond this evict oldest-first (workers evict
     /// their own job history independently).
     size_t max_job_routes = 4096;
+    /// Cache peering (default ON in cluster mode; the single-process
+    /// frontend has no peers): generate.submit probes siblings for a
+    /// completed identical job (`cache.probe`) and routes to the holder on
+    /// a hit, and the health loop gossips workers' hot transposition
+    /// entries (`cache.export` -> `cache.publish`). Routing/transport only
+    /// — request payloads are never mutated, so per-request ablation stays
+    /// with ApiOptions::cache_peering.
+    bool cache_peering = true;
+    /// Entries per store a gossip round pulls from each worker.
+    size_t tt_gossip_max_entries = 256;
   };
 
   ClusterRouter() = default;
@@ -99,7 +109,8 @@ class ClusterRouter : public api::ServiceFrontend {
   Result<api::StepResponse> ApplyEvent(
       const std::string& session_id,
       const api::WidgetEventRequest& event) override;
-  Result<api::ChangeBatchDto> PollSession(const std::string& session_id) override;
+  Result<api::ChangeBatchDto> PollSession(const std::string& session_id,
+                                          int64_t wait_ms = 0) override;
   Status CloseSession(const std::string& session_id) override;
   Result<api::TableDto> SessionTable(const std::string& session_id) override;
   Result<api::CatalogResponse> Catalog() override;
@@ -127,26 +138,54 @@ class ClusterRouter : public api::ServiceFrontend {
     int64_t rpcs = 0;
     int64_t failures = 0;
     int64_t reconnects = 0;
+    /// Last epoch any reply from this address carried (0 = never heard).
+    /// A change means the process restarted and its dense id space reset.
+    int64_t epoch = 0;
+    /// Submits routed here because a cache.probe found the result cached
+    /// on this worker while placement pointed elsewhere.
+    int64_t result_peer_hits = 0;
+    /// Transposition entries this router has published to this worker.
+    int64_t tt_published = 0;
   };
 
   struct Route {
     size_t worker = 0;
     std::string remote_id;
+    /// Worker epoch when the route was created; replies carrying a
+    /// different epoch mean the id's owner died (NotFound, never another
+    /// incarnation's aliased id).
+    int64_t epoch = 0;
   };
 
   /// One request/reply over a pooled (or fresh) connection to `w`.
   /// `extra_wait_ms` extends the read deadline for long-poll methods.
   /// `probe` bypasses the unhealthy fast-fail and, on success, restores the
-  /// worker to healthy.
+  /// worker to healthy. `reply_epoch` (optional out) receives the epoch the
+  /// reply carried; the worker's recorded epoch is updated either way.
   Result<JsonValue> Rpc(WorkerState* w, const char* method, JsonValue payload,
-                        int64_t extra_wait_ms = 0, bool probe = false);
+                        int64_t extra_wait_ms = 0, bool probe = false,
+                        int64_t* reply_epoch = nullptr);
   void MarkUnhealthyLocked(WorkerState* w);
   void HealthLoop();
+  /// One gossip round: pull every healthy worker's locally discovered hot
+  /// transposition entries, push each worker everyone else's.
+  void GossipTt();
+  /// Probes workers for a completed identical job. Returns the index of a
+  /// NON-placement worker whose result cache has it (routing there turns
+  /// the submit into that worker's local cache hit), or SIZE_MAX when the
+  /// placement worker has it / nobody does / probing failed.
+  size_t ProbeForCachedResult(const JsonValue& req_json, WorkerState* placement);
   /// Ring walk: the first healthy worker at/after `key`, skipping `skip`
   /// (SIZE_MAX = none). Null when no worker is healthy.
   WorkerState* PickWorker(uint64_t key, size_t skip);
   Result<Route> FindJob(const std::string& job_id);
   Result<Route> FindSession(const std::string& session_id);
+  /// Epoch guards: NotFound + route erasure when `reply_epoch` shows the
+  /// answer came from a different worker incarnation than the route's.
+  Status CheckJobEpoch(const std::string& job_id, const Route& route,
+                       int64_t reply_epoch);
+  Status CheckSessionEpoch(const std::string& session_id, const Route& route,
+                           int64_t reply_epoch);
   api::WorkerStatsDto WorkerRow(WorkerState* w);
 
   Options opts_;

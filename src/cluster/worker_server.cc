@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 
 #include "cluster/frame.h"
 #include "util/json.h"
@@ -22,6 +23,17 @@ Status WorkerServer::Start(Options opts) {
   IFGEN_ASSIGN_OR_RETURN(service_, api::ApiService::Create(opts_.service));
   IFGEN_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(opts_.host, opts_.port));
   IFGEN_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
+  // Incarnation epoch: pid ⊕ steady-clock ns, masked positive, re-rolled
+  // away from 0 ("unknown"). Two starts of one worker — even on the same
+  // port — answer with different epochs, which is what lets routers detect
+  // that a recorded job/session route's dense id now means something else.
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  epoch_ = static_cast<int64_t>(
+      ((static_cast<uint64_t>(::getpid()) << 32) ^ ns) & 0x7fffffffffffffffULL);
+  if (epoch_ == 0) epoch_ = 1;
   stopping_.store(false, std::memory_order_relaxed);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   IFGEN_LOG_C(Info, "cluster") << "worker listening on " << opts_.host << ":"
@@ -114,6 +126,8 @@ void WorkerServer::ServeConnection(Connection* conn) {
                     : RpcReply::Failure(env->request_id, payload.status());
       }
     }
+    // Every reply — success or failure — carries this incarnation's epoch.
+    reply.epoch = epoch_;
     if (!WriteFrame(conn->fd, WriteJson(reply.ToJson())).ok()) break;
   }
   conn->done.store(true, std::memory_order_release);
@@ -173,7 +187,8 @@ Result<JsonValue> WorkerServer::Call(const RpcEnvelope& env) {
   }
   if (m == kMethodPollSession) {
     IFGEN_ASSIGN_OR_RETURN(IdRequest q, IdRequest::FromJson(env.payload));
-    IFGEN_ASSIGN_OR_RETURN(ChangeBatchDto batch, service_->PollSession(q.id));
+    IFGEN_ASSIGN_OR_RETURN(ChangeBatchDto batch,
+                           service_->PollSession(q.id, q.wait_ms));
     return batch.ToJson();
   }
   if (m == kMethodCloseSession) {
@@ -203,7 +218,51 @@ Result<JsonValue> WorkerServer::Call(const RpcEnvelope& env) {
     p.jobs_pending = static_cast<int64_t>(svc.jobs_pending);
     p.sessions_active = static_cast<int64_t>(service_->sessions_active());
     p.draining = draining();
+    p.cache_probes = static_cast<int64_t>(svc.cache_probes);
+    p.cache_probe_hits = static_cast<int64_t>(svc.cache_probe_hits);
+    p.tt_peer_ingested = static_cast<int64_t>(svc.tt_peer_ingested);
+    p.tt_peer_hits = static_cast<int64_t>(svc.tt_peer_hits);
     return p.ToJson();
+  }
+  if (m == kMethodCacheProbe) {
+    // A draining worker rejects generate.submit, so a probe hit would only
+    // lure the router into a 503 — report a miss instead.
+    if (draining()) {
+      CacheProbeResponse miss;
+      return miss.ToJson();
+    }
+    IFGEN_ASSIGN_OR_RETURN(GenerateRequest req,
+                           GenerateRequest::FromJson(env.payload));
+    IFGEN_ASSIGN_OR_RETURN(bool hit, service_->ProbeCache(req));
+    CacheProbeResponse resp;
+    resp.hit = hit;
+    return resp.ToJson();
+  }
+  if (m == kMethodCacheExport) {
+    IFGEN_ASSIGN_OR_RETURN(TtExportRequest q,
+                           TtExportRequest::FromJson(env.payload));
+    const size_t cap =
+        q.max_entries <= 0 ? 0 : static_cast<size_t>(q.max_entries);
+    TtSyncDto sync;
+    for (auto& batch :
+         service_->generation_service().TtExportLocal(cap)) {
+      TtBatchDto dto;
+      dto.store_key = batch.store_key;
+      dto.entries = std::move(batch.entries);
+      sync.batches.push_back(std::move(dto));
+    }
+    return sync.ToJson();
+  }
+  if (m == kMethodCachePublish) {
+    IFGEN_ASSIGN_OR_RETURN(TtSyncDto sync, TtSyncDto::FromJson(env.payload));
+    int64_t ingested = 0;
+    for (const TtBatchDto& batch : sync.batches) {
+      ingested += static_cast<int64_t>(service_->generation_service().TtIngest(
+          batch.store_key, batch.entries, /*local_origin=*/false));
+    }
+    TtSyncAck ack;
+    ack.ingested = ingested;
+    return ack.ToJson();
   }
   if (m == kMethodDrain) {
     Drain();

@@ -54,6 +54,10 @@ class WorkerServer {
 
   int port() const { return port_; }
   api::ApiService& service() { return *service_; }
+  /// This incarnation's epoch (nonzero, rolled at Start): stamped on every
+  /// RpcReply so routers can tell a restarted process — with a fresh dense
+  /// id space — from the one that owned their recorded job/session routes.
+  int64_t epoch() const { return epoch_; }
 
  private:
   struct Connection {
@@ -73,6 +77,7 @@ class WorkerServer {
   std::unique_ptr<api::ApiService> service_;
   int listen_fd_ = -1;
   int port_ = 0;
+  int64_t epoch_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
   std::thread accept_thread_;

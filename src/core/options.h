@@ -85,6 +85,15 @@ struct GeneratorOptions {
   size_t parse_limit = 8;
   /// Exhaustive widget enumeration cap for the final state.
   double enumeration_cap = 20000;
+  /// Cache peering (cluster ablation flag): makes this job's transposition
+  /// entries exportable to sibling workers and eligible to warm-start from
+  /// theirs. Turns on state-keyed sampling (EvalOptions) so sampled costs
+  /// are pure functions of (state, options, seed) — pre-seeded entries then
+  /// change the amount of work, never the values or the RNG streams; a
+  /// peered run is bit-identical to a cold run with the same flag. Changes
+  /// which costs the k random assignments produce vs. the default caller-
+  /// stream sampling, so it participates in cache keys and fingerprints.
+  bool cache_peering = false;
 
   EvalOptions MakeEvalOptions() const {
     EvalOptions e;
@@ -94,6 +103,8 @@ struct GeneratorOptions {
     e.parse_limit = parse_limit;
     e.enumeration_cap = enumeration_cap;
     e.delta_eval = delta_cost_eval;
+    e.state_keyed_sampling = cache_peering;
+    e.sampling_seed = search.seed;
     return e;
   }
 };

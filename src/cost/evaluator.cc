@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace ifgen {
@@ -62,14 +63,22 @@ double StateEvaluator::EvaluateAssignment(const WidgetAssigner& assigner,
 double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
   obs::TraceSpan span("eval.sample_cost", "cost");
   uint64_t key = 0;
-  if (opts_.cache_enabled) {
+  if (opts_.cache_enabled || opts_.state_keyed_sampling) {
     key = tree.CanonicalHash();
+  }
+  if (opts_.cache_enabled) {
     if (auto cached = cost_cache_.Lookup(key)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       EvalCacheHitsMetric().Inc();
       return *cached;
     }
   }
+  // State-keyed mode draws from a per-state generator so the caller's
+  // stream is never consumed: a pre-seeded cache entry (transposition
+  // peering) then changes how much work happens, never which values the
+  // surrounding search observes.
+  Rng state_rng(HashCombine(opts_.sampling_seed, key));
+  Rng* draw_rng = opts_.state_keyed_sampling ? &state_rng : rng;
   WidgetAssigner assigner(tree, opts_.constants, &delta_);
   double best = kInf;
   if (assigner.viable()) {
@@ -82,7 +91,7 @@ double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
       --random_draws;
     }
     for (size_t i = 0; i < random_draws; ++i) {
-      Assignment a = assigner.RandomAssignment(rng);
+      Assignment a = assigner.RandomAssignment(draw_rng);
       best = std::min(best, EvaluateAssignment(assigner, a, *plan, nullptr));
     }
   }

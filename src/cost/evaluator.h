@@ -37,6 +37,15 @@ struct EvalOptions {
   /// reward a far better estimate of a state's potential (ablation:
   /// bench_ablation sweeps this off).
   bool greedy_seed = true;
+  /// State-keyed sampling: draw each state's k random assignments from a
+  /// local Rng seeded by (sampling_seed, canonical state hash) instead of
+  /// the caller's stream. A state's sampled cost becomes a pure function of
+  /// (state, options, sampling_seed) — independent of visit order and of
+  /// which caches already hold it — which is what lets transposition
+  /// peering pre-seed cost caches without perturbing the caller's RNG
+  /// stream. Enabled by GeneratorOptions::cache_peering.
+  bool state_keyed_sampling = false;
+  uint64_t sampling_seed = 0;
 };
 
 /// \brief A widget tree with its evaluated cost.

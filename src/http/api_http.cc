@@ -5,7 +5,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -46,6 +45,15 @@ obs::CounterFamily& HttpResponsesFamily() {
       "ifgen_http_responses_total",
       "HTTP responses by normalized route, method, and status code");
   return *f;
+}
+obs::Counter& FeedWakeupsMetric() {
+  // One increment per feed-loop iteration (SSE and long-poll). An idle
+  // stream should wake ~1000/feed_wait_slice_ms times per second, not
+  // hundreds — the busy-poll regression guard in tests/http_test.cc.
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_http_feed_wakeups_total",
+      "Session feed poll-loop iterations (SSE + long-poll)");
+  return *c;
 }
 
 /// Collapses a request path onto its route pattern so ids don't explode the
@@ -140,7 +148,12 @@ HttpResponse ApiHttpFrontend::Feed(const HttpRequest& req,
                             std::chrono::milliseconds(opts_.sse_max_duration_ms);
       if (!stream->Write(": connected\n\n")) return;
       while (stream->alive() && std::chrono::steady_clock::now() < deadline) {
-        auto batch = service_->PollSession(session_id);
+        // Blocks on the session's version condvar for up to one slice (no
+        // busy-polling): an idle stream wakes ~2x/s to check the socket and
+        // deadline, a step wakes it immediately.
+        FeedWakeupsMetric().Inc();
+        auto batch =
+            service_->PollSession(session_id, opts_.feed_wait_slice_ms);
         if (!batch.ok()) {
           // Session gone (closed/expired): surface the error as a terminal
           // event so EventSource clients can stop reconnecting.
@@ -153,9 +166,6 @@ HttpResponse ApiHttpFrontend::Feed(const HttpRequest& req,
           if (!stream->Write("data: " + WriteJson(batch->ToJson()) + "\n\n")) {
             return;
           }
-        } else {
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(opts_.sse_poll_interval_ms));
         }
       }
     };
@@ -163,21 +173,26 @@ HttpResponse ApiHttpFrontend::Feed(const HttpRequest& req,
   }
 
   // Long poll: return immediately with whatever is pending when
-  // timeout_ms is absent/0, otherwise wait for the first new version.
+  // timeout_ms is absent/0, otherwise wait — in condvar slices, so a dead
+  // server Stop() is noticed within one slice — for the first new version.
   const int64_t timeout_ms =
       std::min<int64_t>(std::max<int64_t>(0, req.QueryInt("timeout_ms", 0)),
                         opts_.max_poll_ms);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   while (true) {
-    auto batch = service_->PollSession(session_id);
+    const int64_t left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             deadline - std::chrono::steady_clock::now())
+                             .count();
+    FeedWakeupsMetric().Inc();
+    auto batch = service_->PollSession(
+        session_id,
+        std::max<int64_t>(0, std::min(left, opts_.feed_wait_slice_ms)));
     if (!batch.ok()) return ErrorResponse(batch.status());
     if (batch->to_version > batch->from_version ||
         std::chrono::steady_clock::now() >= deadline || server_.stopping()) {
       return JsonResponse(200, batch->ToJson());
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(
-        std::min<int64_t>(opts_.sse_poll_interval_ms, timeout_ms)));
   }
 }
 

@@ -54,9 +54,12 @@ class ApiHttpFrontend {
     HttpServer::Options http = DefaultHttpOptions();
     /// Long-poll cap: ?timeout_ms is clamped to this.
     int64_t max_poll_ms = 30000;
-    /// SSE sessions re-poll the feed at this cadence...
-    int64_t sse_poll_interval_ms = 15;
-    /// ...and end the stream (client reconnects) after this long.
+    /// Per-iteration blocking wait of a feed loop (SSE and long-poll): the
+    /// poll parks on the session's version condvar for up to one slice, so
+    /// an idle stream wakes a couple of times per second — to notice a dead
+    /// client socket and the stream deadline — instead of busy-polling.
+    int64_t feed_wait_slice_ms = 500;
+    /// SSE streams end (client reconnects) after this long.
     int64_t sse_max_duration_ms = 30000;
     /// Per-iteration condvar wait of a job /stream SSE loop: long enough to
     /// avoid busy-polling, short enough to notice a dead client socket.

@@ -1,6 +1,7 @@
 #include "runtime/interactive.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "cost/cost_model.h"
@@ -386,6 +387,7 @@ Result<InteractiveRuntime::StepReport> InteractiveRuntime::StepLocked(
   prev_group_key_cols_ = std::move(key_cols);
   prev_result_ = std::move(out);
   ++version_;
+  version_cv_.notify_all();
   ++counters_.steps;
   if (!priming) {
     StepsMetricFamily()
@@ -481,6 +483,16 @@ Result<Ast> InteractiveRuntime::CurrentQuery() const {
 
 uint64_t InteractiveRuntime::version() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+uint64_t InteractiveRuntime::WaitForVersionExceeding(uint64_t last_seen,
+                                                     int64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_ms > 0) {
+    version_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                         [&] { return version_ > last_seen; });
+  }
   return version_;
 }
 

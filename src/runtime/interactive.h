@@ -1,5 +1,6 @@
 #pragma once
 
+#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
@@ -108,6 +109,13 @@ class InteractiveRuntime {
   /// result is current (including steps whose result is value-identical).
   uint64_t version() const;
 
+  /// Blocks until version() > `last_seen` or `timeout_ms` elapses, and
+  /// returns the version at wake. The feed transport's long-poll primitive
+  /// (mirrors GenerationService::WaitJob): a consumer parks here instead of
+  /// polling on a sleep loop, and every successful step wakes all waiters.
+  /// `timeout_ms` <= 0 is an immediate version read.
+  uint64_t WaitForVersionExceeding(uint64_t last_seen, int64_t timeout_ms) const;
+
   // ------------------------------------------------------------------
   // Change feed.
 
@@ -213,6 +221,8 @@ class InteractiveRuntime {
   CostConstants constants_;
 
   mutable std::mutex mu_;
+  /// Signaled (all waiters) on every version_ bump.
+  mutable std::condition_variable version_cv_;
 
   // Previously *executed* state (survives failed steps unchanged).
   std::string prev_key_;  ///< canonical shape SQL; empty = nothing executed

@@ -20,6 +20,9 @@ struct ServiceMetrics {
   obs::Counter* jobs_cache_hits;
   obs::Counter* jobs_evicted;
   obs::Counter* sessions_opened;
+  obs::Counter* cache_probes;
+  obs::Counter* cache_probe_hits;
+  obs::Counter* tt_peer_ingested;
   obs::Gauge* jobs_pending;
   obs::Histogram* queued_us;
   obs::Histogram* run_us;
@@ -39,6 +42,14 @@ struct ServiceMetrics {
                                       "Terminal job records evicted from history");
       s.sessions_opened = reg.GetCounter("ifgen_sessions_opened_total",
                                          "Interactive sessions opened");
+      s.cache_probes = reg.GetCounter("ifgen_cache_probes_total",
+                                      "Cluster cache.probe requests answered");
+      s.cache_probe_hits =
+          reg.GetCounter("ifgen_cache_probe_hits_total",
+                         "Cluster cache.probe requests that found a cached result");
+      s.tt_peer_ingested =
+          reg.GetCounter("ifgen_tt_peer_ingested_total",
+                         "Transposition entries accepted from sibling workers");
       s.jobs_pending =
           reg.GetGauge("ifgen_jobs_pending", "Jobs admitted but not yet terminal");
       // 64us..~8.6s in x2 steps: generation runs for milliseconds to seconds.
@@ -127,7 +138,30 @@ uint64_t OptionsFingerprint(const GeneratorOptions& o) {
   h = HashU64(h, o.k_assignments);
   h = HashU64(h, o.parse_limit);
   h = HashF64(h, o.enumeration_cap);
+  // cache_peering switches cost sampling to the state-keyed mode, which
+  // changes which assignments the k random draws produce — two requests
+  // differing only in this flag must not alias one cache entry.
+  h = HashU64(h, o.cache_peering ? 1 : 0);
   return h;
+}
+
+/// Sorted canonical forms of a query log (each parsed and unparsed, raw
+/// string fallback for unparsable queries) — the value identity of the SQLs,
+/// shared by JobKey and TtStoreKey.
+std::vector<std::string> CanonicalSqls(const std::vector<std::string>& sqls) {
+  std::vector<std::string> canonical;
+  canonical.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    auto parsed = ParseQuery(sql);
+    if (parsed.ok()) {
+      auto unparsed = Unparse(*parsed);
+      canonical.push_back(unparsed.ok() ? *unparsed : sql);
+    } else {
+      canonical.push_back(sql);
+    }
+  }
+  std::sort(canonical.begin(), canonical.end());
+  return canonical;
 }
 
 int64_t MsBetween(std::chrono::steady_clock::time_point a,
@@ -154,20 +188,34 @@ std::string_view JobStateName(JobState s) {
 }
 
 uint64_t GenerationService::JobKey(const JobSpec& spec) {
-  std::vector<std::string> canonical;
-  canonical.reserve(spec.sqls.size());
-  for (const std::string& sql : spec.sqls) {
-    auto parsed = ParseQuery(sql);
-    if (parsed.ok()) {
-      auto unparsed = Unparse(*parsed);
-      canonical.push_back(unparsed.ok() ? *unparsed : sql);
-    } else {
-      canonical.push_back(sql);
-    }
-  }
-  std::sort(canonical.begin(), canonical.end());
   uint64_t h = OptionsFingerprint(spec.options);
-  for (const std::string& sql : canonical) {
+  for (const std::string& sql : CanonicalSqls(spec.sqls)) {
+    h = HashCombine(h, HashBytes(sql));
+  }
+  return h;
+}
+
+uint64_t GenerationService::TtStoreKey(const JobSpec& spec) {
+  const GeneratorOptions& o = spec.options;
+  // Everything that flows into EvalOptions (MakeEvalOptions) plus the
+  // sampling seed: states hash identically across jobs, so as long as these
+  // agree, a canonical state's sampled cost is the same number in both jobs
+  // and entries are interchangeable. Budgets, deadlines, algorithm, and
+  // parallelism change which states get visited — not what they cost — so
+  // they are deliberately absent.
+  uint64_t h = 0x77a5ULL;
+  h = HashU64(h, static_cast<uint64_t>(o.screen.width));
+  h = HashU64(h, static_cast<uint64_t>(o.screen.height));
+  h = HashBytes(std::string_view(reinterpret_cast<const char*>(&o.constants),
+                                 sizeof o.constants),
+                h);
+  h = HashU64(h, o.k_assignments);
+  h = HashU64(h, o.parse_limit);
+  h = HashF64(h, o.enumeration_cap);
+  h = HashU64(h, o.delta_cost_eval ? 1 : 0);
+  h = HashU64(h, o.cache_peering ? 1 : 0);
+  h = HashU64(h, o.search.seed);
+  for (const std::string& sql : CanonicalSqls(spec.sqls)) {
     h = HashCombine(h, HashBytes(sql));
   }
   return h;
@@ -233,6 +281,8 @@ GenerationService::GenerationService(Options opts)
     : cache_capacity_(opts.cache_capacity),
       max_pending_jobs_(opts.max_pending_jobs),
       job_history_capacity_(std::max<size_t>(1, opts.job_history_capacity)),
+      tt_peer_store_capacity_(opts.tt_peer_store_capacity),
+      tt_peer_entries_per_store_(opts.tt_peer_entries_per_store),
       pool_(std::max<size_t>(1, opts.num_threads)) {}
 
 GenerationService::~GenerationService() = default;
@@ -245,6 +295,83 @@ std::shared_ptr<const GeneratedInterface> GenerationService::CacheLookup(uint64_
   ++cache_hits_;
   ServiceMetrics::Get().jobs_cache_hits->Inc();
   return it->second->second;
+}
+
+bool GenerationService::CachePeek(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++cache_probes_;
+  ServiceMetrics::Get().cache_probes->Inc();
+  const bool hit = index_.find(key) != index_.end();
+  if (hit) {
+    ++cache_probe_hits_;
+    ServiceMetrics::Get().cache_probe_hits->Inc();
+  }
+  return hit;
+}
+
+size_t GenerationService::TtIngest(uint64_t store_key,
+                                   const std::vector<TtSeedEntry>& entries,
+                                   bool local_origin) {
+  if (tt_peer_store_capacity_ == 0 || tt_peer_entries_per_store_ == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tt_peers_.find(store_key);
+  if (it == tt_peers_.end()) {
+    if (entries.empty()) return 0;  // don't spend a store slot on nothing
+    while (tt_peers_.size() >= tt_peer_store_capacity_ &&
+           !tt_peer_order_.empty()) {
+      tt_peers_.erase(tt_peer_order_.front());
+      tt_peer_order_.pop_front();
+    }
+    it = tt_peers_.emplace(store_key, TtPeerStore{}).first;
+    tt_peer_order_.push_back(store_key);
+  }
+  TtPeerStore& store = it->second;
+  size_t inserted = 0;
+  for (const TtSeedEntry& e : entries) {
+    if (store.entries.size() >= tt_peer_entries_per_store_) break;
+    auto [slot, fresh] = store.entries.try_emplace(e.canonical);
+    if (!fresh) continue;  // first writer wins, matching the table semantics
+    slot->second.entry = e;
+    slot->second.local = local_origin;
+    ++inserted;
+  }
+  if (!local_origin && inserted > 0) {
+    tt_peer_ingested_ += inserted;
+    ServiceMetrics::Get().tt_peer_ingested->Add(inserted);
+  }
+  return inserted;
+}
+
+std::vector<GenerationService::TtExportBatch> GenerationService::TtExportLocal(
+    size_t max_entries_per_store) const {
+  std::vector<TtExportBatch> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [store_key, store] : tt_peers_) {
+    TtExportBatch batch;
+    batch.store_key = store_key;
+    for (const auto& [canonical, pe] : store.entries) {
+      if (pe.local) batch.entries.push_back(pe.entry);
+    }
+    if (batch.entries.empty()) continue;
+    // Hottest first, deterministic ties, bounded batch.
+    std::stable_sort(batch.entries.begin(), batch.entries.end(),
+                     [](const TtSeedEntry& a, const TtSeedEntry& b) {
+                       if (a.visits != b.visits) return a.visits > b.visits;
+                       return a.canonical < b.canonical;
+                     });
+    if (batch.entries.size() > max_entries_per_store) {
+      batch.entries.resize(max_entries_per_store);
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+size_t GenerationService::tt_peer_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [key, store] : tt_peers_) total += store.entries.size();
+  return total;
 }
 
 void GenerationService::CacheStore(uint64_t key,
@@ -376,6 +503,27 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
     // Wired AFTER JobKey was computed, so cache keys stay value-only.
     spec.options.search.progress = progress;
     spec.options.search.stop = stop;
+    // Transposition peering: warm-start the search from the cost-identity
+    // peer store and harvest its discoveries afterwards. Runtime wiring like
+    // progress/stop — with cache_peering on, seeded entries change only the
+    // work done, never the values produced, so this stays outside every key.
+    std::shared_ptr<TtBridge> tt_bridge;
+    uint64_t tt_store_key = 0;
+    if (spec.options.cache_peering) {
+      tt_store_key = TtStoreKey(spec);
+      tt_bridge = std::make_shared<TtBridge>();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tt_peers_.find(tt_store_key);
+        if (it != tt_peers_.end()) {
+          tt_bridge->seed.reserve(it->second.entries.size());
+          for (const auto& [canonical, pe] : it->second.entries) {
+            tt_bridge->seed.push_back(pe.entry);
+          }
+        }
+      }
+      spec.options.search.tt_bridge = tt_bridge;
+    }
     // With tracing on, every span the generation emits on this thread is
     // also captured into a job-private recorder, served later through
     // JobInfo::trace (GET /v1/jobs/{id}/trace).
@@ -391,6 +539,11 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
     }();
     ServiceMetrics::Get().run_us->Observe(
         static_cast<double>(MsBetween(run_start, Clock::now()) * 1000));
+    if (tt_bridge != nullptr) {
+      TtIngest(tt_store_key, tt_bridge->exported, /*local_origin=*/true);
+      std::lock_guard<std::mutex> lock(mu_);
+      tt_peer_hits_ += tt_bridge->peer_hits;
+    }
     // An abort via CancelJob leaves the stop handle latched with kCancelled;
     // the generation still returned its best-so-far partial interface, which
     // the cancelled record keeps — but must never enter the result cache.
@@ -581,6 +734,10 @@ GenerationService::CountersSnapshot GenerationService::counters_snapshot() const
   s.jobs_pending = jobs_pending_;
   s.cache_hits = cache_hits_;
   s.sessions_opened = sessions_opened_;
+  s.cache_probes = cache_probes_;
+  s.cache_probe_hits = cache_probe_hits_;
+  s.tt_peer_ingested = tt_peer_ingested_;
+  s.tt_peer_hits = tt_peer_hits_;
   return s;
 }
 

@@ -72,6 +72,13 @@ class GenerationService {
     /// Terminal job records retained for GetJob; the oldest finished record
     /// is evicted beyond this (a later GetJob answers NotFound).
     size_t job_history_capacity = 256;
+    /// Transposition peer stores kept (one per TtStoreKey cost identity);
+    /// the oldest store is dropped beyond this. 0 disables peering stores
+    /// entirely (TtIngest drops batches, jobs run cold).
+    size_t tt_peer_store_capacity = 32;
+    /// Entries retained per peer store; ingests beyond the cap are dropped
+    /// (first-writer-wins, so the earliest discoveries stay).
+    size_t tt_peer_entries_per_store = 4096;
   };
 
   GenerationService();  ///< default Options
@@ -171,6 +178,44 @@ class GenerationService {
   /// backend sessions will execute on.
   static uint64_t JobKey(const JobSpec& spec);
 
+  /// True when the result cache holds a completed result for `key` — the
+  /// cluster's `cache.probe` path. Deliberately bumps neither `cache_hits`
+  /// nor the entry's LRU recency: a probe only becomes a hit when the
+  /// probing router actually routes the job here (the submit then takes the
+  /// normal CacheLookup path, bit-identical to a local repeat submission).
+  /// Probes are counted separately (`cache_probes`/`cache_probe_hits`).
+  bool CachePeek(uint64_t key) const;
+
+  /// Cost-identity fingerprint for transposition peering: two jobs share a
+  /// peer store iff a canonical state's sampled cost is interchangeable
+  /// between them — same canonical query log and every EvalOptions-affecting
+  /// knob (screen, constants, k/parse/enumeration, delta flag, seed, and the
+  /// cache_peering flag itself). Deliberately EXCLUDES budget/deadline/
+  /// iteration caps, algorithm, parallelism, and backend, so a re-run of the
+  /// same log under a different budget still warm-starts from the store.
+  static uint64_t TtStoreKey(const JobSpec& spec);
+
+  /// Merges `entries` into peer store `store_key` (first writer wins per
+  /// canonical hash, mirroring TranspositionTable semantics). Entries from
+  /// this worker's own searches are `local_origin` and get re-exported by
+  /// TtExportLocal; entries ingested from siblings (cache.publish) are not,
+  /// so gossip never echoes. Returns how many entries were newly inserted.
+  size_t TtIngest(uint64_t store_key, const std::vector<TtSeedEntry>& entries,
+                  bool local_origin);
+
+  /// \brief One store's locally discovered entries, the unit of gossip.
+  struct TtExportBatch {
+    uint64_t store_key = 0;
+    std::vector<TtSeedEntry> entries;
+  };
+  /// Snapshot of every store's local-origin entries (up to
+  /// `max_entries_per_store` each, hottest by visits first) — what the
+  /// router pulls via `cache.export` and publishes to siblings.
+  std::vector<TtExportBatch> TtExportLocal(size_t max_entries_per_store) const;
+
+  /// Entries currently held across all peer stores (tests/metrics).
+  size_t tt_peer_entries() const;
+
   /// Returns the execution backend for (db, kind), constructing it on first
   /// use and caching it for the service's lifetime so plan caches stay warm
   /// across jobs that serve interfaces over the same store. `db` must
@@ -215,6 +260,11 @@ class GenerationService {
     size_t jobs_pending = 0;
     size_t cache_hits = 0;
     size_t sessions_opened = 0;
+    /// Cluster cache-peering telemetry (all zero outside cluster mode).
+    size_t cache_probes = 0;      ///< cache.probe requests answered
+    size_t cache_probe_hits = 0;  ///< probes that found a cached result
+    size_t tt_peer_ingested = 0;  ///< TT entries accepted from siblings
+    size_t tt_peer_hits = 0;      ///< search cost lookups served peer-seeded
   };
   CountersSnapshot counters_snapshot() const;
 
@@ -255,6 +305,8 @@ class GenerationService {
   size_t cache_capacity_;
   size_t max_pending_jobs_;
   size_t job_history_capacity_;
+  size_t tt_peer_store_capacity_;
+  size_t tt_peer_entries_per_store_;
 
   mutable std::mutex mu_;
   std::condition_variable jobs_cv_;  ///< signalled on every terminal transition
@@ -272,6 +324,24 @@ class GenerationService {
   size_t jobs_executed_ = 0;
   size_t cache_hits_ = 0;
   size_t sessions_opened_ = 0;
+  mutable size_t cache_probes_ = 0;      ///< bumped from const CachePeek
+  mutable size_t cache_probe_hits_ = 0;  ///< bumped from const CachePeek
+  size_t tt_peer_ingested_ = 0;
+  size_t tt_peer_hits_ = 0;
+
+  /// Transposition peer stores: cost identity (TtStoreKey) -> canonical
+  /// state hash -> entry. `local` marks entries this worker's own searches
+  /// discovered (re-exported by TtExportLocal) vs. ones ingested from
+  /// siblings (seeded into local runs, never echoed back into gossip).
+  struct TtPeerEntry {
+    TtSeedEntry entry;
+    bool local = false;
+  };
+  struct TtPeerStore {
+    std::unordered_map<uint64_t, TtPeerEntry> entries;
+  };
+  std::map<uint64_t, TtPeerStore> tt_peers_;
+  std::deque<uint64_t> tt_peer_order_;  ///< store keys, oldest first
 
   /// (database, kind) -> shared backend instance.
   std::map<std::pair<const Database*, BackendKind>,

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -25,6 +27,12 @@ inline obs::Counter& TranspositionHitsMetric() {
 inline obs::Counter& TtCostHitsMetric() {
   static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
       "ifgen_tt_cost_hits_total", "TranspositionTable cached-cost lookups that hit");
+  return *c;
+}
+inline obs::Counter& TtPeerCostHitsMetric() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "ifgen_tt_peer_cost_hits_total",
+      "TranspositionTable cost lookups served by a peer-seeded entry");
   return *c;
 }
 }  // namespace tt_internal
@@ -88,6 +96,17 @@ class ShardedMap {
     return fn(it->second, inserted);
   }
 
+  /// Runs `fn(key, value)` for every entry, one shard lock at a time.
+  /// Entries inserted into not-yet-visited shards during the walk may or may
+  /// not be seen — callers use this for best-effort snapshots (TT export).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      for (const auto& [key, value] : shard->map) fn(key, value);
+    }
+  }
+
   /// Total entries across shards (O(num_shards) locks).
   size_t size() const {
     size_t total = 0;
@@ -131,6 +150,10 @@ class TranspositionTable {
     double cost = 0.0;
     uint64_t visits = 0;
     double total_reward = 0.0;
+    /// Cost came from a sibling worker (SeedPeerCost), not a local sample.
+    /// Lookups that hit such entries count as peer hits, and exports skip
+    /// them so gossip never echoes a peer's entries back at the cluster.
+    bool peered = false;
   };
 
   /// `num_shards` is rounded up to a power of two (min 1).
@@ -156,6 +179,10 @@ class TranspositionTable {
     if (!e.has_value() || !e->has_cost) return std::nullopt;
     cost_hits_.fetch_add(1, std::memory_order_relaxed);
     tt_internal::TtCostHitsMetric().Inc();
+    if (e->peered) {
+      peer_cost_hits_.fetch_add(1, std::memory_order_relaxed);
+      tt_internal::TtPeerCostHitsMetric().Inc();
+    }
     return e->cost;
   }
 
@@ -170,6 +197,50 @@ class TranspositionTable {
       }
       return 0;
     });
+  }
+
+  /// Pre-seeds `key` with a cost discovered by a sibling worker. First
+  /// writer wins, matching StoreCost: a locally sampled cost that landed
+  /// first stays. Only sound when costs are pure functions of the state
+  /// (EvalOptions::state_keyed_sampling with matching seed and options) —
+  /// then a seeded entry changes how much work a search does, never which
+  /// values it sees. `visits` is carried for export hotness ranking only;
+  /// MCTS statistics stay local so reward accumulators are untouched.
+  void SeedPeerCost(uint64_t key, double cost, uint64_t visits) {
+    if (!std::isfinite(cost)) return;  // JSON transport cannot carry ±inf
+    map_.Mutate(key, [cost, visits](Entry& e, bool inserted) {
+      if (!e.has_cost) {
+        e.has_cost = true;
+        e.cost = cost;
+        e.peered = true;
+        if (inserted) e.visits = 0;  // hotness comes from local use, not peers
+        (void)visits;
+      }
+      return 0;
+    });
+  }
+
+  /// Snapshot of up to `limit` locally discovered costs, hottest (most
+  /// visited) first — the batch a worker gossips to its siblings. Peered
+  /// and non-finite entries are skipped (no echo, no un-encodable values).
+  struct ExportedCost {
+    uint64_t key = 0;
+    double cost = 0.0;
+    uint64_t visits = 0;
+  };
+  std::vector<ExportedCost> ExportHotCosts(size_t limit) const {
+    std::vector<ExportedCost> out;
+    map_.ForEach([&out](uint64_t key, const Entry& e) {
+      if (!e.has_cost || e.peered || !std::isfinite(e.cost)) return;
+      out.push_back({key, e.cost, e.visits});
+    });
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ExportedCost& a, const ExportedCost& b) {
+                       if (a.visits != b.visits) return a.visits > b.visits;
+                       return a.key < b.key;  // deterministic tie-break
+                     });
+    if (out.size() > limit) out.resize(limit);
+    return out;
   }
 
   /// Accumulates one backpropagated reward into `key`'s statistics.
@@ -195,10 +266,17 @@ class TranspositionTable {
   /// LookupCost() calls that returned a value.
   size_t cost_hits() const { return cost_hits_.load(std::memory_order_relaxed); }
 
+  /// LookupCost() hits served by a peer-seeded entry — the work a sibling
+  /// worker's discoveries saved this search.
+  size_t peer_cost_hits() const {
+    return peer_cost_hits_.load(std::memory_order_relaxed);
+  }
+
  private:
   ShardedMap<Entry> map_;
   std::atomic<size_t> hits_{0};
   mutable std::atomic<size_t> cost_hits_{0};  ///< bumped from const LookupCost
+  mutable std::atomic<size_t> peer_cost_hits_{0};
 };
 
 }  // namespace ifgen

@@ -385,6 +385,15 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   // A single-shard table is exactly the old per-searcher unordered_set plus
   // an in-run cost memo.
   TranspositionTable tt(1);
+  if (opts_.tt_bridge != nullptr) {
+    // Warm-start from sibling workers' discoveries. Sound only because the
+    // bridge is attached solely for state-keyed-sampling runs (costs are
+    // pure functions of the state), so a seeded hit skips work without
+    // shifting any value or RNG stream.
+    for (const TtSeedEntry& e : opts_.tt_bridge->seed) {
+      tt.SeedPeerCost(e.canonical, e.cost, e.visits);
+    }
+  }
   std::unique_ptr<ActionPriorModel> priors;
   if (opts_.priors.use_priors) {
     priors = std::make_unique<ActionPriorModel>(*rules_, evaluator_->queries(),
@@ -405,6 +414,15 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   params.stop = rc.stop();
   params.timeman = rc.timeman();
   RunMctsTree(initial, params);
+
+  if (opts_.tt_bridge != nullptr) {
+    TtBridge& bridge = *opts_.tt_bridge;
+    bridge.exported.clear();
+    for (const auto& ec : tt.ExportHotCosts(bridge.export_limit)) {
+      bridge.exported.push_back({ec.key, ec.cost, ec.visits});
+    }
+    bridge.peer_hits += tt.peer_cost_hits();
+  }
 
   SearchResult result;
   result.best_tree = best.tree;

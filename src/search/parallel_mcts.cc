@@ -8,6 +8,30 @@
 
 namespace ifgen {
 
+namespace {
+
+/// Warm-starts `tt` from sibling workers' exports (no-op without a bridge).
+void SeedFromBridge(const SearchOptions& opts, TranspositionTable* tt) {
+  if (opts.tt_bridge == nullptr) return;
+  for (const TtSeedEntry& e : opts.tt_bridge->seed) {
+    tt->SeedPeerCost(e.canonical, e.cost, e.visits);
+  }
+}
+
+/// Publishes the run's hot locally-discovered costs and the peer-hit tally
+/// back through the bridge.
+void ExportToBridge(const SearchOptions& opts, const TranspositionTable& tt) {
+  if (opts.tt_bridge == nullptr) return;
+  TtBridge& bridge = *opts.tt_bridge;
+  bridge.exported.clear();
+  for (const auto& ec : tt.ExportHotCosts(bridge.export_limit)) {
+    bridge.exported.push_back({ec.key, ec.cost, ec.visits});
+  }
+  bridge.peer_hits += tt.peer_cost_hits();
+}
+
+}  // namespace
+
 Result<SearchResult> ParallelMctsSearcher::Run(const DiffTree& initial) {
   if (parallel_.num_threads <= 1) {
     // Serial fallback: the determinism contract ("num_threads=1 matches the
@@ -25,6 +49,7 @@ Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initi
   RunControl rc(opts_);
   Deadline& deadline = rc.deadline();
   TranspositionTable tt(parallel_.tt_shards);
+  SeedFromBridge(opts_, &tt);
   SharedBestTracker best;
   best.sink = opts_.progress.get();
 
@@ -86,6 +111,7 @@ Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initi
     }
     group.Wait();
   }
+  ExportToBridge(opts_, tt);
 
   // Merge root actions across trees by canonical hash; rank by
   // visit-weighted mean reward.
@@ -125,6 +151,7 @@ Result<SearchResult> ParallelMctsSearcher::RunLeafParallel(const DiffTree& initi
   RunControl rc(opts_);
   Deadline& deadline = rc.deadline();
   TranspositionTable tt(parallel_.tt_shards);
+  SeedFromBridge(opts_, &tt);
   SharedBestTracker best;
   best.sink = opts_.progress.get();
   SearchStats stats;
@@ -152,6 +179,7 @@ Result<SearchResult> ParallelMctsSearcher::RunLeafParallel(const DiffTree& initi
   params.stop = rc.stop();
   params.timeman = rc.timeman();
   RunMctsTree(initial, params);
+  ExportToBridge(opts_, tt);
 
   SearchResult result;
   result.best_tree = best.tree;

@@ -50,6 +50,36 @@ struct PriorOptions {
   double min_prior = 0.02;
 };
 
+/// \brief One exportable transposition entry: a canonical state hash with
+/// its sampled cost and visit count. The unit of cross-worker peering.
+struct TtSeedEntry {
+  uint64_t canonical = 0;
+  double cost = 0.0;
+  uint64_t visits = 0;
+
+  bool operator==(const TtSeedEntry& o) const {
+    return canonical == o.canonical && cost == o.cost && visits == o.visits;
+  }
+};
+
+/// \brief Runtime wiring for transposition peering: entries to pre-seed the
+/// search's table with before the run, and the hot entries it exported
+/// after. Like `stop`/`progress`, attaching a bridge is NOT part of any
+/// cache key or fingerprint — with state-keyed sampling on (the
+/// cache_peering contract) seeding changes only the work done, never the
+/// values produced or the RNG streams consumed.
+struct TtBridge {
+  /// In: entries merged into the table before the first iteration
+  /// (first-writer-wins; the table is empty then, so all land).
+  std::vector<TtSeedEntry> seed;
+  /// Cap on entries exported after the run (hottest by visits).
+  size_t export_limit = 512;
+  /// Out: the run's hottest finite-cost entries.
+  std::vector<TtSeedEntry> exported;
+  /// Out: cost-cache hits answered by a peer-seeded entry.
+  size_t peer_hits = 0;
+};
+
 /// \brief Options shared by every search algorithm.
 struct SearchOptions {
   /// Wall-clock budget; <= 0 means "iteration-capped only" (deterministic
@@ -119,6 +149,10 @@ struct SearchOptions {
   /// versioned event. Null = off. Publishing consumes no RNG draws and
   /// changes no control flow, so attaching a sink never perturbs results.
   std::shared_ptr<ProgressSink> progress;
+  /// Transposition peering bridge (see TtBridge). Null = off. Runtime
+  /// wiring only — NOT part of any cache key or fingerprint; requires
+  /// cache_peering (state-keyed sampling) for bit-identity under seeding.
+  std::shared_ptr<TtBridge> tt_bridge;
 };
 
 /// \brief (time, cost) samples of the best-so-far curve, for anytime plots.

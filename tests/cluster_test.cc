@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -223,13 +224,12 @@ class ClusterTest : public ::testing::Test {
  protected:
   static constexpr int kWorkers = 3;
 
-  void StartCluster(size_t max_inflight = 64) {
+  void StartCluster(size_t max_inflight = 64, bool cache_peering = true) {
     auto self = cluster::SelfExePath();
     ASSERT_TRUE(self.ok()) << self.status().ToString();
     ClusterRouter::Options ropts;
     for (int i = 0; i < kWorkers; ++i) {
-      auto w = cluster::SpawnWorkerProcess(
-          *self, {"--rows", "300", "--threads", "1", "--max-pending", "64"});
+      auto w = cluster::SpawnWorkerProcess(*self, WorkerArgs());
       ASSERT_TRUE(w.ok()) << w.status().ToString();
       spawned_.push_back(*w);
       ropts.workers.push_back({"127.0.0.1", w->port});
@@ -237,7 +237,40 @@ class ClusterTest : public ::testing::Test {
     ropts.max_inflight_per_worker = max_inflight;
     ropts.health_interval_ms = 100;  // fast recovery detection in tests
     ropts.reconnect_backoff_ms = 50;
+    ropts.cache_peering = cache_peering;
     ASSERT_TRUE(router_.Start(std::move(ropts)).ok());
+  }
+
+  static std::vector<std::string> WorkerArgs() {
+    return {"--rows", "300", "--threads", "1", "--max-pending", "64"};
+  }
+
+  /// Replaces a (dead) worker with a fresh process bound to the SAME port —
+  /// the rolling-restart scenario: the router's recorded routes still point
+  /// at the address, but the dense id space behind it has reset.
+  void RestartWorkerOnSamePort(size_t idx) {
+    auto self = cluster::SelfExePath();
+    ASSERT_TRUE(self.ok());
+    std::vector<std::string> args = WorkerArgs();
+    args.push_back("--port");
+    args.push_back(std::to_string(spawned_[idx].port));
+    auto w = cluster::SpawnWorkerProcess(*self, args);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    ASSERT_EQ(w->port, spawned_[idx].port);
+    spawned_[idx] = *w;
+  }
+
+  /// Polls until worker `idx` reports healthy (the health loop has to
+  /// notice the restarted process on its probe schedule).
+  void WaitWorkerHealthy(size_t idx, int64_t timeout_ms = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto info = router_.Cluster();
+      if (info.ok() && info->workers[idx].healthy) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    FAIL() << "worker " << idx << " did not recover in time";
   }
 
   void TearDown() override {
@@ -531,6 +564,289 @@ TEST_F(ClusterTest, DrainRefusesNewWorkKeepsReads) {
   auto still = router_.GetJob(acc->job_id);
   ASSERT_TRUE(still.ok()) << still.status().ToString();
   EXPECT_EQ(still->state, "done");
+}
+
+// ------------------------------------------------------- cache peering
+
+ApiOptions PeeringGenOptions(int64_t max_iterations) {
+  ApiOptions o = FastGenOptions();
+  o.cache_peering = true;
+  o.max_iterations = max_iterations;
+  return o;
+}
+
+/// Sums a per-worker counter over a Stats response's cluster rows.
+int64_t SumWorkers(const api::StatsResponse& st,
+                   int64_t api::WorkerStatsDto::*field) {
+  int64_t total = 0;
+  for (const api::WorkerStatsDto& w : st.cluster_workers) total += w.*field;
+  return total;
+}
+
+/// The tentpole acceptance test: a same-schema job storm (same workload +
+/// seed, different budgets — same TT store, distinct result-cache keys)
+/// through a 3-worker peering cluster must stay bit-identical to the
+/// in-process frontend while the transposition gossip demonstrably flows:
+/// cross-worker ingests, warm-start hits, and router publishes all nonzero.
+TEST_F(ClusterTest, PeeringStormBitIdenticalWithNonzeroTtGossip) {
+  StartCluster();
+  auto local = ApiService::Create(SmallServiceOptions());
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  api::ServiceFrontend* lhs = local->get();
+  api::ServiceFrontend* rhs = &router_;
+
+  // Sequential storm so gossip rounds (every health tick, 100 ms here) run
+  // between jobs: later budgets warm-start from earlier exports.
+  const int64_t budgets[] = {200, 24, 60, 36, 96, 48};
+  for (const int64_t budget : budgets) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    GenerateRequest req;
+    req.workload = "flights";
+    req.options = PeeringGenOptions(budget);
+
+    auto a = lhs->SubmitGenerate(req);
+    auto b = rhs->SubmitGenerate(req);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->job_id, b->job_id);
+    auto sa = lhs->GetJob(a->job_id, /*wait_ms=*/30000);
+    auto sb = rhs->GetJob(b->job_id, /*wait_ms=*/30000);
+    ASSERT_TRUE(sa.ok()) << sa.status().ToString();
+    ASSERT_TRUE(sb.ok()) << sb.status().ToString();
+    ASSERT_EQ(sa->state, "done");
+    ASSERT_EQ(sb->state, "done");
+    NormalizeStatus(&*sa);
+    NormalizeStatus(&*sb);
+    EXPECT_TRUE(*sa == *sb)
+        << "peered cluster diverged from single-process:\n"
+        << WriteJson(sa->ToJson()) << "\nvs\n" << WriteJson(sb->ToJson());
+    // A pause per job: the health loop's gossip round distributes the
+    // just-finished job's hot entries before the next budget runs.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+
+  // Gossip evidence, polled until the health loop's pings have refreshed
+  // the per-worker rows: some worker merged entries it did not discover
+  // (cross-worker ingest), some search was served by a peer-seeded entry,
+  // and the router published batches.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  api::StatsResponse last;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto st = rhs->Stats();
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    last = *st;
+    if (SumWorkers(last, &api::WorkerStatsDto::tt_peer_ingested) > 0 &&
+        SumWorkers(last, &api::WorkerStatsDto::tt_peer_hits) > 0 &&
+        SumWorkers(last, &api::WorkerStatsDto::tt_published) > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  EXPECT_GT(SumWorkers(last, &api::WorkerStatsDto::tt_peer_ingested), 0)
+      << "no worker ingested gossiped transposition entries";
+  EXPECT_GT(SumWorkers(last, &api::WorkerStatsDto::tt_peer_hits), 0)
+      << "no search warm-started from peer-seeded entries";
+  EXPECT_GT(SumWorkers(last, &api::WorkerStatsDto::tt_published), 0)
+      << "the router published no gossip batches";
+}
+
+/// Cross-worker result-cache peering, exercised through the only topology
+/// where placement and holder can differ: the owner dies, an identical
+/// resubmission reroutes to a sibling (which computes and caches), the
+/// owner returns empty on the same port — and the next identical submit is
+/// probe-routed to the sibling's cache instead of recomputing on placement.
+/// The same restart pins the stale-id contract: ids minted by the dead
+/// incarnation answer NotFound, never a new job's aliased result.
+TEST_F(ClusterTest, ResultPeeringAfterOwnerRestartAndStaleIdsAreNotFound) {
+  StartCluster();
+  GenerateRequest req;
+  req.workload = "flights";
+  req.options = PeeringGenOptions(12);
+
+  auto first = router_.SubmitGenerate(req);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto owner = router_.WorkerIndexForJob(first->job_id);
+  ASSERT_TRUE(owner.ok());
+  auto done = router_.GetJob(first->job_id, /*wait_ms=*/30000);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->state, "done");
+  api::JobStatusResponse baseline = *done;
+  NormalizeStatus(&baseline);
+  const std::string stale_id = first->job_id;
+
+  // Kill the owner; the identical resubmission reroutes to a sibling,
+  // which computes the same result and caches it under the same key.
+  ASSERT_EQ(::kill(spawned_[*owner].pid, SIGKILL), 0);
+  ::waitpid(spawned_[*owner].pid, nullptr, 0);
+  auto rerouted = router_.SubmitGenerate(req);
+  ASSERT_TRUE(rerouted.ok()) << rerouted.status().ToString();
+  auto sibling = router_.WorkerIndexForJob(rerouted->job_id);
+  ASSERT_TRUE(sibling.ok());
+  ASSERT_NE(*sibling, *owner);
+  auto sibling_done = router_.GetJob(rerouted->job_id, /*wait_ms=*/30000);
+  ASSERT_TRUE(sibling_done.ok());
+  ASSERT_EQ(sibling_done->state, "done");
+
+  // The owner returns on the SAME port as a fresh process (empty caches,
+  // reset dense id space); the health loop readopts it.
+  RestartWorkerOnSamePort(*owner);
+  WaitWorkerHealthy(*owner);
+
+  // Mint jobs on the restarted worker until its fresh id space has issued
+  // at least one local id — the aliasing hazard the epoch check exists for.
+  bool aliased = false;
+  for (int64_t seed = 900; seed < 960 && !aliased; ++seed) {
+    GenerateRequest probe;
+    probe.workload = "synthetic";
+    probe.options = FastGenOptions();
+    probe.options.max_iterations = 2;
+    probe.options.seed = seed;
+    auto acc = router_.SubmitGenerate(probe);
+    ASSERT_TRUE(acc.ok()) << acc.status().ToString();
+    auto idx = router_.WorkerIndexForJob(acc->job_id);
+    ASSERT_TRUE(idx.ok());
+    aliased = (*idx == *owner);
+  }
+  ASSERT_TRUE(aliased) << "no probe job landed on the restarted worker";
+
+  // The dead incarnation's id must answer NotFound — the restarted worker
+  // now owns a job with the same worker-local dense id, and serving it
+  // would hand this caller another job's result.
+  auto stale = router_.GetJob(stale_id);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kNotFound)
+      << stale.status().ToString();
+
+  // Identical submit again: placement hashes to the restarted owner (empty
+  // cache), but the probe finds the sibling's cached result and routes
+  // there — a cross-worker cache hit, bit-identical to the original run.
+  auto peered = router_.SubmitGenerate(req);
+  ASSERT_TRUE(peered.ok()) << peered.status().ToString();
+  auto holder = router_.WorkerIndexForJob(peered->job_id);
+  ASSERT_TRUE(holder.ok());
+  EXPECT_EQ(*holder, *sibling) << "submit was not routed to the cache holder";
+  auto hit = router_.GetJob(peered->job_id, /*wait_ms=*/30000);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(hit->state, "done");
+  EXPECT_TRUE(hit->cache_hit) << "peer-routed submit recomputed";
+  api::JobStatusResponse norm_hit = *hit;
+  NormalizeStatus(&norm_hit);
+  norm_hit.cache_hit = baseline.cache_hit;  // provenance flag, not payload
+  norm_hit.job_id = baseline.job_id;
+  if (norm_hit.result.value.has_value() && baseline.result.value.has_value()) {
+    norm_hit.result.value->job_id = baseline.result.value->job_id;
+  }
+  EXPECT_TRUE(norm_hit == baseline)
+      << "cross-worker cache hit diverged from the original result:\n"
+      << WriteJson(norm_hit.ToJson()) << "\nvs\n"
+      << WriteJson(baseline.ToJson());
+
+  // The router observed the redirect, and the sibling answered the probe.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  api::StatsResponse last;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto st = router_.Stats();
+    ASSERT_TRUE(st.ok());
+    last = *st;
+    if (last.cluster_workers[*sibling].result_peer_hits > 0 &&
+        SumWorkers(last, &api::WorkerStatsDto::cache_probe_hits) > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  EXPECT_GT(last.cluster_workers[*sibling].result_peer_hits, 0);
+  EXPECT_GT(SumWorkers(last, &api::WorkerStatsDto::cache_probe_hits), 0);
+}
+
+/// A worker dying in the middle of a long-poll (not just before submit)
+/// must surface retryable Unavailable to the parked caller — the reply
+/// stream just vanished; an Internal or a hang are both wrong.
+TEST_F(ClusterTest, WorkerKillMidLongPollSurfacesRetryableUnavailable) {
+  StartCluster();
+  GenerateRequest slow;
+  slow.workload = "flights";
+  slow.options = FastGenOptions();
+  slow.options.max_iterations = 200000;
+  auto acc = router_.SubmitGenerate(slow);
+  ASSERT_TRUE(acc.ok()) << acc.status().ToString();
+  auto owner = router_.WorkerIndexForJob(acc->job_id);
+  ASSERT_TRUE(owner.ok());
+
+  // Park two callers on the running job: a progress long-poll and a
+  // terminal-state wait. Both must come back retryable when the worker dies.
+  Status progress_status = Status::OK();
+  Status wait_status = Status::OK();
+  std::thread progress_poller([&] {
+    auto r = router_.GetJobProgress(acc->job_id, /*last_seen_version=*/0,
+                                    /*wait_ms=*/30000);
+    // A version-0 poll may return the initial frame immediately; keep
+    // polling past whatever version it reports until the kill lands.
+    int64_t last_seen = 0;
+    while (r.ok()) {
+      last_seen = r->version;
+      r = router_.GetJobProgress(acc->job_id, last_seen, /*wait_ms=*/30000);
+    }
+    progress_status = r.status();
+  });
+  std::thread job_waiter([&] {
+    auto r = router_.GetJob(acc->job_id, /*wait_ms=*/30000);
+    while (r.ok() && r->state == "running") {
+      r = router_.GetJob(acc->job_id, /*wait_ms=*/30000);
+    }
+    wait_status = r.ok() ? Status::Internal("job finished before the kill")
+                         : r.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(::kill(spawned_[*owner].pid, SIGKILL), 0);
+  ::waitpid(spawned_[*owner].pid, nullptr, 0);
+  progress_poller.join();
+  job_waiter.join();
+
+  EXPECT_EQ(progress_status.code(), StatusCode::kUnavailable)
+      << progress_status.ToString();
+  EXPECT_TRUE(ErrorBody::FromStatus(progress_status).retryable);
+  EXPECT_EQ(wait_status.code(), StatusCode::kUnavailable)
+      << wait_status.ToString();
+  EXPECT_TRUE(ErrorBody::FromStatus(wait_status).retryable);
+}
+
+/// Ablation arm: with peering off at the router (and off in requests, the
+/// default), the cluster behaves exactly as before the peering tier —
+/// bit-identical results and zero probe/gossip traffic.
+TEST_F(ClusterTest, PeeringOffAblationMatchesBaselineWithNoPeerTraffic) {
+  StartCluster(/*max_inflight=*/64, /*cache_peering=*/false);
+  auto local = ApiService::Create(SmallServiceOptions());
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+
+  for (int64_t seed : {5, 11}) {
+    GenerateRequest req;
+    req.workload = "synthetic";
+    req.options = FastGenOptions();
+    req.options.seed = seed;
+    auto a = (*local)->SubmitGenerate(req);
+    auto b = router_.SubmitGenerate(req);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    auto sa = (*local)->GetJob(a->job_id, /*wait_ms=*/30000);
+    auto sb = router_.GetJob(b->job_id, /*wait_ms=*/30000);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    NormalizeStatus(&*sa);
+    NormalizeStatus(&*sb);
+    EXPECT_TRUE(*sa == *sb) << "ablation arm diverged";
+  }
+
+  // Let a few health ticks pass: were gossip misguardedly enabled, it
+  // would have run by now.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  auto st = router_.Stats();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(SumWorkers(*st, &api::WorkerStatsDto::cache_probes), 0);
+  EXPECT_EQ(SumWorkers(*st, &api::WorkerStatsDto::tt_peer_ingested), 0);
+  EXPECT_EQ(SumWorkers(*st, &api::WorkerStatsDto::tt_published), 0);
+  EXPECT_EQ(SumWorkers(*st, &api::WorkerStatsDto::result_peer_hits), 0);
 }
 
 }  // namespace

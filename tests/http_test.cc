@@ -15,6 +15,7 @@
 #include "core/interface_generator.h"
 #include "http/api_http.h"
 #include "http/http_client.h"
+#include "obs/metrics.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "workload/loader.h"
@@ -456,6 +457,36 @@ TEST_F(HttpTest, SseStreamsEventBatches) {
   ASSERT_TRUE(
       hanging.Connect(kHost, port_, "/v1/sessions/" + sid + "/feed?sse=1").ok());
   frontend_->Stop();  // must unblock the stream loop and join workers
+}
+
+/// Pins the feed-loop fix: an idle SSE stream parks on the runtime's
+/// version condvar in `feed_wait_slice_ms` blocks instead of busy-polling.
+/// Before the fix the loop slept 15 ms per iteration — an idle 2 s stream
+/// burned ~130 wakeups; now it wakes ~2x/s just to notice a dead socket.
+TEST_F(HttpTest, IdleSseFeedDoesNotBusyPoll) {
+  StartServer();
+  const std::string job_id = GenerateFlightsJob();
+  JsonValue open = JsonValue::Object();
+  open.Set("job_id", JsonValue::Str(job_id));
+  JsonValue session = Call("POST", "/v1/sessions", WriteJson(open), 200);
+  const std::string sid = session.Find("session_id")->AsString();
+
+  const uint64_t before = obs::MetricsRegistry::Default().CounterTotal(
+      "ifgen_http_feed_wakeups_total");
+  http::SseClient sse;
+  ASSERT_TRUE(
+      sse.Connect(kHost, port_, "/v1/sessions/" + sid + "/feed?sse=1").ok());
+  // No events fired: the stream is completely idle for the whole window.
+  std::this_thread::sleep_for(std::chrono::seconds(2));
+  sse.Close();
+  const uint64_t after = obs::MetricsRegistry::Default().CounterTotal(
+      "ifgen_http_feed_wakeups_total");
+
+  const uint64_t wakeups = after - before;
+  EXPECT_GE(wakeups, 1u) << "the stream loop never ran";
+  EXPECT_LE(wakeups, 8u)
+      << "idle feed stream woke " << wakeups
+      << " times in 2 s — the loop is busy-polling again";
 }
 
 // ---------------------------------------------------- job progress + stream
