@@ -1,0 +1,120 @@
+// Offline prior fitter (docs/learning.md): runs MCTS over the bundled
+// workload logs, accumulates per-rule search outcomes
+// (SearchStats::rule_uses / rule_reward_sum), fits ActionPriorModel rule
+// weights from them (learn/prior_fit.h), and writes the result as the
+// priors.json file the servers load from --experience-dir.
+//
+//   ./fit_priors --out /var/lib/ifgen/priors.json --iterations 400
+//
+// Flags: --out PATH (default priors.json), --rows N (rows per workload
+// table; 0 = defaults), --iterations N (search iterations per run; default
+// 400), --runs N (seeds swept per workload; default 3), --workload NAME
+// (fit one workload instead of all).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/interface_generator.h"
+#include "learn/prior_fit.h"
+#include "rules/rule.h"
+#include "workload/loader.h"
+
+using namespace ifgen;  // NOLINT
+
+namespace {
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return dflt;
+}
+
+const char* FlagStr(int argc, char** argv, const char* name, const char* dflt) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return dflt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out = FlagStr(argc, argv, "--out", "priors.json");
+  const size_t rows = static_cast<size_t>(FlagInt(argc, argv, "--rows", 0));
+  const size_t iterations =
+      static_cast<size_t>(FlagInt(argc, argv, "--iterations", 400));
+  const int runs = static_cast<int>(FlagInt(argc, argv, "--runs", 3));
+  const std::string only = FlagStr(argc, argv, "--workload", "");
+
+  std::vector<std::string> names;
+  if (!only.empty()) {
+    names.push_back(only);
+  } else {
+    names = WorkloadNames();
+  }
+
+  // Rule index -> name, for folding the per-run stats vectors. Indices are
+  // stable for a fixed RuleSetOptions (the default here, matching what the
+  // searches below run with).
+  const RuleEngine engine;
+  std::map<std::string, learn::RuleOutcome> by_name;
+
+  for (const std::string& name : names) {
+    auto bundle = LoadWorkload(name, rows);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "workload %s: %s\n", name.c_str(),
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    for (int run = 0; run < runs; ++run) {
+      GeneratorOptions opts;
+      opts.search.time_budget_ms = 0;
+      opts.search.max_iterations = iterations;
+      opts.search.seed = 42 + static_cast<uint64_t>(run);
+      auto iface = GenerateInterface(bundle->log, opts);
+      if (!iface.ok()) {
+        std::fprintf(stderr, "workload %s seed %d: %s\n", name.c_str(), run,
+                     iface.status().ToString().c_str());
+        return 1;
+      }
+      const SearchStats& stats = iface->stats;
+      for (size_t i = 0; i < stats.rule_uses.size(); ++i) {
+        if (stats.rule_uses[i] == 0 || i >= engine.num_rules()) continue;
+        const std::string rule_name(engine.rule(i).name());
+        learn::RuleOutcome& o = by_name[rule_name];
+        o.name = rule_name;
+        o.uses += stats.rule_uses[i];
+        o.reward_sum += stats.rule_reward_sum[i];
+      }
+      std::printf("workload %-10s seed %llu: %zu iterations, cost %.3f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(opts.search.seed),
+                  stats.iterations, iface->cost.total());
+    }
+  }
+
+  std::vector<learn::RuleOutcome> outcomes;
+  outcomes.reserve(by_name.size());
+  for (auto& [rule_name, outcome] : by_name) outcomes.push_back(outcome);
+  const auto weights = learn::FitPriorWeights(outcomes);
+  if (weights.empty()) {
+    std::fprintf(stderr,
+                 "no rule cleared the min-uses bar; not writing %s "
+                 "(increase --iterations or --runs)\n",
+                 out.c_str());
+    return 1;
+  }
+  for (const auto& [rule_name, weight] : weights) {
+    std::printf("  %-10s -> %.3f\n", rule_name.c_str(), weight);
+  }
+  if (Status st = learn::SavePriorWeights(out, weights); !st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu fitted weight(s) to %s\n", weights.size(), out.c_str());
+  return 0;
+}

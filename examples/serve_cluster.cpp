@@ -13,7 +13,10 @@
 // table in each worker; 0 = defaults), --threads N (HTTP workers),
 // --worker-threads N (generation threads per worker), --max-pending N
 // (per-worker job-queue bound -> HTTP 429), --session-ttl-ms N,
-// --client PATH, --cors ORIGIN, --log-level LEVEL, --trace.
+// --client PATH, --cors ORIGIN, --log-level LEVEL, --trace,
+// --experience-dir DIR (or the IFGEN_EXPERIENCE_DIR env var: each worker
+// persists its experience store to DIR/worker-<index>.exp and reloads it
+// across restarts — see docs/learning.md).
 //
 // Each worker line below is machine-readable for scripts/cluster_smoke.py:
 //   worker <index> pid <pid> port <port>
@@ -104,13 +107,29 @@ int main(int argc, char** argv) {
       "--session-ttl-ms",
       std::to_string(FlagInt(argc, argv, "--session-ttl-ms", 10 * 60 * 1000))};
   if (FlagBool(argc, argv, "--trace")) worker_args.push_back("--trace");
+  // Each worker gets its own store file under the shared directory, so
+  // restarted workers warm-start from their own history (RunWorkerMain also
+  // honors the IFGEN_EXPERIENCE_DIR env var, inherited through exec).
+  std::string experience_dir = FlagStr(argc, argv, "--experience-dir", "");
+  if (experience_dir.empty()) {
+    if (const char* env = std::getenv("IFGEN_EXPERIENCE_DIR")) {
+      experience_dir = env;
+    }
+  }
 
   std::printf("spawning %d worker(s)...\n", num_workers);
   std::fflush(stdout);
   std::vector<cluster::SpawnedWorker> spawned;
   cluster::ClusterRouter::Options ropts;
   for (int i = 0; i < num_workers; ++i) {
-    auto w = cluster::SpawnWorkerProcess(*self, worker_args);
+    std::vector<std::string> args = worker_args;
+    if (!experience_dir.empty()) {
+      args.push_back("--experience-dir");
+      args.push_back(experience_dir);
+      args.push_back("--worker-index");
+      args.push_back(std::to_string(i));
+    }
+    auto w = cluster::SpawnWorkerProcess(*self, args);
     if (!w.ok()) {
       std::fprintf(stderr, "worker %d failed to start: %s\n", i,
                    w.status().ToString().c_str());

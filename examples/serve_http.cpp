@@ -17,7 +17,10 @@
 // when opening examples/web/client.html from file://; off by default),
 // --log-level LEVEL (debug|info|warning|error|fatal; overrides the
 // IFGEN_LOG_LEVEL env var), --trace (record spans into the global ring,
-// exported at /v1/trace and per job at /v1/jobs/{id}/trace).
+// exported at /v1/trace and per job at /v1/jobs/{id}/trace),
+// --experience-dir DIR (or the IFGEN_EXPERIENCE_DIR env var: persist the
+// experience store to DIR/http.exp and load fitted prior weights from
+// DIR/priors.json — see docs/learning.md).
 // SIGINT/SIGTERM shut down cleanly.
 #include <csignal>
 #include <cstdio>
@@ -26,6 +29,8 @@
 
 #include "api/api_service.h"
 #include "http/api_http.h"
+#include "learn/experience.h"
+#include "learn/prior_fit.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -80,6 +85,35 @@ int main(int argc, char** argv) {
       static_cast<size_t>(FlagInt(argc, argv, "--max-pending", 64));
   opts.session_ttl_ms = FlagInt(argc, argv, "--session-ttl-ms", 10 * 60 * 1000);
 
+  // Persistent experience store (src/learn/): load at startup, save on a
+  // cadence and at shutdown. Requests opt in per job via options.experience.
+  std::string experience_dir = FlagStr(argc, argv, "--experience-dir", "");
+  if (experience_dir.empty()) {
+    if (const char* env = std::getenv("IFGEN_EXPERIENCE_DIR")) {
+      experience_dir = env;
+    }
+  }
+  std::shared_ptr<learn::ExperienceStore> experience;
+  std::string experience_path;
+  if (!experience_dir.empty()) {
+    experience_path = experience_dir + "/http.exp";
+    experience = std::make_shared<learn::ExperienceStore>();
+    auto loaded = experience->LoadFrom(experience_path);
+    if (loaded.ok() && *loaded > 0) {
+      std::printf("loaded %zu experience record(s) from %s\n", *loaded,
+                  experience_path.c_str());
+    }
+    opts.service.experience = experience;
+    auto weights = learn::LoadPriorWeights(experience_dir + "/priors.json");
+    if (weights.ok()) {
+      std::printf("loaded %zu fitted prior weight(s)\n", weights->size());
+      opts.learned_prior_weights = std::move(*weights);
+    } else if (weights.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "ignoring unreadable prior weights: %s\n",
+                   weights.status().ToString().c_str());
+    }
+  }
+
   std::printf("loading workloads...\n");
   auto svc = api::ApiService::Create(opts);
   if (!svc.ok()) {
@@ -112,14 +146,27 @@ int main(int argc, char** argv) {
               fopts.http.host.c_str(), frontend.port());
   std::fflush(stdout);
 
+  size_t ticks = 0;
   while (g_stop == 0) {
     // The server runs on its own threads; this thread only waits for a
-    // shutdown signal.
+    // shutdown signal (and persists experience every ~10s when configured).
     struct timespec ts = {0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
+    if (experience != nullptr && ++ticks % 100 == 0) {
+      if (Status st = experience->SaveTo(experience_path); !st.ok()) {
+        std::fprintf(stderr, "periodic experience save failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
   }
   std::printf("shutting down...\n");
   frontend.Stop();
+  if (experience != nullptr) {
+    if (Status st = experience->SaveTo(experience_path); !st.ok()) {
+      std::fprintf(stderr, "final experience save failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
   api::StatsResponse stats = *(*svc)->Stats();
   std::printf("served %lld job(s), %lld session(s), %lld interaction step(s)\n",
               static_cast<long long>(stats.jobs_submitted),

@@ -111,6 +111,16 @@ SCHEMAS = {
         "errors": int,
         "us_per_request": NUM,
     },
+    "experience": {
+        "workload": str,
+        "warm": bool,
+        "iterations": int,
+        "best_cost": NUM,
+        "target_cost": NUM,
+        "iterations_to_target": int,
+        "seeded": int,
+        "ms": NUM,
+    },
     "cluster_cache": {
         "workload": str,
         "peering": bool,

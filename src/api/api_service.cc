@@ -93,6 +93,9 @@ Result<const WorkloadBundle*> ApiService::FindWorkload(
 
 Result<GenerateAccepted> ApiService::SubmitGenerate(const GenerateRequest& req) {
   IFGEN_ASSIGN_OR_RETURN(GeneratorOptions options, req.options.ToGeneratorOptions());
+  if (!opts_.learned_prior_weights.empty()) {
+    options.search.priors.learned_weights = opts_.learned_prior_weights;
+  }
   if (!BackendAvailable(options.backend)) {
     return Status::Invalid("backend '" + req.options.backend +
                            "' is not compiled into this build");
@@ -155,6 +158,9 @@ Result<GenerateAccepted> ApiService::SubmitGenerate(const GenerateRequest& req) 
 
 Result<bool> ApiService::ProbeCache(const GenerateRequest& req) {
   IFGEN_ASSIGN_OR_RETURN(GeneratorOptions options, req.options.ToGeneratorOptions());
+  if (!opts_.learned_prior_weights.empty()) {
+    options.search.priors.learned_weights = opts_.learned_prior_weights;
+  }
   if (req.workload.empty() && req.sqls.empty()) {
     return Status::Invalid("GenerateRequest: either 'workload' or 'sqls' required");
   }
@@ -563,6 +569,13 @@ Result<StatsResponse> ApiService::Stats() {
   s.jobs_pending = static_cast<int64_t>(svc.jobs_pending);
   s.job_cache_hits = static_cast<int64_t>(svc.cache_hits);
   s.sessions_opened = static_cast<int64_t>(svc.sessions_opened);
+  s.learn_store_entries = static_cast<int64_t>(svc.learn_store_entries);
+  s.learn_hits = static_cast<int64_t>(svc.learn_hits);
+  s.learn_misses = static_cast<int64_t>(svc.learn_misses);
+  s.learn_seeded = static_cast<int64_t>(svc.learn_seeded);
+  s.learn_recorded = static_cast<int64_t>(svc.learn_recorded);
+  s.learn_saves = static_cast<int64_t>(svc.learn_saves);
+  s.learn_loads = static_cast<int64_t>(svc.learn_loads);
 
   InteractiveRuntime::Counters agg;
   {

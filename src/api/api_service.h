@@ -50,6 +50,11 @@ class ApiService : public ServiceFrontend {
     /// access); <= 0 disables TTL eviction.
     int64_t session_ttl_ms = 10 * 60 * 1000;
     InteractiveRuntime::Options runtime;
+    /// Trace-fitted prior weights (learn/prior_fit.h) applied to every
+    /// admitted job's PriorOptions. Applied identically in SubmitGenerate
+    /// and ProbeCache, so local and probed cache keys cannot diverge.
+    /// Empty = the hand-set BaseRuleWeight defaults.
+    std::vector<std::pair<std::string, double>> learned_prior_weights;
   };
 
   /// Loads every registered workload (flights, sdss, synthetic) and wires

@@ -351,6 +351,7 @@ Result<GeneratorOptions> ApiOptions::ToGeneratorOptions() const {
   o.delta_cost_eval = delta_cost_eval;
   o.k_assignments = static_cast<size_t>(k_assignments);
   o.cache_peering = cache_peering;
+  o.experience = experience;
   return o;
 }
 
@@ -370,6 +371,7 @@ ApiOptions ApiOptions::FromGeneratorOptions(const GeneratorOptions& o) {
   a.progressive_widening = o.search.priors.progressive_widening;
   a.delta_cost_eval = o.delta_cost_eval;
   a.cache_peering = o.cache_peering;
+  a.experience = o.experience;
   a.deadline_ms = o.search.time_control.deadline_ms;
   a.target_cost = o.search.time_control.target_cost;
   a.plateau_fraction = o.search.time_control.plateau_fraction;
@@ -392,6 +394,7 @@ JsonValue ApiOptions::ToJson() const {
   v.Set("progressive_widening", JsonValue::Bool(progressive_widening));
   v.Set("delta_cost_eval", JsonValue::Bool(delta_cost_eval));
   v.Set("cache_peering", JsonValue::Bool(cache_peering));
+  v.Set("experience", JsonValue::Bool(experience));
   v.Set("deadline_ms", JsonValue::Int(deadline_ms));
   v.Set("target_cost", JsonValue::Double(target_cost));
   v.Set("plateau_fraction", JsonValue::Double(plateau_fraction));
@@ -415,6 +418,7 @@ Result<ApiOptions> ApiOptions::FromJson(const JsonValue& v) {
   r.Bool("progressive_widening", &a.progressive_widening);
   r.Bool("delta_cost_eval", &a.delta_cost_eval);
   r.Bool("cache_peering", &a.cache_peering);
+  r.Bool("experience", &a.experience);
   r.Int("deadline_ms", &a.deadline_ms);
   r.Double("target_cost", &a.target_cost);
   r.Double("plateau_fraction", &a.plateau_fraction);
@@ -431,6 +435,7 @@ bool ApiOptions::operator==(const ApiOptions& o) const {
          use_priors == o.use_priors &&
          progressive_widening == o.progressive_widening &&
          delta_cost_eval == o.delta_cost_eval && cache_peering == o.cache_peering &&
+         experience == o.experience &&
          deadline_ms == o.deadline_ms && target_cost == o.target_cost &&
          plateau_fraction == o.plateau_fraction;
 }
@@ -1198,6 +1203,15 @@ JsonValue StatsResponse::ToJson() const {
   runtime.Set("fallbacks", JsonValue::Int(fallbacks));
   v.Set("runtime", std::move(runtime));
   v.Set("backends", ArrayToJson(backends));
+  JsonValue learn = JsonValue::Object();
+  learn.Set("store_entries", JsonValue::Int(learn_store_entries));
+  learn.Set("hits", JsonValue::Int(learn_hits));
+  learn.Set("misses", JsonValue::Int(learn_misses));
+  learn.Set("seeded", JsonValue::Int(learn_seeded));
+  learn.Set("recorded", JsonValue::Int(learn_recorded));
+  learn.Set("saves", JsonValue::Int(learn_saves));
+  learn.Set("loads", JsonValue::Int(learn_loads));
+  v.Set("learn", std::move(learn));
   JsonValue cluster = JsonValue::Object();
   cluster.Set("workers", ArrayToJson(cluster_workers));
   v.Set("cluster", std::move(cluster));
@@ -1211,8 +1225,20 @@ Result<StatsResponse> StatsResponse::FromJson(const JsonValue& v) {
   const JsonValue* sessions = r.Child("sessions");
   const JsonValue* runtime = r.Child("runtime");
   const JsonValue* backends = r.Child("backends");
+  const JsonValue* learn = r.Child("learn");
   const JsonValue* cluster = r.Child("cluster");
   IFGEN_RETURN_NOT_OK(r.Finish());
+  if (learn != nullptr) {
+    ObjectReader lr(*learn, "StatsResponse.learn");
+    lr.Int("store_entries", &s.learn_store_entries);
+    lr.Int("hits", &s.learn_hits);
+    lr.Int("misses", &s.learn_misses);
+    lr.Int("seeded", &s.learn_seeded);
+    lr.Int("recorded", &s.learn_recorded);
+    lr.Int("saves", &s.learn_saves);
+    lr.Int("loads", &s.learn_loads);
+    IFGEN_RETURN_NOT_OK(lr.Finish());
+  }
   if (cluster != nullptr) {
     ObjectReader cr(*cluster, "StatsResponse.cluster");
     const JsonValue* workers = cr.Child("workers");
@@ -1259,7 +1285,12 @@ bool StatsResponse::operator==(const StatsResponse& o) const {
          noops == o.noops && result_cache_hits == o.result_cache_hits &&
          delta_execs == o.delta_execs && retruncates == o.retruncates &&
          full_execs == o.full_execs && fallbacks == o.fallbacks &&
-         backends == o.backends && cluster_workers == o.cluster_workers;
+         backends == o.backends &&
+         learn_store_entries == o.learn_store_entries &&
+         learn_hits == o.learn_hits && learn_misses == o.learn_misses &&
+         learn_seeded == o.learn_seeded && learn_recorded == o.learn_recorded &&
+         learn_saves == o.learn_saves && learn_loads == o.learn_loads &&
+         cluster_workers == o.cluster_workers;
 }
 
 }  // namespace api

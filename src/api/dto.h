@@ -128,6 +128,12 @@ struct ApiOptions {
   /// and cost sampling becomes state-keyed so peering preserves
   /// bit-identity. Default off: a single-process request is unchanged.
   bool cache_peering = false;
+  /// Persistent experience (GeneratorOptions::experience): the job may
+  /// warm-start from the service's on-disk experience store and records its
+  /// discoveries back (src/learn/). Switches cost sampling to the
+  /// state-keyed mode exactly like `cache_peering`. Default off: a request
+  /// without the flag is unchanged.
+  bool experience = false;
   /// Anytime time control (search/timeman.h). deadline_ms: wall-clock
   /// deadline for the whole call, 0 = off; target_cost: stop once the best
   /// cost reaches it, 0 = off; plateau_fraction: stop when the best cost
@@ -528,6 +534,15 @@ struct StatsResponse {
   int64_t full_execs = 0;
   int64_t fallbacks = 0;
   std::vector<BackendStatsDto> backends;
+  /// Experience-store telemetry (src/learn/); all zero when the service
+  /// runs without a configured store.
+  int64_t learn_store_entries = 0;
+  int64_t learn_hits = 0;
+  int64_t learn_misses = 0;
+  int64_t learn_seeded = 0;
+  int64_t learn_recorded = 0;
+  int64_t learn_saves = 0;
+  int64_t learn_loads = 0;
   /// Per-worker rows when served by a ClusterRouter; empty in-process.
   std::vector<WorkerStatsDto> cluster_workers;
 

@@ -13,6 +13,8 @@
 #include <thread>
 
 #include "cluster/worker_server.h"
+#include "learn/experience.h"
+#include "learn/prior_fit.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -77,6 +79,39 @@ int RunWorkerMain(int argc, char** argv) {
   if (ttl >= 0) opts.service.session_ttl_ms = ttl;
   if (HasFlag(argc, argv, "--trace")) obs::SetTracingEnabled(true);
 
+  // Persistent experience: each worker owns one store file under the shared
+  // directory (per-worker names, so siblings never race on one file) and
+  // reloads it across restarts — the warm-start-across-exec path.
+  std::string experience_dir = FlagValue(argc, argv, "--experience-dir", "");
+  if (experience_dir.empty()) {
+    const char* env = std::getenv("IFGEN_EXPERIENCE_DIR");
+    if (env != nullptr) experience_dir = env;
+  }
+  const int64_t worker_index = FlagInt(argc, argv, "--worker-index", 0);
+  std::shared_ptr<learn::ExperienceStore> experience;
+  std::string experience_path;
+  if (!experience_dir.empty()) {
+    experience_path = experience_dir + "/worker-" +
+                      std::to_string(worker_index) + ".exp";
+    experience = std::make_shared<learn::ExperienceStore>();
+    auto loaded = experience->LoadFrom(experience_path);
+    if (loaded.ok() && *loaded > 0) {
+      IFGEN_LOG_C(Info, "cluster")
+          << "worker " << worker_index << " loaded " << *loaded
+          << " experience records from " << experience_path;
+    }
+    opts.service.service.experience = experience;
+    // Fitted prior weights ride alongside the store; missing/malformed ->
+    // keep the hand-set defaults.
+    auto weights = learn::LoadPriorWeights(experience_dir + "/priors.json");
+    if (weights.ok()) {
+      opts.service.learned_prior_weights = std::move(*weights);
+    } else if (weights.status().code() != StatusCode::kNotFound) {
+      IFGEN_LOG_C(Warning, "cluster")
+          << "ignoring unreadable prior weights: " << weights.status().ToString();
+    }
+  }
+
   WorkerServer server;
   Status st = server.Start(std::move(opts));
   if (!st.ok()) {
@@ -93,8 +128,19 @@ int RunWorkerMain(int argc, char** argv) {
     ::close(port_fd);
   }
 
+  // Periodic experience persistence (~10s cadence on the 50ms tick), so a
+  // crash loses at most one window of records; SaveTo is atomic
+  // (tmp + rename), so readers never observe a torn file.
+  size_t ticks = 0;
   while (g_worker_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (experience != nullptr && ++ticks % 200 == 0) {
+      Status saved = experience->SaveTo(experience_path);
+      if (!saved.ok()) {
+        IFGEN_LOG_C(Warning, "cluster")
+            << "periodic experience save failed: " << saved.ToString();
+      }
+    }
   }
 
   // Graceful drain: refuse new submissions, let running jobs finish
@@ -103,6 +149,15 @@ int RunWorkerMain(int argc, char** argv) {
   Stopwatch watch;
   while (server.jobs_pending() > 0 && watch.ElapsedMillis() < 30000) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Save after the drain so the final jobs' records land on disk — the
+  // restart-warm-start contract the cluster test exercises.
+  if (experience != nullptr) {
+    Status saved = experience->SaveTo(experience_path);
+    if (!saved.ok()) {
+      IFGEN_LOG_C(Warning, "cluster")
+          << "final experience save failed: " << saved.ToString();
+    }
   }
   server.Stop();
   return 0;

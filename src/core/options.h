@@ -94,6 +94,18 @@ struct GeneratorOptions {
   /// which costs the k random assignments produce vs. the default caller-
   /// stream sampling, so it participates in cache keys and fingerprints.
   bool cache_peering = false;
+  /// Persistent-experience ablation flag (src/learn/): makes this job
+  /// eligible to warm-start from the service's ExperienceStore (root-action
+  /// virtual visits + transposition/delta-cache seeding) and to record its
+  /// discoveries back. Turns on state-keyed sampling exactly like
+  /// `cache_peering` — and for the same soundness reason — so it
+  /// participates in cache keys and fingerprints the same way; the runtime
+  /// store/bridge wiring does not.
+  bool experience = false;
+  /// Cross-job delta-cost cache shared by the service for same-cost-identity
+  /// experience jobs (cost/delta.h documents why sharing is bit-safe).
+  /// Runtime wiring — never part of any key or fingerprint.
+  std::shared_ptr<DeltaCostCache> shared_delta_cache;
 
   EvalOptions MakeEvalOptions() const {
     EvalOptions e;
@@ -103,8 +115,9 @@ struct GeneratorOptions {
     e.parse_limit = parse_limit;
     e.enumeration_cap = enumeration_cap;
     e.delta_eval = delta_cost_eval;
-    e.state_keyed_sampling = cache_peering;
+    e.state_keyed_sampling = cache_peering || experience;
     e.sampling_seed = search.seed;
+    e.shared_delta = shared_delta_cache;
     return e;
   }
 };

@@ -28,16 +28,21 @@ obs::Counter& EvalCacheHitsMetric() {
 StateEvaluator::StateEvaluator(const EvalOptions& opts, const std::vector<Ast>& queries)
     : opts_(opts), queries_(queries),
       model_(opts_.constants, opts_.screen, opts_.parse_limit),
-      delta_(opts.delta_eval) {}
+      // A caller-shared cross-search cache only when delta evaluation is on
+      // (a shared cache is always created enabled, so the ablation flag must
+      // win); private otherwise.
+      delta_(opts.shared_delta != nullptr && opts.delta_eval
+                 ? opts.shared_delta
+                 : std::make_shared<DeltaCostCache>(opts.delta_eval)) {}
 
 std::shared_ptr<const TransitionPlan> StateEvaluator::PlanFor(const DiffTree& tree) {
   // Order-sensitive hash: plans encode pre-order choice ids, so two trees
   // that differ only in ANY-alternative order have different plans.
   uint64_t key = tree.Hash();
-  if (auto cached = delta_.LookupPlan(key)) return cached;
+  if (auto cached = delta_->LookupPlan(key)) return cached;
   auto plan = std::make_shared<const TransitionPlan>(
       PlanTransitions(tree, queries_, opts_.parse_limit));
-  delta_.StorePlan(key, plan);
+  delta_->StorePlan(key, plan);
   return plan;
 }
 
@@ -79,7 +84,7 @@ double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
   // surrounding search observes.
   Rng state_rng(HashCombine(opts_.sampling_seed, key));
   Rng* draw_rng = opts_.state_keyed_sampling ? &state_rng : rng;
-  WidgetAssigner assigner(tree, opts_.constants, &delta_);
+  WidgetAssigner assigner(tree, opts_.constants, delta_.get());
   double best = kInf;
   if (assigner.viable()) {
     auto plan = PlanFor(tree);
@@ -105,7 +110,7 @@ double StateEvaluator::SampleCost(const DiffTree& tree, Rng* rng) {
 
 Result<ScoredWidgetTree> StateEvaluator::FindBest(const DiffTree& tree, Rng* rng) {
   obs::TraceSpan span("eval.find_best", "cost");
-  WidgetAssigner assigner(tree, opts_.constants, &delta_);
+  WidgetAssigner assigner(tree, opts_.constants, delta_.get());
   if (!assigner.viable()) {
     return Status::Invalid("state has a choice node with no valid widget");
   }

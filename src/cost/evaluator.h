@@ -46,6 +46,13 @@ struct EvalOptions {
   /// stream. Enabled by GeneratorOptions::cache_peering.
   bool state_keyed_sampling = false;
   uint64_t sampling_seed = 0;
+  /// Cross-search delta-cost cache to use instead of an evaluator-local one.
+  /// Sound to share between evaluators whose cost identity matches (same
+  /// constants/screen/parse_limit/queries): the cached subtree terms and
+  /// transition plans are pure functions of their keys (cost/delta.h), so a
+  /// pre-warmed cache changes recompute counts, never costs. Runtime wiring
+  /// — never part of any cache key. Null = private cache (the default).
+  std::shared_ptr<DeltaCostCache> shared_delta;
 };
 
 /// \brief A widget tree with its evaluated cost.
@@ -87,10 +94,10 @@ class StateEvaluator {
   /// transition-plan computations performed vs. answered from the caches.
   /// With `delta_eval` off, every call counts as a recompute, so the same
   /// counters quantify both sides of the ablation.
-  size_t subtree_recomputes() const { return delta_.subtree_recomputes(); }
-  size_t subtree_cache_hits() const { return delta_.subtree_hits(); }
-  size_t plan_recomputes() const { return delta_.plan_recomputes(); }
-  size_t plan_cache_hits() const { return delta_.plan_hits(); }
+  size_t subtree_recomputes() const { return delta_->subtree_recomputes(); }
+  size_t subtree_cache_hits() const { return delta_->subtree_hits(); }
+  size_t plan_recomputes() const { return delta_->plan_recomputes(); }
+  size_t plan_cache_hits() const { return delta_->plan_hits(); }
 
  private:
   double EvaluateAssignment(const WidgetAssigner& assigner, const Assignment& a,
@@ -107,7 +114,9 @@ class StateEvaluator {
   /// Sampled-cost memo by canonical state hash (sharded: many search
   /// threads hit this on every rollout step).
   ShardedMap<double> cost_cache_;
-  DeltaCostCache delta_;
+  /// The caller-shared cache (EvalOptions::shared_delta) when provided, an
+  /// evaluator-private one otherwise; never null.
+  std::shared_ptr<DeltaCostCache> delta_;
   std::atomic<size_t> evaluations_{0};
   std::atomic<size_t> cache_hits_{0};
 };

@@ -1,0 +1,243 @@
+#include "learn/experience.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace ifgen {
+namespace learn {
+
+namespace {
+
+// Wire format (little-endian, docs/learning.md):
+//   "IFEX" | version u32 | count u64 | checksum u64 | count * 48-byte entries
+// The checksum is HashBytes over the entry payload, so a bit flip anywhere in
+// the body (or a chopped tail) invalidates the whole file before any record
+// is merged.
+constexpr char kMagic[4] = {'I', 'F', 'E', 'X'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8;
+constexpr size_t kEntryBytes = 6 * 8;
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t v = 0;
+  static_assert(sizeof v == sizeof d, "double must be 64-bit");
+  std::memcpy(&v, &d, sizeof v);
+  return v;
+}
+
+double BitsDouble(uint64_t v) {
+  double d = 0;
+  std::memcpy(&d, &v, sizeof d);
+  return d;
+}
+
+uint64_t MapKey(uint64_t schema_fp, uint64_t canonical) {
+  return HashCombine(schema_fp, canonical);
+}
+
+}  // namespace
+
+void ExperienceStore::Merge(const ExperienceRecord& rec) {
+  map_.Mutate(MapKey(rec.schema_fp, rec.canonical),
+              [&rec](ExperienceRecord& e, bool inserted) {
+                if (inserted) {
+                  e = rec;
+                  return 0;
+                }
+                if (e.schema_fp != rec.schema_fp || e.canonical != rec.canonical) {
+                  return 0;  // 64-bit key collision: first identity owns the slot
+                }
+                e.visits += rec.visits;
+                if (rec.best_cost < e.best_cost) {
+                  e.best_cost = rec.best_cost;
+                  e.best_action = rec.best_action;
+                  e.epoch = rec.epoch;
+                }
+                return 0;
+              });
+}
+
+void ExperienceStore::Record(const ExperienceRecord& rec) {
+  if (!std::isfinite(rec.best_cost)) return;
+  Merge(rec);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  learn_internal::RecordedMetric().Inc();
+}
+
+std::optional<ExperienceRecord> ExperienceStore::Probe(uint64_t schema_fp,
+                                                       uint64_t canonical) const {
+  std::optional<ExperienceRecord> rec = map_.Lookup(MapKey(schema_fp, canonical));
+  if (rec.has_value() && rec->schema_fp == schema_fp && rec->canonical == canonical) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    learn_internal::StoreHitsMetric().Inc();
+    return rec;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  learn_internal::StoreMissesMetric().Inc();
+  return std::nullopt;
+}
+
+std::vector<ExperienceRecord> ExperienceStore::Snapshot(uint64_t schema_fp,
+                                                        size_t limit) const {
+  std::vector<ExperienceRecord> out;
+  map_.ForEach([&out, schema_fp](uint64_t, const ExperienceRecord& e) {
+    if (e.schema_fp == schema_fp) out.push_back(e);
+  });
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ExperienceRecord& a, const ExperienceRecord& b) {
+                     if (a.visits != b.visits) return a.visits > b.visits;
+                     return a.canonical < b.canonical;
+                   });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<ExperienceRecord> ExperienceStore::All() const {
+  std::vector<ExperienceRecord> out;
+  map_.ForEach([&out](uint64_t, const ExperienceRecord& e) { out.push_back(e); });
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ExperienceRecord& a, const ExperienceRecord& b) {
+                     if (a.schema_fp != b.schema_fp) return a.schema_fp < b.schema_fp;
+                     return a.canonical < b.canonical;
+                   });
+  return out;
+}
+
+Status ExperienceStore::SaveTo(const std::string& path) const {
+  const std::vector<ExperienceRecord> records = All();
+  std::string payload;
+  payload.reserve(records.size() * kEntryBytes);
+  for (const ExperienceRecord& r : records) {
+    PutU64(&payload, r.schema_fp);
+    PutU64(&payload, r.canonical);
+    PutU64(&payload, r.best_action);
+    PutU64(&payload, DoubleBits(r.best_cost));
+    PutU64(&payload, r.visits);
+    PutU64(&payload, r.epoch);
+  }
+
+  std::string blob;
+  blob.reserve(kHeaderBytes + payload.size());
+  blob.append(kMagic, sizeof kMagic);
+  for (int i = 0; i < 4; ++i) {
+    blob.push_back(static_cast<char>((kVersion >> (8 * i)) & 0xff));
+  }
+  PutU64(&blob, static_cast<uint64_t>(records.size()));
+  PutU64(&blob, HashBytes(payload));
+  blob += payload;
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("experience store: cannot open " + tmp +
+                            " for writing");
+  }
+  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != blob.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("experience store: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("experience store: rename to " + path + " failed");
+  }
+  saves_.fetch_add(1, std::memory_order_relaxed);
+  learn_internal::SavesMetric().Inc();
+  return Status::OK();
+}
+
+Result<size_t> ExperienceStore::LoadFrom(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    // Missing file: the normal first boot. Cold start without noise.
+    loads_.fetch_add(1, std::memory_order_relaxed);
+    learn_internal::LoadsMetric().Inc();
+    return static_cast<size_t>(0);
+  }
+  std::string blob;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) blob.append(buf, n);
+  std::fclose(f);
+
+  // Validate everything before merging anything: a bad file must be a clean
+  // cold start, never partial state.
+  auto reject = [&](const char* why) -> Result<size_t> {
+    IFGEN_LOG_C(Warning, "learn")
+        << "experience store " << path << ": " << why
+        << " — starting cold (" << blob.size() << " bytes on disk)";
+    loads_.fetch_add(1, std::memory_order_relaxed);
+    learn_internal::LoadsMetric().Inc();
+    return static_cast<size_t>(0);
+  };
+  if (blob.size() < kHeaderBytes) return reject("truncated header");
+  if (std::memcmp(blob.data(), kMagic, sizeof kMagic) != 0) {
+    return reject("bad magic");
+  }
+  uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<uint32_t>(static_cast<unsigned char>(blob[4 + i]))
+               << (8 * i);
+  }
+  if (version != kVersion) return reject("unsupported version");
+  const uint64_t count = GetU64(blob.data() + 8);
+  const uint64_t checksum = GetU64(blob.data() + 16);
+  if (blob.size() != kHeaderBytes + count * kEntryBytes) {
+    return reject("entry count does not match file size");
+  }
+  const std::string_view payload(blob.data() + kHeaderBytes,
+                                 blob.size() - kHeaderBytes);
+  if (HashBytes(payload) != checksum) return reject("checksum mismatch");
+
+  std::vector<ExperienceRecord> records;
+  records.reserve(count);
+  uint64_t max_epoch = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const char* p = payload.data() + i * kEntryBytes;
+    ExperienceRecord r;
+    r.schema_fp = GetU64(p);
+    r.canonical = GetU64(p + 8);
+    r.best_action = GetU64(p + 16);
+    r.best_cost = BitsDouble(GetU64(p + 24));
+    r.visits = GetU64(p + 32);
+    r.epoch = GetU64(p + 40);
+    if (!std::isfinite(r.best_cost)) return reject("non-finite cost entry");
+    max_epoch = std::max(max_epoch, r.epoch);
+    records.push_back(r);
+  }
+  for (const ExperienceRecord& r : records) Merge(r);
+
+  // Records written by this process generation must be distinguishable from
+  // everything loaded, so the epoch moves strictly past the file's.
+  uint64_t cur = epoch_.load(std::memory_order_relaxed);
+  while (cur <= max_epoch &&
+         !epoch_.compare_exchange_weak(cur, max_epoch + 1,
+                                       std::memory_order_relaxed)) {
+  }
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  learn_internal::LoadsMetric().Inc();
+  return records.size();
+}
+
+}  // namespace learn
+}  // namespace ifgen

@@ -1,0 +1,113 @@
+#include "learn/prior_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace ifgen {
+namespace learn {
+
+namespace {
+constexpr double kMinWeight = 0.2;
+constexpr double kMaxWeight = 3.0;
+}  // namespace
+
+std::vector<std::pair<std::string, double>> FitPriorWeights(
+    const std::vector<RuleOutcome>& outcomes, uint64_t min_uses) {
+  // Use-weighted global mean reward: the normalizer that maps "average rule"
+  // to weight 1.0, so fitted weights are directly comparable to the
+  // hand-set BaseRuleWeight scale.
+  uint64_t total_uses = 0;
+  double total_reward = 0.0;
+  for (const RuleOutcome& o : outcomes) {
+    if (o.uses < min_uses) continue;
+    total_uses += o.uses;
+    total_reward += o.reward_sum;
+  }
+  std::vector<std::pair<std::string, double>> weights;
+  if (total_uses == 0) return weights;
+  const double global_mean = total_reward / static_cast<double>(total_uses);
+  if (!(global_mean > 0.0) || !std::isfinite(global_mean)) return weights;
+  for (const RuleOutcome& o : outcomes) {
+    if (o.uses < min_uses) continue;
+    double w = o.MeanReward() / global_mean;
+    if (!std::isfinite(w)) continue;
+    w = std::min(kMaxWeight, std::max(kMinWeight, w));
+    weights.emplace_back(o.name, w);
+  }
+  std::sort(weights.begin(), weights.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return weights;
+}
+
+Status SavePriorWeights(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& weights) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("version", JsonValue::Int(1));
+  JsonValue w = JsonValue::Object();
+  for (const auto& [name, weight] : weights) {
+    w.Set(name, JsonValue::Double(weight));
+  }
+  obj.Set("weights", std::move(w));
+  const std::string text = WriteJson(obj) + "\n";
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("prior weights: cannot open " + tmp + " for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    std::remove(tmp.c_str());
+    return Status::Internal("prior weights: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("prior weights: rename to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<std::string, double>>> LoadPriorWeights(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("prior weights file not found: " + path);
+  }
+  std::string text;
+  char buf[1 << 12];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  IFGEN_ASSIGN_OR_RETURN(JsonValue v, ParseJson(text));
+  if (!v.is_object()) {
+    return Status::ParseError("prior weights: top level is not an object");
+  }
+  const JsonValue* version = v.Find("version");
+  if (version == nullptr || !version->is_int() || version->AsInt() != 1) {
+    return Status::ParseError("prior weights: missing/unsupported version");
+  }
+  const JsonValue* w = v.Find("weights");
+  if (w == nullptr || !w->is_object()) {
+    return Status::ParseError("prior weights: missing 'weights' object");
+  }
+  std::vector<std::pair<std::string, double>> weights;
+  for (const auto& [name, value] : w->members()) {
+    if (!value.is_number() || !std::isfinite(value.AsDouble())) {
+      return Status::ParseError("prior weights: non-numeric weight for '" +
+                                name + "'");
+    }
+    weights.emplace_back(name, value.AsDouble());
+  }
+  std::sort(weights.begin(), weights.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return weights;
+}
+
+}  // namespace learn
+}  // namespace ifgen

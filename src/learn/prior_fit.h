@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ifgen {
+namespace learn {
+
+/// \brief Accumulated search outcomes of one rule, summed over logged
+/// searches: how often the rule's applications were expanded into tree
+/// children, and the total backpropagated reward those children received
+/// (SearchStats::rule_uses / rule_reward_sum, keyed back to names through
+/// the RuleEngine).
+struct RuleOutcome {
+  std::string name;
+  uint64_t uses = 0;
+  double reward_sum = 0.0;
+
+  double MeanReward() const {
+    return uses == 0 ? 0.0 : reward_sum / static_cast<double>(uses);
+  }
+};
+
+/// \brief Fits ActionPriorModel rule weights from logged outcomes: each
+/// rule's weight is its mean backpropagated reward relative to the
+/// use-weighted global mean, clipped to [0.2, 3.0] so one lopsided trace
+/// cannot zero a rule out or let it dominate. Rules with fewer than
+/// `min_uses` observations are skipped (the hand-set BaseRuleWeight stays
+/// their fallback). The result is sorted by rule name — the canonical order
+/// PriorOptions::learned_weights expects (it is hashed into the service's
+/// options fingerprint).
+std::vector<std::pair<std::string, double>> FitPriorWeights(
+    const std::vector<RuleOutcome>& outcomes, uint64_t min_uses = 8);
+
+/// Serializes weights as {"version":1,"weights":{name:w,...}} (atomic
+/// tmp + rename, like the experience store it sits alongside).
+Status SavePriorWeights(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& weights);
+
+/// Loads weights saved by SavePriorWeights, sorted by name. A missing file
+/// is NotFound; a malformed one is a ParseError — callers treat both as
+/// "keep the hand-set weights".
+Result<std::vector<std::pair<std::string, double>>> LoadPriorWeights(
+    const std::string& path);
+
+}  // namespace learn
+}  // namespace ifgen

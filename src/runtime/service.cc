@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "sql/parser.h"
@@ -105,6 +106,22 @@ uint64_t OptionsFingerprint(const GeneratorOptions& o) {
   h = HashU64(h, s.exhaustive_max_depth);
   h = HashU64(h, s.exhaustive_max_states);
 
+  // Prior knobs steer PUCT selection and widening order, so any of them can
+  // change which interface the search lands on.
+  const PriorOptions& pr = s.priors;
+  h = HashU64(h, pr.use_priors ? 1 : 0);
+  h = HashU64(h, pr.progressive_widening ? 1 : 0);
+  h = HashF64(h, pr.puct_c);
+  h = HashF64(h, pr.widen_c);
+  h = HashF64(h, pr.widen_alpha);
+  h = HashF64(h, pr.freq_weight);
+  h = HashF64(h, pr.cooc_weight);
+  h = HashF64(h, pr.min_prior);
+  for (const auto& [name, weight] : pr.learned_weights) {
+    h = HashBytes(name, h);
+    h = HashF64(h, weight);
+  }
+
   // Anytime time control changes where the search stops, hence the result.
   // (The stop/progress pointers are runtime wiring and deliberately NOT
   // hashed: attaching a sink never changes the output.)
@@ -142,6 +159,9 @@ uint64_t OptionsFingerprint(const GeneratorOptions& o) {
   // changes which assignments the k random draws produce — two requests
   // differing only in this flag must not alias one cache entry.
   h = HashU64(h, o.cache_peering ? 1 : 0);
+  // experience switches sampling mode exactly like cache_peering (the store
+  // bridge itself is runtime wiring and stays out of every key).
+  h = HashU64(h, o.experience ? 1 : 0);
   return h;
 }
 
@@ -214,6 +234,7 @@ uint64_t GenerationService::TtStoreKey(const JobSpec& spec) {
   h = HashF64(h, o.enumeration_cap);
   h = HashU64(h, o.delta_cost_eval ? 1 : 0);
   h = HashU64(h, o.cache_peering ? 1 : 0);
+  h = HashU64(h, o.experience ? 1 : 0);
   h = HashU64(h, o.search.seed);
   for (const std::string& sql : CanonicalSqls(spec.sqls)) {
     h = HashCombine(h, HashBytes(sql));
@@ -283,6 +304,9 @@ GenerationService::GenerationService(Options opts)
       job_history_capacity_(std::max<size_t>(1, opts.job_history_capacity)),
       tt_peer_store_capacity_(opts.tt_peer_store_capacity),
       tt_peer_entries_per_store_(opts.tt_peer_entries_per_store),
+      experience_(std::move(opts.experience)),
+      experience_seed_limit_(opts.experience_seed_limit),
+      shared_delta_store_capacity_(opts.shared_delta_store_capacity),
       pool_(std::max<size_t>(1, opts.num_threads)) {}
 
 GenerationService::~GenerationService() = default;
@@ -524,6 +548,50 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
       }
       spec.options.search.tt_bridge = tt_bridge;
     }
+    // Persistent experience: seed the search with the store's records for
+    // this cost identity (root-action virtual visits + transposition costs)
+    // and merge the run's discoveries back afterwards. Same runtime-wiring
+    // contract as the TT bridge: with `experience` on, state-keyed sampling
+    // guarantees seeding changes work done, never values, so the bridge
+    // stays outside every cache key.
+    std::shared_ptr<ExperienceBridge> exp_bridge;
+    uint64_t exp_store_key = 0;
+    if (spec.options.experience && experience_ != nullptr) {
+      exp_store_key = TtStoreKey(spec);
+      exp_bridge = std::make_shared<ExperienceBridge>();
+      const std::vector<learn::ExperienceRecord> snap =
+          experience_->Snapshot(exp_store_key, experience_seed_limit_);
+      exp_bridge->seed.reserve(snap.size());
+      for (const learn::ExperienceRecord& rec : snap) {
+        exp_bridge->seed.push_back({rec.canonical, rec.best_cost, rec.visits});
+      }
+      if (!exp_bridge->seed.empty()) {
+        learn::learn_internal::SeededMetric().Add(exp_bridge->seed.size());
+        std::lock_guard<std::mutex> lock(mu_);
+        learn_seeded_ += exp_bridge->seed.size();
+      }
+      spec.options.search.experience = exp_bridge;
+      // Same-identity experience jobs also share one delta-cost cache, so a
+      // warm start skips subtree/plan recomputes too (bit-safe: delta terms
+      // are pure functions of their keys; see cost/delta.h).
+      if (spec.options.delta_cost_eval && shared_delta_store_capacity_ > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = delta_stores_.find(exp_store_key);
+        if (it == delta_stores_.end()) {
+          while (delta_stores_.size() >= shared_delta_store_capacity_ &&
+                 !delta_store_order_.empty()) {
+            delta_stores_.erase(delta_store_order_.front());
+            delta_store_order_.pop_front();
+          }
+          it = delta_stores_
+                   .emplace(exp_store_key,
+                            std::make_shared<DeltaCostCache>(/*enabled=*/true))
+                   .first;
+          delta_store_order_.push_back(exp_store_key);
+        }
+        spec.options.shared_delta_cache = it->second;
+      }
+    }
     // With tracing on, every span the generation emits on this thread is
     // also captured into a job-private recorder, served later through
     // JobInfo::trace (GET /v1/jobs/{id}/trace).
@@ -543,6 +611,30 @@ Result<GenerationService::JobId> GenerationService::SubmitJobWithCallback(
       TtIngest(tt_store_key, tt_bridge->exported, /*local_origin=*/true);
       std::lock_guard<std::mutex> lock(mu_);
       tt_peer_hits_ += tt_bridge->peer_hits;
+    }
+    if (exp_bridge != nullptr) {
+      // Harvest: every hot state the run discovered, plus one record for the
+      // root itself carrying the preferred action (the training signal the
+      // prior fitter and future warm starts consume).
+      const uint64_t epoch = experience_->epoch();
+      size_t recorded = 0;
+      for (const TtSeedEntry& e : exp_bridge->exported) {
+        experience_->Record({exp_store_key, e.canonical, 0, e.cost, e.visits,
+                             epoch});
+        ++recorded;
+      }
+      if (!exp_bridge->root_actions.empty() &&
+          exp_bridge->root_canonical != 0) {
+        const RootActionStat& best = exp_bridge->root_actions.front();
+        double root_cost = std::numeric_limits<double>::infinity();
+        if (result.ok()) root_cost = result->cost.total();
+        experience_->Record({exp_store_key, exp_bridge->root_canonical,
+                             best.canonical, root_cost,
+                             std::max<uint64_t>(1, best.visits), epoch});
+        ++recorded;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      learn_recorded_ += recorded;
     }
     // An abort via CancelJob leaves the stop handle latched with kCancelled;
     // the generation still returned its best-so-far partial interface, which
@@ -738,6 +830,15 @@ GenerationService::CountersSnapshot GenerationService::counters_snapshot() const
   s.cache_probe_hits = cache_probe_hits_;
   s.tt_peer_ingested = tt_peer_ingested_;
   s.tt_peer_hits = tt_peer_hits_;
+  s.learn_seeded = learn_seeded_;
+  s.learn_recorded = learn_recorded_;
+  if (experience_ != nullptr) {
+    s.learn_store_entries = experience_->size();
+    s.learn_hits = experience_->hits();
+    s.learn_misses = experience_->misses();
+    s.learn_saves = experience_->saves();
+    s.learn_loads = experience_->loads();
+  }
   return s;
 }
 

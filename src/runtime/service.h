@@ -16,6 +16,7 @@
 
 #include "core/interface_generator.h"
 #include "engine/backend.h"
+#include "learn/experience.h"
 #include "obs/trace.h"
 #include "runtime/interactive.h"
 #include "runtime/thread_pool.h"
@@ -79,6 +80,23 @@ class GenerationService {
     /// Entries retained per peer store; ingests beyond the cap are dropped
     /// (first-writer-wins, so the earliest discoveries stay).
     size_t tt_peer_entries_per_store = 4096;
+    /// Persistent experience store shared by every job with
+    /// `options.experience` set (see src/learn/experience.h). The caller
+    /// owns persistence: servers load it before constructing the service
+    /// and save it on drain / on a cadence. Null = experience jobs run cold
+    /// and record nothing (the flag still changes sampling mode, so results
+    /// stay bit-identical to a store-backed cold start).
+    std::shared_ptr<learn::ExperienceStore> experience;
+    /// Most-visited experience records seeded into one search's bridge. At
+    /// least one search's export (the bridge's export_limit, 512, plus root
+    /// records): visit ordering favors hot rollout states, so a tighter
+    /// limit can crowd out the root-action records that actually shift the
+    /// next search's opening.
+    size_t experience_seed_limit = 1024;
+    /// Shared cross-job delta-cost caches kept (one per TtStoreKey cost
+    /// identity, experience jobs only); oldest dropped beyond this. 0
+    /// disables delta-cache sharing (jobs fall back to private caches).
+    size_t shared_delta_store_capacity = 8;
   };
 
   GenerationService();  ///< default Options
@@ -265,8 +283,22 @@ class GenerationService {
     size_t cache_probe_hits = 0;  ///< probes that found a cached result
     size_t tt_peer_ingested = 0;  ///< TT entries accepted from siblings
     size_t tt_peer_hits = 0;      ///< search cost lookups served peer-seeded
+    /// Experience-store telemetry (all zero without a configured store).
+    size_t learn_store_entries = 0;  ///< records currently held
+    size_t learn_hits = 0;           ///< store probes that found a record
+    size_t learn_misses = 0;         ///< store probes that found nothing
+    size_t learn_seeded = 0;         ///< records seeded into search bridges
+    size_t learn_recorded = 0;       ///< records merged back from searches
+    size_t learn_saves = 0;          ///< successful SaveTo calls
+    size_t learn_loads = 0;          ///< successful LoadFrom calls
   };
   CountersSnapshot counters_snapshot() const;
+
+  /// The configured experience store (Options::experience); null when the
+  /// service runs without one. Servers use this to save on drain.
+  const std::shared_ptr<learn::ExperienceStore>& experience_store() const {
+    return experience_;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -307,6 +339,10 @@ class GenerationService {
   size_t job_history_capacity_;
   size_t tt_peer_store_capacity_;
   size_t tt_peer_entries_per_store_;
+  /// Immutable after construction (jobs read it without mu_).
+  std::shared_ptr<learn::ExperienceStore> experience_;
+  size_t experience_seed_limit_;
+  size_t shared_delta_store_capacity_;
 
   mutable std::mutex mu_;
   std::condition_variable jobs_cv_;  ///< signalled on every terminal transition
@@ -342,6 +378,13 @@ class GenerationService {
   };
   std::map<uint64_t, TtPeerStore> tt_peers_;
   std::deque<uint64_t> tt_peer_order_;  ///< store keys, oldest first
+
+  /// Shared cross-job delta-cost caches for experience jobs, keyed by
+  /// TtStoreKey cost identity (FIFO eviction, like tt_peers_).
+  std::map<uint64_t, std::shared_ptr<DeltaCostCache>> delta_stores_;
+  std::deque<uint64_t> delta_store_order_;  ///< store keys, oldest first
+  size_t learn_seeded_ = 0;   ///< experience records seeded into searches
+  size_t learn_recorded_ = 0; ///< experience records merged back from searches
 
   /// (database, kind) -> shared backend instance.
   std::map<std::pair<const Database*, BackendKind>,

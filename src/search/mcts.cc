@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -53,6 +54,9 @@ struct Node {
   std::vector<double> priors;
   /// Prior of the application that created this node (PUCT's P term).
   double prior = 0.0;
+  /// RuleEngine index of the application that created this node (-1 for the
+  /// root); feeds the per-rule outcome accumulators the prior fitter reads.
+  int rule_index = -1;
   bool apps_ready = false;
   size_t next_untried = 0;
   /// Fully expanded, childless (or all children dead): selection skips it.
@@ -180,6 +184,28 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
   ensure_apps(root.get());
   p.tt->Visit(root->canonical);
 
+  // Persisted experience: root children matching a seed entry start with
+  // capped virtual visits and the seed cost's reward, steering early PUCT
+  // selection toward previously good actions. Pure bookkeeping — no RNG
+  // draws — so an absent (or empty) bridge leaves the run bit-identical.
+  std::unordered_map<uint64_t, const TtSeedEntry*> exp_seed;
+  if (p.experience != nullptr) {
+    exp_seed.reserve(p.experience->seed.size());
+    for (const TtSeedEntry& e : p.experience->seed) {
+      exp_seed.emplace(e.canonical, &e);
+    }
+  }
+  auto seed_root_child = [&](Node* child) {
+    if (exp_seed.empty() || child->parent != root.get()) return;
+    auto it = exp_seed.find(child->canonical);
+    if (it == exp_seed.end()) return;
+    const uint64_t v = std::min<uint64_t>(
+        std::max<uint64_t>(it->second->visits, 1), p.experience->root_visit_cap);
+    child->visits += v;
+    child->total_reward += static_cast<double>(v) * reward_of(it->second->cost);
+    ++stats.root_seeded;
+  };
+
   // Anytime control: the stop flag is polled every iteration (relaxed
   // atomic, negligible next to a rollout); the shared TimeManager is fed
   // every check_interval iterations. With both null this loop is exactly
@@ -247,6 +273,8 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
         child->canonical = child->state.CanonicalHash();
         child->parent = node;
         child->prior = node->priors.empty() ? 0.0 : node->priors[app_index];
+        child->rule_index = app.rule_index;
+        seed_root_child(child.get());
         if (!p.tt->Visit(child->canonical)) {
           ++stats.transposition_hits;
         }
@@ -272,6 +300,7 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
           if (!all_dead) break;
           n->dead = true;
         }
+        stats.RecordRuleOutcome(node->rule_index, reward_of(cost));
         backprop(node, reward_of(cost));
         if (root->dead) break;  // the whole space is exhausted
       } else {
@@ -281,6 +310,7 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
         double cost =
             RolloutAndEvaluateState(rctx, node->state, &rng, &stats, &rollout_best);
         p.best->Offer(rollout_best, cost, watch, stats.iterations, &stats);
+        stats.RecordRuleOutcome(node->rule_index, reward_of(cost));
         backprop(node, reward_of(cost));
       }
       continue;
@@ -333,6 +363,7 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
           best_reward = std::max(best_reward, reward_of(out.roll_cost));
           stats.Merge(out.stats);
         }
+        stats.RecordRuleOutcome(child->rule_index, best_reward);
         backprop(child, best_reward);
       }
     } else {
@@ -348,7 +379,9 @@ void RunMctsTree(const DiffTree& initial, const MctsTreeParams& p) {
             RolloutAndEvaluateState(rctx, child->state, &rng, &stats, &rollout_best);
         p.best->Offer(rollout_best, roll_cost, watch, stats.iterations, &stats);
 
-        backprop(child, std::max(reward_of(child_cost), reward_of(roll_cost)));
+        const double r = std::max(reward_of(child_cost), reward_of(roll_cost));
+        stats.RecordRuleOutcome(child->rule_index, r);
+        backprop(child, r);
         if (deadline.Expired()) break;
       }
     }
@@ -394,6 +427,14 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
       tt.SeedPeerCost(e.canonical, e.cost, e.visits);
     }
   }
+  if (opts_.experience != nullptr) {
+    // Persisted experience doubles as a cost seed: same soundness contract
+    // as peering (state-keyed sampling), so a hit skips a re-evaluation
+    // without shifting any value or RNG stream.
+    for (const TtSeedEntry& e : opts_.experience->seed) {
+      tt.SeedPeerCost(e.canonical, e.cost, e.visits);
+    }
+  }
   std::unique_ptr<ActionPriorModel> priors;
   if (opts_.priors.use_priors) {
     priors = std::make_unique<ActionPriorModel>(*rules_, evaluator_->queries(),
@@ -413,6 +454,11 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
   params.priors = priors.get();
   params.stop = rc.stop();
   params.timeman = rc.timeman();
+  params.experience = opts_.experience.get();
+  // Root-action stats feed the experience bridge, not SearchResult (which
+  // stays empty for serial searchers, as documented).
+  std::vector<RootActionStat> exp_root_actions;
+  if (opts_.experience != nullptr) params.root_actions = &exp_root_actions;
   RunMctsTree(initial, params);
 
   if (opts_.tt_bridge != nullptr) {
@@ -422,6 +468,24 @@ Result<SearchResult> MctsSearcher::Run(const DiffTree& initial) {
       bridge.exported.push_back({ec.key, ec.cost, ec.visits});
     }
     bridge.peer_hits += tt.peer_cost_hits();
+  }
+  if (opts_.experience != nullptr) {
+    ExperienceBridge& eb = *opts_.experience;
+    eb.exported.clear();
+    for (const auto& ec : tt.ExportHotCosts(eb.export_limit)) {
+      eb.exported.push_back({ec.key, ec.cost, ec.visits});
+    }
+    std::stable_sort(exp_root_actions.begin(), exp_root_actions.end(),
+                     [](const RootActionStat& a, const RootActionStat& b) {
+                       const double ra = a.MeanReward(), rb = b.MeanReward();
+                       if (ra != rb) return ra > rb;
+                       if (a.visits != b.visits) return a.visits > b.visits;
+                       return a.canonical < b.canonical;
+                     });
+    eb.root_actions = std::move(exp_root_actions);
+    eb.root_canonical = initial.CanonicalHash();
+    eb.seeded_root_children = stats.root_seeded;
+    eb.peer_hits += tt.peer_cost_hits();
   }
 
   SearchResult result;

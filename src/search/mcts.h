@@ -80,6 +80,11 @@ struct MctsTreeParams {
   /// leaves the classic loop untouched.
   StopHandle* stop = nullptr;
   TimeManager* timeman = nullptr;
+  /// Persisted-experience seed (see ExperienceBridge): root children whose
+  /// canonical hash matches a seed entry start with capped virtual visits +
+  /// reward. Read-only here; outputs flow through `stats` (root_seeded) and
+  /// `root_actions`. Null = off (bit-identical to the pre-experience loop).
+  const ExperienceBridge* experience = nullptr;
 };
 
 /// Runs one MCTS tree to its deadline/iteration budget. The algorithm is

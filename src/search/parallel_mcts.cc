@@ -10,24 +10,52 @@ namespace ifgen {
 
 namespace {
 
-/// Warm-starts `tt` from sibling workers' exports (no-op without a bridge).
+/// Warm-starts `tt` from sibling workers' exports and the persistent
+/// experience store (no-op without the respective bridge).
 void SeedFromBridge(const SearchOptions& opts, TranspositionTable* tt) {
-  if (opts.tt_bridge == nullptr) return;
-  for (const TtSeedEntry& e : opts.tt_bridge->seed) {
-    tt->SeedPeerCost(e.canonical, e.cost, e.visits);
+  if (opts.tt_bridge != nullptr) {
+    for (const TtSeedEntry& e : opts.tt_bridge->seed) {
+      tt->SeedPeerCost(e.canonical, e.cost, e.visits);
+    }
+  }
+  if (opts.experience != nullptr) {
+    for (const TtSeedEntry& e : opts.experience->seed) {
+      tt->SeedPeerCost(e.canonical, e.cost, e.visits);
+    }
   }
 }
 
 /// Publishes the run's hot locally-discovered costs and the peer-hit tally
 /// back through the bridge.
 void ExportToBridge(const SearchOptions& opts, const TranspositionTable& tt) {
-  if (opts.tt_bridge == nullptr) return;
-  TtBridge& bridge = *opts.tt_bridge;
-  bridge.exported.clear();
-  for (const auto& ec : tt.ExportHotCosts(bridge.export_limit)) {
-    bridge.exported.push_back({ec.key, ec.cost, ec.visits});
+  if (opts.tt_bridge != nullptr) {
+    TtBridge& bridge = *opts.tt_bridge;
+    bridge.exported.clear();
+    for (const auto& ec : tt.ExportHotCosts(bridge.export_limit)) {
+      bridge.exported.push_back({ec.key, ec.cost, ec.visits});
+    }
+    bridge.peer_hits += tt.peer_cost_hits();
   }
-  bridge.peer_hits += tt.peer_cost_hits();
+  if (opts.experience != nullptr) {
+    ExperienceBridge& eb = *opts.experience;
+    eb.exported.clear();
+    for (const auto& ec : tt.ExportHotCosts(eb.export_limit)) {
+      eb.exported.push_back({ec.key, ec.cost, ec.visits});
+    }
+    eb.peer_hits += tt.peer_cost_hits();
+  }
+}
+
+/// Deterministic ranking shared by every root-action export: mean reward
+/// desc, then visits desc, then canonical asc.
+void SortRootActions(std::vector<RootActionStat>* actions) {
+  std::stable_sort(actions->begin(), actions->end(),
+                   [](const RootActionStat& a, const RootActionStat& b) {
+                     const double ma = a.MeanReward(), mb = b.MeanReward();
+                     if (ma != mb) return ma > mb;
+                     if (a.visits != b.visits) return a.visits > b.visits;
+                     return a.canonical < b.canonical;
+                   });
 }
 
 }  // namespace
@@ -106,6 +134,7 @@ Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initi
         params.root_actions = &tree_actions[t];
         params.stop = rc.stop();
         params.timeman = rc.timeman();
+        params.experience = opts_.experience.get();
         RunMctsTree(initial, params);
       });
     }
@@ -136,13 +165,13 @@ Result<SearchResult> ParallelMctsSearcher::RunRootParallel(const DiffTree& initi
   result.stats.stop_reason = rc.Resolve(result.stats.iterations);
   result.root_actions.reserve(merged.size());
   for (const auto& [key, a] : merged) result.root_actions.push_back(a);
-  std::sort(result.root_actions.begin(), result.root_actions.end(),
-            [](const RootActionStat& a, const RootActionStat& b) {
-              double ma = a.MeanReward(), mb = b.MeanReward();
-              if (ma != mb) return ma > mb;
-              if (a.visits != b.visits) return a.visits > b.visits;
-              return a.canonical < b.canonical;
-            });
+  SortRootActions(&result.root_actions);
+  if (opts_.experience != nullptr) {
+    ExperienceBridge& eb = *opts_.experience;
+    eb.root_actions = result.root_actions;
+    eb.root_canonical = initial.CanonicalHash();
+    eb.seeded_root_children = result.stats.root_seeded;
+  }
   return result;
 }
 
@@ -178,8 +207,18 @@ Result<SearchResult> ParallelMctsSearcher::RunLeafParallel(const DiffTree& initi
   params.leaf_rollouts = std::max<size_t>(1, parallel_.leaf_rollouts);
   params.stop = rc.stop();
   params.timeman = rc.timeman();
+  params.experience = opts_.experience.get();
+  std::vector<RootActionStat> exp_root_actions;
+  if (opts_.experience != nullptr) params.root_actions = &exp_root_actions;
   RunMctsTree(initial, params);
   ExportToBridge(opts_, tt);
+  if (opts_.experience != nullptr) {
+    ExperienceBridge& eb = *opts_.experience;
+    SortRootActions(&exp_root_actions);
+    eb.root_actions = std::move(exp_root_actions);
+    eb.root_canonical = initial.CanonicalHash();
+    eb.seeded_root_children = stats.root_seeded;
+  }
 
   SearchResult result;
   result.best_tree = best.tree;

@@ -79,7 +79,18 @@ ActionPriorModel::ActionPriorModel(const RuleEngine& rules,
     : rules_(&rules), opts_(opts) {
   rule_weight_.reserve(rules.num_rules());
   for (size_t r = 0; r < rules.num_rules(); ++r) {
-    rule_weight_.push_back(BaseRuleWeight(rules.rule(r).name()));
+    // Trace-learned weights (learn/prior_fit.h) take precedence by rule
+    // name; the hand-set BaseRuleWeight stays the documented fallback for
+    // every rule the fitter has not seen.
+    const std::string_view name = rules.rule(r).name();
+    double w = BaseRuleWeight(name);
+    for (const auto& [learned_name, learned_w] : opts.learned_weights) {
+      if (learned_name == name) {
+        w = learned_w;
+        break;
+      }
+    }
+    rule_weight_.push_back(w);
   }
   for (const Ast& q : queries) {
     std::vector<uint64_t> labels;

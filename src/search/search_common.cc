@@ -43,6 +43,15 @@ void SearchStats::Merge(const SearchStats& other) {
   fanout_samples += other.fanout_samples;
   fanout_sum += other.fanout_sum;
   fanout_max = std::max(fanout_max, other.fanout_max);
+  root_seeded += other.root_seeded;
+  if (rule_uses.size() < other.rule_uses.size()) {
+    rule_uses.resize(other.rule_uses.size(), 0);
+    rule_reward_sum.resize(other.rule_reward_sum.size(), 0.0);
+  }
+  for (size_t i = 0; i < other.rule_uses.size(); ++i) {
+    rule_uses[i] += other.rule_uses[i];
+    rule_reward_sum[i] += other.rule_reward_sum[i];
+  }
   trace.insert(trace.end(), other.trace.begin(), other.trace.end());
   std::sort(trace.begin(), trace.end(), [](const BestTrace& a, const BestTrace& b) {
     return a.ms != b.ms ? a.ms < b.ms : a.cost > b.cost;

@@ -2,6 +2,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include <memory>
@@ -48,6 +49,12 @@ struct PriorOptions {
   /// Floor applied to each raw prior before normalization, so no action's
   /// exploration term is starved entirely.
   double min_prior = 0.02;
+  /// Trace-fitted per-rule weights, (rule name, weight) sorted by name
+  /// (see src/learn/prior_fit.h and examples/fit_priors.cpp). When a rule's
+  /// name appears here, its learned weight replaces the hand-set
+  /// BaseRuleWeight; unlisted rules keep the hand-set fallback. Value knobs:
+  /// part of the service's options fingerprint like every other field here.
+  std::vector<std::pair<std::string, double>> learned_weights;
 };
 
 /// \brief One exportable transposition entry: a canonical state hash with
@@ -77,6 +84,53 @@ struct TtBridge {
   /// Out: the run's hottest finite-cost entries.
   std::vector<TtSeedEntry> exported;
   /// Out: cost-cache hits answered by a peer-seeded entry.
+  size_t peer_hits = 0;
+};
+
+/// \brief Per-root-action statistics of a (possibly merged) MCTS root.
+///
+/// Root-parallel ensembles merge per-tree root children by canonical hash;
+/// the ensemble's preferred action is the one with the highest
+/// visit-weighted mean reward.
+struct RootActionStat {
+  uint64_t canonical = 0;
+  uint64_t visits = 0;
+  double total_reward = 0.0;
+  double MeanReward() const {
+    return visits == 0 ? 0.0 : total_reward / static_cast<double>(visits);
+  }
+};
+
+/// \brief Runtime wiring for the persistent experience store
+/// (src/learn/experience.h): records from past same-identity searches to
+/// warm-start this one, and this run's discoveries to merge back after.
+///
+/// Seeding does two things: (a) every seed entry's cost lands in the
+/// transposition table via SeedPeerCost (skips re-evaluations, sound under
+/// state-keyed sampling exactly like TtBridge), and (b) seed entries whose
+/// canonical hash matches a root child grant that child virtual visits +
+/// reward, steering early PUCT selection toward previously good actions —
+/// this is where the warm-start iteration win comes from. Like
+/// `stop`/`progress`/`tt_bridge`, attaching a bridge is NOT part of any
+/// cache key; with the bridge absent the search is bit-identical to the
+/// pre-experience behavior (zero extra RNG draws either way).
+struct ExperienceBridge {
+  /// In: records for this search's cost identity, hottest first.
+  std::vector<TtSeedEntry> seed;
+  /// Cap on the virtual visits one seed entry may grant a root child.
+  size_t root_visit_cap = 8;
+  /// Cap on entries exported after the run (hottest by visits).
+  size_t export_limit = 512;
+  /// Out: the run's hottest finite-cost entries (same shape as TtBridge).
+  std::vector<TtSeedEntry> exported;
+  /// Out: root actions ranked by visit-weighted mean reward (merged across
+  /// trees for parallel ensembles) — the "best action" training signal.
+  std::vector<RootActionStat> root_actions;
+  /// Out: canonical hash of the search's initial state.
+  uint64_t root_canonical = 0;
+  /// Out: root children that received virtual visits from the seed.
+  size_t seeded_root_children = 0;
+  /// Out: cost-cache hits answered by a seeded entry.
   size_t peer_hits = 0;
 };
 
@@ -153,6 +207,11 @@ struct SearchOptions {
   /// wiring only — NOT part of any cache key or fingerprint; requires
   /// cache_peering (state-keyed sampling) for bit-identity under seeding.
   std::shared_ptr<TtBridge> tt_bridge;
+  /// Persistent-experience bridge (see ExperienceBridge). Null = off.
+  /// Runtime wiring only — NOT part of any cache key or fingerprint;
+  /// requires state-keyed sampling (GeneratorOptions::experience) for
+  /// bit-identity of sampled costs under seeding.
+  std::shared_ptr<ExperienceBridge> experience;
 };
 
 /// \brief (time, cost) samples of the best-so-far curve, for anytime plots.
@@ -160,20 +219,6 @@ struct BestTrace {
   int64_t ms = 0;
   size_t iteration = 0;
   double cost = 0.0;
-};
-
-/// \brief Per-root-action statistics of a (possibly merged) MCTS root.
-///
-/// Root-parallel ensembles merge per-tree root children by canonical hash;
-/// the ensemble's preferred action is the one with the highest
-/// visit-weighted mean reward.
-struct RootActionStat {
-  uint64_t canonical = 0;
-  uint64_t visits = 0;
-  double total_reward = 0.0;
-  double MeanReward() const {
-    return visits == 0 ? 0.0 : total_reward / static_cast<double>(visits);
-  }
 };
 
 /// \brief Instrumentation common to all searchers.
@@ -195,6 +240,28 @@ struct SearchStats {
   size_t fanout_samples = 0;
   size_t fanout_sum = 0;
   size_t fanout_max = 0;
+
+  /// Root children granted virtual visits from an ExperienceBridge seed.
+  size_t root_seeded = 0;
+
+  // Per-rule outcome accumulators, indexed by RuleEngine rule index: how
+  // often each rule's application was selected/expanded into a child, and
+  // the summed backpropagated reward those children received. Pure
+  // bookkeeping (zero RNG draws); the offline prior fitter
+  // (learn/prior_fit.h) turns these into learned PriorOptions weights.
+  std::vector<uint64_t> rule_uses;
+  std::vector<double> rule_reward_sum;
+
+  void RecordRuleOutcome(int rule_index, double reward) {
+    if (rule_index < 0) return;
+    const size_t idx = static_cast<size_t>(rule_index);
+    if (rule_uses.size() <= idx) {
+      rule_uses.resize(idx + 1, 0);
+      rule_reward_sum.resize(idx + 1, 0.0);
+    }
+    ++rule_uses[idx];
+    rule_reward_sum[idx] += reward;
+  }
 
   void RecordFanout(size_t fanout) {
     ++fanout_samples;
